@@ -1,0 +1,59 @@
+// Command racebench reproduces Table 3: it runs the FastTrack race
+// detector over every benchmark application twice — once with the manually
+// annotated synchronization list (Manual_dr) and once with SherLock's
+// inferred operations (SherLock_dr) — and prints true/false first-reported
+// race counts, plus the Table 4 false-race cause breakdown.
+//
+// Usage:
+//
+//	racebench [-app App-3] [-runs 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sherlock/internal/apps"
+	"sherlock/internal/core"
+	"sherlock/internal/exper"
+	"sherlock/internal/race"
+	"sherlock/internal/report"
+)
+
+func main() {
+	var (
+		appName = flag.String("app", "", "restrict to one application (default: all)")
+		runs    = flag.Int("runs", 3, "detection runs per test")
+	)
+	flag.Parse()
+
+	if *appName != "" {
+		app, err := apps.ByName(*appName)
+		die(err)
+		res, err := core.Infer(app, core.DefaultConfig())
+		die(err)
+		ccfg := race.DefaultCompareConfig()
+		ccfg.Runs = *runs
+		cmp, err := race.Compare(app, res.SyncKeys(), ccfg)
+		die(err)
+		report.Table3(os.Stdout, []*race.Comparison{cmp})
+		return
+	}
+
+	cmps, err := exper.Table3()
+	die(err)
+	report.Table3(os.Stdout, cmps)
+
+	fmt.Println()
+	_, runsAll, err := exper.Table2()
+	die(err)
+	report.Table4(os.Stdout, exper.Table4(runsAll, cmps))
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "racebench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,204 @@
+// Command sherlock runs synchronization-operation inference on one of the
+// benchmark applications (or all of them) and prints the inferred
+// operations with their ground-truth classification.
+//
+// Usage:
+//
+//	sherlock -app App-4 [-rounds 3] [-lambda 0.2] [-near 1000000] [-seed 1]
+//	sherlock -all
+//	sherlock -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sherlock/internal/apps"
+	"sherlock/internal/core"
+	"sherlock/internal/exper"
+	"sherlock/internal/prog"
+	"sherlock/internal/report"
+	"sherlock/internal/sched"
+	"sherlock/internal/trace"
+)
+
+func main() {
+	var (
+		appName    = flag.String("app", "", "application id (App-1..App-8)")
+		dumpDir    = flag.String("dump-traces", "", "write one JSONL trace per test to this directory instead of inferring")
+		analyzeDir = flag.String("analyze-traces", "", "offline: infer from the JSONL traces in this directory")
+		all        = flag.Bool("all", false, "run every application and print Table 2")
+		list       = flag.Bool("list", false, "print the application inventory (Table 1)")
+		rounds     = flag.Int("rounds", 3, "rounds per test input")
+		lambda     = flag.Float64("lambda", 0.2, "Mostly-Protected trade-off knob")
+		near       = flag.Int64("near", 1_000_000, "conflict window in virtual ns")
+		seed       = flag.Int64("seed", 1, "base scheduler seed")
+		verbose    = flag.Bool("v", false, "print per-round snapshots")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		report.Table1(os.Stdout)
+	case *all:
+		rows, runs, err := exper.Table2()
+		die(err)
+		report.Table2(os.Stdout, rows, exper.UniqueCorrect(runs))
+	case *analyzeDir != "":
+		die(analyzeTraces(*analyzeDir, *lambda, *near))
+	case *appName != "" && *dumpDir != "":
+		app, err := apps.ByName(*appName)
+		die(err)
+		die(dumpTraces(app, *dumpDir, *seed))
+	case *appName != "":
+		app, err := apps.ByName(*appName)
+		die(err)
+		cfg := core.DefaultConfig()
+		cfg.Rounds = *rounds
+		cfg.Solver.Lambda = *lambda
+		cfg.Window.Near = *near
+		cfg.Seed = *seed
+		res, err := core.Infer(app, cfg)
+		die(err)
+		printResult(app, res, *verbose)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func printResult(app *prog.Program, res *core.Result, verbose bool) {
+	score := core.ScoreResult(app, res)
+	fmt.Printf("%s (%s): %d inferred, %d correct, precision %.0f%%\n\n",
+		app.Name, app.Title, score.Total(), len(score.Correct), 100*score.Precision())
+
+	fmt.Println("Releasing sites:")
+	for _, s := range res.Inferred {
+		if s.Role.String() == "release" {
+			fmt.Printf("  %-70s %s\n", s.Key.Display(), classify(app, s))
+		}
+	}
+	fmt.Println("Acquire sites:")
+	for _, s := range res.Inferred {
+		if s.Role.String() == "acquire" {
+			fmt.Printf("  %-70s %s\n", s.Key.Display(), classify(app, s))
+		}
+	}
+	if len(score.Missed) > 0 {
+		fmt.Println("Missed (ground truth):")
+		for _, k := range score.Missed {
+			fmt.Printf("  %-70s [%s]\n", k.Display(), app.Truth.Category[k])
+		}
+	}
+	if verbose {
+		fmt.Println("\nPer-round snapshots:")
+		for _, r := range res.Rounds {
+			c, t := core.SnapshotCorrect(app, r)
+			fmt.Printf("  round %d: %d correct / %d inferred, %d windows\n",
+				r.Round, c, t, r.Windows)
+		}
+		fmt.Printf("\nOverhead: run %v, solve %v, %d events, %d windows, LP %dx%d\n",
+			res.Overhead.RunWall, res.Overhead.SolveWall, res.Overhead.Events,
+			res.Overhead.Windows, res.Overhead.Vars, res.Overhead.Constraints)
+	}
+}
+
+func classify(app *prog.Program, s core.InferredSync) string {
+	if role, ok := app.Truth.Syncs[s.Key]; ok && role == s.Role {
+		return "[true sync]"
+	}
+	if app.Truth.RacyKeys[s.Key] {
+		return "[data racy]"
+	}
+	if cat := app.Truth.Category[s.Key]; cat != "" {
+		return "[" + string(cat) + "]"
+	}
+	return "[not sync]"
+}
+
+// dumpTraces executes every test once and writes its log as JSON lines —
+// the paper's materialized per-run log files.
+func dumpTraces(app *prog.Program, dir string, seed int64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, test := range app.Tests {
+		run, err := sched.Run(app, test, sched.Options{Seed: seed + int64(i)})
+		if err != nil {
+			return err
+		}
+		name := filepath.Join(dir, fmt.Sprintf("%s-%02d.jsonl", app.Name, i))
+		f, err := os.Create(name)
+		if err != nil {
+			return err
+		}
+		if err := run.Trace.Write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d events, test %s)\n", name, run.Trace.Len(), test.Name)
+	}
+	return nil
+}
+
+// analyzeTraces loads every .jsonl trace in dir and runs the offline
+// log-analysis step (no re-execution, no Perturber).
+func analyzeTraces(dir string, lambda float64, near int64) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var traces []*trace.Trace
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".jsonl" {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return err
+		}
+		tr, err := trace.Read(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.Name(), err)
+		}
+		traces = append(traces, tr)
+	}
+	if len(traces) == 0 {
+		return fmt.Errorf("no .jsonl traces in %s", dir)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Solver.Lambda = lambda
+	cfg.Window.Near = near
+	res, err := core.InferFromTraces(traces, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d traces, %d windows, %d inferred operations\n\n",
+		len(traces), res.Overhead.Windows, len(res.Inferred))
+	fmt.Println("Releasing sites:")
+	for _, s := range res.Inferred {
+		if s.Role == trace.RoleRelease {
+			fmt.Printf("  %s\n", s.Key.Display())
+		}
+	}
+	fmt.Println("Acquire sites:")
+	for _, s := range res.Inferred {
+		if s.Role == trace.RoleAcquire {
+			fmt.Printf("  %s\n", s.Key.Display())
+		}
+	}
+	return nil
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sherlock:", err)
+		os.Exit(1)
+	}
+}

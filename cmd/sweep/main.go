@@ -1,0 +1,72 @@
+// Command sweep reproduces the parameter-sensitivity experiments: Table 5
+// (hypothesis ablations), Table 6 (λ), Table 7 (Near), Figure 4
+// (Perturber/feedback settings across rounds), the TSVD enhancement, and
+// the overhead accounting.
+//
+// Usage:
+//
+//	sweep -mode table5|table6|table7|figure4|tsvd|overhead|all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sherlock/internal/exper"
+	"sherlock/internal/report"
+)
+
+func main() {
+	mode := flag.String("mode", "all", "experiment: table5, table6, table7, figure4, tsvd, overhead, all")
+	rounds := flag.Int("rounds", 5, "rounds for figure4")
+	flag.Parse()
+
+	run := func(m string) {
+		switch m {
+		case "table5":
+			rows, err := exper.Table5()
+			die(err)
+			report.Table5(os.Stdout, rows)
+		case "table6":
+			rows, err := exper.Table6()
+			die(err)
+			report.Sweep(os.Stdout, "Table 6: sensitivity of lambda", "lambda", rows)
+		case "table7":
+			rows, err := exper.Table7()
+			die(err)
+			report.Sweep(os.Stdout, "Table 7: sensitivity of Near (x default)", "near", rows)
+		case "figure4":
+			series, err := exper.Figure4(*rounds)
+			die(err)
+			report.Figure4(os.Stdout, series)
+		case "tsvd":
+			rows, err := exper.TSVDEnhancement()
+			die(err)
+			report.TSVD(os.Stdout, rows)
+		case "overhead":
+			rows, err := exper.Overhead()
+			die(err)
+			report.Overhead(os.Stdout, rows)
+		default:
+			fmt.Fprintf(os.Stderr, "sweep: unknown mode %q\n", m)
+			os.Exit(2)
+		}
+	}
+
+	if *mode == "all" {
+		for _, m := range []string{"table5", "table6", "table7", "figure4", "tsvd", "overhead"} {
+			run(m)
+			fmt.Println()
+		}
+		return
+	}
+	run(*mode)
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}

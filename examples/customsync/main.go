@@ -1,0 +1,87 @@
+// Customsync: infer framework-style synchronization no API list could
+// anticipate — a message broker whose ordering comes from a lock hidden
+// inside uninstrumented framework code, plus language-enforced finalizer
+// ordering. These are the paper's "application-method-based"
+// synchronizations (Section 5.3.3), its largest inferred class.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sherlock"
+	"sherlock/internal/prog"
+)
+
+func main() {
+	app := sherlock.NewProgram("customsync", "CustomSync")
+
+	// A broker: Subscribe registers a handler under a framework-internal
+	// lock (invisible to instrumentation); Publish reads the registry
+	// under the same hidden lock. SherLock must discover that
+	// Subscribe-End happens-before Publish-Begin without ever seeing the
+	// lock.
+	app.AddMethod("Bus.Broker::Subscribe",
+		prog.HLock("bus-internal"),
+		prog.Wr("Bus.Broker::handlers", "bus", 1),
+		prog.Cp(100),
+		prog.Wr("Bus.Broker::version", "bus", 1),
+		prog.Cp(80),
+		prog.HUnlock("bus-internal"),
+	)
+	app.AddMethod("Bus.Broker::Publish",
+		prog.CpJ(450, 0.9),
+		prog.HLock("bus-internal"),
+		prog.Rd("Bus.Broker::version", "bus"),
+		prog.Cp(60),
+		prog.Rd("Bus.Broker::handlers", "bus"),
+		prog.Cp(90),
+		prog.HUnlock("bus-internal"),
+	)
+	app.AddTest("Tests::SubscribeThenPublish",
+		prog.Go(prog.ForkThread, "Bus.Broker::Subscribe", "bus", "h1"),
+		prog.Go(prog.ForkThread, "Bus.Broker::Publish", "bus", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+
+	// Finalizer ordering: the language guarantees the finalizer runs only
+	// after the last reference is gone. The inferred release is the exit
+	// of the method performing the last access; the acquire is
+	// Finalize-Begin.
+	app.AddMethod("Bus.Session::Close",
+		prog.Rd("Bus.Session::conn", "sess"),
+		prog.Wr("Bus.Session::conn", "sess", 0),
+		prog.Cp(140),
+	)
+	app.AddMethod("Bus.Session::Finalize",
+		prog.Rd("Bus.Session::conn", "sess"),
+		prog.Cp(90),
+	)
+	app.AddTest("Tests::SessionFinalizer",
+		prog.Do("Bus.Session::Close", "sess"),
+		prog.GC("sess", "Bus.Session::Finalize", 4_000),
+		prog.Cp(150),
+	)
+
+	res, err := sherlock.Infer(app, sherlock.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Inferred synchronization operations (no annotations, no API lists):")
+	for _, s := range res.Inferred {
+		fmt.Printf("  %-8s %s\n", s.Role, s.Key.Display())
+	}
+
+	syncs := res.SyncKeys()
+	check := func(k sherlock.Key, role sherlock.Role, what string) {
+		if got, ok := syncs[k]; ok && got == role {
+			fmt.Printf("  ✓ %s\n", what)
+		} else {
+			fmt.Printf("  ✗ %s (not inferred)\n", what)
+		}
+	}
+	fmt.Println("\nFramework/language idioms discovered:")
+	check("begin:Bus.Session::Finalize", sherlock.RoleAcquire, "finalizer entrance acquires (language semantics)")
+	check("end:Bus.Session::Close", sherlock.RoleRelease, "last-access method exit releases")
+}

@@ -1,0 +1,66 @@
+// Racedetect: feed SherLock's inferred synchronizations into a FastTrack
+// data-race detector and compare against a manually annotated baseline —
+// the paper's Manual_dr vs SherLock_dr experiment (Table 3), on a program
+// whose only synchronization is a Task.Run fork edge the manual list does
+// not know about.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sherlock"
+	"sherlock/internal/prog"
+)
+
+func main() {
+	app := sherlock.NewProgram("racedetect", "RaceDetect")
+
+	// The parent publishes a config object, then hands it to a task. The
+	// only happens-before edge is Task.Run — missing from the classic
+	// annotation list, so Manual_dr reports a false race on `config`.
+	app.AddMethod("Svc.Worker::Process",
+		prog.Cp(80),
+		prog.Rd("Svc.Config::settings", "cfg"),
+		prog.Cp(300),
+	)
+	app.AddTest("Tests::Worker_ReadsConfig",
+		prog.Wr("Svc.Config::settings", "cfg", 7),
+		prog.Cp(50),
+		prog.Go(prog.ForkTaskRun, "Svc.Worker::Process", "cfg", "t1"),
+		prog.WaitT("t1"),
+	)
+
+	// A genuine data race both detectors should find.
+	app.AddMethod("Svc.Stats::BumpA", prog.Cp(150), prog.Wr("Svc.Stats::hits", "s", 1))
+	app.AddMethod("Svc.Stats::BumpB", prog.Cp(150), prog.Wr("Svc.Stats::hits", "s", 2))
+	app.AddTest("Tests::Stats_Racy",
+		prog.Go(prog.ForkThread, "Svc.Stats::BumpA", "s", "h1"),
+		prog.Go(prog.ForkThread, "Svc.Stats::BumpB", "s", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	app.Truth.Race("Svc.Stats::hits")
+
+	// Step 1: infer synchronizations.
+	res, err := sherlock.Infer(app, sherlock.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Inferred synchronizations:")
+	for _, s := range res.Inferred {
+		fmt.Printf("  %-8s %s\n", s.Role, s.Key.Display())
+	}
+
+	// Step 2: run both detector variants over the same executions.
+	cmp, err := sherlock.CompareDetectors(app, res.SyncKeys())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nFirst-reported races per run (true/false):")
+	fmt.Printf("  Manual_dr:   %d true, %d false\n", cmp.ManualTrue, cmp.ManualFalse)
+	fmt.Printf("  SherLock_dr: %d true, %d false\n", cmp.SherTrue, cmp.SherFalse)
+
+	if cmp.SherFalse < cmp.ManualFalse {
+		fmt.Println("\nSherLock_dr eliminated the manual list's false races on the Task.Run edge.")
+	}
+}

@@ -1,0 +1,534 @@
+// App-1: ApplicationInsights (paper Table 1: 67.5K LoC, 306 stars, 1193
+// tests). The paper's largest contributor of inferred synchronizations (46)
+// and of misclassifications (10 data-racy, 2 instrumentation errors, 7
+// not-sync).
+//
+// Synchronization idioms reproduced (paper Table 8 / Figure 3.E):
+//   - MSTest's TestInitialize framework ordering: the init method's exit
+//     releases, each test method's entrance acquires — with no visible
+//     fork.
+//   - Monitor-guarded TelemetryBuffer.
+//   - Volatile flush-completed flag.
+//   - Task.Run / ThreadPool sender loops; EventWaitHandle transmission
+//     signaling.
+//   - Five non-volatile flag patterns that are true data races (10 racy
+//     operations, paper Table 2).
+//   - Two instrumentation-error patterns (hidden helpers).
+//   - One dispose pattern with late garbage collection.
+package apps
+
+import (
+	"sherlock/internal/prog"
+	"sherlock/internal/trace"
+)
+
+const (
+	a1Init      = "Microsoft.ApplicationInsights.Tests.TelemetryTests::TestInitialize"
+	a1Env       = "Microsoft.ApplicationInsights.Tests.TelemetryTests::environment"
+	a1Buffer    = "Microsoft.ApplicationInsights.Channel.TelemetryBuffer::items"
+	a1Enqueue   = "Microsoft.ApplicationInsights.Channel.TelemetryBuffer::Enqueue"
+	a1Dequeue   = "Microsoft.ApplicationInsights.Channel.TelemetryBuffer::Dequeue"
+	a1FlushFlag = "Microsoft.ApplicationInsights.Channel.InMemoryChannel::flushCompleted"
+	a1FlushData = "Microsoft.ApplicationInsights.Channel.InMemoryChannel::pending"
+	a1SendLoop  = "Microsoft.ApplicationInsights.Channel.TelemetrySender::SendLoop"
+	a1Transmit  = "Microsoft.ApplicationInsights.Channel.Transmitter::TransmitBatch"
+	a1Config    = "Microsoft.ApplicationInsights.Extensibility.TelemetryConfiguration::active"
+	a1Sent      = "Microsoft.ApplicationInsights.Channel.Transmitter::sentCount"
+	a1NotifyA   = "Microsoft.ApplicationInsights.Channel.Transmitter::NotifySent"             // hidden
+	a1NotifyB   = "Microsoft.ApplicationInsights.Extensibility.RichPayloadEventSource::Flush" // hidden
+	a1Outcome   = "Microsoft.ApplicationInsights.Channel.Transmitter::lastBatch"
+	a1Payload   = "Microsoft.ApplicationInsights.Extensibility.RichPayloadEventSource::buffer"
+	a1Meta      = "Microsoft.ApplicationInsights.Extensibility.DisposableSink::resources"
+	a1SinkLast  = "Microsoft.ApplicationInsights.Extensibility.DisposableSink::ReleaseLast"
+	a1SinkDisp  = "Microsoft.ApplicationInsights.Extensibility.DisposableSink::Dispose"
+
+	a1QPInit        = "Microsoft.ApplicationInsights.Tests.QuickPulseTests::TestInitialize"
+	a1AggAdd        = "Microsoft.ApplicationInsights.Metrics.MetricAggregator::Add"
+	a1AggSnap       = "Microsoft.ApplicationInsights.Metrics.MetricAggregator::Snapshot"
+	a1AggState      = "Microsoft.ApplicationInsights.Metrics.MetricAggregator::values"
+	a1Serialize     = "Microsoft.ApplicationInsights.Channel.Serializer::Serialize_b0"
+	a1PostSerial    = "Microsoft.ApplicationInsights.Channel.Serializer::Transmit_b1"
+	a1DiagHandler   = "Microsoft.ApplicationInsights.Extensibility.DiagnosticsQueue::HandleEvent"
+	a1DiagPump      = "Microsoft.ApplicationInsights.Extensibility.DiagnosticsQueue::Pump"
+	a1DiagPost      = "Microsoft.ApplicationInsights.Extensibility.DiagnosticsQueue::PostEvent"
+	a1CacheDelegate = "Microsoft.ApplicationInsights.Metrics.SeriesCache::CreateSeries"
+	a1CacheGet      = "Microsoft.ApplicationInsights.Metrics.SeriesCache::GetOrAdd"
+)
+
+// racyFlags are App-1's five non-volatile flag fields that form true data
+// races ("should be marked volatile", paper Section 5.5).
+var a1RacyFlags = [5][2]string{
+	{"Microsoft.ApplicationInsights.Metrics.MetricManager::initialized",
+		"Microsoft.ApplicationInsights.Metrics.MetricManager::series"},
+	{"Microsoft.ApplicationInsights.Extensibility.DiagnosticsListener::enabled",
+		"Microsoft.ApplicationInsights.Extensibility.DiagnosticsListener::sink"},
+	{"Microsoft.ApplicationInsights.QuickPulse.QuickPulseModule::collecting",
+		"Microsoft.ApplicationInsights.QuickPulse.QuickPulseModule::sample"},
+	{"Microsoft.ApplicationInsights.Sampling.SamplingProcessor::rateSettled",
+		"Microsoft.ApplicationInsights.Sampling.SamplingProcessor::rate"},
+	{"Microsoft.ApplicationInsights.Channel.BackoffManager::paused",
+		"Microsoft.ApplicationInsights.Channel.BackoffManager::interval"},
+}
+
+// App1 constructs the application.
+func App1() *prog.Program {
+	p := prog.New("App-1", "ApplicationInsights")
+	p.LoC, p.Stars, p.PaperTests = 67_500, 306, 1193
+
+	// --- TestInitialize pattern (Figure 3.E) ---
+	p.AddMethod(a1Init,
+		prog.Cp(250),
+		prog.Wr(a1Env, "", 1),
+		prog.Cp(120),
+	)
+
+	// --- monitor-guarded telemetry buffer ---
+	p.AddMethod(a1Enqueue,
+		prog.CpJ(300, 0.9),
+		prog.Lock("buffer-lock"),
+		prog.Rd(a1Buffer, "buf"),
+		prog.Wr(a1Buffer, "buf", 1),
+		prog.ListAdd("buf-items"),
+		prog.Cp(120),
+		prog.Unlock("buffer-lock"),
+		prog.CpJ(250, 0.9),
+	)
+	p.AddMethod(a1Dequeue,
+		prog.CpJ(450, 0.9),
+		prog.Lock("buffer-lock"),
+		prog.Rd(a1Buffer, "buf"),
+		prog.Wr(a1Buffer, "buf", -1),
+		prog.ListRead("buf-items"),
+		prog.Cp(100),
+		prog.Unlock("buffer-lock"),
+		prog.CpJ(200, 0.9),
+	)
+
+	// --- volatile flush flag ---
+	p.AddMethod("Microsoft.ApplicationInsights.Channel.InMemoryChannel::Flush",
+		prog.CpJ(400, 0.7),
+		prog.Wr(a1FlushData, "ch", 8),
+		prog.Cp(60),
+		prog.Wr(a1FlushFlag, "ch", 1),
+		prog.Cp(35),
+		prog.Wr("Microsoft.ApplicationInsights.Channel.InMemoryChannel::flushStamp", "ch", 1),
+	)
+	p.AddMethod("Microsoft.ApplicationInsights.Channel.InMemoryChannel::WaitFlush",
+		prog.Spin(a1FlushFlag, "ch", 1, 260),
+		prog.Cp(20),
+		prog.Rd("Microsoft.ApplicationInsights.Channel.InMemoryChannel::flushStamp", "ch"),
+		prog.Cp(40),
+		prog.Rd(a1FlushData, "ch"),
+	)
+
+	// --- sender loop (Task.Run) and transmitter (ThreadPool + handle) ---
+	p.AddMethod(a1SendLoop,
+		prog.CpJ(160, 0.8),
+		prog.Rd(a1Config, "tc"),
+		prog.Cp(220),
+		prog.Wr(a1Sent, "tx", 1),
+	)
+	p.AddMethod(a1Transmit,
+		prog.CpJ(180, 0.8),
+		prog.Rd(a1Config, "tc"),
+		prog.Cp(190),
+		prog.Wr(a1Sent, "tx", 1),
+		prog.Cp(40),
+		prog.Set("batch-sent"),
+	)
+	// Second wait-handle context: disk persistence signaling.
+	p.AddMethod("Microsoft.ApplicationInsights.Channel.DiskBacker::Persist",
+		prog.CpJ(260, 0.8),
+		prog.Wr("Microsoft.ApplicationInsights.Channel.DiskBacker::persisted", "db", 1),
+		prog.Cp(45),
+		prog.Set("disk-persisted"),
+	)
+	p.AddMethod("Microsoft.ApplicationInsights.Channel.DiskBacker::AwaitPersist",
+		prog.CpJ(480, 0.95),
+		prog.Wait("disk-persisted"),
+		prog.Cp(35),
+		prog.Rd("Microsoft.ApplicationInsights.Channel.DiskBacker::persisted", "db"),
+	)
+	p.AddMethod("Microsoft.ApplicationInsights.Channel.Transmitter::AwaitBatch",
+		prog.CpJ(500, 0.95),
+		prog.Wait("batch-sent"),
+		prog.Cp(45),
+		prog.Rd(a1Sent, "tx"),
+	)
+
+	// --- instrumentation-error patterns (two hidden helpers) ---
+	p.AddMethod(a1NotifyA,
+		prog.Cp(40),
+		prog.HSignal("batch-notified"),
+	)
+	p.AddMethod("Microsoft.ApplicationInsights.Channel.Transmitter::FinishBatch",
+		prog.CpJ(260, 0.7),
+		prog.Wr(a1Outcome, "tx", 2),
+		prog.Cp(40),
+		prog.Wr("Microsoft.ApplicationInsights.Channel.Transmitter::state", "tx", 1),
+		prog.Do(a1NotifyA, "tx"),
+		prog.Cp(70),
+	)
+	p.AddMethod("Microsoft.ApplicationInsights.Channel.Transmitter::ConsumeBatch",
+		prog.CpJ(420, 0.95),
+		prog.HWait("batch-notified"),
+		prog.Rd("Microsoft.ApplicationInsights.Channel.Transmitter::state", "tx"),
+		prog.Cp(30),
+		prog.Rd(a1Outcome, "tx"),
+	)
+	p.AddMethod(a1NotifyB,
+		prog.Cp(35),
+		prog.HSignal("payload-flushed"),
+	)
+	p.AddMethod("Microsoft.ApplicationInsights.Extensibility.RichPayloadEventSource::Write",
+		prog.CpJ(240, 0.7),
+		prog.Wr(a1Payload, "eps", 3),
+		prog.Cp(35),
+		prog.Wr("Microsoft.ApplicationInsights.Extensibility.RichPayloadEventSource::state", "eps", 1),
+		prog.Do(a1NotifyB, "eps"),
+		prog.Cp(55),
+	)
+	p.AddMethod("Microsoft.ApplicationInsights.Extensibility.RichPayloadEventSource::Drain",
+		prog.CpJ(390, 0.95),
+		prog.HWait("payload-flushed"),
+		prog.Rd("Microsoft.ApplicationInsights.Extensibility.RichPayloadEventSource::state", "eps"),
+		prog.Cp(30),
+		prog.Rd(a1Payload, "eps"),
+	)
+
+	// --- second test class with framework init (Figure 3.E again) ---
+	p.AddMethod(a1QPInit,
+		prog.Cp(200),
+		prog.Wr("Microsoft.ApplicationInsights.Tests.QuickPulseTests::collector", "", 1),
+		prog.Cp(90),
+	)
+
+	// --- second monitor: metric aggregation ---
+	p.AddMethod(a1AggAdd,
+		prog.CpJ(280, 0.9),
+		prog.Lock("aggregator-lock"),
+		prog.Rd(a1AggState, "agg"),
+		prog.Wr(a1AggState, "agg", 1),
+		prog.Cp(90),
+		prog.Unlock("aggregator-lock"),
+		prog.CpJ(220, 0.9),
+	)
+	p.AddMethod(a1AggSnap,
+		prog.CpJ(430, 0.9),
+		prog.Lock("aggregator-lock"),
+		prog.Rd(a1AggState, "agg"),
+		prog.Wr(a1AggState, "agg", 2),
+		prog.Cp(80),
+		prog.Unlock("aggregator-lock"),
+		prog.CpJ(180, 0.9),
+	)
+
+	// --- ContinueWith pipeline: serialize then transmit ---
+	p.AddMethod(a1Serialize,
+		prog.CpJ(260, 0.6),
+		prog.Wr("Microsoft.ApplicationInsights.Channel.Serializer::blob", "ser", 1),
+		prog.Cp(110),
+	)
+	p.AddMethod(a1PostSerial,
+		prog.Rd("Microsoft.ApplicationInsights.Channel.Serializer::blob", "ser"),
+		prog.Cp(130),
+	)
+
+	// --- dataflow queue: diagnostics events ---
+	p.AddMethod(a1DiagHandler,
+		prog.Rd("Microsoft.ApplicationInsights.Extensibility.DiagnosticsQueue::event", "dq"),
+		prog.Wr("Microsoft.ApplicationInsights.Extensibility.DiagnosticsQueue::handled", "dq", 1),
+		prog.Cp(150),
+	)
+	p.AddMethod(a1DiagPump,
+		prog.RecvQ("diagnostics-queue", a1DiagHandler, "dq"),
+		prog.Cp(45),
+	)
+	p.AddMethod(a1DiagPost,
+		prog.CpJ(230, 0.9),
+		prog.Wr("Microsoft.ApplicationInsights.Extensibility.DiagnosticsQueue::event", "dq", 3),
+		prog.Cp(35),
+		prog.PostQ("diagnostics-queue"),
+	)
+
+	// --- GetOrAdd-style atomic region over a hidden lock ---
+	p.AddMethod(a1CacheDelegate,
+		prog.Rd("Microsoft.ApplicationInsights.Metrics.SeriesCache::entries", "sc"),
+		prog.Wr("Microsoft.ApplicationInsights.Metrics.SeriesCache::entries", "sc", 1),
+		prog.Cp(180),
+	)
+	p.AddMethod(a1CacheGet,
+		prog.HLock("series-cache-lock"),
+		prog.Do(a1CacheDelegate, "sc"),
+		prog.Cp(60),
+		prog.HUnlock("series-cache-lock"),
+	)
+	p.AddMethod("Microsoft.ApplicationInsights.Metrics.MetricSeries::Resolve",
+		prog.CpJ(340, 0.9),
+		prog.Do(a1CacheGet, "sc"),
+		prog.Cp(70),
+	)
+	p.AddMethod("Microsoft.ApplicationInsights.Metrics.MetricSeries::ResolveBatch",
+		prog.CpJ(490, 0.9),
+		prog.Do(a1CacheGet, "sc"),
+		prog.Cp(55),
+	)
+
+	// --- dispose with late GC ---
+	p.AddMethod(a1SinkLast,
+		prog.Rd(a1Meta, "sink"),
+		prog.Wr(a1Meta, "sink", 1),
+		prog.Cp(130),
+	)
+	p.AddMethod(a1SinkDisp,
+		prog.Rd(a1Meta, "sink"),
+		prog.Cp(100),
+	)
+
+	// --- racy flags ---
+	for i, pair := range a1RacyFlags {
+		flag, data := pair[0], pair[1]
+		writer := flagClass(flag) + "::Start"
+		reader := flagClass(flag) + "::Observe"
+		p.AddMethod(writer,
+			prog.CpJ(300+int64(i)*40, 0.7),
+			prog.Wr(data, "rf", int64(i)+1),
+			prog.Cp(40),
+			prog.Wr(flag, "rf", 1),
+		)
+		p.AddMethod(reader,
+			prog.Spin(flag, "rf", 1, 230+int64(i)*15),
+			prog.Rd(data, "rf"),
+		)
+	}
+
+	// --- unit tests ---
+	p.AddTestWithInit("TelemetryTests::BasicStartOperationWithActivity", a1Init,
+		prog.Rd(a1Env, ""),
+		prog.Cp(180),
+	)
+	p.AddTestWithInit("TelemetryTests::TrackEventSendsTelemetry", a1Init,
+		prog.Rd(a1Env, ""),
+		prog.Cp(140),
+	)
+	p.AddTestWithInit("TelemetryTests::SerializationRoundTrip", a1Init,
+		prog.Rd(a1Env, ""),
+		prog.Cp(220),
+	)
+	p.AddTestWithInit("QuickPulseTests::CollectsTopCpuProcesses", a1QPInit,
+		prog.Rd("Microsoft.ApplicationInsights.Tests.QuickPulseTests::collector", ""),
+		prog.Cp(160),
+	)
+	p.AddTestWithInit("QuickPulseTests::SubmitsSamples", a1QPInit,
+		prog.Rd("Microsoft.ApplicationInsights.Tests.QuickPulseTests::collector", ""),
+		prog.Cp(130),
+	)
+	p.AddTest("MetricAggregatorTests::AddSnapshot_Concurrent",
+		prog.Go(prog.ForkThread, a1AggAdd, "agg", "h1"),
+		prog.Go(prog.ForkThread, a1AggSnap, "agg", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	p.AddTest("SerializerTests::ContinueWith_Pipeline",
+		prog.Go(prog.ForkTaskRun, a1Serialize, "ser", "t1"),
+		prog.Then("t1", a1PostSerial, "ser", "t2"),
+		prog.WaitT("t2"),
+	)
+	p.AddTest("DiagnosticsTests::Queue_PumpsEvents",
+		prog.Go(prog.ForkThread, a1DiagPump, "dq", "hp"),
+		prog.Go(prog.ForkThread, a1DiagPost, "dq", "hs"),
+		prog.JoinT("hp"), prog.JoinT("hs"),
+	)
+	p.AddTest("SeriesCacheTests::GetOrAdd_Concurrent",
+		prog.Go(prog.ForkThread, "Microsoft.ApplicationInsights.Metrics.MetricSeries::Resolve", "sc", "h1"),
+		prog.Go(prog.ForkThread, "Microsoft.ApplicationInsights.Metrics.MetricSeries::ResolveBatch", "sc", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	p.AddTest("TelemetryBufferTests::EnqueueDequeue_Concurrent",
+		prog.Go(prog.ForkThread, a1Enqueue, "buf", "h1"),
+		prog.Go(prog.ForkThread, a1Dequeue, "buf", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	p.AddTest("TelemetryBufferTests::TwoProducers",
+		prog.Go(prog.ForkThread, a1Enqueue, "buf", "h1"),
+		prog.Go(prog.ForkThread, a1Enqueue, "buf", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	p.AddTest("InMemoryChannelTests::Flush_Flag",
+		prog.Go(prog.ForkThread, "Microsoft.ApplicationInsights.Channel.InMemoryChannel::WaitFlush", "ch", "h1"),
+		prog.Go(prog.ForkThread, "Microsoft.ApplicationInsights.Channel.InMemoryChannel::Flush", "ch", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	p.AddTest("TelemetrySenderTests::SendLoop_TaskRun",
+		prog.Wr(a1Config, "tc", 1),
+		prog.Cp(40),
+		prog.Go(prog.ForkTaskRun, a1SendLoop, "tc", "t1"),
+		prog.WaitT("t1"),
+		prog.Rd(a1Sent, "tx"),
+	)
+	p.AddTest("DiskBackerTests::Persist_Signaled",
+		prog.Go(prog.ForkThread, "Microsoft.ApplicationInsights.Channel.DiskBacker::AwaitPersist", "db", "h1"),
+		prog.Go(prog.ForkThread, "Microsoft.ApplicationInsights.Channel.DiskBacker::Persist", "db", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	p.AddTest("TransmitterTests::Batch_ThreadPool",
+		prog.Wr(a1Config, "tc", 2),
+		prog.Cp(40),
+		prog.Go(prog.ForkThreadPool, a1Transmit, "tc", "h1"),
+		prog.Go(prog.ForkThreadPool, "Microsoft.ApplicationInsights.Channel.Transmitter::AwaitBatch", "tx", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	p.AddTest("TransmitterTests::Notify_Hidden",
+		prog.Go(prog.ForkThread, "Microsoft.ApplicationInsights.Channel.Transmitter::ConsumeBatch", "tx", "h1"),
+		prog.Go(prog.ForkThread, "Microsoft.ApplicationInsights.Channel.Transmitter::FinishBatch", "tx", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	p.AddTest("EventSourceTests::Flush_Hidden",
+		prog.Go(prog.ForkThread, "Microsoft.ApplicationInsights.Extensibility.RichPayloadEventSource::Drain", "eps", "h1"),
+		prog.Go(prog.ForkThread, "Microsoft.ApplicationInsights.Extensibility.RichPayloadEventSource::Write", "eps", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	p.AddTest("DisposableSinkTests::Dispose_LateGC",
+		prog.Do(a1SinkLast, "sink"),
+		prog.GC("sink", a1SinkDisp, 2_200_000), // beyond Near
+		prog.Cp(100),
+	)
+	// Each racy-flag test begins with a Task.Run configuration handoff —
+	// a happens-before edge the manual annotation list does not know, so
+	// Manual_dr's first report in these runs is a false race on the
+	// handoff field, masking the true flag race (the paper's Table 3
+	// masking effect).
+	for i, pair := range a1RacyFlags {
+		flag := pair[0]
+		p.AddTest(flagClass(flag)+"Tests::Flag_"+string(rune('A'+i)),
+			prog.Wr(a1Config, "tc", int64(i)),
+			prog.Cp(40),
+			prog.Go(prog.ForkTaskRun, a1SendLoop, "tc", "t0"),
+			prog.Go(prog.ForkThread, flagClass(flag)+"::Observe", "rf", "h1"),
+			prog.Go(prog.ForkThread, flagClass(flag)+"::Start", "rf", "h2"),
+			prog.WaitT("t0"), prog.JoinT("h1"), prog.JoinT("h2"),
+		)
+	}
+
+	// Plain unsynchronized counter races: SherLock never mistakes these
+	// for synchronization (all-write windows are data-race observations),
+	// so SherLock_dr reports them as its first race, while Manual_dr is
+	// already stuck on the earlier handoff false positive.
+	p.AddMethod("Microsoft.ApplicationInsights.Metrics.CounterA::Bump",
+		prog.CpJ(200, 0.6),
+		prog.Wr("Microsoft.ApplicationInsights.Metrics.CounterA::hits", "pc", 1),
+	)
+	p.AddMethod("Microsoft.ApplicationInsights.Metrics.CounterB::Bump",
+		prog.CpJ(200, 0.6),
+		prog.Wr("Microsoft.ApplicationInsights.Metrics.CounterB::misses", "pc", 1),
+	)
+	plainRace := func(name, method string) {
+		p.AddTest(name,
+			prog.Wr(a1Config, "tc", 9),
+			prog.Cp(40),
+			prog.Go(prog.ForkTaskRun, a1SendLoop, "tc", "t0"),
+			prog.Go(prog.ForkThread, method, "pc", "h1"),
+			prog.Go(prog.ForkThread, method, "pc", "h2"),
+			prog.WaitT("t0"), prog.JoinT("h1"), prog.JoinT("h2"),
+		)
+	}
+	plainRace("MetricsTests::CounterA_Unsynchronized", "Microsoft.ApplicationInsights.Metrics.CounterA::Bump")
+	plainRace("MetricsTests::CounterB_Unsynchronized", "Microsoft.ApplicationInsights.Metrics.CounterB::Bump")
+
+	// --- ground truth ---
+	p.Volatile[a1FlushFlag] = true
+	p.Truth.Sync(prog.EK(a1Init), trace.RoleRelease)
+	p.Truth.Sync(prog.BK("TelemetryTests::BasicStartOperationWithActivity"), trace.RoleAcquire)
+	p.Truth.Sync(prog.BK("TelemetryTests::TrackEventSendsTelemetry"), trace.RoleAcquire)
+	p.Truth.Sync(prog.BK("TelemetryTests::SerializationRoundTrip"), trace.RoleAcquire)
+	p.Truth.Sync(prog.BK(prog.APIMonitorEnter), trace.RoleAcquire)
+	p.Truth.Sync(prog.EK(prog.APIMonitorExit), trace.RoleRelease)
+	p.Truth.Sync(prog.WK(a1FlushFlag), trace.RoleRelease)
+	p.Truth.Sync(prog.RK(a1FlushFlag), trace.RoleAcquire)
+	p.Truth.Sync(prog.EK(prog.ForkTaskRun.APIName()), trace.RoleRelease)
+	p.Truth.Sync(prog.EK(prog.ForkThreadPool.APIName()), trace.RoleRelease)
+	p.Truth.Sync(prog.BK(a1SendLoop), trace.RoleAcquire)
+	p.Truth.Sync(prog.EK(a1SendLoop), trace.RoleRelease)
+	p.Truth.Sync(prog.EK(prog.APISemSet), trace.RoleRelease)
+	p.Truth.Sync(prog.BK(prog.APISemWait), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.BK(a1Transmit), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.EK(a1Transmit), trace.RoleRelease)
+	p.Truth.SyncAlt(prog.BK(prog.JoinTask.APIName()), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.BK(prog.JoinThread.APIName()), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.EK(prog.ForkThread.APIName()), trace.RoleRelease)
+	p.Truth.SyncAlt(prog.BK(a1Enqueue), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.BK(a1Dequeue), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.BK("Microsoft.ApplicationInsights.Channel.Transmitter::AwaitBatch"), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.BK("Microsoft.ApplicationInsights.Channel.DiskBacker::AwaitPersist"), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.EK("Microsoft.ApplicationInsights.Channel.DiskBacker::Persist"), trace.RoleRelease)
+	p.Truth.SyncAlt(prog.WK("Microsoft.ApplicationInsights.Channel.DiskBacker::persisted"), trace.RoleRelease)
+	p.Truth.SyncAlt(prog.RK("Microsoft.ApplicationInsights.Channel.DiskBacker::persisted"), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.WK(a1Sent), trace.RoleRelease)
+	p.Truth.SyncAlt(prog.RK(a1Sent), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.BK("Microsoft.ApplicationInsights.Channel.InMemoryChannel::WaitFlush"), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.BK("Microsoft.ApplicationInsights.Channel.Transmitter::ConsumeBatch"), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.BK("Microsoft.ApplicationInsights.Extensibility.RichPayloadEventSource::Drain"), trace.RoleAcquire)
+
+	// New components' ground truth.
+	p.Truth.Sync(prog.EK(a1QPInit), trace.RoleRelease)
+	p.Truth.Sync(prog.BK("QuickPulseTests::CollectsTopCpuProcesses"), trace.RoleAcquire)
+	p.Truth.Sync(prog.BK("QuickPulseTests::SubmitsSamples"), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.BK(a1AggAdd), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.BK(a1AggSnap), trace.RoleAcquire)
+	p.Truth.Sync(prog.EK(a1Serialize), trace.RoleRelease)
+	p.Truth.Sync(prog.BK(a1PostSerial), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.EK(a1PostSerial), trace.RoleRelease)
+	p.Truth.SyncAlt(prog.EK(prog.APIContinueWith), trace.RoleRelease)
+	p.Truth.SyncAlt(prog.EK(prog.APIPost), trace.RoleRelease)
+	p.Truth.SyncAlt(prog.BK(prog.APIReceive), trace.RoleAcquire)
+	p.Truth.Sync(prog.BK(a1DiagHandler), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.EK(a1DiagPost), trace.RoleRelease)
+	p.Truth.SyncAlt(prog.BK(a1DiagPump), trace.RoleAcquire)
+	p.Truth.Sync(prog.EK(a1CacheDelegate), trace.RoleRelease)
+	p.Truth.SyncAlt(prog.BK(a1CacheDelegate), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.EK(a1CacheGet), trace.RoleRelease)
+	p.Truth.SyncAlt(prog.BK(a1CacheGet), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.BK("Microsoft.ApplicationInsights.Metrics.MetricSeries::Resolve"), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.BK("Microsoft.ApplicationInsights.Metrics.MetricSeries::ResolveBatch"), trace.RoleAcquire)
+
+	// Instrumentation errors: hidden helpers.
+	p.Truth.HiddenMethods[a1NotifyA] = true
+	p.Truth.HiddenMethods[a1NotifyB] = true
+	p.Truth.Sync(prog.EK(a1NotifyA), trace.RoleRelease)
+	p.Truth.Sync(prog.EK(a1NotifyB), trace.RoleRelease)
+	p.Truth.Category[prog.EK(a1NotifyA)] = prog.CatInstrError
+	p.Truth.Category[prog.EK(a1NotifyB)] = prog.CatInstrError
+	p.Truth.Category[prog.EK("Microsoft.ApplicationInsights.Channel.Transmitter::FinishBatch")] = prog.CatInstrError
+	p.Truth.Category[prog.EK("Microsoft.ApplicationInsights.Extensibility.RichPayloadEventSource::Write")] = prog.CatInstrError
+	p.Truth.Category[prog.WK(a1Outcome)] = prog.CatInstrError
+	p.Truth.Category[prog.WK(a1Payload)] = prog.CatInstrError
+	p.Truth.Category[prog.RK("Microsoft.ApplicationInsights.Channel.Transmitter::state")] = prog.CatInstrError
+	p.Truth.Category[prog.WK("Microsoft.ApplicationInsights.Channel.Transmitter::state")] = prog.CatInstrError
+	p.Truth.Category[prog.RK("Microsoft.ApplicationInsights.Extensibility.RichPayloadEventSource::state")] = prog.CatInstrError
+	p.Truth.Category[prog.WK("Microsoft.ApplicationInsights.Extensibility.RichPayloadEventSource::state")] = prog.CatInstrError
+
+	// Dispose bucket.
+	p.Truth.Sync(prog.EK(a1SinkLast), trace.RoleRelease)
+	p.Truth.Sync(prog.BK(a1SinkDisp), trace.RoleAcquire)
+	p.Truth.Category[prog.EK(a1SinkLast)] = prog.CatDispose
+	p.Truth.Category[prog.BK(a1SinkDisp)] = prog.CatDispose
+	p.Truth.Category[prog.RK(a1Meta)] = prog.CatDispose
+	p.Truth.Category[prog.WK(a1Meta)] = prog.CatDispose
+
+	// The five racy flags and the two unsynchronized counters.
+	for _, pair := range a1RacyFlags {
+		p.Truth.Race(pair[0])
+	}
+	p.Truth.Race("Microsoft.ApplicationInsights.Metrics.CounterA::hits")
+	p.Truth.Race("Microsoft.ApplicationInsights.Metrics.CounterB::misses")
+	return p
+}
+
+// flagClass returns the class part of a field name.
+func flagClass(field string) string {
+	for i := 0; i+1 < len(field); i++ {
+		if field[i] == ':' && field[i+1] == ':' {
+			return field[:i]
+		}
+	}
+	return field
+}

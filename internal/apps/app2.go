@@ -1,0 +1,143 @@
+// App-2: DataTimeExtention (paper Table 1: 3.1K LoC, 335 stars, 219 tests).
+//
+// Synchronization idioms reproduced (paper Table 9):
+//   - ConcurrentLazyDictionary.GetOrAdd — an atomic region guarded by a
+//     lock hidden inside uninstrumented framework code. SherLock infers the
+//     region's boundaries (GetOrAdd begin/end) and the delegate's
+//     begin/end, never seeing the lock (paper Figure 3.C).
+//   - EasterCalculator static constructor — language-enforced ordering
+//     between .cctor completion and the first access
+//     (CalculateEasterDate-Begin is the inferred acquire).
+//   - ChristianHolidays::ascension — a volatile flag written by the
+//     computing thread and awaited by readers.
+package apps
+
+import (
+	"sherlock/internal/prog"
+	"sherlock/internal/trace"
+)
+
+// Class and member names mirrored from the paper's Table 9.
+const (
+	a2Dict      = "App.Common.ConcurrentLazyDictionary::GetOrAdd"
+	a2Delegate  = "App.WorkingDays.HolidayProvider::ComputeHolidays"
+	a2Cctor     = "App.WorkingDays.EasterBasedHoliday.EasterCalculator::.cctor"
+	a2Calc      = "App.WorkingDays.EasterBasedHoliday.EasterCalculator::CalculateEasterDate"
+	a2Precomp   = "App.WorkingDays.EasterBasedHoliday.EasterCalculator::PrecomputeRange"
+	a2Ascension = "App.WorkingDays.ChristianHolidays::ascension"
+	a2AscData   = "App.WorkingDays.ChristianHolidays::ascensionDate"
+	a2Table     = "App.WorkingDays.EasterBasedHoliday.EasterCalculator::lookupTable"
+	a2Cache     = "App.Common.ConcurrentLazyDictionary::cache"
+)
+
+// App2 constructs the application.
+func App2() *prog.Program {
+	p := prog.New("App-2", "DataTimeExtention")
+	p.LoC, p.Stars, p.PaperTests = 3_100, 335, 219
+
+	// --- ConcurrentLazyDictionary: GetOrAdd atomic region (hidden lock)
+	// running a visible application delegate (Figure 3.C). The shared
+	// cache field is touched early so late arrivals' delegate entries land
+	// inside the acquire windows.
+	p.AddMethod(a2Delegate,
+		prog.Rd(a2Cache, "dict"),
+		prog.Wr(a2Cache, "dict", 1),
+		prog.Cp(250),
+	)
+	p.AddMethod(a2Dict,
+		prog.HLock("lazy-dict"),
+		prog.Do(a2Delegate, "dict"),
+		prog.Cp(80),
+		prog.HUnlock("lazy-dict"),
+	)
+	p.AddMethod("App.WorkingDays.HolidayProvider::LoadYear",
+		prog.CpJ(350, 0.9),
+		prog.Do(a2Dict, "dict"),
+		prog.Cp(80),
+	)
+	p.AddMethod("App.WorkingDays.HolidayProvider::LoadRange",
+		prog.CpJ(500, 0.9),
+		prog.Do(a2Dict, "dict"),
+		prog.Cp(60),
+	)
+
+	// --- EasterCalculator: static constructor + first access. The table
+	// is published early in a long-running constructor, so method entries
+	// of threads arriving mid-construction are observed inside the
+	// acquire windows.
+	p.AddMethod(a2Cctor,
+		prog.Wr(a2Table, "", 1),
+		prog.Cp(700),
+	)
+	p.AddMethod(a2Calc,
+		prog.CpJ(300, 0.95),
+		prog.StaticInit("EasterCalculator", a2Cctor),
+		prog.Rd(a2Table, ""),
+		prog.Cp(150),
+	)
+	p.AddMethod(a2Precomp,
+		prog.CpJ(700, 0.9),
+		prog.StaticInit("EasterCalculator", a2Cctor),
+		prog.Rd(a2Table, ""),
+		prog.Rep(2, prog.Cp(90), prog.Rd(a2Table, "")),
+	)
+
+	// --- ChristianHolidays: volatile flag, spin-wait consumer ---
+	p.AddMethod("App.WorkingDays.ChristianHolidays::ComputeAscension",
+		prog.CpJ(400, 0.6),
+		prog.Wr(a2AscData, "ch", 40),
+		prog.Cp(50),
+		prog.Wr(a2Ascension, "ch", 1),
+	)
+	p.AddMethod("App.WorkingDays.ChristianHolidays::IsHoliday",
+		prog.Spin(a2Ascension, "ch", 1, 220),
+		prog.Cp(40),
+		prog.Rd(a2AscData, "ch"),
+	)
+
+	// --- unit tests ---
+	p.AddTest("Tests::GetOrAdd_Concurrent",
+		prog.Go(prog.ForkThread, "App.WorkingDays.HolidayProvider::LoadYear", "dict", "h1"),
+		prog.Go(prog.ForkThread, "App.WorkingDays.HolidayProvider::LoadRange", "dict", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	p.AddTest("Tests::GetOrAdd_Repeated",
+		prog.Go(prog.ForkThread, "App.WorkingDays.HolidayProvider::LoadYear", "dict", "h1"),
+		prog.Go(prog.ForkThread, "App.WorkingDays.HolidayProvider::LoadYear", "dict", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	p.AddTest("Tests::Easter_Concurrent",
+		prog.Go(prog.ForkThread, a2Calc, "", "h1"),
+		prog.Go(prog.ForkThread, a2Precomp, "", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	p.AddTest("Tests::Easter_ManyReaders",
+		prog.Go(prog.ForkThread, a2Calc, "", "h1"),
+		prog.Go(prog.ForkThread, a2Calc, "", "h2"),
+		prog.Go(prog.ForkThread, a2Precomp, "", "h3"),
+		prog.JoinT("h1"), prog.JoinT("h2"), prog.JoinT("h3"),
+	)
+	p.AddTest("Tests::Ascension_Flag",
+		prog.Go(prog.ForkThread, "App.WorkingDays.ChristianHolidays::IsHoliday", "ch", "h1"),
+		prog.Go(prog.ForkThread, "App.WorkingDays.ChristianHolidays::ComputeAscension", "ch", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+
+	// --- ground truth (paper: 6 syncs, no misclassification sources) ---
+	p.Volatile[a2Ascension] = true
+	p.Truth.SyncAlt(prog.EK(a2Dict), trace.RoleRelease)
+	p.Truth.SyncAlt(prog.BK(a2Dict), trace.RoleAcquire)
+	p.Truth.Sync(prog.EK(a2Delegate), trace.RoleRelease)
+	p.Truth.Sync(prog.BK(a2Delegate), trace.RoleAcquire)
+	p.Truth.Sync(prog.EK(a2Cctor), trace.RoleRelease)
+	p.Truth.SyncAlt(prog.BK(a2Calc), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.BK(a2Precomp), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.RK(a2Table), trace.RoleAcquire)
+	p.Truth.Sync(prog.WK(a2Ascension), trace.RoleRelease)
+	p.Truth.Sync(prog.RK(a2Ascension), trace.RoleAcquire)
+	p.Truth.Category[prog.EK(a2Cctor)] = prog.CatStaticCtor
+	p.Truth.Category[prog.BK(a2Calc)] = prog.CatStaticCtor
+	p.Truth.Category[prog.BK(a2Precomp)] = prog.CatStaticCtor
+	p.Truth.Category[prog.RK(a2Table)] = prog.CatStaticCtor
+	return p
+}

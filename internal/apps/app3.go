@@ -1,0 +1,248 @@
+// App-3: FluentAssertion (paper Table 1: 78.1K LoC, 1886 stars, 3729
+// tests).
+//
+// Synchronization idioms reproduced (paper Table 8):
+//   - AssertionScope static constructor ordering.
+//   - Monitor Enter/Exit guarding the current scope.
+//   - Task.Run forking test delegates that read shared options.
+//   - ExecutionTime::isRunning — volatile flag between the measuring
+//     thread and the measured action.
+//   - Two instrumentation errors (paper Table 2): the Observer hides two
+//     helper methods whose exits are real releases.
+package apps
+
+import (
+	"sherlock/internal/prog"
+	"sherlock/internal/trace"
+)
+
+const (
+	a3Cctor      = "FluentAssertions.Execution.AssertionScope::.cctor"
+	a3Current    = "FluentAssertions.Execution.AssertionScope::current"
+	a3Defaults   = "FluentAssertions.Execution.AssertionScope::defaults"
+	a3GetScope   = "FluentAssertions.Execution.AssertionScope::GetCurrentScope"
+	a3SetScope   = "FluentAssertions.Execution.AssertionScope::SetScope"
+	a3Running    = "FluentAssertions.Specialized.ExecutionTime::isRunning"
+	a3Elapsed    = "FluentAssertions.Specialized.ExecutionTime::elapsed"
+	a3Strategy   = "AssertionOptionsSpecs::equivalencyStrategy"
+	a3Delegate   = "AssertionOptionsSpecs::When_concurrently_getting_equality_strategy_b2"
+	a3PubA       = "FluentAssertions.Execution.TestFramework::PublishOutcome" // hidden
+	a3PubB       = "FluentAssertions.Formatting.Formatter::SealFormatters"    // hidden
+	a3Outcome    = "FluentAssertions.Execution.TestFramework::outcome"
+	a3Formatters = "FluentAssertions.Formatting.Formatter::formatters"
+)
+
+// App3 constructs the application.
+func App3() *prog.Program {
+	p := prog.New("App-3", "FluentAssertion")
+	p.LoC, p.Stars, p.PaperTests = 78_100, 1886, 3729
+
+	// --- static constructor + scope users ---
+	p.AddMethod(a3Cctor,
+		prog.Wr(a3Defaults, "", 1),
+		prog.Cp(650),
+	)
+	p.AddMethod(a3GetScope,
+		prog.Rd("FluentAssertions.Execution.AssertionScope::parent", ""),
+		prog.CpJ(120, 0.8),
+		prog.StaticInit("AssertionScope", a3Cctor),
+		prog.Rd(a3Defaults, ""),
+		prog.CpJ(300, 0.95), // stagger after class init so lock arrivals mix
+		prog.Lock("scope-lock"),
+		prog.Rd(a3Current, ""),
+		prog.Cp(90),
+		prog.Unlock("scope-lock"),
+		prog.CpJ(150, 0.9),
+	)
+	p.AddMethod(a3SetScope,
+		prog.Rd("FluentAssertions.Execution.AssertionScope::parent", ""),
+		prog.CpJ(180, 0.8),
+		prog.StaticInit("AssertionScope", a3Cctor),
+		prog.Rd(a3Defaults, ""),
+		prog.CpJ(450, 0.95),
+		prog.Lock("scope-lock"),
+		prog.Wr(a3Current, "", 2),
+		prog.Cp(120),
+		prog.Unlock("scope-lock"),
+		prog.CpJ(180, 0.9),
+	)
+
+	// --- lock-free static-init user (pins the .cctor release) ---
+	p.AddMethod("FluentAssertions.Execution.AssertionScope::GetDefaultFormatter",
+		prog.Rd("FluentAssertions.Execution.AssertionScope::parent", ""),
+		prog.CpJ(200, 0.95),
+		prog.StaticInit("AssertionScope", a3Cctor),
+		prog.Rd(a3Defaults, ""),
+		prog.Rep(2, prog.Cp(80), prog.Rd(a3Defaults, "")),
+	)
+
+	// --- static-ctor pairing failure (Table 4's "Static Ctr." bucket):
+	// the constructor publishes a registry and sets a loaded-flag as its
+	// last write. The flag write/read pair covers every window more
+	// cheaply than the constructor's exit, so SherLock tags the flag — the
+	// paper's "failure to identify the release pair for static
+	// constructors" — and the true release (.cctor-End) goes missing.
+	p.AddMethod("FluentAssertions.Equivalency.EquivalencyValidator::.cctor",
+		prog.Wr("FluentAssertions.Equivalency.EquivalencyValidator::steps", "", 1),
+		prog.Cp(550),
+		prog.Wr("FluentAssertions.Equivalency.EquivalencyValidator::loaded", "", 1),
+	)
+	p.AddMethod("FluentAssertions.Equivalency.EquivalencyValidator::Validate",
+		prog.CpJ(250, 0.95),
+		prog.StaticInit("EquivalencyValidator", "FluentAssertions.Equivalency.EquivalencyValidator::.cctor"),
+		prog.Rd("FluentAssertions.Equivalency.EquivalencyValidator::loaded", ""),
+		prog.Rd("FluentAssertions.Equivalency.EquivalencyValidator::steps", ""),
+		prog.Cp(140),
+	)
+
+	// --- Task.Run fork: concurrent strategy readers ---
+	p.AddMethod(a3Delegate,
+		prog.CpJ(120, 0.8),
+		prog.Rd(a3Strategy, "opt"),
+		prog.Cp(140),
+	)
+
+	// --- ExecutionTime volatile flag ---
+	p.AddMethod("FluentAssertions.Specialized.ExecutionTime::Measure",
+		prog.CpJ(350, 0.7),
+		prog.Wr(a3Elapsed, "et", 12),
+		prog.Cp(50),
+		prog.Wr(a3Running, "et", 1),
+	)
+	p.AddMethod("FluentAssertions.Specialized.ExecutionTime::Poll",
+		prog.Spin(a3Running, "et", 1, 260),
+		prog.Rd(a3Elapsed, "et"),
+	)
+
+	// --- hidden helpers (instrumentation errors) ---
+	p.AddMethod(a3PubA, // hidden: exit is the real release
+		prog.Cp(40),
+		prog.HSignal("outcome-published"),
+	)
+	p.AddMethod("FluentAssertions.Execution.TestFramework::RecordOutcome",
+		prog.CpJ(260, 0.7),
+		prog.Wr(a3Outcome, "tf", 1),
+		prog.Cp(40),
+		prog.Wr("FluentAssertions.Execution.TestFramework::state", "tf", 1),
+		prog.Do(a3PubA, "tf"),
+		prog.Cp(70),
+	)
+	p.AddMethod("FluentAssertions.Execution.TestFramework::ConsumeOutcome",
+		prog.CpJ(400, 0.95),
+		prog.HWait("outcome-published"),
+		prog.Rd("FluentAssertions.Execution.TestFramework::state", "tf"),
+		prog.Cp(35),
+		prog.Rd(a3Outcome, "tf"),
+	)
+	p.AddMethod(a3PubB, // hidden: exit is the real release
+		prog.Cp(30),
+		prog.HSignal("formatters-sealed"),
+	)
+	p.AddMethod("FluentAssertions.Formatting.Formatter::RegisterAll",
+		prog.CpJ(240, 0.7),
+		prog.Wr(a3Formatters, "fm", 1),
+		prog.Cp(35),
+		prog.Wr("FluentAssertions.Formatting.Formatter::sealed", "fm", 1),
+		prog.Do(a3PubB, "fm"),
+		prog.Cp(60),
+	)
+	p.AddMethod("FluentAssertions.Formatting.Formatter::Format",
+		prog.CpJ(380, 0.95),
+		prog.HWait("formatters-sealed"),
+		prog.Rd("FluentAssertions.Formatting.Formatter::sealed", "fm"),
+		prog.Cp(30),
+		prog.Rd(a3Formatters, "fm"),
+	)
+
+	// --- unit tests ---
+	p.AddTest("AssertionScopeSpecs::Scope_Concurrent",
+		prog.Go(prog.ForkThread, a3GetScope, "", "h1"),
+		prog.Go(prog.ForkThread, a3SetScope, "", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	p.AddTest("AssertionScopeSpecs::Scope_ManyReaders",
+		prog.Go(prog.ForkThread, a3GetScope, "", "h1"),
+		prog.Go(prog.ForkThread, a3GetScope, "", "h2"),
+		prog.Go(prog.ForkThread, a3SetScope, "", "h3"),
+		prog.JoinT("h1"), prog.JoinT("h2"), prog.JoinT("h3"),
+	)
+	p.AddTest("AssertionScopeSpecs::DefaultFormatter_Concurrent",
+		prog.Go(prog.ForkThread, "FluentAssertions.Execution.AssertionScope::GetDefaultFormatter", "", "h1"),
+		prog.Go(prog.ForkThread, "FluentAssertions.Execution.AssertionScope::GetDefaultFormatter", "", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	p.AddTest("EquivalencySpecs::Validate_Concurrent",
+		prog.Go(prog.ForkThread, "FluentAssertions.Equivalency.EquivalencyValidator::Validate", "", "h1"),
+		prog.Go(prog.ForkThread, "FluentAssertions.Equivalency.EquivalencyValidator::Validate", "", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	p.AddTest("AssertionOptionsSpecs::When_concurrently_getting_equality_strategy",
+		prog.Wr(a3Strategy, "opt", 3),
+		prog.Cp(40),
+		prog.Go(prog.ForkTaskRun, a3Delegate, "opt", "t1"),
+		prog.Go(prog.ForkTaskRun, a3Delegate, "opt", "t2"),
+		prog.WaitT("t1"), prog.WaitT("t2"),
+	)
+	p.AddTest("ExecutionTimeSpecs::IsRunning_Flag",
+		prog.Go(prog.ForkThread, "FluentAssertions.Specialized.ExecutionTime::Poll", "et", "h1"),
+		prog.Go(prog.ForkThread, "FluentAssertions.Specialized.ExecutionTime::Measure", "et", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	p.AddTest("ExecutionSpecs::Outcome_Publish",
+		prog.Go(prog.ForkThread, "FluentAssertions.Execution.TestFramework::ConsumeOutcome", "tf", "h1"),
+		prog.Go(prog.ForkThread, "FluentAssertions.Execution.TestFramework::RecordOutcome", "tf", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	p.AddTest("FormatterSpecs::Seal_Concurrent",
+		prog.Go(prog.ForkThread, "FluentAssertions.Formatting.Formatter::Format", "fm", "h1"),
+		prog.Go(prog.ForkThread, "FluentAssertions.Formatting.Formatter::RegisterAll", "fm", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+
+	// --- ground truth (paper: 8 syncs, 2 instr errors) ---
+	p.Volatile[a3Running] = true
+	p.Truth.Sync(prog.EK(a3Cctor), trace.RoleRelease)
+	p.Truth.Sync(prog.BK(prog.APIMonitorEnter), trace.RoleAcquire)
+	p.Truth.Sync(prog.EK(prog.APIMonitorExit), trace.RoleRelease)
+	p.Truth.Sync(prog.EK(prog.ForkTaskRun.APIName()), trace.RoleRelease)
+	p.Truth.Sync(prog.BK(a3Delegate), trace.RoleAcquire)
+	p.Truth.Sync(prog.WK(a3Running), trace.RoleRelease)
+	p.Truth.Sync(prog.RK(a3Running), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.EK(a3Delegate), trace.RoleRelease)
+	p.Truth.SyncAlt(prog.BK(prog.JoinTask.APIName()), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.BK(prog.JoinThread.APIName()), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.EK(prog.ForkThread.APIName()), trace.RoleRelease)
+	p.Truth.SyncAlt(prog.BK(a3GetScope), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.BK(a3SetScope), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.RK(a3Defaults), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.BK("FluentAssertions.Execution.AssertionScope::GetDefaultFormatter"), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.BK("FluentAssertions.Execution.TestFramework::ConsumeOutcome"), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.BK("FluentAssertions.Formatting.Formatter::Format"), trace.RoleAcquire)
+
+	// Static-ctor bucket: the loaded-flag pair is tagged instead of the
+	// constructor's exit.
+	p.Truth.Sync(prog.EK("FluentAssertions.Equivalency.EquivalencyValidator::.cctor"), trace.RoleRelease)
+	p.Truth.SyncAlt(prog.BK("FluentAssertions.Equivalency.EquivalencyValidator::Validate"), trace.RoleAcquire)
+	p.Truth.Category[prog.EK("FluentAssertions.Equivalency.EquivalencyValidator::.cctor")] = prog.CatStaticCtor
+	p.Truth.Category[prog.BK("FluentAssertions.Equivalency.EquivalencyValidator::Validate")] = prog.CatStaticCtor
+	p.Truth.Category[prog.WK("FluentAssertions.Equivalency.EquivalencyValidator::loaded")] = prog.CatStaticCtor
+	p.Truth.Category[prog.RK("FluentAssertions.Equivalency.EquivalencyValidator::loaded")] = prog.CatStaticCtor
+	p.Truth.Category[prog.RK("FluentAssertions.Equivalency.EquivalencyValidator::steps")] = prog.CatStaticCtor
+
+	// Instrumentation errors: two hidden helpers.
+	p.Truth.HiddenMethods[a3PubA] = true
+	p.Truth.HiddenMethods[a3PubB] = true
+	p.Truth.Sync(prog.EK(a3PubA), trace.RoleRelease)
+	p.Truth.Sync(prog.EK(a3PubB), trace.RoleRelease)
+	p.Truth.Category[prog.EK(a3PubA)] = prog.CatInstrError
+	p.Truth.Category[prog.EK(a3PubB)] = prog.CatInstrError
+	p.Truth.Category[prog.EK("FluentAssertions.Execution.TestFramework::RecordOutcome")] = prog.CatInstrError
+	p.Truth.Category[prog.EK("FluentAssertions.Formatting.Formatter::RegisterAll")] = prog.CatInstrError
+	p.Truth.Category[prog.WK(a3Outcome)] = prog.CatInstrError
+	p.Truth.Category[prog.WK(a3Formatters)] = prog.CatInstrError
+	p.Truth.Category[prog.RK("FluentAssertions.Execution.TestFramework::state")] = prog.CatInstrError
+	p.Truth.Category[prog.WK("FluentAssertions.Execution.TestFramework::state")] = prog.CatInstrError
+	p.Truth.Category[prog.RK("FluentAssertions.Formatting.Formatter::sealed")] = prog.CatInstrError
+	p.Truth.Category[prog.WK("FluentAssertions.Formatting.Formatter::sealed")] = prog.CatInstrError
+	return p
+}

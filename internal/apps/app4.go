@@ -1,0 +1,292 @@
+// App-4: K8s-client / KubernetesClient (paper Table 1: 332.4K LoC, 395
+// stars, 139 tests).
+//
+// Synchronization idioms reproduced (paper Table 9):
+//   - ByteBuffer::endOfFile — the paper's flagship flag synchronization
+//     (Figure 3.B): the writer flushes and sets the volatile flag; the
+//     reader spins on it.
+//   - Monitor Enter/Exit guarding the ByteBuffer.
+//   - Await chains: asynchronous config loading whose completion
+//     (LoadKubeConfigAsync-End) releases and whose TaskAwaiter.GetResult
+//     acquires.
+//   - KubernetesException::Status — a volatile error flag.
+//   - One instrumentation error (paper Table 2: 1 Instr. Error): the
+//     Observer's skip-list heuristics hide Watcher::NotifyDone, whose exit
+//     is the real release; SherLock hones in on the neighborhood and tags
+//     the enclosing method's exit instead.
+package apps
+
+import (
+	"sherlock/internal/prog"
+	"sherlock/internal/trace"
+)
+
+const (
+	a4EOF       = "k8s.ByteBuffer::endOfFile"
+	a4Data      = "k8s.ByteBuffer::buffer"
+	a4Write     = "k8s.ByteBuffer::Write"
+	a4Read      = "k8s.ByteBuffer::Read"
+	a4Size      = "k8s.ByteBuffer::size"
+	a4LoadAsync = "k8s.KubernetesClientConfiguration::LoadKubeConfigAsync"
+	a4Merge     = "k8s.KubernetesClientConfiguration::MergeKubeConfig"
+	a4Config    = "k8s.KubernetesClientConfiguration::config"
+	a4Status    = "k8s.KubernetesException::Status"
+	a4ErrData   = "k8s.KubernetesException::message"
+	a4Notify    = "k8s.Watcher::NotifyDone" // hidden by instrumentation errors
+	a4WatchRun  = "k8s.Watcher::RunWatch"
+	a4AwaitDone = "k8s.Watcher::AwaitDone"
+	a4Payload   = "k8s.Watcher::payload"
+)
+
+// App4 constructs the application.
+func App4() *prog.Program {
+	p := prog.New("App-4", "K8s-client")
+	p.LoC, p.Stars, p.PaperTests = 332_400, 395, 139
+
+	// --- ByteBuffer: endOfFile flag (Figure 3.B) ---
+	p.AddMethod("k8s.StreamDemuxer::FlushToFile",
+		prog.CpJ(500, 0.7),
+		prog.Wr(a4Data, "buf", 9),
+		prog.Cp(70),
+		prog.Wr(a4EOF, "buf", 1),
+		prog.Cp(30),
+		prog.Wr("k8s.StreamDemuxer::flushStats", "buf", 1),
+	)
+	p.AddMethod("k8s.StreamDemuxer::WaitForFile",
+		prog.Spin(a4EOF, "buf", 1, 250),
+		prog.Cp(25),
+		prog.Rd("k8s.StreamDemuxer::flushStats", "buf"),
+		prog.Cp(40),
+		prog.Rd(a4Data, "buf"),
+	)
+
+	// --- ByteBuffer: monitor-protected Write/Read ---
+	p.AddMethod(a4Write,
+		prog.CpJ(300, 0.9),
+		prog.Lock("bytebuffer-lock"),
+		prog.Rd(a4Size, "buf"),
+		prog.Wr(a4Size, "buf", 1),
+		prog.Cp(110),
+		prog.Unlock("bytebuffer-lock"),
+		prog.CpJ(200, 0.9),
+	)
+	p.AddMethod(a4Read,
+		prog.CpJ(450, 0.9),
+		prog.Lock("bytebuffer-lock"),
+		prog.Rd(a4Size, "buf"),
+		prog.Wr(a4Size, "buf", -1),
+		prog.Cp(90),
+		prog.Unlock("bytebuffer-lock"),
+		prog.CpJ(150, 0.9),
+	)
+
+	// --- await chain: async config load + GetResult ---
+	p.AddMethod(a4LoadAsync,
+		prog.CpJ(400, 0.6),
+		prog.Wr(a4Config, "cfg", 1),
+		prog.Cp(80),
+	)
+	p.AddMethod(a4Merge,
+		prog.Rd(a4Config, "cfg"),
+		prog.Cp(200),
+		prog.Wr(a4Config, "cfg", 2),
+	)
+	// Second await context: YAML parsing.
+	p.AddMethod("k8s.Yaml::LoadFromString",
+		prog.CpJ(350, 0.6),
+		prog.Wr("k8s.Yaml::document", "yml", 1),
+		prog.Cp(70),
+	)
+	p.AddMethod("k8s.KubernetesClientConfiguration::GetKubernetesClientConfiguration",
+		prog.Rd("k8s.Yaml::document", "yml"),
+		prog.Cp(160),
+	)
+
+	// --- third await context: JSON status-view conversion (Table 9's
+	// "V1StatusObjectViewConverter::ReadJson-End — end of await task") ---
+	p.AddMethod("k8s.Models.V1Status.V1StatusObjectViewConverter::ReadJson",
+		prog.CpJ(320, 0.6),
+		prog.Wr("k8s.Models.V1Status::view", "st", 1),
+		prog.Cp(60),
+	)
+	p.AddMethod("k8s.Models.V1Status::AsObjectView",
+		prog.Rd("k8s.Models.V1Status::view", "st"),
+		prog.Cp(140),
+	)
+
+	// --- volatile error flag ---
+	p.AddMethod("k8s.WatchLoop::Fail",
+		prog.CpJ(300, 0.7),
+		prog.Wr(a4ErrData, "exc", 5),
+		prog.Cp(40),
+		prog.Wr(a4Status, "exc", 1),
+	)
+	p.AddMethod("k8s.WatchLoop::CheckError",
+		prog.Spin(a4Status, "exc", 1, 230),
+		prog.Rd(a4ErrData, "exc"),
+	)
+
+	// --- MuxedStream: demuxer feeds per-channel streams over a queue ---
+	p.AddMethod("k8s.MuxedStream::Read",
+		prog.CpJ(360, 0.95),
+		prog.RecvAs("k8s.MuxedStream::ReadFrame", "mux-frames"),
+		prog.Cp(40),
+		prog.Rd("k8s.MuxedStream::frame", "mux"),
+	)
+	p.AddMethod("k8s.StreamDemuxer::PumpFrames",
+		prog.CpJ(240, 0.8),
+		prog.Wr("k8s.MuxedStream::frame", "mux", 5),
+		prog.Cp(35),
+		prog.PostAs("k8s.StreamDemuxer::WriteFrame", "mux-frames"),
+	)
+	// Second context for the same frame APIs: the error channel.
+	p.AddMethod("k8s.MuxedStream::ReadErrors",
+		prog.CpJ(410, 0.95),
+		prog.RecvAs("k8s.MuxedStream::ReadFrame", "mux-errors"),
+		prog.Cp(30),
+		prog.Rd("k8s.MuxedStream::errFrame", "mux"),
+	)
+	p.AddMethod("k8s.StreamDemuxer::PumpErrors",
+		prog.CpJ(280, 0.8),
+		prog.Wr("k8s.MuxedStream::errFrame", "mux", 6),
+		prog.Cp(30),
+		prog.PostAs("k8s.StreamDemuxer::WriteFrame", "mux-errors"),
+	)
+
+	// --- instrumentation-error pattern: NotifyDone is hidden ---
+	p.AddMethod(a4Notify, // hidden: its exit is the true release
+		prog.Cp(50),
+		prog.HSignal("watch-done"),
+		prog.Cp(30),
+	)
+	p.AddMethod(a4WatchRun,
+		prog.CpJ(280, 0.7),
+		prog.Wr(a4Payload, "w", 3),
+		prog.Cp(35),
+		prog.Wr("k8s.Watcher::state", "w", 1),
+		prog.Do(a4Notify, "w"),
+		prog.Cp(60),
+	)
+	p.AddMethod(a4AwaitDone,
+		prog.CpJ(420, 0.95),
+		prog.HWait("watch-done"),
+		prog.Rd("k8s.Watcher::state", "w"),
+		prog.Cp(30),
+		prog.Rd(a4Payload, "w"),
+	)
+
+	// --- unit tests ---
+	p.AddTest("KubernetesClientTests::ByteBuffer_EndOfFile",
+		prog.Go(prog.ForkThread, "k8s.StreamDemuxer::WaitForFile", "buf", "h1"),
+		prog.Go(prog.ForkThread, "k8s.StreamDemuxer::FlushToFile", "buf", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	p.AddTest("KubernetesClientTests::ByteBuffer_ReadWrite",
+		prog.Go(prog.ForkThread, a4Write, "buf", "h1"),
+		prog.Go(prog.ForkThread, a4Read, "buf", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	p.AddTest("KubernetesClientTests::ByteBuffer_TwoWriters",
+		prog.Go(prog.ForkThread, a4Write, "buf", "h1"),
+		prog.Go(prog.ForkThread, a4Write, "buf", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	p.AddTest("KubernetesClientTests::KubeConfig_Await",
+		prog.HGo(a4LoadAsync, "cfg", "t1"),
+		prog.Cp(100),
+		prog.Await("t1"),
+		prog.Do(a4Merge, "cfg"),
+	)
+	p.AddTest("KubernetesClientTests::KubeConfig_AwaitLate",
+		prog.HGo(a4LoadAsync, "cfg", "t1"),
+		prog.Cp(900),
+		prog.Await("t1"),
+		prog.Do(a4Merge, "cfg"),
+	)
+	p.AddTest("KubernetesClientTests::Yaml_Await",
+		prog.HGo("k8s.Yaml::LoadFromString", "yml", "ty"),
+		prog.Cp(120),
+		prog.Await("ty"),
+		prog.Do("k8s.KubernetesClientConfiguration::GetKubernetesClientConfiguration", "yml"),
+	)
+	p.AddTest("KubernetesClientTests::Yaml_AwaitLate",
+		prog.HGo("k8s.Yaml::LoadFromString", "yml", "ty"),
+		prog.Cp(1000),
+		prog.Await("ty"),
+		prog.Do("k8s.KubernetesClientConfiguration::GetKubernetesClientConfiguration", "yml"),
+	)
+	p.AddTest("KubernetesClientTests::StatusView_Await",
+		prog.HGo("k8s.Models.V1Status.V1StatusObjectViewConverter::ReadJson", "st", "ts"),
+		prog.Cp(150),
+		prog.Await("ts"),
+		prog.Do("k8s.Models.V1Status::AsObjectView", "st"),
+	)
+	p.AddTest("KubernetesClientTests::StatusView_AwaitLate",
+		prog.HGo("k8s.Models.V1Status.V1StatusObjectViewConverter::ReadJson", "st", "ts"),
+		prog.Cp(950),
+		prog.Await("ts"),
+		prog.Do("k8s.Models.V1Status::AsObjectView", "st"),
+	)
+	p.AddTest("KubernetesClientTests::WatchLoop_ErrorFlag",
+		prog.Go(prog.ForkThread, "k8s.WatchLoop::CheckError", "exc", "h1"),
+		prog.Go(prog.ForkThread, "k8s.WatchLoop::Fail", "exc", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	p.AddTest("KubernetesClientTests::MuxedStream_Frames",
+		prog.Go(prog.ForkThread, "k8s.MuxedStream::Read", "mux", "h1"),
+		prog.Go(prog.ForkThread, "k8s.StreamDemuxer::PumpFrames", "mux", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	p.AddTest("KubernetesClientTests::MuxedStream_Errors",
+		prog.Go(prog.ForkThread, "k8s.MuxedStream::ReadErrors", "mux", "h1"),
+		prog.Go(prog.ForkThread, "k8s.StreamDemuxer::PumpErrors", "mux", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	p.AddTest("KubernetesClientTests::Watcher_Notify",
+		prog.Go(prog.ForkThread, a4AwaitDone, "w", "h1"),
+		prog.Go(prog.ForkThread, a4WatchRun, "w", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+
+	// --- ground truth (paper: 20 syncs, 1 instr error) ---
+	p.Volatile[a4EOF] = true
+	p.Volatile[a4Status] = true
+	p.Truth.Sync(prog.WK(a4EOF), trace.RoleRelease)
+	p.Truth.Sync(prog.RK(a4EOF), trace.RoleAcquire)
+	p.Truth.Sync(prog.BK(prog.APIMonitorEnter), trace.RoleAcquire)
+	p.Truth.Sync(prog.EK(prog.APIMonitorExit), trace.RoleRelease)
+	p.Truth.Sync(prog.EK(a4LoadAsync), trace.RoleRelease)
+	p.Truth.SyncAlt(prog.BK(prog.APIGetResult), trace.RoleAcquire)
+	p.Truth.Sync(prog.BK(a4Merge), trace.RoleAcquire)
+	p.Truth.Sync(prog.EK("k8s.Yaml::LoadFromString"), trace.RoleRelease)
+	p.Truth.Sync(prog.EK("k8s.Models.V1Status.V1StatusObjectViewConverter::ReadJson"), trace.RoleRelease)
+	p.Truth.SyncAlt(prog.BK("k8s.Models.V1Status::AsObjectView"), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.BK("k8s.KubernetesClientConfiguration::GetKubernetesClientConfiguration"), trace.RoleAcquire)
+	p.Truth.Sync(prog.WK(a4Status), trace.RoleRelease)
+	p.Truth.Sync(prog.RK(a4Status), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.EK(prog.ForkThread.APIName()), trace.RoleRelease)
+	p.Truth.SyncAlt(prog.BK(prog.JoinThread.APIName()), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.BK(a4Read), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.BK(a4Write), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.BK(a4AwaitDone), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.BK("k8s.StreamDemuxer::WaitForFile"), trace.RoleAcquire)
+
+	p.Truth.Sync(prog.EK("k8s.StreamDemuxer::WriteFrame"), trace.RoleRelease)
+	p.Truth.Sync(prog.BK("k8s.MuxedStream::ReadFrame"), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.EK("k8s.StreamDemuxer::PumpFrames"), trace.RoleRelease)
+	p.Truth.SyncAlt(prog.EK("k8s.StreamDemuxer::PumpErrors"), trace.RoleRelease)
+	p.Truth.SyncAlt(prog.BK("k8s.MuxedStream::Read"), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.BK("k8s.MuxedStream::ReadErrors"), trace.RoleAcquire)
+
+	// Instrumentation error: NotifyDone is skipped by the Observer; its
+	// exit (the true release) cannot be inferred and the enclosing
+	// RunWatch's exit is tagged instead.
+	p.Truth.HiddenMethods[a4Notify] = true
+	p.Truth.Sync(prog.EK(a4Notify), trace.RoleRelease)
+	p.Truth.Category[prog.EK(a4Notify)] = prog.CatInstrError
+	p.Truth.Category[prog.EK(a4WatchRun)] = prog.CatInstrError
+	p.Truth.Category[prog.WK(a4Payload)] = prog.CatInstrError
+	p.Truth.Category[prog.RK("k8s.Watcher::state")] = prog.CatInstrError
+	p.Truth.Category[prog.WK("k8s.Watcher::state")] = prog.CatInstrError
+	return p
+}

@@ -1,0 +1,261 @@
+// App-5: Radical (paper Table 1: 95.9K LoC, 33 stars, 798 tests).
+//
+// Synchronization idioms reproduced (paper Table 8):
+//   - Finalizer ordering: the instruction removing an object's last
+//     reference (inside Assert::IsTrue / EnsureNotDisposed, the "end of
+//     last access" releases) happens-before the finalizer's entrance.
+//   - MessageBroker: SubscribeCore-End releases, Broadcast-Begin acquires.
+//   - WaitHandle.WaitAll over multiple broadcaster threads (n-to-1).
+//   - Thread.Start and TaskFactory.StartNew fork edges; the TestRunner's
+//     framework-driven Execute (hidden fork).
+//   - One dispose pattern whose garbage collection runs far later than the
+//     Near window (paper Table 4's "Dispose" bucket): the windows cannot
+//     be refined, producing a missed sync.
+//   - One racy flag (paper Table 2: 2 Data Racy ops).
+package apps
+
+import (
+	"sherlock/internal/prog"
+	"sherlock/internal/trace"
+)
+
+const (
+	a5EntityFin = "Radical.Model.Entity::Finalize"
+	a5CTSFin    = "Radical.ChangeTracking.ChangeTrackingService::Finalize"
+	a5IsTrue    = "Microsoft.VisualStudio.TestTools.UnitTesting.Assert::IsTrue"
+	a5IsFalse   = "Microsoft.VisualStudio.TestTools.UnitTesting.Assert::IsFalse"
+	a5Ensure    = "Radical.Model.Entity::EnsureNotDisposed"
+	a5Subscribe = "Radical.Messaging.MessageBroker::SubscribeCore"
+	a5Broadcast = "Radical.Messaging.MessageBroker::Broadcast"
+	a5Execute   = "Radical.Tests.Windows.Messaging.MessageBrokerTests.TestRunner::Execute"
+	a5Setup     = "Radical.Tests.Windows.Messaging.MessageBrokerTests::Setup"
+	a5Dispose   = "Radical.Tests.Model.Entity.EntityTests.TestMetadata::Dispose"
+	a5Publisher = "Radical.Messaging.MessageBrokerTests::broadcast_worker"
+	a5EntState  = "Radical.Model.Entity::state"
+	a5CTSState  = "Radical.ChangeTracking.ChangeTrackingService::trackers"
+	a5MetaState = "Radical.Tests.Model.Entity.EntityTests.TestMetadata::resources"
+	a5Subs      = "Radical.Messaging.MessageBroker::subscriptions"
+	a5RunnerCfg = "Radical.Tests.Windows.Messaging.MessageBrokerTests::runnerConfig"
+	a5Results   = "Radical.Messaging.MessageBrokerTests::results"
+	a5RacyFlag  = "Radical.ComponentModel.Monitor::busy" // true data race
+	a5RacyData  = "Radical.ComponentModel.Monitor::owner"
+)
+
+// App5 constructs the application.
+func App5() *prog.Program {
+	p := prog.New("App-5", "Radical")
+	p.LoC, p.Stars, p.PaperTests = 95_900, 33, 798
+
+	// --- finalizer patterns (GC within the Near window) ---
+	p.AddMethod(a5IsTrue,
+		prog.Rd(a5EntState, "ent"),
+		prog.Wr(a5EntState, "ent", 1),
+		prog.Cp(150),
+	)
+	p.AddMethod(a5EntityFin,
+		prog.Rd(a5EntState, "ent"),
+		prog.Cp(120),
+	)
+	p.AddMethod(a5Ensure,
+		prog.Rd(a5CTSState, "cts"),
+		prog.Wr(a5CTSState, "cts", 1),
+		prog.Cp(130),
+	)
+	p.AddMethod(a5CTSFin,
+		prog.Rd(a5CTSState, "cts"),
+		prog.Cp(100),
+	)
+
+	// --- dispose pattern with GC far beyond Near (unrefinable windows) ---
+	p.AddMethod(a5IsFalse,
+		prog.Rd(a5MetaState, "meta"),
+		prog.Wr(a5MetaState, "meta", 1),
+		prog.Cp(140),
+	)
+	p.AddMethod(a5Dispose,
+		prog.Rd(a5MetaState, "meta"),
+		prog.Cp(110),
+	)
+
+	// --- message broker ---
+	p.AddMethod(a5Subscribe,
+		prog.HLock("broker-lock"),
+		prog.Wr(a5Subs, "broker", 1),
+		prog.DictAdd("broker-subs"),
+		prog.Cp(120),
+		prog.Wr("Radical.Messaging.MessageBroker::pending", "broker", 1),
+		prog.Cp(80),
+		prog.HUnlock("broker-lock"),
+	)
+	p.AddMethod(a5Broadcast,
+		prog.CpJ(500, 0.9),
+		prog.HLock("broker-lock"),
+		prog.Rd("Radical.Messaging.MessageBroker::pending", "broker"),
+		prog.Cp(70),
+		prog.Rd(a5Subs, "broker"),
+		prog.DictRead("broker-subs"),
+		prog.Cp(90),
+		prog.HUnlock("broker-lock"),
+	)
+
+	// --- n-to-1: several broadcasters, WaitAll ---
+	p.AddMethod(a5Publisher+"_1",
+		prog.CpJ(300, 0.8),
+		prog.Wr(a5Results, "res", 1),
+		prog.Set("done-1"),
+	)
+	p.AddMethod(a5Publisher+"_2",
+		prog.CpJ(350, 0.8),
+		prog.Wr(a5Results, "res", 2),
+		prog.Set("done-2"),
+	)
+
+	// --- framework-driven runner (hidden fork) ---
+	p.AddMethod(a5Setup,
+		prog.Wr(a5RunnerCfg, "t", 1),
+		prog.Cp(90),
+	)
+	p.AddMethod(a5Execute,
+		prog.Rd(a5RunnerCfg, "t"),
+		prog.Cp(200),
+		prog.Set("runner-done"),
+	)
+
+	// --- phased workers rendezvousing at a Barrier. The arrival releases
+	// and the return acquires — inverted against the Read-Acquire &
+	// Write-Release property's call-site view, and a second double-role
+	// API besides UpgradeToWriterLock: Single-Role lets SherLock claim at
+	// most one of the two roles (Table 4's "Double Roles" bucket).
+	p.AddMethod("Radical.Threading.PhaseWorker::RunLeft",
+		prog.CpJ(260, 0.9),
+		prog.Wr("Radical.Threading.PhaseWorker::left", "pw", 1),
+		prog.Rendezvous("phase-barrier", 2),
+		prog.Cp(40),
+		prog.Rd("Radical.Threading.PhaseWorker::right", "pw"),
+	)
+	p.AddMethod("Radical.Threading.PhaseWorker::RunRight",
+		prog.CpJ(330, 0.9),
+		prog.Wr("Radical.Threading.PhaseWorker::right", "pw", 1),
+		prog.Rendezvous("phase-barrier", 2),
+		prog.Cp(40),
+		prog.Rd("Radical.Threading.PhaseWorker::left", "pw"),
+	)
+
+	// --- racy flag (true data race) ---
+	p.AddMethod("Radical.ComponentModel.Monitor::Enter",
+		prog.CpJ(320, 0.7),
+		prog.Wr(a5RacyData, "mon", 4),
+		prog.Cp(40),
+		prog.Wr(a5RacyFlag, "mon", 1),
+	)
+	p.AddMethod("Radical.ComponentModel.Monitor::Watch",
+		prog.Spin(a5RacyFlag, "mon", 1, 240),
+		prog.Rd(a5RacyData, "mon"),
+	)
+
+	// --- unit tests ---
+	p.AddTest("EntityTests::Finalize_AfterLastAccess",
+		prog.Do(a5IsTrue, "ent"),
+		prog.GC("ent", a5EntityFin, 3_000),
+		prog.Cp(200),
+	)
+	p.AddTest("ChangeTrackingTests::Finalize_AfterEnsure",
+		prog.Do(a5Ensure, "cts"),
+		prog.GC("cts", a5CTSFin, 4_000),
+		prog.Cp(200),
+	)
+	p.AddTest("EntityTests::Dispose_LateGC",
+		prog.Do(a5IsFalse, "meta"),
+		prog.GC("meta", a5Dispose, 2_500_000), // far beyond Near: unrefinable
+		prog.Cp(100),
+	)
+	p.AddTest("MessageBrokerTests::messagebroker_on_different_thread",
+		prog.Go(prog.ForkThread, a5Subscribe, "broker", "h1"),
+		prog.Go(prog.ForkThread, a5Broadcast, "broker", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	p.AddTest("MessageBrokerTests::broadcast_from_multiple_thread",
+		prog.Go(prog.ForkTaskNew, a5Publisher+"_1", "res", "h1"),
+		prog.Go(prog.ForkThread, a5Publisher+"_2", "res", "h2"),
+		prog.CpJ(550, 0.95), // mixed arrival at the WaitAll
+		prog.All("done-1", "done-2"),
+		prog.Rd(a5Results, "res"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	p.AddTest("MessageBrokerTests::runner_executes_after_setup",
+		prog.Do(a5Setup, "t"),
+		prog.HGo(a5Execute, "t", "hr"),
+		prog.Wait("runner-done"),
+	)
+	p.AddTest("PhaseWorkerTests::barrier_rendezvous",
+		prog.Go(prog.ForkThread, "Radical.Threading.PhaseWorker::RunLeft", "pw", "h1"),
+		prog.Go(prog.ForkThread, "Radical.Threading.PhaseWorker::RunRight", "pw", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	p.AddTest("MonitorTests::busy_flag",
+		prog.Wr(a5RunnerCfg, "t", 7),
+		prog.Cp(40),
+		prog.Go(prog.ForkTaskNew, a5Execute, "t", "t0"),
+		prog.Go(prog.ForkThread, "Radical.ComponentModel.Monitor::Watch", "mon", "h1"),
+		prog.Go(prog.ForkThread, "Radical.ComponentModel.Monitor::Enter", "mon", "h2"),
+		prog.WaitT("t0"), prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	p.AddMethod("Radical.Diagnostics.Probe::Touch",
+		prog.CpJ(180, 0.6),
+		prog.Wr("Radical.Diagnostics.Probe::samples", "pr", 1),
+	)
+	p.AddTest("DiagnosticsTests::Probe_Unsynchronized",
+		prog.Wr(a5RunnerCfg, "t", 8),
+		prog.Cp(40),
+		prog.Go(prog.ForkTaskNew, a5Execute, "t", "t0"),
+		prog.Go(prog.ForkThread, "Radical.Diagnostics.Probe::Touch", "pr", "h1"),
+		prog.Go(prog.ForkThread, "Radical.Diagnostics.Probe::Touch", "pr", "h2"),
+		prog.WaitT("t0"), prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+
+	// --- ground truth (paper: 14 syncs, 2 data racy, 2 not-sync) ---
+	p.Truth.Sync(prog.EK(a5IsTrue), trace.RoleRelease)
+	p.Truth.Sync(prog.BK(a5EntityFin), trace.RoleAcquire)
+	p.Truth.Sync(prog.EK(a5Ensure), trace.RoleRelease)
+	p.Truth.Sync(prog.BK(a5CTSFin), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.EK(a5Subscribe), trace.RoleRelease)
+	p.Truth.SyncAlt(prog.BK(a5Broadcast), trace.RoleAcquire)
+	p.Truth.Sync(prog.BK(prog.APIWaitAll), trace.RoleAcquire)
+	p.Truth.Sync(prog.EK(a5Setup), trace.RoleRelease)
+	p.Truth.Sync(prog.BK(a5Execute), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.EK(prog.APISemSet), trace.RoleRelease)
+	p.Truth.SyncAlt(prog.BK(prog.APISemWait), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.EK(prog.ForkThread.APIName()), trace.RoleRelease)
+	p.Truth.SyncAlt(prog.EK(prog.ForkTaskNew.APIName()), trace.RoleRelease)
+	p.Truth.SyncAlt(prog.BK(prog.JoinThread.APIName()), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.EK(a5Publisher+"_1"), trace.RoleRelease)
+	p.Truth.SyncAlt(prog.EK(a5Publisher+"_2"), trace.RoleRelease)
+	p.Truth.SyncAlt(prog.BK(a5Publisher+"_1"), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.BK(a5Publisher+"_2"), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.BK(a5Subscribe), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.WK("Radical.Messaging.MessageBroker::pending"), trace.RoleRelease)
+	p.Truth.SyncAlt(prog.RK("Radical.Messaging.MessageBroker::pending"), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.EK(a5Execute), trace.RoleRelease)
+
+	// Barrier: both call-site roles are true synchronizations, but
+	// Single-Role allows at most one to be inferred.
+	p.Truth.Sync(prog.BK(prog.APIBarrier), trace.RoleAcquire)
+	p.Truth.Sync(prog.EK(prog.APIBarrier), trace.RoleRelease)
+	p.Truth.Category[prog.BK(prog.APIBarrier)] = prog.CatDoubleRole
+	p.Truth.Category[prog.EK(prog.APIBarrier)] = prog.CatDoubleRole
+
+	// Dispose bucket: the late-GC pair is unrefinable; the true release
+	// and acquire around TestMetadata.Dispose go missing, and nearby
+	// operations may be tagged instead.
+	p.Truth.Sync(prog.EK(a5IsFalse), trace.RoleRelease)
+	p.Truth.Sync(prog.BK(a5Dispose), trace.RoleAcquire)
+	p.Truth.Category[prog.EK(a5IsFalse)] = prog.CatDispose
+	p.Truth.Category[prog.BK(a5Dispose)] = prog.CatDispose
+	p.Truth.Category[prog.RK(a5MetaState)] = prog.CatDispose
+	p.Truth.Category[prog.WK(a5MetaState)] = prog.CatDispose
+
+	// The busy flag and the probe counter are true data races.
+	p.Truth.Race(a5RacyFlag)
+	p.Truth.Race("Radical.Diagnostics.Probe::samples")
+	return p
+}

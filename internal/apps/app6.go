@@ -1,0 +1,217 @@
+// App-6: RestSharp (paper Table 1: 19.8K LoC, 7363 stars, 92 tests).
+//
+// Synchronization idioms reproduced (paper Table 8):
+//   - ThreadPool.QueueUserWorkItem fork edges for request handlers.
+//   - EventWaitHandle.Set / WaitHandle.WaitOne — response-ready signaling.
+//   - Stream.CopyTo / Stream.Read — producer/consumer over a pipe.
+//   - WebRequest.BeginGetResponse posting work to a test HTTP server whose
+//     handler method's entrance is the acquire.
+//   - Async request-body lambdas run as tasks.
+package apps
+
+import (
+	"sherlock/internal/prog"
+	"sherlock/internal/trace"
+)
+
+const (
+	a6CopyTo    = "System.IO.Stream::CopyTo"
+	a6StreamRd  = "System.IO.Stream::Read"
+	a6BeginGet  = "System.Net.WebRequest::BeginGetResponse"
+	a6Handler   = "RestSharp.Tests.Shared.Fixtures.TestHttpServer::HandleRequest"
+	a6WriteBody = "RestSharp.Http::WriteRequestBodyAsync_b0"
+	a6ExecAsync = "RestSharp.RestClient::ExecuteAsync_b0"
+	a6Request   = "RestSharp.Http::requestBody"
+	a6Response  = "RestSharp.Http::responseData"
+	a6Payload   = "RestSharp.Tests.Shared.Fixtures.TestHttpServer::payload"
+	a6Buffer    = "RestSharp.Http::streamBuffer"
+)
+
+// App6 constructs the application.
+func App6() *prog.Program {
+	p := prog.New("App-6", "RestSharp")
+	p.LoC, p.Stars, p.PaperTests = 19_800, 7363, 92
+
+	// --- async request-body writer forked onto the thread pool ---
+	p.AddMethod(a6WriteBody,
+		prog.CpJ(150, 0.8),
+		prog.Rd(a6Request, "http"),
+		prog.Cp(200),
+		prog.ListAdd("resp-headers"),
+		prog.Cp(40),
+		prog.Wr(a6Response, "http", 1),
+		prog.Cp(60),
+		prog.Set("response-ready"),
+	)
+	p.AddMethod(a6ExecAsync,
+		prog.CpJ(420, 0.95),
+		prog.Wait("response-ready"),
+		prog.Cp(40),
+		prog.Rd(a6Response, "http"),
+		prog.ListRead("resp-headers"),
+	)
+
+	// --- test HTTP server: BeginGetResponse posts, handler consumes ---
+	p.AddMethod(a6Handler,
+		prog.Rd(a6Payload, "srv"),
+		prog.Cp(220),
+		prog.Wr("RestSharp.Tests.Shared.Fixtures.TestHttpServer::response", "srv", 2),
+	)
+	p.AddMethod("RestSharp.Tests.Shared.Fixtures.TestHttpServer::Run",
+		prog.RecvAs(a6BeginGet+"_dequeue", "request-queue"),
+		prog.Do(a6Handler, "srv"),
+		prog.Cp(80),
+	)
+	p.AddMethod("RestSharp.RestClient::SendRequest",
+		prog.CpJ(300, 0.9),
+		prog.Wr(a6Payload, "srv", 1),
+		prog.Cp(50),
+		prog.PostAs(a6BeginGet, "request-queue"),
+	)
+	p.AddMethod("RestSharp.RestClient::SendRequestWithBody",
+		prog.CpJ(420, 0.9),
+		prog.Wr(a6Payload, "srv", 3),
+		prog.Cp(45),
+		prog.PostAs(a6BeginGet, "request-queue"),
+	)
+
+	// --- generic fixture handler run as a task (Table 8's
+	// "Handlers/<Generic>b30-End — end of task") ---
+	p.AddMethod("RestSharp.Tests.Shared.Fixtures.Handlers::Generic_b30",
+		prog.CpJ(180, 0.8),
+		prog.Rd("RestSharp.Tests.Shared.Fixtures.Handlers::template", "fx"),
+		prog.Cp(170),
+		prog.Wr("RestSharp.Tests.Shared.Fixtures.Handlers::rendered", "fx", 1),
+	)
+
+	// --- second wait-handle context: server shutdown signaling ---
+	p.AddMethod("RestSharp.Tests.Shared.Fixtures.WebServer::Stop",
+		prog.CpJ(240, 0.8),
+		prog.Wr("RestSharp.Tests.Shared.Fixtures.WebServer::stopped", "ws", 1),
+		prog.Cp(40),
+		prog.Set("server-stopped"),
+	)
+	p.AddMethod("RestSharp.Tests.Shared.Fixtures.WebServer::AwaitStop",
+		prog.CpJ(430, 0.95),
+		prog.Wait("server-stopped"),
+		prog.Cp(30),
+		prog.Rd("RestSharp.Tests.Shared.Fixtures.WebServer::stopped", "ws"),
+	)
+
+	// --- stream producer/consumer ---
+	p.AddMethod("RestSharp.Http::ProduceStream",
+		prog.CpJ(260, 0.8),
+		prog.Wr(a6Buffer, "http", 3),
+		prog.Cp(45),
+		prog.PostAs(a6CopyTo, "stream-pipe"),
+	)
+	p.AddMethod("RestSharp.Http::ConsumeStream",
+		prog.CpJ(380, 0.95),
+		prog.RecvAs(a6StreamRd, "stream-pipe"),
+		prog.Cp(35),
+		prog.Rd(a6Buffer, "http"),
+	)
+
+	// --- second stream context: response download pipe ---
+	p.AddMethod("RestSharp.Http::ProduceDownload",
+		prog.CpJ(310, 0.8),
+		prog.Wr("RestSharp.Http::downloadBuffer", "http", 4),
+		prog.Cp(40),
+		prog.PostAs(a6CopyTo, "download-pipe"),
+	)
+	p.AddMethod("RestSharp.Http::ConsumeDownload",
+		prog.CpJ(420, 0.95),
+		prog.RecvAs(a6StreamRd, "download-pipe"),
+		prog.Cp(30),
+		prog.Rd("RestSharp.Http::downloadBuffer", "http"),
+	)
+
+	// --- unit tests ---
+	p.AddTest("RestSharpTests::AsyncBody_ThreadPool",
+		prog.Wr(a6Request, "http", 5),
+		prog.Cp(40),
+		prog.Go(prog.ForkThreadPool, a6WriteBody, "http", "h1"),
+		prog.Go(prog.ForkThreadPool, a6ExecAsync, "http", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	p.AddTest("RestSharpTests::AsyncBody_LateWaiter",
+		prog.Wr(a6Request, "http", 6),
+		prog.Cp(40),
+		prog.Go(prog.ForkThreadPool, a6WriteBody, "http", "h1"),
+		prog.Cp(1100),
+		prog.Go(prog.ForkThreadPool, a6ExecAsync, "http", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	p.AddTest("RestSharpTests::GenericHandler_Task",
+		prog.Wr("RestSharp.Tests.Shared.Fixtures.Handlers::template", "fx", 2),
+		prog.Cp(40),
+		prog.Go(prog.ForkTaskRun, "RestSharp.Tests.Shared.Fixtures.Handlers::Generic_b30", "fx", "t1"),
+		prog.WaitT("t1"),
+		prog.Rd("RestSharp.Tests.Shared.Fixtures.Handlers::rendered", "fx"),
+	)
+	p.AddTest("RestSharpTests::GenericHandler_TaskPair",
+		prog.Wr("RestSharp.Tests.Shared.Fixtures.Handlers::template", "fx", 3),
+		prog.Cp(40),
+		prog.Go(prog.ForkTaskRun, "RestSharp.Tests.Shared.Fixtures.Handlers::Generic_b30", "fx", "t1"),
+		prog.Go(prog.ForkTaskRun, "RestSharp.Tests.Shared.Fixtures.Handlers::Generic_b30", "fx", "t2"),
+		prog.WaitT("t1"), prog.WaitT("t2"),
+		prog.Rd("RestSharp.Tests.Shared.Fixtures.Handlers::rendered", "fx"),
+	)
+	p.AddTest("RestSharpTests::Server_HandlesRequest",
+		prog.Go(prog.ForkThread, "RestSharp.Tests.Shared.Fixtures.TestHttpServer::Run", "srv", "hs"),
+		prog.Go(prog.ForkThread, "RestSharp.RestClient::SendRequest", "srv", "hc"),
+		prog.JoinT("hs"), prog.JoinT("hc"),
+	)
+	p.AddTest("RestSharpTests::Server_HandlesBodyRequest",
+		prog.Go(prog.ForkThread, "RestSharp.Tests.Shared.Fixtures.TestHttpServer::Run", "srv", "hs"),
+		prog.Go(prog.ForkThread, "RestSharp.RestClient::SendRequestWithBody", "srv", "hc"),
+		prog.JoinT("hs"), prog.JoinT("hc"),
+	)
+	p.AddTest("RestSharpTests::Server_StopSignal",
+		prog.Go(prog.ForkThread, "RestSharp.Tests.Shared.Fixtures.WebServer::AwaitStop", "ws", "h1"),
+		prog.Go(prog.ForkThread, "RestSharp.Tests.Shared.Fixtures.WebServer::Stop", "ws", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	p.AddTest("RestSharpTests::Stream_ProducerConsumer",
+		prog.Go(prog.ForkThread, "RestSharp.Http::ConsumeStream", "http", "h1"),
+		prog.Go(prog.ForkThread, "RestSharp.Http::ProduceStream", "http", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	p.AddTest("RestSharpTests::Stream_Download",
+		prog.Go(prog.ForkThread, "RestSharp.Http::ConsumeDownload", "http", "h1"),
+		prog.Go(prog.ForkThread, "RestSharp.Http::ProduceDownload", "http", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+
+	// --- ground truth (paper: 14 syncs, 2 not-sync) ---
+	p.Truth.Sync(prog.EK(prog.ForkThreadPool.APIName()), trace.RoleRelease)
+	p.Truth.Sync(prog.EK(prog.APISemSet), trace.RoleRelease)
+	p.Truth.Sync(prog.BK(prog.APISemWait), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.EK(a6WriteBody), trace.RoleRelease)
+	p.Truth.Sync(prog.BK(a6WriteBody), trace.RoleAcquire)
+	p.Truth.Sync(prog.EK(a6BeginGet), trace.RoleRelease)
+	p.Truth.Sync(prog.BK(a6Handler), trace.RoleAcquire)
+	p.Truth.Sync(prog.EK(a6CopyTo), trace.RoleRelease)
+	p.Truth.Sync(prog.BK(a6StreamRd), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.BK(a6ExecAsync), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.EK(a6ExecAsync), trace.RoleRelease)
+	p.Truth.SyncAlt(prog.BK(a6BeginGet+"_dequeue"), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.EK("RestSharp.RestClient::SendRequest"), trace.RoleRelease)
+	p.Truth.SyncAlt(prog.EK("RestSharp.RestClient::SendRequestWithBody"), trace.RoleRelease)
+	p.Truth.SyncAlt(prog.EK("RestSharp.Http::ProduceStream"), trace.RoleRelease)
+	p.Truth.SyncAlt(prog.EK("RestSharp.Http::ProduceDownload"), trace.RoleRelease)
+	p.Truth.SyncAlt(prog.BK("RestSharp.Http::ConsumeDownload"), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.BK("RestSharp.Tests.Shared.Fixtures.TestHttpServer::Run"), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.BK("RestSharp.Http::ConsumeStream"), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.EK("RestSharp.Tests.Shared.Fixtures.WebServer::Stop"), trace.RoleRelease)
+	p.Truth.SyncAlt(prog.BK("RestSharp.Tests.Shared.Fixtures.WebServer::AwaitStop"), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.WK("RestSharp.Tests.Shared.Fixtures.WebServer::stopped"), trace.RoleRelease)
+	p.Truth.SyncAlt(prog.RK("RestSharp.Tests.Shared.Fixtures.WebServer::stopped"), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.EK(prog.ForkThread.APIName()), trace.RoleRelease)
+	p.Truth.SyncAlt(prog.BK(prog.JoinThread.APIName()), trace.RoleAcquire)
+	p.Truth.Sync(prog.EK("RestSharp.Tests.Shared.Fixtures.Handlers::Generic_b30"), trace.RoleRelease)
+	p.Truth.SyncAlt(prog.BK("RestSharp.Tests.Shared.Fixtures.Handlers::Generic_b30"), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.BK(prog.JoinTask.APIName()), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.EK(prog.ForkTaskRun.APIName()), trace.RoleRelease)
+	return p
+}

@@ -1,0 +1,260 @@
+// App-7: Statsd (paper Table 1: 2.3K LoC, 125 stars, 34 tests).
+//
+// Synchronization idioms reproduced (paper Table 8 / Figures 3.A and 3.D):
+//   - DataflowBlock Post/Receive with a message-handler method: Post is the
+//     release that happens-before the handler's entrance; Receive is the
+//     acquire.
+//   - Task.ContinueWith chains: the antecedent's exit releases, the
+//     continuation's entrance acquires.
+//   - Thread fork/join around the sampler.
+//   - Two non-volatile flag patterns that are true data races (the paper's
+//     "should be marked volatile" misclassifications): SherLock infers
+//     their accesses as synchronization, counted in Table 2's Data Racy.
+package apps
+
+import (
+	"sherlock/internal/prog"
+	"sherlock/internal/trace"
+)
+
+const (
+	a7Handler = "Statsd.MessageParser::MessageHandler"
+	a7Run     = "Statsd.MessageParser::Run"
+	a7Send    = "Statsd.Client::Send"
+	a7Collect = "Statsd.Sampler::Collect"
+	a7Flush   = "Statsd.Sampler::Flush"
+	a7Event   = "Statsd.Client::pendingEvent"
+	a7Stats   = "Statsd.MessageParser::stats"
+	a7Samples = "Statsd.Sampler::samples"
+	a7Dirty   = "Statsd.Metrics::dirty" // racy flag (spin)
+	a7MetricV = "Statsd.Metrics::value"
+	a7Ready   = "Statsd.Counter::ready" // racy flag (if-check)
+	a7Count   = "Statsd.Counter::count"
+)
+
+// App7 constructs the application.
+func App7() *prog.Program {
+	p := prog.New("App-7", "Stastd")
+	p.LoC, p.Stars, p.PaperTests = 2_300, 125, 34
+
+	// --- dataflow block: producer posts, parser loop receives + handles ---
+	p.AddMethod(a7Handler,
+		prog.Rd(a7Event, "c"),
+		prog.Wr(a7Stats, "mp", 1),
+		prog.Cp(180),
+	)
+	p.AddMethod(a7Run,
+		prog.RecvQ("parser-block", a7Handler, "mp"),
+		prog.Cp(60),
+	)
+	p.AddMethod(a7Send,
+		prog.CpJ(250, 0.9),
+		prog.Wr(a7Event, "c", 7),
+		prog.Cp(40),
+		prog.PostQ("parser-block"),
+	)
+
+	// --- second dataflow context: timer block ---
+	p.AddMethod("Statsd.TimerParser::TimerHandler",
+		prog.Rd("Statsd.Client::pendingTimer", "c"),
+		prog.Wr("Statsd.TimerParser::totals", "tp", 1),
+		prog.Cp(160),
+	)
+	p.AddMethod("Statsd.TimerParser::Run",
+		prog.RecvQ("timer-block", "Statsd.TimerParser::TimerHandler", "tp"),
+		prog.Cp(50),
+	)
+	p.AddMethod("Statsd.Client::SendTimer",
+		prog.CpJ(300, 0.9),
+		prog.Wr("Statsd.Client::pendingTimer", "c", 11),
+		prog.Cp(35),
+		prog.PostQ("timer-block"),
+	)
+
+	// --- ContinueWith chain (Figure 3.D) ---
+	p.AddMethod(a7Collect,
+		prog.CpJ(300, 0.6),
+		prog.Wr(a7Samples, "s", 5),
+		prog.Cp(120),
+	)
+	p.AddMethod(a7Flush,
+		prog.Rd(a7Samples, "s"),
+		prog.Cp(150),
+	)
+
+	// --- racy flags (true data races; paper: 4 Data Racy ops) ---
+	p.AddMethod("Statsd.Metrics::Update",
+		prog.CpJ(350, 0.7),
+		prog.Wr(a7MetricV, "m", 3),
+		prog.Cp(40),
+		prog.Wr(a7Dirty, "m", 1),
+	)
+	p.AddMethod("Statsd.Metrics::Report",
+		prog.Spin(a7Dirty, "m", 1, 240),
+		prog.Rd(a7MetricV, "m"),
+	)
+	p.AddMethod("Statsd.Counter::Increment",
+		prog.CpJ(300, 0.7),
+		prog.Wr(a7Count, "cnt", 1),
+		prog.Cp(30),
+		prog.Wr(a7Ready, "cnt", 1),
+	)
+	p.AddMethod("Statsd.Counter::Snapshot",
+		prog.CpJ(420, 0.9),
+		prog.Rd(a7Ready, "cnt"),
+		prog.Cp(25),
+		prog.Rd(a7Count, "cnt"),
+	)
+
+	// --- monitor-protected metric registry ---
+	p.AddMethod("Statsd.Registry::Register",
+		prog.CpJ(260, 0.9),
+		prog.Lock("registry-lock"),
+		prog.Rd("Statsd.Registry::entries", "reg"),
+		prog.Wr("Statsd.Registry::entries", "reg", 1),
+		prog.Cp(80),
+		prog.Unlock("registry-lock"),
+		prog.CpJ(210, 0.9),
+	)
+	p.AddMethod("Statsd.Registry::Lookup",
+		prog.CpJ(390, 0.9),
+		prog.Lock("registry-lock"),
+		prog.Rd("Statsd.Registry::entries", "reg"),
+		prog.Wr("Statsd.Registry::entries", "reg", 2),
+		prog.Cp(70),
+		prog.Unlock("registry-lock"),
+		prog.CpJ(170, 0.9),
+	)
+
+	// --- n-to-1 flush: the flusher waits for both pipelines ---
+	p.AddMethod("Statsd.Flusher::ParseDone",
+		prog.CpJ(290, 0.8),
+		prog.Wr("Statsd.Flusher::parsedCount", "fl", 1),
+		prog.Set("parsed-done"),
+	)
+	p.AddMethod("Statsd.Flusher::TimeDone",
+		prog.CpJ(340, 0.8),
+		prog.Wr("Statsd.Flusher::timedCount", "fl", 1),
+		prog.Set("timed-done"),
+	)
+
+	// --- unsynchronized list buffer: a genuine thread-safety violation
+	// candidate (TSVD's quarry; neither detector can prove it ordered) ---
+	p.AddMethod("Statsd.UdpSender::Buffer",
+		prog.CpJ(280, 0.6),
+		prog.ListAdd("udp-buffer"),
+		prog.Cp(50),
+	)
+	p.AddMethod("Statsd.UdpSender::Drain",
+		prog.CpJ(280, 0.6),
+		prog.ListRead("udp-buffer"),
+		prog.Cp(40),
+	)
+
+	// --- unit tests ---
+	p.AddTest("StatsdTests::Post_TriggersHandler",
+		prog.Go(prog.ForkThread, a7Run, "mp", "hr"),
+		prog.Go(prog.ForkThread, a7Send, "c", "hs"),
+		prog.JoinT("hr"), prog.JoinT("hs"),
+	)
+	p.AddTest("StatsdTests::Post_TriggersHandler_LateParser",
+		prog.Go(prog.ForkThread, a7Send, "c", "hs"),
+		prog.Cp(900),
+		prog.Go(prog.ForkThread, a7Run, "mp", "hr"),
+		prog.JoinT("hr"), prog.JoinT("hs"),
+	)
+	p.AddTest("StatsdTests::Timer_TriggersHandler",
+		prog.Go(prog.ForkThread, "Statsd.TimerParser::Run", "tp", "hr"),
+		prog.Go(prog.ForkThread, "Statsd.Client::SendTimer", "c", "hs"),
+		prog.JoinT("hr"), prog.JoinT("hs"),
+	)
+	p.AddTest("StatsdTests::ContinueWith_Ordering",
+		prog.Go(prog.ForkTaskRun, a7Collect, "s", "t1"),
+		prog.Then("t1", a7Flush, "s", "t2"),
+		prog.WaitT("t2"),
+	)
+	p.AddTest("StatsdTests::ContinueWith_Chained",
+		prog.Go(prog.ForkTaskRun, a7Collect, "s", "t1"),
+		prog.Then("t1", a7Flush, "s", "t2"),
+		prog.Then("t2", a7Flush, "s", "t3"),
+		prog.WaitT("t3"),
+	)
+	p.AddMethod("Statsd.Config::Loader",
+		prog.Cp(60),
+		prog.Rd("Statsd.Config::prefix", "cf"),
+		prog.Cp(150),
+	)
+	p.AddTest("StatsdTests::Registry_Concurrent",
+		prog.Go(prog.ForkThread, "Statsd.Registry::Register", "reg", "h1"),
+		prog.Go(prog.ForkThread, "Statsd.Registry::Lookup", "reg", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	p.AddTest("StatsdTests::Flush_WaitsForPipelines",
+		prog.Go(prog.ForkThread, "Statsd.Flusher::ParseDone", "fl", "h1"),
+		prog.Go(prog.ForkThread, "Statsd.Flusher::TimeDone", "fl", "h2"),
+		prog.CpJ(520, 0.95),
+		prog.All("parsed-done", "timed-done"),
+		prog.Rd("Statsd.Flusher::parsedCount", "fl"),
+		prog.Rd("Statsd.Flusher::timedCount", "fl"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	p.AddTest("StatsdTests::Metrics_DirtyFlag",
+		prog.Wr("Statsd.Config::prefix", "cf", 2),
+		prog.Cp(40),
+		prog.Go(prog.ForkThreadPool, "Statsd.Config::Loader", "cf", "t0"),
+		prog.Go(prog.ForkThread, "Statsd.Metrics::Report", "m", "h1"),
+		prog.Go(prog.ForkThread, "Statsd.Metrics::Update", "m", "h2"),
+		prog.JoinT("t0"), prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	p.AddTest("StatsdTests::UdpSender_Unsynchronized",
+		prog.Wr("Statsd.Config::prefix", "cf", 1),
+		prog.Cp(40),
+		prog.Go(prog.ForkThreadPool, "Statsd.Config::Loader", "cf", "t0"),
+		prog.Go(prog.ForkThread, "Statsd.UdpSender::Buffer", "u", "h1"),
+		prog.Go(prog.ForkThread, "Statsd.UdpSender::Drain", "u", "h2"),
+		prog.JoinT("t0"), prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	p.AddTest("StatsdTests::Counter_Concurrent",
+		prog.Go(prog.ForkThread, "Statsd.Counter::Snapshot", "cnt", "h1"),
+		prog.Go(prog.ForkThread, "Statsd.Counter::Increment", "cnt", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+
+	// --- ground truth (paper: 19 syncs, 4 data racy) ---
+	p.Truth.Sync(prog.EK(prog.APIPost), trace.RoleRelease)
+	p.Truth.SyncAlt(prog.BK(prog.APIReceive), trace.RoleAcquire)
+	p.Truth.Sync(prog.BK(a7Handler), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.EK(a7Send), trace.RoleRelease)
+	p.Truth.Sync(prog.EK(a7Collect), trace.RoleRelease)
+	p.Truth.Sync(prog.BK(a7Flush), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.EK(a7Flush), trace.RoleRelease)
+	p.Truth.SyncAlt(prog.EK(prog.APIContinueWith), trace.RoleRelease)
+	p.Truth.SyncAlt(prog.EK(prog.ForkTaskRun.APIName()), trace.RoleRelease)
+	p.Truth.SyncAlt(prog.EK(prog.ForkThread.APIName()), trace.RoleRelease)
+	p.Truth.SyncAlt(prog.BK(a7Run), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.BK("Statsd.TimerParser::TimerHandler"), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.EK("Statsd.Client::SendTimer"), trace.RoleRelease)
+	p.Truth.SyncAlt(prog.BK("Statsd.TimerParser::Run"), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.BK(a7Send), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.BK(prog.JoinThread.APIName()), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.BK(prog.JoinTask.APIName()), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.EK(prog.ForkThreadPool.APIName()), trace.RoleRelease)
+	p.Truth.SyncAlt(prog.BK("Statsd.Config::Loader"), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.EK("Statsd.Config::Loader"), trace.RoleRelease)
+
+	p.Truth.Sync(prog.BK(prog.APIMonitorEnter), trace.RoleAcquire)
+	p.Truth.Sync(prog.EK(prog.APIMonitorExit), trace.RoleRelease)
+	p.Truth.Sync(prog.BK(prog.APIWaitAll), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.EK(prog.APISemSet), trace.RoleRelease)
+	p.Truth.SyncAlt(prog.EK("Statsd.Flusher::ParseDone"), trace.RoleRelease)
+	p.Truth.SyncAlt(prog.EK("Statsd.Flusher::TimeDone"), trace.RoleRelease)
+	p.Truth.SyncAlt(prog.BK("Statsd.Registry::Register"), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.BK("Statsd.Registry::Lookup"), trace.RoleAcquire)
+
+	// The two flags are true data races, not synchronizations; so is the
+	// unsynchronized UDP list buffer.
+	p.Truth.Race(a7Dirty)
+	p.Truth.Race(a7Ready)
+	p.Truth.RacyFields["System.Collections.Generic.List"] = true
+	return p
+}

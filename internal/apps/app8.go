@@ -1,0 +1,98 @@
+// App-8: System.Linq.Dynamic (paper Table 1: 1.1K LoC, 399 stars, 7 tests).
+//
+// Synchronization idioms reproduced (paper Table 9):
+//   - TaskFactory.StartNew fork edges from the CreateClass_TheadSafe test.
+//   - ClassFactory static constructor ordering, with GetDynamicClass as the
+//     first access after it.
+//   - ReaderWriterLock: UpgradeToWriterLock (acquire) and
+//     DowngradeFromWriterLock (release) — including the Single-Role
+//     violation that UpgradeToWriterLock also *releases* the reader lock
+//     inside the same API (paper Table 4's "Double Roles" bucket).
+package apps
+
+import (
+	"sherlock/internal/prog"
+	"sherlock/internal/trace"
+)
+
+const (
+	a8Cctor   = "System.Linq.Dynamic.ClassFactory::.cctor"
+	a8GetDyn  = "System.Linq.Dynamic.ClassFactory::GetDynamicClass"
+	a8Worker  = "System.Linq.Dynamic.Test.DynamicExpressionTests::CreateClass_TheadSafe_Worker"
+	a8Classes = "System.Linq.Dynamic.ClassFactory::classes"
+	a8RWLock  = "classfactory-rw"
+)
+
+// App8 constructs the application.
+func App8() *prog.Program {
+	p := prog.New("App-8", "System.Linq.Dynamic")
+	p.LoC, p.Stars, p.PaperTests = 1_100, 399, 7
+
+	p.AddMethod(a8Cctor,
+		prog.Wr(a8Classes, "", 1),
+		prog.Cp(600),
+	)
+	// GetDynamicClass: first use triggers static init, then a
+	// reader-writer-locked lookup that upgrades to insert on miss.
+	p.AddMethod(a8GetDyn,
+		prog.CpJ(250, 0.95),
+		prog.StaticInit("ClassFactory", a8Cctor),
+		prog.RdLock(a8RWLock),
+		prog.Rd(a8Classes, ""),
+		prog.Cp(100),
+		prog.Upgrade(a8RWLock),
+		prog.Wr(a8Classes, "", 2),
+		prog.Cp(60),
+		prog.Downgrade(a8RWLock),
+		prog.RdUnlock(a8RWLock),
+	)
+	p.AddMethod(a8Worker,
+		prog.CpJ(200, 0.9),
+		prog.Rd("System.Linq.Dynamic.Test.DynamicExpressionTests::expression", "t"),
+		prog.Do(a8GetDyn, ""),
+		prog.Wr("System.Linq.Dynamic.Test.DynamicExpressionTests::result", "t", 1),
+		prog.Cp(90),
+	)
+
+	p.AddTest("DynamicExpressionTests::CreateClass_TheadSafe",
+		prog.Wr("System.Linq.Dynamic.Test.DynamicExpressionTests::expression", "t", 7),
+		prog.Cp(40),
+		prog.Go(prog.ForkTaskNew, a8Worker, "t", "h1"),
+		prog.Go(prog.ForkTaskNew, a8Worker, "t", "h2"),
+		prog.WaitT("h1"), prog.WaitT("h2"),
+		prog.Rd("System.Linq.Dynamic.Test.DynamicExpressionTests::result", "t"),
+	)
+	p.AddTest("DynamicExpressionTests::CreateClass_TheadSafe_Wide",
+		prog.Wr("System.Linq.Dynamic.Test.DynamicExpressionTests::expression", "t", 9),
+		prog.Cp(40),
+		prog.Go(prog.ForkTaskNew, a8Worker, "t", "h1"),
+		prog.Go(prog.ForkTaskNew, a8Worker, "t", "h2"),
+		prog.Go(prog.ForkTaskNew, a8Worker, "t", "h3"),
+		prog.WaitT("h1"), prog.WaitT("h2"), prog.WaitT("h3"),
+		prog.Rd("System.Linq.Dynamic.Test.DynamicExpressionTests::result", "t"),
+	)
+	p.AddTest("DynamicExpressionTests::ParseLambda_Sequential",
+		prog.Do(a8GetDyn, ""),
+		prog.Do(a8GetDyn, ""),
+	)
+
+	// --- ground truth (paper: 6 syncs, 1 not-sync; double-role FPs) ---
+	p.Truth.Sync(prog.EK(prog.ForkTaskNew.APIName()), trace.RoleRelease)
+	p.Truth.Sync(prog.BK(a8Worker), trace.RoleAcquire)
+	p.Truth.Sync(prog.EK(a8Worker), trace.RoleRelease)
+	p.Truth.Sync(prog.EK(a8Cctor), trace.RoleRelease)
+	p.Truth.SyncAlt(prog.BK(a8GetDyn), trace.RoleAcquire)
+	p.Truth.Sync(prog.BK(prog.JoinTask.APIName()), trace.RoleAcquire)
+	p.Truth.Sync(prog.BK(prog.APIRWUpgrade), trace.RoleAcquire)
+	p.Truth.Sync(prog.EK(prog.APIRWDowngrade), trace.RoleRelease)
+	p.Truth.Sync(prog.BK(prog.APIRWAcquireRead), trace.RoleAcquire)
+	p.Truth.SyncAlt(prog.EK(prog.APIRWReleaseRead), trace.RoleRelease)
+	// The Single-Role assumption hides UpgradeToWriterLock's release half:
+	// its end is a true release SherLock cannot co-infer with the acquire.
+	p.Truth.Sync(prog.EK(prog.APIRWUpgrade), trace.RoleRelease)
+	p.Truth.Category[prog.EK(prog.APIRWUpgrade)] = prog.CatDoubleRole
+	p.Truth.Category[prog.BK(prog.APIRWUpgrade)] = prog.CatDoubleRole
+	p.Truth.Category[prog.EK(a8Cctor)] = prog.CatStaticCtor
+	p.Truth.Category[prog.BK(a8GetDyn)] = prog.CatStaticCtor
+	return p
+}

@@ -1,0 +1,65 @@
+// Package apps defines the eight benchmark applications of the SherLock
+// paper (Table 1) as synthetic prog.Programs. Each application reproduces
+// the synchronization idioms the paper reports inferring from its namesake
+// (Tables 8 and 9), carries the paper's inventory metadata, and is
+// annotated with ground truth — the role the authors' manual inspection
+// plays in the original evaluation.
+//
+// The original applications are C# codebases run under Mono.Cecil
+// instrumentation; these are behavioural equivalents at virtual-time scale
+// (see DESIGN.md for the substitution argument). Test counts are scaled
+// down: each synthetic test is a concurrency-relevant scenario, where the
+// originals also carry hundreds of sequential tests that contribute no
+// windows.
+package apps
+
+import (
+	"fmt"
+	"sync"
+
+	"sherlock/internal/prog"
+)
+
+var (
+	once     sync.Once
+	registry []*prog.Program
+	byName   map[string]*prog.Program
+)
+
+func build() {
+	registry = []*prog.Program{
+		App1(), App2(), App3(), App4(), App5(), App6(), App7(), App8(),
+	}
+	byName = map[string]*prog.Program{}
+	for _, p := range registry {
+		p.MustFinalize()
+		byName[p.Name] = p
+	}
+}
+
+// All returns the eight applications, App-1 through App-8, finalized.
+// The returned programs are shared; callers must not mutate them.
+func All() []*prog.Program {
+	once.Do(build)
+	return registry
+}
+
+// ByName returns one application ("App-1".."App-8").
+func ByName(name string) (*prog.Program, error) {
+	once.Do(build)
+	p, ok := byName[name]
+	if !ok {
+		return nil, fmt.Errorf("apps: unknown application %q (want App-1..App-8)", name)
+	}
+	return p, nil
+}
+
+// Names returns the application ids in order.
+func Names() []string {
+	once.Do(build)
+	out := make([]string, len(registry))
+	for i, p := range registry {
+		out[i] = p.Name
+	}
+	return out
+}

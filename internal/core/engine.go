@@ -1,0 +1,195 @@
+// Package core is SherLock's orchestrator (paper Figure 1): it runs every
+// unit test of an application for a configured number of rounds, feeding
+// traces through window extraction (Observer), accumulating observations,
+// solving the linear system (Solver), and planning delay injections for the
+// next round (Perturber). It also scores inference results against an
+// application's ground truth, reproducing the paper's manual-inspection
+// classification.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"sherlock/internal/perturb"
+	"sherlock/internal/prog"
+	"sherlock/internal/sched"
+	"sherlock/internal/solver"
+	"sherlock/internal/trace"
+	"sherlock/internal/window"
+)
+
+// Config tunes one inference campaign.
+type Config struct {
+	// Rounds is the number of times each test input is executed (paper
+	// default: 3; Figure 4 sweeps 1–6).
+	Rounds int
+	// Window configures conflict pairing and window extraction.
+	Window window.Config
+	// Solver configures the constraint encoding.
+	Solver solver.Config
+	// Delay is the perturbation length in virtual ns.
+	Delay int64
+	// DelayProbability injects each planned delay with this probability
+	// per dynamic instance (0 or 1 = always, the paper's default).
+	DelayProbability float64
+	// Seed is the base scheduler seed; each (round, test) derives its own.
+	Seed int64
+
+	// Feedback toggles (Figure 4's ablations). All default true via
+	// DefaultConfig.
+	Accumulate   bool // keep observations from earlier rounds
+	InjectDelays bool // run the Perturber at all
+	RemoveRacyMP bool // drop Mostly-Protected terms on data-race observations
+
+	// MaxStepsPerTest bounds each simulated test (0 = scheduler default).
+	MaxStepsPerTest int
+}
+
+// DefaultConfig mirrors the paper's default operating point.
+func DefaultConfig() Config {
+	return Config{
+		Rounds:       3,
+		Window:       window.DefaultConfig(),
+		Solver:       solver.DefaultConfig(),
+		Delay:        perturb.DefaultDelay,
+		Seed:         1,
+		Accumulate:   true,
+		InjectDelays: true,
+		RemoveRacyMP: true,
+	}
+}
+
+// InferredSync is one reported synchronization operation.
+type InferredSync struct {
+	Key  trace.Key
+	Role trace.Role
+	Prob float64
+}
+
+// RoundSnapshot captures inference state after each round (Figure 4 data).
+type RoundSnapshot struct {
+	Round    int // 1-based
+	Acquires []trace.Key
+	Releases []trace.Key
+	Windows  int // accumulated windows so far
+}
+
+// Overhead aggregates the cost accounting of Section 5.6.
+type Overhead struct {
+	RunWall      time.Duration // wall time executing instrumented tests
+	SolveWall    time.Duration // wall time in the LP solver
+	Events       int           // log entries recorded
+	Windows      int           // windows accumulated
+	Vars         int           // final LP size
+	Constraints  int
+	DelayVirtual int64 // total injected virtual delay
+}
+
+// Result is the outcome of one inference campaign on one application.
+type Result struct {
+	App      string
+	Inferred []InferredSync
+	// Acquires/Releases expose final per-key probabilities.
+	Acquires map[trace.Key]float64
+	Releases map[trace.Key]float64
+	Rounds   []RoundSnapshot
+	Overhead Overhead
+	// Deadlocks counts test executions that deadlocked (should stay 0 for
+	// the benchmark apps).
+	Deadlocks int
+}
+
+// SyncKeys returns the inferred synchronizations as a role map.
+func (r *Result) SyncKeys() map[trace.Key]trace.Role {
+	out := map[trace.Key]trace.Role{}
+	for _, s := range r.Inferred {
+		out[s.Key] = s.Role
+	}
+	return out
+}
+
+// Infer runs the full SherLock loop on app.
+func Infer(app *prog.Program, cfg Config) (*Result, error) {
+	if err := app.Finalize(); err != nil {
+		return nil, err
+	}
+	if cfg.Rounds <= 0 {
+		return nil, fmt.Errorf("core: Rounds must be positive, got %d", cfg.Rounds)
+	}
+	scfg := cfg.Solver
+	scfg.KeepRacyWindows = !cfg.RemoveRacyMP
+
+	res := &Result{App: app.Name}
+	obs := window.NewObservations(cfg.Window)
+	var plan perturb.Plan
+	var last *solver.Result
+
+	for round := 0; round < cfg.Rounds; round++ {
+		if !cfg.Accumulate {
+			// Figure 4's "no accumulation" line: every round stands alone.
+			obs = window.NewObservations(cfg.Window)
+		}
+		for ti, test := range app.Tests {
+			opt := sched.Options{
+				Seed:             cfg.Seed + int64(round)*7919 + int64(ti)*127,
+				HiddenMethods:    app.Truth.HiddenMethods,
+				MaxSteps:         cfg.MaxStepsPerTest,
+				DelayProbability: cfg.DelayProbability,
+			}
+			if cfg.InjectDelays {
+				opt.Delays = plan
+			}
+			t0 := time.Now()
+			run, err := sched.Run(app, test, opt)
+			res.Overhead.RunWall += time.Since(t0)
+			if err != nil {
+				return nil, fmt.Errorf("core: %s/%s round %d: %w", app.Name, test.Name, round+1, err)
+			}
+			if run.Deadlocked {
+				res.Deadlocks++
+				continue
+			}
+			for _, d := range run.Delays {
+				res.Overhead.DelayVirtual += d.End - d.Start
+			}
+			res.Overhead.Events += run.Trace.Len()
+
+			conflicts := window.FindConflicts(run.Trace, cfg.Window)
+			ws := window.BuildWindows(run.Trace, conflicts)
+			ws = perturb.Refine(ws, run.Delays)
+			obs.AddWindows(ws)
+			obs.AddTraceStats(run.Trace)
+		}
+
+		t0 := time.Now()
+		sr, err := solver.Solve(obs, scfg)
+		res.Overhead.SolveWall += time.Since(t0)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s round %d solve: %w", app.Name, round+1, err)
+		}
+		last = sr
+		res.Rounds = append(res.Rounds, RoundSnapshot{
+			Round:    round + 1,
+			Acquires: append([]trace.Key(nil), sr.AcquireSet...),
+			Releases: append([]trace.Key(nil), sr.ReleaseSet...),
+			Windows:  len(obs.Windows),
+		})
+		plan = perturb.BuildPlan(sr.ReleaseSet, cfg.Delay)
+	}
+
+	res.Acquires = last.Acquires
+	res.Releases = last.Releases
+	res.Overhead.Windows = len(obs.Windows)
+	res.Overhead.Vars = last.Vars
+	res.Overhead.Constraints = last.Constraints
+	for _, k := range last.AcquireSet {
+		res.Inferred = append(res.Inferred, InferredSync{Key: k, Role: trace.RoleAcquire, Prob: last.Acquires[k]})
+	}
+	for _, k := range last.ReleaseSet {
+		res.Inferred = append(res.Inferred, InferredSync{Key: k, Role: trace.RoleRelease, Prob: last.Releases[k]})
+	}
+	sort.Slice(res.Inferred, func(i, j int) bool { return res.Inferred[i].Key < res.Inferred[j].Key })
+	return res, nil
+}

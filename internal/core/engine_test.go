@@ -1,0 +1,222 @@
+package core
+
+import (
+	"testing"
+
+	"sherlock/internal/prog"
+	"sherlock/internal/trace"
+)
+
+// lockApp: two worker methods mutate a shared counter under a monitor,
+// with jittered lead-in work so runs mix contended and uncontended arrivals
+// (as real unit tests do). Expected inference: begin:Monitor::Enter =
+// acquire, end:Monitor::Exit = release.
+func lockApp() *prog.Program {
+	p := prog.New("lock-app", "LockApp")
+	p.AddMethod("C::incr",
+		prog.CpJ(400, 0.9),
+		prog.Rep(2,
+			prog.Lock("L"),
+			prog.Cp(150),
+			prog.Rd("C::n", "o"),
+			prog.Wr("C::n", "o", 1),
+			prog.Unlock("L"),
+			prog.CpJ(300, 0.9),
+		),
+	)
+	p.AddMethod("C::decr",
+		prog.CpJ(400, 0.9),
+		prog.Rep(2,
+			prog.Lock("L"),
+			prog.Cp(150),
+			prog.Rd("C::n", "o"),
+			prog.Wr("C::n", "o", -1),
+			prog.Unlock("L"),
+			prog.CpJ(300, 0.9),
+		),
+	)
+	p.AddTest("T",
+		prog.Go(prog.ForkThread, "C::incr", "o", "h1"),
+		prog.Go(prog.ForkThread, "C::decr", "o", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	p.Truth.Sync(prog.BK(prog.APIMonitorEnter), trace.RoleAcquire)
+	p.Truth.Sync(prog.EK(prog.APIMonitorExit), trace.RoleRelease)
+	return p
+}
+
+// semApp: producer writes data then Sets; consumer WaitOnes then reads.
+// The consumer's jittered lead-in means it sometimes arrives after the Set.
+func semApp() *prog.Program {
+	p := prog.New("sem-app", "SemApp")
+	p.AddMethod("C::producer", prog.CpJ(400, 0.9), prog.Wr("C::data", "o", 42), prog.Cp(50), prog.Set("S"))
+	p.AddMethod("C::consumer", prog.CpJ(500, 0.95), prog.Wait("S"), prog.Cp(40), prog.Rd("C::data", "o"))
+	p.AddMethod("C::flusher", prog.CpJ(350, 0.9), prog.Wr("C::log", "o", 1), prog.Set("S2"))
+	p.AddMethod("C::drainer", prog.CpJ(450, 0.95), prog.Wait("S2"), prog.Rd("C::log", "o"))
+	p.AddTest("T1",
+		prog.Go(prog.ForkTaskRun, "C::consumer", "o", "hc"),
+		prog.Go(prog.ForkTaskRun, "C::producer", "o", "hp"),
+		prog.WaitT("hc"), prog.WaitT("hp"),
+	)
+	p.AddTest("T2",
+		prog.Go(prog.ForkTaskRun, "C::drainer", "o", "hd"),
+		prog.Go(prog.ForkTaskRun, "C::flusher", "o", "hf"),
+		prog.WaitT("hd"), prog.WaitT("hf"),
+	)
+	p.Truth.Sync(prog.BK(prog.APISemWait), trace.RoleAcquire)
+	p.Truth.Sync(prog.EK(prog.APISemSet), trace.RoleRelease)
+	return p
+}
+
+// flagApp: writer flushes a buffer then sets a volatile flag; reader spins
+// on the flag then reads the buffer (paper Figure 3.B).
+func flagApp() *prog.Program {
+	p := prog.New("flag-app", "FlagApp")
+	p.AddMethod("C::writer",
+		prog.Cp(800),
+		prog.Wr("C::buffer", "o", 7),
+		prog.Cp(60),
+		prog.Wr("C::endOfFile", "o", 1),
+	)
+	p.AddMethod("C::reader",
+		prog.Spin("C::endOfFile", "o", 1, 200),
+		prog.Cp(40),
+		prog.Rd("C::buffer", "o"),
+	)
+	p.AddTest("T",
+		prog.Go(prog.ForkThread, "C::reader", "o", "hr"),
+		prog.Go(prog.ForkThread, "C::writer", "o", "hw"),
+		prog.JoinT("hr"), prog.JoinT("hw"),
+	)
+	p.Volatile["C::endOfFile"] = true
+	p.Truth.Sync(prog.RK("C::endOfFile"), trace.RoleAcquire)
+	p.Truth.Sync(prog.WK("C::endOfFile"), trace.RoleRelease)
+	return p
+}
+
+// forkApp: parent writes config, forks a child that reads it; fork-join
+// edges are the syncs.
+func forkApp() *prog.Program {
+	p := prog.New("fork-app", "ForkApp")
+	p.AddMethod("C::child", prog.Cp(50), prog.Rd("C::config", "o"), prog.Cp(200))
+	p.AddTest("T",
+		prog.Wr("C::config", "o", 1),
+		prog.Cp(30),
+		prog.Go(prog.ForkThread, "C::child", "o", "h"),
+		prog.JoinT("h"),
+		prog.Wr("C::config", "o", 2),
+	)
+	p.Truth.Sync(prog.EK(prog.ForkThread.APIName()), trace.RoleRelease)
+	p.Truth.Sync(prog.BK("C::child"), trace.RoleAcquire)
+	p.Truth.Sync(prog.EK("C::child"), trace.RoleRelease)
+	p.Truth.Sync(prog.BK(prog.JoinThread.APIName()), trace.RoleAcquire)
+	return p
+}
+
+func inferAndScore(t *testing.T, app *prog.Program) (*Result, *Score) {
+	t.Helper()
+	res, err := Infer(app, DefaultConfig())
+	if err != nil {
+		t.Fatalf("Infer(%s): %v", app.Name, err)
+	}
+	if res.Deadlocks > 0 {
+		t.Fatalf("%s: %d deadlocked runs", app.Name, res.Deadlocks)
+	}
+	return res, ScoreResult(app, res)
+}
+
+func wantSync(t *testing.T, res *Result, k trace.Key, role trace.Role) {
+	t.Helper()
+	for _, s := range res.Inferred {
+		if s.Key == k && s.Role == role {
+			return
+		}
+	}
+	t.Errorf("missing inferred sync %s (%s); inferred: %v", k, role, res.Inferred)
+}
+
+func TestInferLockApp(t *testing.T) {
+	res, score := inferAndScore(t, lockApp())
+	wantSync(t, res, prog.BK(prog.APIMonitorEnter), trace.RoleAcquire)
+	wantSync(t, res, prog.EK(prog.APIMonitorExit), trace.RoleRelease)
+	if p := score.Precision(); p < 0.5 {
+		t.Errorf("precision = %.2f; inferred %d ops total", p, score.Total())
+	}
+}
+
+func TestInferSemApp(t *testing.T) {
+	res, _ := inferAndScore(t, semApp())
+	wantSync(t, res, prog.BK(prog.APISemWait), trace.RoleAcquire)
+	wantSync(t, res, prog.EK(prog.APISemSet), trace.RoleRelease)
+}
+
+func TestInferFlagApp(t *testing.T) {
+	res, _ := inferAndScore(t, flagApp())
+	wantSync(t, res, prog.RK("C::endOfFile"), trace.RoleAcquire)
+	wantSync(t, res, prog.WK("C::endOfFile"), trace.RoleRelease)
+}
+
+func TestInferForkApp(t *testing.T) {
+	res, _ := inferAndScore(t, forkApp())
+	wantSync(t, res, prog.BK("C::child"), trace.RoleAcquire)
+	wantSync(t, res, prog.EK(prog.ForkThread.APIName()), trace.RoleRelease)
+}
+
+func TestSnapshotsPerRound(t *testing.T) {
+	res, _ := inferAndScore(t, lockApp())
+	if len(res.Rounds) != 3 {
+		t.Fatalf("rounds = %d, want 3", len(res.Rounds))
+	}
+	for i, r := range res.Rounds {
+		if r.Round != i+1 {
+			t.Errorf("round %d numbered %d", i, r.Round)
+		}
+	}
+	// Windows accumulate monotonically under default feedback settings.
+	for i := 1; i < len(res.Rounds); i++ {
+		if res.Rounds[i].Windows < res.Rounds[i-1].Windows {
+			t.Error("window count decreased despite accumulation")
+		}
+	}
+}
+
+func TestInferDeterministic(t *testing.T) {
+	a, err := Infer(lockApp(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Infer(lockApp(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Inferred) != len(b.Inferred) {
+		t.Fatalf("non-deterministic inference: %v vs %v", a.Inferred, b.Inferred)
+	}
+	for i := range a.Inferred {
+		if a.Inferred[i] != b.Inferred[i] {
+			t.Fatalf("non-deterministic inference at %d: %v vs %v", i, a.Inferred[i], b.Inferred[i])
+		}
+	}
+}
+
+func TestInferRejectsZeroRounds(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Rounds = 0
+	if _, err := Infer(lockApp(), cfg); err == nil {
+		t.Fatal("want error for Rounds=0")
+	}
+}
+
+// Probabilistic delay injection (the paper's footnote 1: "we also tried
+// injecting the delay probabilistically, but did not see much difference")
+// must leave the headline inferences intact.
+func TestProbabilisticDelaysSimilarResults(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DelayProbability = 0.5
+	res, err := Infer(flagApp(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSync(t, res, prog.WK("C::endOfFile"), trace.RoleRelease)
+	wantSync(t, res, prog.RK("C::endOfFile"), trace.RoleAcquire)
+}

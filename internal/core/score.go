@@ -1,0 +1,135 @@
+// Scoring: classify inference results against an application's ground
+// truth, reproducing the paper's manual-inspection buckets (Tables 2, 4, 5).
+package core
+
+import (
+	"sort"
+
+	"sherlock/internal/prog"
+	"sherlock/internal/trace"
+)
+
+// Score is the classified outcome of one inference campaign.
+type Score struct {
+	App string
+
+	// Correct holds inferred operations that match the ground truth in key
+	// and role — Table 2's "Syncs" column.
+	Correct []InferredSync
+	// DataRacy holds inferred operations that participate in true data
+	// races (Table 2's "Data Racy").
+	DataRacy []trace.Key
+	// InstrErrors holds inferred operations attributable to observer
+	// skip-list errors (Table 2's "Instr. Errors").
+	InstrErrors []trace.Key
+	// NotSync holds the remaining false positives (Table 2's "Not Sync").
+	NotSync []trace.Key
+
+	// Missed lists ground-truth synchronizations that were not inferred
+	// (false negatives, Table 4's "#Missed Sync").
+	Missed []trace.Key
+
+	// FPByCategory / MissByCategory break false positives and negatives
+	// into Table 4's buckets.
+	FPByCategory   map[prog.FPCategory]int
+	MissByCategory map[prog.FPCategory]int
+}
+
+// Total returns the count of all inferred operations (correct + all
+// misclassifications) — Table 5's "#Total".
+func (s *Score) Total() int {
+	return len(s.Correct) + len(s.DataRacy) + len(s.InstrErrors) + len(s.NotSync)
+}
+
+// Precision returns correct/total (Table 5), or 0 when nothing inferred.
+func (s *Score) Precision() float64 {
+	t := s.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(len(s.Correct)) / float64(t)
+}
+
+// CorrectKeys returns the set of correctly inferred keys (for cross-app
+// unique counting).
+func (s *Score) CorrectKeys() map[trace.Key]bool {
+	out := map[trace.Key]bool{}
+	for _, c := range s.Correct {
+		out[c.Key] = true
+	}
+	return out
+}
+
+// ScoreResult classifies res against app's ground truth.
+func ScoreResult(app *prog.Program, res *Result) *Score {
+	s := &Score{
+		App:            app.Name,
+		FPByCategory:   map[prog.FPCategory]int{},
+		MissByCategory: map[prog.FPCategory]int{},
+	}
+	truth := app.Truth
+	inferredKeys := map[trace.Key]bool{}
+	for _, inf := range res.Inferred {
+		inferredKeys[inf.Key] = true
+		if role, ok := truth.Syncs[inf.Key]; ok && role == inf.Role {
+			s.Correct = append(s.Correct, inf)
+			continue
+		}
+		// Misclassification: bucket it.
+		switch {
+		case truth.RacyKeys[inf.Key]:
+			s.DataRacy = append(s.DataRacy, inf.Key)
+			s.FPByCategory[prog.CatDataRacy]++
+		case truth.Category[inf.Key] == prog.CatInstrError:
+			s.InstrErrors = append(s.InstrErrors, inf.Key)
+			s.FPByCategory[prog.CatInstrError]++
+		default:
+			s.NotSync = append(s.NotSync, inf.Key)
+			cat := truth.Category[inf.Key]
+			if cat == "" {
+				cat = prog.CatOther
+			}
+			s.FPByCategory[cat]++
+		}
+	}
+	for k := range truth.Syncs {
+		if inferredKeys[k] || truth.Optional[k] {
+			continue
+		}
+		s.Missed = append(s.Missed, k)
+		cat := truth.Category[k]
+		if cat == "" {
+			cat = prog.CatOther
+		}
+		s.MissByCategory[cat]++
+	}
+	sort.Slice(s.Missed, func(i, j int) bool { return s.Missed[i] < s.Missed[j] })
+	sort.Slice(s.DataRacy, func(i, j int) bool { return s.DataRacy[i] < s.DataRacy[j] })
+	sort.Slice(s.NotSync, func(i, j int) bool { return s.NotSync[i] < s.NotSync[j] })
+	return s
+}
+
+// ScoreKeys classifies an arbitrary inferred key→role map (used for
+// per-round Figure 4 counts without building a full Result).
+func ScoreKeys(app *prog.Program, syncs map[trace.Key]trace.Role) (correct int, total int) {
+	for k, r := range syncs {
+		total++
+		if tr, ok := app.Truth.Syncs[k]; ok && tr == r {
+			correct++
+		}
+	}
+	return correct, total
+}
+
+// SnapshotCorrect counts correctly inferred unique syncs in a round
+// snapshot (Figure 4's y-axis per app).
+func SnapshotCorrect(app *prog.Program, snap RoundSnapshot) (correct, total int) {
+	m := map[trace.Key]trace.Role{}
+	for _, k := range snap.Acquires {
+		m[k] = trace.RoleAcquire
+	}
+	for _, k := range snap.Releases {
+		m[k] = trace.RoleRelease
+	}
+	return ScoreKeys(app, m)
+}

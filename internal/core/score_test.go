@@ -1,0 +1,196 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"sherlock/internal/prog"
+	"sherlock/internal/sched"
+	"sherlock/internal/trace"
+)
+
+// scoreFixture builds a program with one of each truth annotation and a
+// synthetic Result exercising every classification path.
+func scoreFixture() (*prog.Program, *Result) {
+	app := prog.New("fixture", "Fixture")
+	app.Truth.Sync(prog.WK("C::flag"), trace.RoleRelease)
+	app.Truth.Sync(prog.RK("C::flag"), trace.RoleAcquire)
+	app.Truth.Sync(prog.EK("C::hidden"), trace.RoleRelease) // will be missed
+	app.Truth.SyncAlt(prog.EK("C::alt"), trace.RoleRelease) // optional alternate
+	app.Truth.Race("C::racy")
+	app.Truth.Category[prog.EK("C::hidden")] = prog.CatInstrError
+	app.Truth.Category[prog.WK("C::neighbor")] = prog.CatInstrError
+	app.Truth.Category[prog.BK("C::disposeAcq")] = prog.CatDispose
+
+	res := &Result{
+		App: "fixture",
+		Inferred: []InferredSync{
+			{Key: prog.WK("C::flag"), Role: trace.RoleRelease},     // correct
+			{Key: prog.RK("C::flag"), Role: trace.RoleAcquire},     // correct
+			{Key: prog.WK("C::racy"), Role: trace.RoleRelease},     // data racy
+			{Key: prog.WK("C::neighbor"), Role: trace.RoleRelease}, // instr error
+			{Key: prog.EK("C::junk"), Role: trace.RoleRelease},     // not sync (others)
+			{Key: prog.RK("C::flag2"), Role: trace.RoleAcquire},    // not sync (others)
+		},
+	}
+	return app, res
+}
+
+func TestScoreClassification(t *testing.T) {
+	app, res := scoreFixture()
+	s := ScoreResult(app, res)
+
+	if len(s.Correct) != 2 {
+		t.Errorf("correct = %d, want 2", len(s.Correct))
+	}
+	if len(s.DataRacy) != 1 || s.DataRacy[0] != prog.WK("C::racy") {
+		t.Errorf("data racy = %v", s.DataRacy)
+	}
+	if len(s.InstrErrors) != 1 || s.InstrErrors[0] != prog.WK("C::neighbor") {
+		t.Errorf("instr errors = %v", s.InstrErrors)
+	}
+	if len(s.NotSync) != 2 {
+		t.Errorf("not sync = %v", s.NotSync)
+	}
+	if s.Total() != 6 {
+		t.Errorf("total = %d, want 6", s.Total())
+	}
+	if p := s.Precision(); p < 0.33 || p > 0.34 {
+		t.Errorf("precision = %v, want 2/6", p)
+	}
+	// Missed: the hidden sync, but NOT the optional alternate.
+	if len(s.Missed) != 1 || s.Missed[0] != prog.EK("C::hidden") {
+		t.Errorf("missed = %v", s.Missed)
+	}
+	if s.MissByCategory[prog.CatInstrError] != 1 {
+		t.Errorf("miss categories = %v", s.MissByCategory)
+	}
+	if s.FPByCategory[prog.CatInstrError] != 1 || s.FPByCategory[prog.CatOther] != 2 ||
+		s.FPByCategory[prog.CatDataRacy] != 1 {
+		t.Errorf("fp categories = %v", s.FPByCategory)
+	}
+}
+
+func TestScoreRoleMismatchIsNotCorrect(t *testing.T) {
+	app := prog.New("rm", "RM")
+	app.Truth.Sync(prog.WK("C::f"), trace.RoleRelease)
+	res := &Result{Inferred: []InferredSync{
+		// A write can only carry a release variable in practice, but the
+		// scorer must still require role agreement.
+		{Key: prog.WK("C::f"), Role: trace.RoleAcquire},
+	}}
+	s := ScoreResult(app, res)
+	if len(s.Correct) != 0 {
+		t.Error("role mismatch counted as correct")
+	}
+}
+
+func TestScoreEmptyResult(t *testing.T) {
+	app := prog.New("e", "E")
+	app.Truth.Sync(prog.WK("C::f"), trace.RoleRelease)
+	s := ScoreResult(app, &Result{})
+	if s.Total() != 0 || s.Precision() != 0 {
+		t.Error("empty result must score zero")
+	}
+	if len(s.Missed) != 1 {
+		t.Errorf("missed = %v", s.Missed)
+	}
+}
+
+func TestCorrectKeys(t *testing.T) {
+	app, res := scoreFixture()
+	s := ScoreResult(app, res)
+	keys := s.CorrectKeys()
+	if !keys[prog.WK("C::flag")] || !keys[prog.RK("C::flag")] || len(keys) != 2 {
+		t.Errorf("CorrectKeys = %v", keys)
+	}
+}
+
+// Failure injection: a test that deadlocks must be skipped and counted, not
+// abort the campaign.
+func TestInferSurvivesDeadlockingTest(t *testing.T) {
+	app := prog.New("dl", "Deadlock")
+	app.AddMethod("C::w", prog.Cp(200), prog.Wr("C::x", "o", 1), prog.Wr("C::flag", "o", 1))
+	app.AddMethod("C::r", prog.Spin("C::flag", "o", 1, 150), prog.Rd("C::x", "o"))
+	app.AddTest("Good",
+		prog.Go(prog.ForkThread, "C::r", "o", "h1"),
+		prog.Go(prog.ForkThread, "C::w", "o", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	app.AddTest("Stuck", prog.Wait("never-signaled"))
+	res, err := Infer(app, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlocks != 3 { // the stuck test deadlocks once per round
+		t.Errorf("deadlocks = %d, want 3", res.Deadlocks)
+	}
+	// The good test still yields inference.
+	wantSync(t, res, prog.WK("C::flag"), trace.RoleRelease)
+}
+
+func TestSnapshotCorrectCounts(t *testing.T) {
+	app := prog.New("s", "S")
+	app.Truth.Sync(prog.WK("C::f"), trace.RoleRelease)
+	app.Truth.Sync(prog.RK("C::f"), trace.RoleAcquire)
+	snap := RoundSnapshot{
+		Round:    1,
+		Acquires: []trace.Key{prog.RK("C::f"), prog.RK("C::other")},
+		Releases: []trace.Key{prog.WK("C::f")},
+	}
+	correct, total := SnapshotCorrect(app, snap)
+	if correct != 2 || total != 3 {
+		t.Errorf("SnapshotCorrect = %d/%d, want 2/3", correct, total)
+	}
+}
+
+// Offline inference: captured traces round-tripped through serialization
+// must yield the same syncs as analyzing the live traces.
+func TestInferFromTracesMatchesLiveObservations(t *testing.T) {
+	app := flagApp()
+	app.MustFinalize()
+	var live []*trace.Trace
+	for seed := int64(1); seed <= 3; seed++ {
+		r, err := sched.Run(app, app.Tests[0], sched.Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, r.Trace)
+	}
+	// Round-trip through the JSONL serialization.
+	var stored []*trace.Trace
+	for _, tr := range live {
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := trace.Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stored = append(stored, back)
+	}
+	a, err := InferFromTraces(live, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := InferFromTraces(stored, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Inferred) != len(b.Inferred) {
+		t.Fatalf("offline inference differs after serialization: %v vs %v", a.Inferred, b.Inferred)
+	}
+	for i := range a.Inferred {
+		if a.Inferred[i].Key != b.Inferred[i].Key || a.Inferred[i].Role != b.Inferred[i].Role {
+			t.Fatalf("inference %d differs: %v vs %v", i, a.Inferred[i], b.Inferred[i])
+		}
+	}
+	wantSync(t, a, prog.WK("C::endOfFile"), trace.RoleRelease)
+}
+
+func TestInferFromTracesRejectsEmpty(t *testing.T) {
+	if _, err := InferFromTraces(nil, DefaultConfig()); err == nil {
+		t.Fatal("want error for empty trace set")
+	}
+}

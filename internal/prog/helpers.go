@@ -1,0 +1,130 @@
+// Construction helpers: short factory functions that keep benchmark
+// application definitions readable. Durations are virtual nanoseconds.
+package prog
+
+import "sherlock/internal/trace"
+
+// Cp returns a Compute statement of dur virtual ns with ±30% jitter.
+func Cp(dur int64) *Compute { return &Compute{Dur: dur, Jitter: 0.3} }
+
+// CpJ returns a Compute statement with explicit jitter.
+func CpJ(dur int64, jitter float64) *Compute { return &Compute{Dur: dur, Jitter: jitter} }
+
+// Rd returns a heap read of field on slot.
+func Rd(field, slot string) *Read { return &Read{Field: field, Slot: slot} }
+
+// Wr returns a heap write of val to field on slot.
+func Wr(field, slot string, val int64) *Write { return &Write{Field: field, Slot: slot, Val: val} }
+
+// Spin returns a spin-wait until field on slot equals want, polling every
+// backoff ns.
+func Spin(field, slot string, want, backoff int64) *SpinUntil {
+	return &SpinUntil{Field: field, Slot: slot, Want: want, Backoff: backoff}
+}
+
+// Do returns a call to method with receiver slot.
+func Do(method, slot string) *Call { return &Call{Method: method, Slot: slot} }
+
+// Rep repeats body n times.
+func Rep(n int, body ...Stmt) *Loop { return &Loop{N: n, Body: body} }
+
+// Zz returns a Sleep of dur ns.
+func Zz(dur int64) *Sleep { return &Sleep{Dur: dur} }
+
+// Lock / Unlock are Monitor.Enter / Monitor.Exit.
+func Lock(lock string) *AcquireLock   { return &AcquireLock{Lock: lock} }
+func Unlock(lock string) *ReleaseLock { return &ReleaseLock{Lock: lock} }
+
+// Set / Wait / All are EventWaitHandle.Set / WaitHandle.WaitOne / WaitAll.
+func Set(sem string) *SemSet      { return &SemSet{Sem: sem} }
+func Wait(sem string) *SemWait    { return &SemWait{Sem: sem} }
+func All(sems ...string) *WaitAll { return &WaitAll{Sems: sems} }
+
+// PostQ / RecvQ are DataflowBlock Post / Receive (+handler).
+func PostQ(q string) *Post { return &Post{Queue: q} }
+func RecvQ(q, handler, slot string) *Receive {
+	return &Receive{Queue: q, Handler: handler, HandlerSlot: slot}
+}
+
+// PostAs / RecvAs are producer/consumer queue operations traced under a
+// custom API name (e.g. System.IO.Stream::CopyTo / ::Read).
+func PostAs(api, q string) *Post { return &Post{Queue: q, API: api} }
+func RecvAs(api, q string) *Receive {
+	return &Receive{Queue: q, API: api}
+}
+
+// Await blocks until handle completes, traced under api (default
+// TaskAwaiter.GetResult when api is empty).
+func Await(handle string) *LibWait {
+	return &LibWait{API: APIGetResult, Handle: handle}
+}
+
+// Rendezvous is Barrier.SignalAndWait on the named barrier with the given
+// party count.
+func Rendezvous(barrier string, parties int) *BarrierWait {
+	return &BarrierWait{Barrier: barrier, Parties: parties}
+}
+
+// Go forks method on slot via api, binding the thread to handle.
+func Go(api ForkAPI, method, slot, handle string) *Fork {
+	return &Fork{API: api, Method: method, Slot: slot, Handle: handle}
+}
+
+// JoinT / WaitT join a forked thread by handle.
+func JoinT(handle string) *Join { return &Join{API: JoinThread, Handle: handle} }
+func WaitT(handle string) *Join { return &Join{API: JoinTask, Handle: handle} }
+
+// Then is Task.ContinueWith: run method on slot after handle completes.
+func Then(handle, method, slot, newHandle string) *ContinueWith {
+	return &ContinueWith{Handle: handle, Method: method, Slot: slot, NewHandle: newHandle}
+}
+
+// ListAdd / ListRead are thread-unsafe collection accesses
+// (System.Collections.Generic.List) — TSVD-eligible conflicting calls.
+func ListAdd(slot string) *UnsafeCall {
+	return &UnsafeCall{API: "System.Collections.Generic.List::Add", Slot: slot, Acc: trace.AccWrite, Dur: 60}
+}
+func ListRead(slot string) *UnsafeCall {
+	return &UnsafeCall{API: "System.Collections.Generic.List::get_Item", Slot: slot, Acc: trace.AccRead, Dur: 40}
+}
+
+// DictAdd / DictRead are thread-unsafe Dictionary accesses.
+func DictAdd(slot string) *UnsafeCall {
+	return &UnsafeCall{API: "System.Collections.Generic.Dictionary::Add", Slot: slot, Acc: trace.AccWrite, Dur: 70}
+}
+func DictRead(slot string) *UnsafeCall {
+	return &UnsafeCall{API: "System.Collections.Generic.Dictionary::TryGetValue", Slot: slot, Acc: trace.AccRead, Dur: 50}
+}
+
+// Reader-writer lock helpers.
+func RdLock(lock string) *RWAcquireRead   { return &RWAcquireRead{Lock: lock} }
+func RdUnlock(lock string) *RWReleaseRead { return &RWReleaseRead{Lock: lock} }
+func Upgrade(lock string) *RWUpgrade      { return &RWUpgrade{Lock: lock} }
+func Downgrade(lock string) *RWDowngrade  { return &RWDowngrade{Lock: lock} }
+
+// Hidden (framework-internal) primitives.
+func HLock(lock string) *HiddenAcquire   { return &HiddenAcquire{Lock: lock} }
+func HUnlock(lock string) *HiddenRelease { return &HiddenRelease{Lock: lock} }
+func HSignal(sem string) *HiddenSignal   { return &HiddenSignal{Sem: sem} }
+func HWait(sem string) *HiddenWait       { return &HiddenWait{Sem: sem} }
+func HGo(method, slot, handle string) *HiddenFork {
+	return &HiddenFork{Method: method, Slot: slot, Handle: handle}
+}
+
+// StaticInit models first-use static initialization of class, running ctor
+// exactly once.
+func StaticInit(class, ctor string) *EnsureInit { return &EnsureInit{Class: class, Ctor: ctor} }
+
+// GC drops the last reference to slot; the runtime runs finalizer after
+// gcDelay ns.
+func GC(slot, finalizer string, gcDelay int64) *FinalizeObj {
+	return &FinalizeObj{Slot: slot, Method: finalizer, GCDelay: gcDelay}
+}
+
+// Keys for truth annotations.
+
+// RK / WK / BK / EK build read/write/begin/end candidate keys.
+func RK(name string) trace.Key { return trace.KeyFor(trace.KindRead, name) }
+func WK(name string) trace.Key { return trace.KeyFor(trace.KindWrite, name) }
+func BK(name string) trace.Key { return trace.KeyFor(trace.KindBegin, name) }
+func EK(name string) trace.Key { return trace.KeyFor(trace.KindEnd, name) }

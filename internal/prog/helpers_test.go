@@ -1,0 +1,144 @@
+package prog
+
+import (
+	"testing"
+
+	"sherlock/internal/trace"
+)
+
+func TestStatementHelpers(t *testing.T) {
+	if c := Cp(100); c.Dur != 100 || c.Jitter != 0.3 {
+		t.Errorf("Cp = %+v", c)
+	}
+	if c := CpJ(50, 0.9); c.Dur != 50 || c.Jitter != 0.9 {
+		t.Errorf("CpJ = %+v", c)
+	}
+	if r := Rd("C::f", "o"); r.Field != "C::f" || r.Slot != "o" {
+		t.Errorf("Rd = %+v", r)
+	}
+	if w := Wr("C::f", "o", 7); w.Val != 7 {
+		t.Errorf("Wr = %+v", w)
+	}
+	if s := Spin("C::f", "o", 1, 99); s.Want != 1 || s.Backoff != 99 {
+		t.Errorf("Spin = %+v", s)
+	}
+	if d := Do("C::m", "o"); d.Method != "C::m" {
+		t.Errorf("Do = %+v", d)
+	}
+	if l := Rep(3, Cp(1)); l.N != 3 || len(l.Body) != 1 {
+		t.Errorf("Rep = %+v", l)
+	}
+	if z := Zz(40); z.Dur != 40 {
+		t.Errorf("Zz = %+v", z)
+	}
+}
+
+func TestLibraryHelpers(t *testing.T) {
+	if l := Lock("L"); l.Lock != "L" {
+		t.Errorf("Lock = %+v", l)
+	}
+	if u := Unlock("L"); u.Lock != "L" {
+		t.Errorf("Unlock = %+v", u)
+	}
+	if s := Set("S"); s.Sem != "S" {
+		t.Errorf("Set = %+v", s)
+	}
+	if w := Wait("S"); w.Sem != "S" {
+		t.Errorf("Wait = %+v", w)
+	}
+	if a := All("S1", "S2"); len(a.Sems) != 2 {
+		t.Errorf("All = %+v", a)
+	}
+	if p := PostQ("Q"); p.Queue != "Q" || p.API != "" {
+		t.Errorf("PostQ = %+v", p)
+	}
+	if r := RecvQ("Q", "C::h", "o"); r.Handler != "C::h" {
+		t.Errorf("RecvQ = %+v", r)
+	}
+	if p := PostAs("X::api", "Q"); p.API != "X::api" {
+		t.Errorf("PostAs = %+v", p)
+	}
+	if r := RecvAs("X::api", "Q"); r.API != "X::api" || r.Handler != "" {
+		t.Errorf("RecvAs = %+v", r)
+	}
+	if a := Await("h"); a.API != APIGetResult || a.Handle != "h" {
+		t.Errorf("Await = %+v", a)
+	}
+	if b := Rendezvous("B", 3); b.Barrier != "B" || b.Parties != 3 {
+		t.Errorf("Rendezvous = %+v", b)
+	}
+	if g := Go(ForkTaskNew, "C::m", "o", "h"); g.API != ForkTaskNew || g.Handle != "h" {
+		t.Errorf("Go = %+v", g)
+	}
+	if j := JoinT("h"); j.API != JoinThread {
+		t.Errorf("JoinT = %+v", j)
+	}
+	if j := WaitT("h"); j.API != JoinTask {
+		t.Errorf("WaitT = %+v", j)
+	}
+	if c := Then("a", "C::m", "o", "b"); c.Handle != "a" || c.NewHandle != "b" {
+		t.Errorf("Then = %+v", c)
+	}
+}
+
+func TestUnsafeCollectionHelpers(t *testing.T) {
+	cases := []struct {
+		st  *UnsafeCall
+		api string
+		acc trace.Acc
+	}{
+		{ListAdd("l"), "System.Collections.Generic.List::Add", trace.AccWrite},
+		{ListRead("l"), "System.Collections.Generic.List::get_Item", trace.AccRead},
+		{DictAdd("d"), "System.Collections.Generic.Dictionary::Add", trace.AccWrite},
+		{DictRead("d"), "System.Collections.Generic.Dictionary::TryGetValue", trace.AccRead},
+	}
+	for _, c := range cases {
+		if c.st.API != c.api || c.st.Acc != c.acc || c.st.Dur == 0 {
+			t.Errorf("unsafe helper = %+v, want api %s acc %v", c.st, c.api, c.acc)
+		}
+	}
+}
+
+func TestRWAndHiddenHelpers(t *testing.T) {
+	if r := RdLock("rw"); r.Lock != "rw" {
+		t.Errorf("RdLock = %+v", r)
+	}
+	if r := RdUnlock("rw"); r.Lock != "rw" {
+		t.Errorf("RdUnlock = %+v", r)
+	}
+	if u := Upgrade("rw"); u.Lock != "rw" {
+		t.Errorf("Upgrade = %+v", u)
+	}
+	if d := Downgrade("rw"); d.Lock != "rw" {
+		t.Errorf("Downgrade = %+v", d)
+	}
+	if h := HLock("x"); h.Lock != "x" {
+		t.Errorf("HLock = %+v", h)
+	}
+	if h := HUnlock("x"); h.Lock != "x" {
+		t.Errorf("HUnlock = %+v", h)
+	}
+	if h := HSignal("s"); h.Sem != "s" {
+		t.Errorf("HSignal = %+v", h)
+	}
+	if h := HWait("s"); h.Sem != "s" {
+		t.Errorf("HWait = %+v", h)
+	}
+	if h := HGo("C::m", "o", "h"); h.Method != "C::m" || h.Handle != "h" {
+		t.Errorf("HGo = %+v", h)
+	}
+	if s := StaticInit("C", "C::.cctor"); s.Class != "C" || s.Ctor != "C::.cctor" {
+		t.Errorf("StaticInit = %+v", s)
+	}
+	if g := GC("o", "C::Fin", 500); g.Method != "C::Fin" || g.GCDelay != 500 {
+		t.Errorf("GC = %+v", g)
+	}
+}
+
+func TestSiteAccessors(t *testing.T) {
+	s := Cp(1)
+	s.SetSite(42)
+	if s.Site() != 42 {
+		t.Errorf("Site = %d", s.Site())
+	}
+}

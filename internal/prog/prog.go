@@ -1,0 +1,276 @@
+// Package prog defines the concurrent-program model that stands in for the
+// C# application binaries of the SherLock paper. A Program is a set of
+// application methods and unit tests written in a small statement DSL
+// (stmt.go); internal/sched executes it under a seeded discrete-event
+// scheduler, producing traces in the paper's log schema.
+//
+// Each Program carries a machine-readable ground Truth so the evaluation
+// harness can score inference results exactly the way the paper's manual
+// inspection did (Tables 2, 4, 5; Figure 4).
+package prog
+
+import (
+	"fmt"
+	"sort"
+
+	"sherlock/internal/trace"
+)
+
+// C#-style library API names used by the visible primitives.
+const (
+	APIMonitorEnter  = "System.Threading.Monitor::Enter"
+	APIMonitorExit   = "System.Threading.Monitor::Exit"
+	APISemSet        = "System.Threading.EventWaitHandle::Set"
+	APISemWait       = "System.Threading.WaitHandle::WaitOne"
+	APIWaitAll       = "System.Threading.WaitHandle::WaitAll"
+	APIPost          = "System.Threading.Tasks.Dataflow.DataflowBlock::Post"
+	APIReceive       = "System.Threading.Tasks.Dataflow.DataflowBlock::Receive"
+	APIContinueWith  = "System.Threading.Tasks.Task::ContinueWith"
+	APIRWAcquireRead = "System.Threading.ReaderWriterLock::AcquireReaderLock"
+	APIRWReleaseRead = "System.Threading.ReaderWriterLock::ReleaseReaderLock"
+	APIRWUpgrade     = "System.Threading.ReaderWriterLock::UpgradeToWriterLock"
+	APIRWDowngrade   = "System.Threading.ReaderWriterLock::DowngradeFromWriterLock"
+	APIGetResult     = "System.Runtime.CompilerServices.TaskAwaiter::GetResult"
+	APIBarrier       = "System.Threading.Barrier::SignalAndWait"
+)
+
+// Method is an application method: a named body of statements. The receiver
+// object is supplied by the caller (Call/Fork/... statements).
+type Method struct {
+	Name string // fully qualified "Class::Member"
+	Body []Stmt
+}
+
+// Test is one unit test. Init, when non-empty, names a method the test
+// framework runs before the body with a framework-enforced (hidden)
+// happens-before edge — the TestInitialize pattern of paper Figure 3.E.
+type Test struct {
+	Name string
+	Init string
+	Body []Stmt
+}
+
+// FPCategory labels a misclassification bucket from the paper's Tables 2/4.
+type FPCategory string
+
+// Misclassification buckets.
+const (
+	CatDataRacy   FPCategory = "data-racy"    // participates in a true data race
+	CatInstrError FPCategory = "instr-errors" // caused by observer skip-list errors
+	CatDoubleRole FPCategory = "double-roles" // Single-Role violation (UpgradeToWriterLock)
+	CatDispose    FPCategory = "dispose"      // unrefinable GC/dispose windows
+	CatStaticCtor FPCategory = "static-ctor"  // static-constructor pairing failures
+	CatOther      FPCategory = "others"       // everything else
+)
+
+// Truth is the ground-truth annotation of a Program, playing the role of the
+// paper authors' manual inspection.
+type Truth struct {
+	// Syncs maps every true synchronization operation to its role.
+	Syncs map[trace.Key]trace.Role
+	// RacyKeys marks operations that participate in true data races. An
+	// inferred op in this set counts in Table 2's "Data Racy" column.
+	RacyKeys map[trace.Key]bool
+	// RacyFields names heap fields (or unsafe-collection objects, by static
+	// name) whose conflicting accesses form true data races; a race
+	// detector report on any other location is a false race (Table 3).
+	RacyFields map[string]bool
+	// HiddenMethods lists application methods the Observer's skip-list
+	// heuristics erroneously hide (never traced) — the paper's
+	// instrumentation errors.
+	HiddenMethods map[string]bool
+	// Category assigns Tables 2/4 buckets to specific keys: a key listed
+	// here that is inferred despite not being a true sync is counted in
+	// that bucket; a true sync listed here that is missed is a false
+	// negative of that bucket.
+	Category map[trace.Key]FPCategory
+	// Optional marks true synchronizations that are alternates of another
+	// sync (e.g. a GetOrAdd region boundary vs. the delegate it runs):
+	// correct when inferred, but not a false negative when absent.
+	Optional map[trace.Key]bool
+}
+
+// NewTruth returns an empty, fully allocated Truth.
+func NewTruth() Truth {
+	return Truth{
+		Syncs:         map[trace.Key]trace.Role{},
+		RacyKeys:      map[trace.Key]bool{},
+		RacyFields:    map[string]bool{},
+		HiddenMethods: map[string]bool{},
+		Category:      map[trace.Key]FPCategory{},
+		Optional:      map[trace.Key]bool{},
+	}
+}
+
+// Sync records k as a true synchronization with role r.
+func (t *Truth) Sync(k trace.Key, r trace.Role) { t.Syncs[k] = r }
+
+// SyncAlt records k as a true synchronization that is an alternate of
+// another (not counted missed when absent).
+func (t *Truth) SyncAlt(k trace.Key, r trace.Role) {
+	t.Syncs[k] = r
+	t.Optional[k] = true
+}
+
+// Race records field (by static name) as truly racy and marks both its read
+// and write keys as race participants.
+func (t *Truth) Race(field string) {
+	t.RacyFields[field] = true
+	t.RacyKeys[trace.KeyFor(trace.KindRead, field)] = true
+	t.RacyKeys[trace.KeyFor(trace.KindWrite, field)] = true
+}
+
+// Program is one benchmark application.
+type Program struct {
+	Name       string // application id, e.g. "App-4"
+	Title      string // human name, e.g. "K8s-client"
+	LoC        int    // Table 1 metadata (paper's figures, for the inventory)
+	Stars      int
+	PaperTests int // number of unit tests in the original application
+
+	Methods map[string]*Method
+	Tests   []*Test
+	Truth   Truth
+
+	// Volatile lists the fields the application's authors annotated
+	// volatile; the Manual_dr race-detector variant (Table 3) honors these,
+	// mirroring the paper's manually specified synchronization list.
+	Volatile map[string]bool
+
+	finalized bool
+	numSites  int
+}
+
+// New returns an empty program with allocated maps.
+func New(name, title string) *Program {
+	return &Program{
+		Name:     name,
+		Title:    title,
+		Methods:  map[string]*Method{},
+		Truth:    NewTruth(),
+		Volatile: map[string]bool{},
+	}
+}
+
+// AddMethod registers an application method and returns it.
+func (p *Program) AddMethod(name string, body ...Stmt) *Method {
+	if _, dup := p.Methods[name]; dup {
+		panic(fmt.Sprintf("prog: duplicate method %q", name))
+	}
+	m := &Method{Name: name, Body: body}
+	p.Methods[name] = m
+	return m
+}
+
+// AddTest registers a unit test with no framework init method.
+func (p *Program) AddTest(name string, body ...Stmt) *Test {
+	return p.AddTestWithInit(name, "", body...)
+}
+
+// AddTestWithInit registers a unit test whose framework runs init (a method
+// name) before the body with a hidden happens-before edge.
+func (p *Program) AddTestWithInit(name, init string, body ...Stmt) *Test {
+	t := &Test{Name: name, Init: init, Body: body}
+	p.Tests = append(p.Tests, t)
+	return t
+}
+
+// NumSites returns the number of static statement sites (valid after
+// Finalize).
+func (p *Program) NumSites() int { return p.numSites }
+
+// Finalize assigns unique static site ids to every statement (in
+// deterministic order) and validates that every referenced method exists.
+// It must be called once after construction and is idempotent.
+func (p *Program) Finalize() error {
+	if p.finalized {
+		return nil
+	}
+	next := 1 // site 0 is reserved for "no site"
+	assign := func(body []Stmt) {
+		var walk func([]Stmt)
+		walk = func(ss []Stmt) {
+			for _, s := range ss {
+				s.SetSite(next)
+				next++
+				if l, ok := s.(*Loop); ok {
+					walk(l.Body)
+				}
+			}
+		}
+		walk(body)
+	}
+	names := make([]string, 0, len(p.Methods))
+	for n := range p.Methods {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		assign(p.Methods[n].Body)
+	}
+	for _, t := range p.Tests {
+		assign(t.Body)
+	}
+	p.numSites = next
+
+	// Validate method references.
+	check := func(where, m string) error {
+		if m == "" {
+			return nil
+		}
+		if _, ok := p.Methods[m]; !ok {
+			return fmt.Errorf("prog %s: %s references unknown method %q", p.Name, where, m)
+		}
+		return nil
+	}
+	var err error
+	var walk func(owner string, ss []Stmt)
+	walk = func(owner string, ss []Stmt) {
+		for _, s := range ss {
+			if err != nil {
+				return
+			}
+			switch st := s.(type) {
+			case *Call:
+				err = check(owner, st.Method)
+			case *Fork:
+				err = check(owner, st.Method)
+			case *HiddenFork:
+				err = check(owner, st.Method)
+			case *ContinueWith:
+				err = check(owner, st.Method)
+			case *Receive:
+				err = check(owner, st.Handler)
+			case *EnsureInit:
+				err = check(owner, st.Ctor)
+			case *FinalizeObj:
+				err = check(owner, st.Method)
+			case *Loop:
+				walk(owner, st.Body)
+			}
+		}
+	}
+	for _, n := range names {
+		walk(n, p.Methods[n].Body)
+	}
+	for _, t := range p.Tests {
+		if e := check(t.Name, t.Init); e != nil && err == nil {
+			err = e
+		}
+		walk(t.Name, t.Body)
+	}
+	if err != nil {
+		return err
+	}
+	p.finalized = true
+	return nil
+}
+
+// MustFinalize is Finalize that panics on error; benchmark apps are static
+// and validated by tests, so construction errors are programming bugs.
+func (p *Program) MustFinalize() *Program {
+	if err := p.Finalize(); err != nil {
+		panic(err)
+	}
+	return p
+}

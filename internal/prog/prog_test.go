@@ -1,0 +1,133 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+
+	"sherlock/internal/trace"
+)
+
+func TestFinalizeAssignsUniqueSites(t *testing.T) {
+	p := New("app", "App")
+	p.AddMethod("C::worker", Cp(100), Wr("C::f", "o", 1))
+	p.AddMethod("C::main",
+		Do("C::worker", "o"),
+		Rep(3, Rd("C::f", "o"), Cp(10)),
+	)
+	p.AddTest("T1", Do("C::main", "o"))
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	var walk func([]Stmt)
+	var count int
+	walk = func(ss []Stmt) {
+		for _, s := range ss {
+			count++
+			if s.Site() == 0 {
+				t.Errorf("statement %T has unassigned site", s)
+			}
+			if seen[s.Site()] {
+				t.Errorf("duplicate site %d", s.Site())
+			}
+			seen[s.Site()] = true
+			if l, ok := s.(*Loop); ok {
+				walk(l.Body)
+			}
+		}
+	}
+	for _, m := range p.Methods {
+		walk(m.Body)
+	}
+	for _, tc := range p.Tests {
+		walk(tc.Body)
+	}
+	if count != 7 {
+		t.Errorf("walked %d statements, want 7", count)
+	}
+	if p.NumSites() != count+1 {
+		t.Errorf("NumSites = %d, want %d", p.NumSites(), count+1)
+	}
+}
+
+func TestFinalizeValidatesMethodRefs(t *testing.T) {
+	p := New("app", "App")
+	p.AddTest("T1", Do("C::missing", "o"))
+	err := p.Finalize()
+	if err == nil || !strings.Contains(err.Error(), "C::missing") {
+		t.Fatalf("want unknown-method error, got %v", err)
+	}
+
+	p2 := New("app", "App")
+	p2.AddTestWithInit("T1", "C::noinit", Cp(1))
+	if err := p2.Finalize(); err == nil {
+		t.Fatal("want error for unknown init method")
+	}
+
+	p3 := New("app", "App")
+	p3.AddMethod("C::h")
+	p3.AddTest("T1", Go(ForkThread, "C::nope", "o", "h"))
+	if err := p3.Finalize(); err == nil {
+		t.Fatal("want error for unknown fork delegate")
+	}
+}
+
+func TestFinalizeIdempotent(t *testing.T) {
+	p := New("app", "App")
+	p.AddMethod("C::m", Cp(1))
+	p.AddTest("T", Do("C::m", "o"))
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	site := p.Methods["C::m"].Body[0].Site()
+	if err := p.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Methods["C::m"].Body[0].Site() != site {
+		t.Error("Finalize is not idempotent")
+	}
+}
+
+func TestDuplicateMethodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on duplicate method")
+		}
+	}()
+	p := New("app", "App")
+	p.AddMethod("C::m")
+	p.AddMethod("C::m")
+}
+
+func TestTruthHelpers(t *testing.T) {
+	tr := NewTruth()
+	tr.Sync(BK("System.Threading.Monitor::Enter"), trace.RoleAcquire)
+	if tr.Syncs[BK("System.Threading.Monitor::Enter")] != trace.RoleAcquire {
+		t.Error("Sync did not record role")
+	}
+	tr.Race("C::flag")
+	if !tr.RacyFields["C::flag"] {
+		t.Error("Race did not record field")
+	}
+	if !tr.RacyKeys[RK("C::flag")] || !tr.RacyKeys[WK("C::flag")] {
+		t.Error("Race did not mark both access keys")
+	}
+}
+
+func TestForkJoinAPINames(t *testing.T) {
+	if ForkThread.APIName() != "System.Threading.Thread::Start" {
+		t.Error(ForkThread.APIName())
+	}
+	if ForkTaskNew.APIName() != "System.Threading.Tasks.TaskFactory::StartNew" {
+		t.Error(ForkTaskNew.APIName())
+	}
+	if JoinTask.APIName() != "System.Threading.Tasks.Task::Wait" {
+		t.Error(JoinTask.APIName())
+	}
+}
+
+func TestKeyHelpers(t *testing.T) {
+	if RK("C::f").Kind() != trace.KindRead || EK("C::m").Kind() != trace.KindEnd {
+		t.Error("key helper kinds wrong")
+	}
+}

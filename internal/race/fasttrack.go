@@ -1,0 +1,329 @@
+// Package race implements a FastTrack-style dynamic data-race detector
+// (Flanagan & Freund, re-implemented for C# by the SherLock authors; paper
+// Section 5.4) over the traces produced by internal/sched, with pluggable
+// synchronization models:
+//
+//   - Manual: the classic manually annotated API list (monitors, wait
+//     handles, Thread.Start/Join, reader-writer locks, volatile fields,
+//     static initialization) — the paper's Manual_dr.
+//   - SherLock: exactly the operations inferred by the SherLock engine —
+//     the paper's SherLock_dr.
+//
+// The detector implements the epoch optimization of FastTrack: last-write
+// epochs per variable, adaptive read epochs that inflate to vector clocks
+// only under concurrent read sharing.
+package race
+
+import (
+	"fmt"
+	"strings"
+
+	"sherlock/internal/trace"
+)
+
+// VC is a vector clock indexed by thread id.
+type VC []int64
+
+// Get returns the component for thread t (0 beyond length).
+func (v VC) Get(t int) int64 {
+	if t < len(v) {
+		return v[t]
+	}
+	return 0
+}
+
+// set grows as needed and assigns component t.
+func (v *VC) set(t int, val int64) {
+	for len(*v) <= t {
+		*v = append(*v, 0)
+	}
+	(*v)[t] = val
+}
+
+// Join folds o into v component-wise (least upper bound).
+func (v *VC) Join(o VC) {
+	for t, c := range o {
+		if c > v.Get(t) {
+			v.set(t, c)
+		}
+	}
+}
+
+// Copy returns an independent copy.
+func (v VC) Copy() VC {
+	out := make(VC, len(v))
+	copy(out, v)
+	return out
+}
+
+// LEq reports v ⊑ o (happens-before in clock space).
+func (v VC) LEq(o VC) bool {
+	for t, c := range v {
+		if c > o.Get(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// epoch is FastTrack's (thread, clock) pair packed for cheap comparison.
+type epoch struct {
+	tid   int
+	clock int64
+}
+
+var emptyEpoch = epoch{tid: -1}
+
+// leq reports whether the epoch happens-before the vector clock.
+func (e epoch) leq(v VC) bool {
+	return e.tid < 0 || e.clock <= v.Get(e.tid)
+}
+
+// Report is one detected race.
+type Report struct {
+	Key     string // classification key: field name, or library class
+	Addr    uint64
+	Thread  int   // thread of the second (racing) access
+	Time    int64 // time of the second access
+	IsWrite bool  // whether the second access is a write
+	First   bool  // whether this was the first report of its run
+}
+
+// varState is FastTrack's per-variable metadata.
+type varState struct {
+	w      epoch // last write
+	r      epoch // last read (when not shared)
+	rvc    VC    // read vector clock (when shared)
+	shared bool
+	key    string
+	raced  bool // stop re-reporting the same variable within a run
+}
+
+// Detector processes one trace under one synchronization model. Create a
+// fresh Detector per run (FastTrack state is per-execution).
+type Detector struct {
+	model SyncModel
+
+	threads  map[int]*VC
+	channels map[string]*VC
+	vars     map[uint64]*varState
+	cctors   map[string]bool // classes whose static ctor released (Manual)
+
+	reports []Report
+}
+
+// NewDetector returns a detector using the given sync model.
+func NewDetector(model SyncModel) *Detector {
+	return &Detector{
+		model:    model,
+		threads:  map[int]*VC{},
+		channels: map[string]*VC{},
+		vars:     map[uint64]*varState{},
+		cctors:   map[string]bool{},
+	}
+}
+
+// Reports returns all races found so far, in detection order.
+func (d *Detector) Reports() []Report { return d.reports }
+
+// FirstReport returns the first race of the run, or nil. The paper counts
+// only the first report per run: FastTrack's guarantees hold up to it.
+func (d *Detector) FirstReport() *Report {
+	if len(d.reports) == 0 {
+		return nil
+	}
+	return &d.reports[0]
+}
+
+func (d *Detector) clock(t int) *VC {
+	c, ok := d.threads[t]
+	if !ok {
+		v := make(VC, t+1)
+		v[t] = 1
+		d.threads[t] = &v
+		return &v
+	}
+	return c
+}
+
+func (d *Detector) channel(key string) *VC {
+	c, ok := d.channels[key]
+	if !ok {
+		v := VC{}
+		d.channels[key] = &v
+		c = &v
+	}
+	return c
+}
+
+// Process consumes an entire trace.
+func (d *Detector) Process(tr *trace.Trace) {
+	for i := range tr.Events {
+		d.Step(&tr.Events[i])
+	}
+}
+
+// Step consumes one event: first the synchronization semantics the model
+// assigns to it, then (if it is a data access that is not itself a sync
+// operation) the FastTrack race check.
+//
+// A model may attach several actions to one event — e.g. a double-role API
+// like UpgradeToWriterLock releasing one channel and acquiring another at
+// its return — applied in order.
+func (d *Detector) Step(e *trace.Event) {
+	acts := d.model.Classify(e)
+	for _, act := range acts {
+		d.applySync(e, act)
+	}
+	// Data access check. Sync operations are exempt, like volatile fields.
+	if len(acts) == 0 && e.ConflictEligible() {
+		d.access(e)
+	}
+}
+
+func (d *Detector) applySync(e *trace.Event, act Action) {
+	ct := d.clock(e.Thread)
+	switch act.Kind {
+	case ActFork:
+		// Child inherits the parent's knowledge.
+		cc := d.clock(act.Child)
+		cc.Join(*ct)
+		ct.set(e.Thread, ct.Get(e.Thread)+1)
+	case ActJoin:
+		ct.Join(*d.clock(act.Child))
+	case ActRelease:
+		for _, ch := range act.Channels {
+			d.channel(ch).Join(*ct)
+		}
+		ct.set(e.Thread, ct.Get(e.Thread)+1)
+	case ActAcquire:
+		for _, ch := range act.Channels {
+			ct.Join(*d.channel(ch))
+		}
+	}
+}
+
+// access runs the FastTrack read/write checks.
+func (d *Detector) access(e *trace.Event) {
+	vs, ok := d.vars[e.Addr]
+	if !ok {
+		vs = &varState{w: emptyEpoch, r: emptyEpoch, key: classifyKey(e)}
+		d.vars[e.Addr] = vs
+	}
+	if vs.raced {
+		return
+	}
+	ct := *d.clock(e.Thread)
+	now := epoch{tid: e.Thread, clock: ct.Get(e.Thread)}
+
+	switch e.Acc {
+	case trace.AccRead:
+		if !vs.w.leq(ct) {
+			d.report(e, vs)
+			return
+		}
+		if vs.shared {
+			vs.rvc.set(e.Thread, now.clock)
+		} else if vs.r.tid == e.Thread || vs.r.leq(ct) {
+			vs.r = now // same thread or ordered: stay in epoch mode
+		} else {
+			// Concurrent reads: inflate to a vector clock.
+			vs.shared = true
+			vs.rvc = VC{}
+			vs.rvc.set(vs.r.tid, vs.r.clock)
+			vs.rvc.set(e.Thread, now.clock)
+		}
+	case trace.AccWrite:
+		if !vs.w.leq(ct) {
+			d.report(e, vs)
+			return
+		}
+		if vs.shared {
+			if !vs.rvc.LEq(ct) {
+				d.report(e, vs)
+				return
+			}
+			vs.shared = false
+			vs.r = emptyEpoch
+		} else if !vs.r.leq(ct) {
+			d.report(e, vs)
+			return
+		}
+		vs.w = now
+	}
+}
+
+func (d *Detector) report(e *trace.Event, vs *varState) {
+	vs.raced = true
+	d.reports = append(d.reports, Report{
+		Key:     vs.key,
+		Addr:    e.Addr,
+		Thread:  e.Thread,
+		Time:    e.Time,
+		IsWrite: e.Acc == trace.AccWrite,
+		First:   len(d.reports) == 0,
+	})
+}
+
+// classifyKey maps an access to the name races are classified under: the
+// field's static name, or the library class of a thread-unsafe API.
+func classifyKey(e *trace.Event) string {
+	if !e.Lib {
+		return e.Name
+	}
+	if i := strings.Index(e.Name, "::"); i >= 0 {
+		return e.Name[:i]
+	}
+	return e.Name
+}
+
+// Action is the synchronization semantics a model assigns to an event.
+type Action struct {
+	Kind     ActKind
+	Child    int      // ActFork/ActJoin: the other thread
+	Channels []string // ActAcquire/ActRelease: channel identities
+}
+
+// ActKind enumerates synchronization action kinds.
+type ActKind uint8
+
+// Action kinds.
+const (
+	ActNone ActKind = iota
+	ActAcquire
+	ActRelease
+	ActFork
+	ActJoin
+)
+
+// SyncModel decides which events are synchronizations and what they do.
+// An empty result means "plain operation". Blocking acquires of library
+// calls must be attached to the call's End event: the before-call event of
+// a blocked thread predates the release it waits for.
+type SyncModel interface {
+	Classify(e *trace.Event) []Action
+}
+
+// channelsFor derives channel identities for a release/acquire event: the
+// concrete resource address when instrumentation sees one (locks, handles,
+// queues, fields), otherwise the operation's class — method-based
+// synchronizations pair at class granularity, which reproduces both the
+// successes (static ctors, GetOrAdd, test-framework ordering) and the
+// documented failures (cross-class dispose pairs) of the paper.
+func channelsFor(e *trace.Event) []string {
+	var out []string
+	if e.Addr != 0 {
+		out = append(out, fmt.Sprintf("addr:%d", e.Addr))
+		for _, x := range e.Extra {
+			if x != e.Addr {
+				out = append(out, fmt.Sprintf("addr:%d", x))
+			}
+		}
+		return out
+	}
+	name := e.Name
+	if i := strings.Index(name, "::"); i >= 0 {
+		return []string{"class:" + name[:i]}
+	}
+	return []string{"class:" + name}
+}

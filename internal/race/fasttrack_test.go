@@ -1,0 +1,270 @@
+package race
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sherlock/internal/trace"
+)
+
+// --- vector clock algebra -------------------------------------------------
+
+func TestVCBasics(t *testing.T) {
+	var v VC
+	v.set(3, 7)
+	if v.Get(3) != 7 || v.Get(0) != 0 || v.Get(10) != 0 {
+		t.Errorf("VC get/set broken: %v", v)
+	}
+	o := VC{1, 2}
+	v.Join(o)
+	if v.Get(0) != 1 || v.Get(1) != 2 || v.Get(3) != 7 {
+		t.Errorf("join wrong: %v", v)
+	}
+}
+
+func TestVCLEq(t *testing.T) {
+	a := VC{1, 2, 0}
+	b := VC{1, 3}
+	if !a.LEq(b) {
+		t.Error("a ⊑ b expected (trailing zeros ignored)")
+	}
+	if b.LEq(a) {
+		t.Error("b ⋢ a expected")
+	}
+	if !a.LEq(a.Copy()) {
+		t.Error("reflexivity")
+	}
+}
+
+// Property: Join is a least upper bound — both operands ⊑ join, and join is
+// monotone/idempotent.
+func TestVCJoinProperties(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a, b := VC{}, VC{}
+		for i, x := range xs {
+			a.set(i, int64(x))
+		}
+		for i, y := range ys {
+			b.set(i, int64(y))
+		}
+		j := a.Copy()
+		j.Join(b)
+		if !a.LEq(j) || !b.LEq(j) {
+			return false
+		}
+		j2 := j.Copy()
+		j2.Join(b)
+		return j.LEq(j2) && j2.LEq(j) // idempotent
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- FastTrack core over synthetic event streams ---------------------------
+
+// explicit model: a map from key to action for direct control in tests.
+type explicitModel map[trace.Key]Action
+
+func (m explicitModel) Classify(e *trace.Event) []Action {
+	a, ok := m[trace.EventKey(e)]
+	if !ok {
+		return nil
+	}
+	if a.Kind != ActFork && a.Kind != ActJoin && len(a.Channels) == 0 {
+		a.Channels = channelsFor(e)
+	}
+	return []Action{a}
+}
+
+func rd(t int64, th int, name string, addr uint64) trace.Event {
+	return trace.Event{Time: t, Thread: th, Kind: trace.KindRead, Name: name, Addr: addr, Acc: trace.AccRead}
+}
+func wr(t int64, th int, name string, addr uint64) trace.Event {
+	return trace.Event{Time: t, Thread: th, Kind: trace.KindWrite, Name: name, Addr: addr, Acc: trace.AccWrite}
+}
+
+func process(m SyncModel, events ...trace.Event) *Detector {
+	d := NewDetector(m)
+	d.Process(&trace.Trace{Events: events})
+	return d
+}
+
+func TestUnsyncedWriteWriteRaces(t *testing.T) {
+	d := process(explicitModel{},
+		wr(100, 0, "C::x", 1),
+		wr(200, 1, "C::x", 1),
+	)
+	if len(d.Reports()) != 1 {
+		t.Fatalf("reports = %v, want 1 race", d.Reports())
+	}
+	if d.Reports()[0].Key != "C::x" {
+		t.Errorf("race key = %q", d.Reports()[0].Key)
+	}
+}
+
+func TestUnsyncedWriteReadRaces(t *testing.T) {
+	d := process(explicitModel{},
+		wr(100, 0, "C::x", 1),
+		rd(200, 1, "C::x", 1),
+	)
+	if len(d.Reports()) != 1 {
+		t.Fatal("write→read without HB must race")
+	}
+}
+
+func TestReadReadNoRace(t *testing.T) {
+	d := process(explicitModel{},
+		rd(100, 0, "C::x", 1),
+		rd(200, 1, "C::x", 1),
+	)
+	if len(d.Reports()) != 0 {
+		t.Fatalf("read-read raced: %v", d.Reports())
+	}
+}
+
+func TestSameThreadNoRace(t *testing.T) {
+	d := process(explicitModel{},
+		wr(100, 0, "C::x", 1),
+		rd(200, 0, "C::x", 1),
+		wr(300, 0, "C::x", 1),
+	)
+	if len(d.Reports()) != 0 {
+		t.Fatalf("same-thread accesses raced: %v", d.Reports())
+	}
+}
+
+func TestReleaseAcquireOrders(t *testing.T) {
+	rel := trace.Event{Time: 150, Thread: 0, Kind: trace.KindWrite, Name: "C::flag", Addr: 9, Acc: trace.AccWrite}
+	acq := trace.Event{Time: 180, Thread: 1, Kind: trace.KindRead, Name: "C::flag", Addr: 9, Acc: trace.AccRead}
+	model := explicitModel{
+		trace.EventKey(&rel): {Kind: ActRelease},
+		trace.EventKey(&acq): {Kind: ActAcquire},
+	}
+	d := process(model,
+		wr(100, 0, "C::x", 1),
+		rel,
+		acq,
+		rd(200, 1, "C::x", 1),
+	)
+	if len(d.Reports()) != 0 {
+		t.Fatalf("release/acquire chain still raced: %v", d.Reports())
+	}
+}
+
+func TestAcquireWithoutReleaseStillRaces(t *testing.T) {
+	acq := trace.Event{Time: 180, Thread: 1, Kind: trace.KindRead, Name: "C::flag", Addr: 9, Acc: trace.AccRead}
+	model := explicitModel{trace.EventKey(&acq): {Kind: ActAcquire}}
+	d := process(model,
+		wr(100, 0, "C::x", 1),
+		acq,
+		rd(200, 1, "C::x", 1),
+	)
+	if len(d.Reports()) != 1 {
+		t.Fatal("acquire from an empty channel must not create HB")
+	}
+}
+
+func TestForkJoinEdges(t *testing.T) {
+	fork := trace.Event{Time: 150, Thread: 0, Kind: trace.KindEnd, Name: "T::Start", Lib: true, Child: 1}
+	join := trace.Event{Time: 400, Thread: 0, Kind: trace.KindEnd, Name: "T::Join", Lib: true, Child: 1}
+	model := explicitModel{
+		trace.EventKey(&fork): {Kind: ActFork, Child: 1},
+		trace.EventKey(&join): {Kind: ActJoin, Child: 1},
+	}
+	d := process(model,
+		wr(100, 0, "C::x", 1), // parent writes before fork
+		fork,
+		rd(200, 1, "C::x", 1), // child reads: ordered by fork
+		wr(300, 1, "C::x", 1), // child writes
+		join,
+		rd(500, 0, "C::x", 1), // parent reads after join: ordered
+	)
+	if len(d.Reports()) != 0 {
+		t.Fatalf("fork/join edges missing: %v", d.Reports())
+	}
+}
+
+func TestForkWithoutJoinRacesAfter(t *testing.T) {
+	fork := trace.Event{Time: 150, Thread: 0, Kind: trace.KindEnd, Name: "T::Start", Lib: true, Child: 1}
+	model := explicitModel{trace.EventKey(&fork): {Kind: ActFork, Child: 1}}
+	d := process(model,
+		fork,
+		wr(300, 1, "C::x", 1), // child write
+		rd(500, 0, "C::x", 1), // parent read without join: race
+	)
+	if len(d.Reports()) != 1 {
+		t.Fatalf("missing race without join: %v", d.Reports())
+	}
+}
+
+func TestReadSharedThenWriteRaces(t *testing.T) {
+	// Two unordered readers force the read VC; a later unordered write
+	// must race against the read set.
+	fork1 := trace.Event{Time: 10, Thread: 0, Kind: trace.KindEnd, Name: "T::Start", Lib: true, Child: 1, Site: 1}
+	model := explicitModel{trace.EventKey(&fork1): {Kind: ActFork, Child: 1}}
+	d := process(model,
+		wr(5, 0, "C::x", 1),
+		fork1,                 // orders the initial write before both readers
+		rd(100, 0, "C::x", 1), // reader A
+		rd(120, 1, "C::x", 1), // reader B (ordered after write via fork)
+		wr(200, 1, "C::x", 1), // writer B: unordered with reader A's read
+	)
+	if len(d.Reports()) != 1 {
+		t.Fatalf("read-shared write check failed: %v", d.Reports())
+	}
+}
+
+func TestOnlyFirstRaceFlagged(t *testing.T) {
+	d := process(explicitModel{},
+		wr(100, 0, "C::x", 1),
+		wr(200, 1, "C::x", 1), // race 1
+		wr(300, 0, "C::y", 2),
+		wr(400, 1, "C::y", 2), // race 2
+	)
+	rs := d.Reports()
+	if len(rs) != 2 {
+		t.Fatalf("reports = %d, want 2", len(rs))
+	}
+	if !rs[0].First || rs[1].First {
+		t.Error("First flag misassigned")
+	}
+	if d.FirstReport().Key != "C::x" {
+		t.Errorf("first race = %q", d.FirstReport().Key)
+	}
+	// A variable races once per run.
+	d2 := process(explicitModel{},
+		wr(100, 0, "C::x", 1),
+		wr(200, 1, "C::x", 1),
+		wr(300, 2, "C::x", 1),
+	)
+	if len(d2.Reports()) != 1 {
+		t.Errorf("same variable re-reported: %v", d2.Reports())
+	}
+}
+
+func TestLibAccessClassifiedByClass(t *testing.T) {
+	add := trace.Event{Time: 100, Thread: 0, Kind: trace.KindBegin,
+		Name: "System.Collections.Generic.List::Add", Addr: 7, Lib: true, Unsafe: true, Acc: trace.AccWrite}
+	add2 := add
+	add2.Time, add2.Thread = 200, 1
+	d := process(explicitModel{}, add, add2)
+	if len(d.Reports()) != 1 || d.Reports()[0].Key != "System.Collections.Generic.List" {
+		t.Fatalf("reports = %v", d.Reports())
+	}
+}
+
+func TestSyncOpsExemptFromAccessCheck(t *testing.T) {
+	// A volatile-style flag: both accesses classified as syncs must not be
+	// reported as racing even though they conflict.
+	w := wr(100, 0, "C::flag", 3)
+	r := rd(200, 1, "C::flag", 3)
+	model := explicitModel{
+		trace.EventKey(&w): {Kind: ActRelease},
+		trace.EventKey(&r): {Kind: ActAcquire},
+	}
+	d := process(model, w, r)
+	if len(d.Reports()) != 0 {
+		t.Fatalf("sync ops must be exempt: %v", d.Reports())
+	}
+}

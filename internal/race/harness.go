@@ -1,0 +1,95 @@
+// Comparison harness for Table 3: run every unit test of an application a
+// number of times, feed the identical traces to Manual_dr and SherLock_dr,
+// count first-reported races per run, and classify them against the
+// application's ground truth.
+package race
+
+import (
+	"sherlock/internal/prog"
+	"sherlock/internal/sched"
+	"sherlock/internal/trace"
+)
+
+// CompareConfig tunes the detector comparison.
+type CompareConfig struct {
+	Runs int   // detection runs per test (paper: every unit test, counted per run)
+	Seed int64 // base scheduler seed
+}
+
+// DefaultCompareConfig mirrors the paper's setup.
+func DefaultCompareConfig() CompareConfig {
+	return CompareConfig{Runs: 3, Seed: 42}
+}
+
+// Comparison is one application's Table 3 row (plus the Table 4 cause
+// breakdown for SherLock_dr's false races).
+type Comparison struct {
+	App string
+
+	ManualTrue  int
+	ManualFalse int
+	SherTrue    int
+	SherFalse   int
+
+	// SherFalseByCause buckets SherLock_dr's false races by the missed
+	// synchronization responsible (Table 4's "#False Races" column).
+	SherFalseByCause map[prog.FPCategory]int
+}
+
+// Compare runs the experiment for one application with the given inferred
+// synchronization set.
+func Compare(app *prog.Program, inferred map[trace.Key]trace.Role, cfg CompareConfig) (*Comparison, error) {
+	if err := app.Finalize(); err != nil {
+		return nil, err
+	}
+	out := &Comparison{App: app.Name, SherFalseByCause: map[prog.FPCategory]int{}}
+	manual := NewManualModel(app)
+	sher := NewSherLockModel(inferred)
+
+	for run := 0; run < cfg.Runs; run++ {
+		for ti, test := range app.Tests {
+			res, err := sched.Run(app, test, sched.Options{
+				Seed:          cfg.Seed + int64(run)*2011 + int64(ti)*31,
+				HiddenMethods: app.Truth.HiddenMethods,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if res.Deadlocked {
+				continue
+			}
+			md := NewDetector(manual)
+			md.Process(res.Trace)
+			if r := md.FirstReport(); r != nil {
+				if app.Truth.RacyFields[r.Key] {
+					out.ManualTrue++
+				} else {
+					out.ManualFalse++
+				}
+			}
+			sd := NewDetector(sher)
+			sd.Process(res.Trace)
+			if r := sd.FirstReport(); r != nil {
+				if app.Truth.RacyFields[r.Key] {
+					out.SherTrue++
+				} else {
+					out.SherFalse++
+					out.SherFalseByCause[falseRaceCause(app, r.Key)]++
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// falseRaceCause looks up the Table 4 bucket for a falsely racing location:
+// the category annotated on either of the location's access keys.
+func falseRaceCause(app *prog.Program, key string) prog.FPCategory {
+	if c, ok := app.Truth.Category[trace.KeyFor(trace.KindRead, key)]; ok {
+		return c
+	}
+	if c, ok := app.Truth.Category[trace.KeyFor(trace.KindWrite, key)]; ok {
+		return c
+	}
+	return prog.CatOther
+}

@@ -1,0 +1,187 @@
+// Synchronization models: Manual (annotated API list) and SherLock
+// (inferred operations).
+//
+// Application point matters: a blocking library acquire (Monitor.Enter,
+// WaitOne) logs its before-call event when the thread *enters* the call —
+// potentially long before the release it waits for — so its happens-before
+// effect is applied at the call's End event, when the acquire has actually
+// completed. Releases likewise take effect by the time the call returns.
+// Field operations and application-method entries apply at their own event.
+package race
+
+import (
+	"strings"
+
+	"sherlock/internal/prog"
+	"sherlock/internal/trace"
+)
+
+// ManualModel is the paper's Manual_dr synchronization specification: the
+// classic APIs one would annotate by hand. Per the paper it covers volatile
+// variables, wait-notify synchronization (monitors and wait handles),
+// barriers, thread fork/join, reader-writer locks, and static-initialization
+// ordering — and, crucially, misses everything else: Task.Run,
+// TaskFactory.StartNew, ThreadPool work items, dataflow blocks,
+// ContinueWith, GetOrAdd delegates, finalizers, and test-framework ordering.
+type ManualModel struct {
+	// Volatile lists field names annotated volatile in the application.
+	Volatile map[string]bool
+}
+
+// NewManualModel builds the model for one application.
+func NewManualModel(app *prog.Program) *ManualModel {
+	return &ManualModel{Volatile: app.Volatile}
+}
+
+// manualAcquires maps APIs whose completed call acquires; manualReleases
+// maps APIs whose completed call releases.
+var manualAcquires = map[string]bool{
+	prog.APIMonitorEnter:  true,
+	prog.APISemWait:       true,
+	prog.APIWaitAll:       true,
+	prog.APIRWAcquireRead: true,
+	prog.APIRWUpgrade:     true,
+}
+
+var manualReleases = map[string]bool{
+	prog.APIMonitorExit:   true,
+	prog.APISemSet:        true,
+	prog.APIRWReleaseRead: true,
+	prog.APIRWDowngrade:   true,
+}
+
+// Classify implements SyncModel.
+func (m *ManualModel) Classify(e *trace.Event) []Action {
+	if e.Lib {
+		// Barriers release at arrival (the before-call event carries the
+		// caller's pre-barrier clock) and acquire at return.
+		if e.Name == prog.APIBarrier {
+			if e.Kind == trace.KindBegin {
+				return []Action{{Kind: ActRelease, Channels: channelsFor(e)}}
+			}
+			return []Action{{Kind: ActAcquire, Channels: channelsFor(e)}}
+		}
+		if e.Kind != trace.KindEnd {
+			// Before-call events carry no HB effect; returning a non-empty
+			// action set for known sync APIs still exempts them from the
+			// access check (they are not data accesses anyway).
+			return nil
+		}
+		switch {
+		case e.Name == "System.Threading.Thread::Start" && e.Child != 0:
+			return []Action{{Kind: ActFork, Child: e.Child}}
+		case e.Name == "System.Threading.Thread::Join" && e.Child != 0:
+			return []Action{{Kind: ActJoin, Child: e.Child}}
+		case manualAcquires[e.Name]:
+			return []Action{{Kind: ActAcquire, Channels: channelsFor(e)}}
+		case manualReleases[e.Name]:
+			return []Action{{Kind: ActRelease, Channels: channelsFor(e)}}
+		}
+		return nil
+	}
+	// Volatile fields: write releases, read acquires, on the instance
+	// address.
+	if m.Volatile[e.Name] {
+		switch e.Kind {
+		case trace.KindWrite:
+			return []Action{{Kind: ActRelease, Channels: channelsFor(e)}}
+		case trace.KindRead:
+			return []Action{{Kind: ActAcquire, Channels: channelsFor(e)}}
+		}
+	}
+	// Static initialization: .cctor end releases its class channel; any
+	// later entry into a method of that class acquires it.
+	if e.Kind == trace.KindEnd && strings.HasSuffix(e.Name, "::.cctor") {
+		return []Action{{Kind: ActRelease, Channels: []string{"cctor:" + className(e.Name)}}}
+	}
+	if e.Kind == trace.KindBegin && !strings.HasSuffix(e.Name, "::.cctor") {
+		return []Action{{Kind: ActAcquire, Channels: []string{"cctor:" + className(e.Name)}}}
+	}
+	return nil
+}
+
+func className(name string) string {
+	if i := strings.Index(name, "::"); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// SherLockModel is the paper's SherLock_dr: it uses exactly the inferred
+// operation set, with no built-in API knowledge. Fork/join APIs whose
+// call-site events carry a spawned/joined thread become thread edges;
+// everything else pairs releases to acquires over resource-address channels
+// (fields, locks, handles, queues) or class channels (method operations).
+type SherLockModel struct {
+	Syncs map[trace.Key]trace.Role
+}
+
+// NewSherLockModel builds the model from inferred synchronizations.
+func NewSherLockModel(syncs map[trace.Key]trace.Role) *SherLockModel {
+	return &SherLockModel{Syncs: syncs}
+}
+
+// Classify implements SyncModel.
+func (m *SherLockModel) Classify(e *trace.Event) []Action {
+	if e.Lib {
+		if e.Kind != trace.KindEnd {
+			return nil
+		}
+		// Both of the API's inferred roles take effect when the call
+		// returns: a release inferred on its end key, and an acquire
+		// inferred on its begin key (the invocation is what blocks, the
+		// return is when the acquire has happened). A double-role API
+		// (UpgradeToWriterLock under the Single-Role ablation) yields
+		// both, release first.
+		var acts []Action
+		if m.Syncs[trace.EventKey(e)] == trace.RoleRelease && m.has(trace.EventKey(e)) {
+			acts = append(acts, m.action(e, trace.RoleRelease))
+		}
+		bkey := trace.KeyFor(trace.KindBegin, e.Name)
+		if role, ok := m.Syncs[bkey]; ok && role == trace.RoleAcquire {
+			acts = append(acts, m.action(e, trace.RoleAcquire))
+		}
+		return acts
+	}
+	role, ok := m.Syncs[trace.EventKey(e)]
+	if !ok {
+		return nil
+	}
+	return []Action{m.action(e, role)}
+}
+
+func (m *SherLockModel) has(k trace.Key) bool {
+	_, ok := m.Syncs[k]
+	return ok
+}
+
+// action maps a role application to a concrete detector action.
+func (m *SherLockModel) action(e *trace.Event, role trace.Role) Action {
+	if e.Child != 0 {
+		// An inferred release that spawns a thread is a fork edge; an
+		// inferred acquire that joins one is a join edge.
+		if role == trace.RoleRelease {
+			return Action{Kind: ActFork, Child: e.Child}
+		}
+		return Action{Kind: ActJoin, Child: e.Child}
+	}
+	if role == trace.RoleRelease {
+		return Action{Kind: ActRelease, Channels: channelsFor(e)}
+	}
+	return Action{Kind: ActAcquire, Channels: channelsFor(e)}
+}
+
+// CombinedModel layers SherLock-inferred syncs on top of the manual list
+// (useful for the TSVD enhancement study and as an upper bound).
+type CombinedModel struct {
+	Manual   *ManualModel
+	Inferred *SherLockModel
+}
+
+// Classify implements SyncModel: inferred knowledge first, manual fallback.
+func (m *CombinedModel) Classify(e *trace.Event) []Action {
+	if acts := m.Inferred.Classify(e); len(acts) > 0 {
+		return acts
+	}
+	return m.Manual.Classify(e)
+}

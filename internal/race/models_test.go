@@ -1,0 +1,307 @@
+package race
+
+import (
+	"testing"
+
+	"sherlock/internal/core"
+	"sherlock/internal/prog"
+	"sherlock/internal/sched"
+	"sherlock/internal/trace"
+)
+
+func TestManualModelClassification(t *testing.T) {
+	m := NewManualModel(prog.New("a", "A"))
+	cases := []struct {
+		e    trace.Event
+		kind ActKind
+	}{
+		// Blocking acquires take effect at the call's End event.
+		{trace.Event{Kind: trace.KindEnd, Name: prog.APIMonitorEnter, Lib: true, Addr: 4}, ActAcquire},
+		{trace.Event{Kind: trace.KindEnd, Name: prog.APIMonitorExit, Lib: true, Addr: 4}, ActRelease},
+		{trace.Event{Kind: trace.KindEnd, Name: prog.APISemWait, Lib: true, Addr: 5}, ActAcquire},
+		{trace.Event{Kind: trace.KindEnd, Name: prog.APISemSet, Lib: true, Addr: 5}, ActRelease},
+		{trace.Event{Kind: trace.KindEnd, Name: "System.Threading.Thread::Start", Lib: true, Child: 2}, ActFork},
+		{trace.Event{Kind: trace.KindEnd, Name: "System.Threading.Thread::Join", Lib: true, Child: 2}, ActJoin},
+	}
+	for _, c := range cases {
+		acts := m.Classify(&c.e)
+		if len(acts) != 1 || acts[0].Kind != c.kind {
+			t.Errorf("Classify(%s %s) = %v, want kind %v", c.e.Kind, c.e.Name, acts, c.kind)
+		}
+	}
+	// The before-call event of a blocking acquire has no HB effect.
+	enterBegin := trace.Event{Kind: trace.KindBegin, Name: prog.APIMonitorEnter, Lib: true, Addr: 4}
+	if acts := m.Classify(&enterBegin); len(acts) != 0 {
+		t.Errorf("before-call event must carry no action, got %v", acts)
+	}
+	// Task-parallel APIs are NOT in the manual list.
+	for _, name := range []string{
+		"System.Threading.Tasks.Task::Run",
+		"System.Threading.Tasks.TaskFactory::StartNew",
+		"System.Threading.ThreadPool::QueueUserWorkItem",
+		prog.APIPost, prog.APIContinueWith,
+	} {
+		e := trace.Event{Kind: trace.KindEnd, Name: name, Lib: true, Child: 2}
+		if acts := m.Classify(&e); len(acts) != 0 {
+			t.Errorf("manual model should not know %s", name)
+		}
+	}
+}
+
+func TestManualModelVolatile(t *testing.T) {
+	app := prog.New("a", "A")
+	app.Volatile["C::flag"] = true
+	m := NewManualModel(app)
+	w := trace.Event{Kind: trace.KindWrite, Name: "C::flag", Addr: 2, Acc: trace.AccWrite}
+	r := trace.Event{Kind: trace.KindRead, Name: "C::flag", Addr: 2, Acc: trace.AccRead}
+	if acts := m.Classify(&w); len(acts) != 1 || acts[0].Kind != ActRelease {
+		t.Error("volatile write must release")
+	}
+	if acts := m.Classify(&r); len(acts) != 1 || acts[0].Kind != ActAcquire {
+		t.Error("volatile read must acquire")
+	}
+	other := trace.Event{Kind: trace.KindWrite, Name: "C::data", Addr: 3, Acc: trace.AccWrite}
+	if acts := m.Classify(&other); len(acts) != 0 {
+		t.Error("non-volatile field must not classify")
+	}
+}
+
+func TestManualModelStaticInit(t *testing.T) {
+	m := NewManualModel(prog.New("a", "A"))
+	cctorEnd := trace.Event{Kind: trace.KindEnd, Name: "C::.cctor"}
+	acts := m.Classify(&cctorEnd)
+	if len(acts) != 1 || acts[0].Kind != ActRelease || acts[0].Channels[0] != "cctor:C" {
+		t.Errorf("cctor end = %v", acts)
+	}
+	use := trace.Event{Kind: trace.KindBegin, Name: "C::Use"}
+	acts = m.Classify(&use)
+	if len(acts) != 1 || acts[0].Kind != ActAcquire || acts[0].Channels[0] != "cctor:C" {
+		t.Errorf("same-class begin = %v", acts)
+	}
+}
+
+func TestSherLockModelUsesInferredOnly(t *testing.T) {
+	syncs := map[trace.Key]trace.Role{
+		trace.KeyFor(trace.KindWrite, "C::flag"):                        trace.RoleRelease,
+		trace.KeyFor(trace.KindRead, "C::flag"):                         trace.RoleAcquire,
+		trace.KeyFor(trace.KindEnd, "System.Threading.Tasks.Task::Run"): trace.RoleRelease,
+	}
+	m := NewSherLockModel(syncs)
+	w := trace.Event{Kind: trace.KindWrite, Name: "C::flag", Addr: 2, Acc: trace.AccWrite}
+	if acts := m.Classify(&w); len(acts) != 1 || acts[0].Kind != ActRelease {
+		t.Error("inferred write must release")
+	}
+	// Inferred fork API with a child becomes a fork edge.
+	forkEnd := trace.Event{Kind: trace.KindEnd, Name: "System.Threading.Tasks.Task::Run", Lib: true, Child: 3}
+	if acts := m.Classify(&forkEnd); len(acts) != 1 || acts[0].Kind != ActFork || acts[0].Child != 3 {
+		t.Errorf("inferred fork = %v", acts)
+	}
+	// Monitor is NOT inferred here, so SherLock_dr does not know it.
+	enter := trace.Event{Kind: trace.KindEnd, Name: prog.APIMonitorEnter, Lib: true, Addr: 4}
+	if acts := m.Classify(&enter); len(acts) != 0 {
+		t.Error("model must only know inferred keys")
+	}
+}
+
+// End-to-end: an app with a flag sync (volatile) plus a true race. The
+// manual model knows the volatile flag; a SherLock model built from real
+// inference must let the detector find the true race without flagging the
+// protected field.
+func TestCompareEndToEnd(t *testing.T) {
+	app := prog.New("race-app", "RaceApp")
+	app.AddMethod("C::writer",
+		prog.Cp(500),
+		prog.Wr("C::data", "o", 7),
+		prog.Wr("C::racy", "o", 1), // true race: no protecting sync
+		prog.Cp(60),
+		prog.Wr("C::flag", "o", 1),
+	)
+	app.AddMethod("C::reader",
+		prog.Spin("C::flag", "o", 1, 150),
+		prog.Rd("C::data", "o"),
+		prog.Rd("C::racy", "o"), // races with the writer's write
+	)
+	app.AddTest("T",
+		prog.Go(prog.ForkThread, "C::reader", "o", "hr"),
+		prog.Go(prog.ForkThread, "C::writer", "o", "hw"),
+		prog.JoinT("hr"), prog.JoinT("hw"),
+	)
+	app.Volatile["C::flag"] = true
+	app.Truth.Sync(prog.RK("C::flag"), trace.RoleAcquire)
+	app.Truth.Sync(prog.WK("C::flag"), trace.RoleRelease)
+	app.Truth.Race("C::racy")
+
+	res, err := core.Infer(app, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := Compare(app, res.SyncKeys(), DefaultCompareConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The data field is protected by the volatile flag, which both models
+	// understand (annotated for Manual, inferred for SherLock): neither
+	// may report a false race on C::data.
+	if cmp.ManualFalse != 0 || cmp.SherFalse != 0 {
+		t.Errorf("false races on a flag-protected field: %+v", cmp)
+	}
+}
+
+// A cleaner end-to-end: writer and reader of C::leak are synchronized only
+// by a Task.Run fork edge, which Manual_dr does not know — Manual reports a
+// false race, SherLock_dr (with the inferred fork edge) stays quiet.
+func TestManualFalseRaceOnTaskRun(t *testing.T) {
+	app := prog.New("task-app", "TaskApp")
+	app.AddMethod("C::child", prog.Cp(50), prog.Rd("C::leak", "o"))
+	app.AddTest("T",
+		prog.Wr("C::leak", "o", 1),
+		prog.Cp(30),
+		prog.Go(prog.ForkTaskRun, "C::child", "o", "h"),
+		prog.WaitT("h"),
+	)
+	app.Truth.Sync(prog.EK(prog.ForkTaskRun.APIName()), trace.RoleRelease)
+	app.Truth.Sync(prog.BK("C::child"), trace.RoleAcquire)
+
+	res, err := core.Infer(app, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := Compare(app, res.SyncKeys(), DefaultCompareConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.ManualFalse == 0 {
+		t.Errorf("Manual_dr should report false races on Task.Run-only sync: %+v", cmp)
+	}
+	if cmp.SherFalse != 0 {
+		t.Errorf("SherLock_dr should be race-free here: %+v", cmp)
+	}
+}
+
+// A true race both detectors can find.
+func TestTrueRaceDetectedByBoth(t *testing.T) {
+	app := prog.New("racy-app", "RacyApp")
+	app.AddMethod("C::w1", prog.Cp(100), prog.Wr("C::racy", "o", 1))
+	app.AddMethod("C::w2", prog.Cp(100), prog.Wr("C::racy", "o", 2))
+	app.AddTest("T",
+		prog.Go(prog.ForkThread, "C::w1", "o", "h1"),
+		prog.Go(prog.ForkThread, "C::w2", "o", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	app.Truth.Race("C::racy")
+
+	cmp, err := Compare(app, nil, DefaultCompareConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.ManualTrue == 0 {
+		t.Errorf("manual model missed the true race: %+v", cmp)
+	}
+	if cmp.SherTrue == 0 {
+		t.Errorf("sherlock model (empty sync set) missed the true race: %+v", cmp)
+	}
+}
+
+func TestManualModelBarrier(t *testing.T) {
+	m := NewManualModel(prog.New("a", "A"))
+	begin := trace.Event{Kind: trace.KindBegin, Name: prog.APIBarrier, Lib: true, Addr: 6}
+	end := trace.Event{Kind: trace.KindEnd, Name: prog.APIBarrier, Lib: true, Addr: 6}
+	if acts := m.Classify(&begin); len(acts) != 1 || acts[0].Kind != ActRelease {
+		t.Errorf("barrier arrival must release: %v", acts)
+	}
+	if acts := m.Classify(&end); len(acts) != 1 || acts[0].Kind != ActAcquire {
+		t.Errorf("barrier return must acquire: %v", acts)
+	}
+}
+
+func TestBarrierOrdersUnderManualModel(t *testing.T) {
+	app := prog.New("barrier-app", "BarrierApp")
+	app.AddMethod("C::party1",
+		prog.CpJ(120, 0.7),
+		prog.Wr("C::left", "o", 1),
+		prog.Rendezvous("B", 2),
+		prog.Rd("C::right", "o"),
+	)
+	app.AddMethod("C::party2",
+		prog.CpJ(180, 0.7),
+		prog.Wr("C::right", "o", 1),
+		prog.Rendezvous("B", 2),
+		prog.Rd("C::left", "o"),
+	)
+	app.AddTest("T",
+		prog.Go(prog.ForkThread, "C::party1", "o", "h1"),
+		prog.Go(prog.ForkThread, "C::party2", "o", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	cmp, err := Compare(app, nil, DefaultCompareConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.ManualFalse != 0 {
+		t.Errorf("manual model (knows barriers) reported %d false races", cmp.ManualFalse)
+	}
+}
+
+func TestCombinedModelLayersInferredOverManual(t *testing.T) {
+	app := prog.New("a", "A")
+	app.Volatile["C::vol"] = true
+	manual := NewManualModel(app)
+	inferred := NewSherLockModel(map[trace.Key]trace.Role{
+		trace.KeyFor(trace.KindWrite, "C::flag"): trace.RoleRelease,
+	})
+	combined := &CombinedModel{Manual: manual, Inferred: inferred}
+
+	// Inferred knowledge wins where present.
+	w := trace.Event{Kind: trace.KindWrite, Name: "C::flag", Addr: 2, Acc: trace.AccWrite}
+	if acts := combined.Classify(&w); len(acts) != 1 || acts[0].Kind != ActRelease {
+		t.Errorf("combined should use inferred flag: %v", acts)
+	}
+	// Manual fallback applies where inference is silent.
+	v := trace.Event{Kind: trace.KindRead, Name: "C::vol", Addr: 3, Acc: trace.AccRead}
+	if acts := combined.Classify(&v); len(acts) != 1 || acts[0].Kind != ActAcquire {
+		t.Errorf("combined should fall back to manual volatile: %v", acts)
+	}
+	// Neither knows a plain field.
+	p := trace.Event{Kind: trace.KindWrite, Name: "C::plain", Addr: 4, Acc: trace.AccWrite}
+	if acts := combined.Classify(&p); len(acts) != 0 {
+		t.Errorf("combined misclassified a plain access: %v", acts)
+	}
+}
+
+// BenchmarkDetector measures FastTrack throughput over a realistic trace.
+func BenchmarkDetector(b *testing.B) {
+	app, err := core.Infer(mustApp(b), core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := mustApp(b)
+	run, err := sched.Run(p, p.Tests[0], sched.Options{Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := NewSherLockModel(app.SyncKeys())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := NewDetector(model)
+		d.Process(run.Trace)
+	}
+}
+
+func mustApp(b *testing.B) *prog.Program {
+	b.Helper()
+	app := prog.New("bench-app", "BenchApp")
+	app.AddMethod("C::crit",
+		prog.CpJ(200, 0.9),
+		prog.Lock("L"),
+		prog.Rd("C::n", "o"),
+		prog.Wr("C::n", "o", 1),
+		prog.Unlock("L"),
+	)
+	app.AddTest("T",
+		prog.Go(prog.ForkThread, "C::crit", "o", "h1"),
+		prog.Go(prog.ForkThread, "C::crit", "o", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	return app
+}

@@ -1,0 +1,213 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sherlock/internal/prog"
+	"sherlock/internal/trace"
+)
+
+// genProgram builds a random deadlock-free program: a handful of methods
+// made of computes, heap accesses, balanced critical sections, nested calls
+// and library ops; a test that forks every method and joins all of them.
+func genProgram(seed int64) *prog.Program {
+	rng := rand.New(rand.NewSource(seed))
+	p := prog.New(fmt.Sprintf("rand-%d", seed), "Random")
+
+	fields := []string{"R.C::a", "R.C::b", "R.D::c"}
+	locks := []string{"l1", "l2"}
+	sems := []string{"s1", "s2"}
+
+	// Leaf methods first so calls always reference existing methods.
+	var names []string
+	nMethods := 2 + rng.Intn(3)
+	for i := 0; i < nMethods; i++ {
+		name := fmt.Sprintf("R.C::m%d", i)
+		var body []prog.Stmt
+		nStmts := 1 + rng.Intn(5)
+		for s := 0; s < nStmts; s++ {
+			switch rng.Intn(6) {
+			case 0:
+				body = append(body, prog.CpJ(int64(50+rng.Intn(300)), 0.5))
+			case 1:
+				body = append(body, prog.Rd(fields[rng.Intn(len(fields))], "o"))
+			case 2:
+				body = append(body, prog.Wr(fields[rng.Intn(len(fields))], "o", int64(rng.Intn(9))))
+			case 3:
+				l := locks[rng.Intn(len(locks))]
+				body = append(body,
+					prog.Lock(l),
+					prog.Rd(fields[rng.Intn(len(fields))], "o"),
+					prog.Unlock(l),
+				)
+			case 4:
+				// Signal a semaphore (never wait: waits could deadlock
+				// without a guaranteed signaler).
+				body = append(body, prog.Set(sems[rng.Intn(len(sems))]))
+			case 5:
+				if len(names) > 0 {
+					body = append(body, prog.Do(names[rng.Intn(len(names))], "o"))
+				} else {
+					body = append(body, prog.Cp(40))
+				}
+			}
+		}
+		p.AddMethod(name, body...)
+		names = append(names, name)
+	}
+
+	var test []prog.Stmt
+	for i, n := range names {
+		test = append(test, prog.Go(prog.ForkThread, n, "o", fmt.Sprintf("h%d", i)))
+	}
+	for i := range names {
+		test = append(test, prog.JoinT(fmt.Sprintf("h%d", i)))
+	}
+	p.AddTest("T", test...)
+	return p
+}
+
+// TestRandomProgramsTraceInvariants checks structural trace invariants over
+// many random programs and seeds:
+//
+//  1. events are time-ordered;
+//  2. per thread, Begin/End events nest with stack discipline and are
+//     balanced at thread exit;
+//  3. every event has a name; accesses have addresses; lib events are
+//     flagged;
+//  4. the run terminates without deadlock.
+func TestRandomProgramsTraceInvariants(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		p := genProgram(seed)
+		if err := p.Finalize(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for run := int64(0); run < 3; run++ {
+			res, err := Run(p, p.Tests[0], Options{Seed: seed*100 + run})
+			if err != nil {
+				t.Fatalf("seed %d run %d: %v", seed, run, err)
+			}
+			if res.Deadlocked {
+				t.Fatalf("seed %d run %d: deadlock in a deadlock-free program", seed, run)
+			}
+			checkInvariants(t, res.Trace, seed, run)
+		}
+	}
+}
+
+func checkInvariants(t *testing.T, tr *trace.Trace, seed, run int64) {
+	t.Helper()
+	var prev int64
+	stacks := map[int][]string{}
+	for i := range tr.Events {
+		e := &tr.Events[i]
+		if e.Time < prev {
+			t.Fatalf("seed %d run %d: trace not time-ordered at %d", seed, run, i)
+		}
+		prev = e.Time
+		if e.Name == "" {
+			t.Fatalf("seed %d run %d: unnamed event %v", seed, run, e)
+		}
+		switch e.Kind {
+		case trace.KindRead, trace.KindWrite:
+			if e.Addr == 0 {
+				t.Fatalf("seed %d run %d: access without address: %v", seed, run, e)
+			}
+		case trace.KindBegin:
+			stacks[e.Thread] = append(stacks[e.Thread], e.Name)
+		case trace.KindEnd:
+			st := stacks[e.Thread]
+			if len(st) == 0 {
+				t.Fatalf("seed %d run %d: End without Begin: %v", seed, run, e)
+			}
+			if st[len(st)-1] != e.Name {
+				t.Fatalf("seed %d run %d: interleaved Begin/End on thread %d: got %s, open %s",
+					seed, run, e.Thread, e.Name, st[len(st)-1])
+			}
+			stacks[e.Thread] = st[:len(st)-1]
+		}
+	}
+	for tid, st := range stacks {
+		if len(st) != 0 {
+			t.Fatalf("seed %d run %d: thread %d exits with open frames %v", seed, run, tid, st)
+		}
+	}
+}
+
+// TestRandomProgramsDeterminism: identical seeds reproduce identical traces
+// across random programs.
+func TestRandomProgramsDeterminism(t *testing.T) {
+	for seed := int64(50); seed < 60; seed++ {
+		p1 := genProgram(seed)
+		p2 := genProgram(seed)
+		r1, err := Run(p1, p1.Tests[0], Options{Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := Run(p2, p2.Tests[0], Options{Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Trace.Len() != r2.Trace.Len() {
+			t.Fatalf("seed %d: lengths differ", seed)
+		}
+		for i := range r1.Trace.Events {
+			if r1.Trace.Events[i].String() != r2.Trace.Events[i].String() {
+				t.Fatalf("seed %d: event %d differs", seed, i)
+			}
+		}
+	}
+}
+
+// TestMutualExclusionInvariantUnderRandomSchedules: for many seeds, two
+// threads in lock-guarded critical sections never interleave their section
+// accesses.
+func TestMutualExclusionInvariantUnderRandomSchedules(t *testing.T) {
+	p := prog.New("mutex-prop", "MutexProp")
+	p.AddMethod("C::crit",
+		prog.CpJ(200, 0.9),
+		prog.Lock("L"),
+		prog.Wr("C::in", "o", 1),
+		prog.Cp(100),
+		prog.Wr("C::out", "o", 1),
+		prog.Unlock("L"),
+	)
+	p.AddTest("T",
+		prog.Go(prog.ForkThread, "C::crit", "o", "h1"),
+		prog.Go(prog.ForkThread, "C::crit", "o", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	p.MustFinalize()
+	for seed := int64(1); seed <= 60; seed++ {
+		res, err := Run(p, p.Tests[0], Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Section = [write C::in, write C::out] per thread; sections from
+		// different threads must not overlap.
+		type span struct{ in, out int64 }
+		spans := map[int]*span{}
+		for _, e := range res.Trace.Events {
+			if e.Kind != trace.KindWrite {
+				continue
+			}
+			switch e.Name {
+			case "C::in":
+				spans[e.Thread] = &span{in: e.Time}
+			case "C::out":
+				if s := spans[e.Thread]; s != nil && s.out == 0 {
+					s.out = e.Time
+				}
+			}
+		}
+		var list []*span
+		for _, s := range spans {
+			list = append(list, s)
+		}
+		if len(list) == 2 && list[0].in < list[1].out && list[1].in < list[0].out {
+			t.Fatalf("seed %d: critical sections overlap: %+v %+v", seed, list[0], list[1])
+		}
+	}
+}

@@ -1,0 +1,530 @@
+// Package sched executes a prog.Program under a seeded discrete-event
+// scheduler, standing in for the real runtime + Mono.Cecil instrumentation
+// of the SherLock paper. It produces traces in the paper's log schema
+// (internal/trace), supports delay injection before arbitrary candidate
+// operations (the Perturber's tool), and can hide methods from the emitted
+// trace (simulating the paper's instrumentation errors).
+//
+// Time is virtual (nanoseconds). The scheduler always advances the runnable
+// thread with the smallest clock, so resource state changes happen in
+// global time order and causality is exact; nondeterminism comes from
+// per-statement duration jitter and dispatch latency drawn from a seeded
+// PRNG, which is enough to flip the order of racing operations across
+// seeds.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"sherlock/internal/prog"
+	"sherlock/internal/trace"
+)
+
+// Default virtual-time costs (nanoseconds).
+const (
+	costAccess   = 30 // heap read/write
+	costMethod   = 20 // method entry/exit bookkeeping
+	costLib      = 50 // library call service time
+	costDispatch = 15 // scheduling latency upper bound per statement
+)
+
+// Options configures one execution.
+type Options struct {
+	// Seed drives all scheduling randomness. Equal seeds reproduce equal
+	// interleavings bit-for-bit.
+	Seed int64
+	// Delays maps candidate keys to an injected delay (virtual ns) applied
+	// immediately before every dynamic instance of the operation — the
+	// Perturber's 100 ms (paper Section 4.3), scaled to virtual time.
+	Delays map[trace.Key]int64
+	// SiteDelays injects a delay before every dynamic instance of a
+	// specific static statement site — the granularity TSVD works at.
+	SiteDelays map[int]int64
+	// DelayProbability applies each planned delay with this probability
+	// per dynamic instance (0 or 1 mean always — the paper's default; its
+	// footnote 1 reports probabilistic injection performs similarly).
+	DelayProbability float64
+	// HiddenMethods suppresses Begin/End events of the named application
+	// methods (instrumentation-error simulation). The methods still run.
+	HiddenMethods map[string]bool
+	// MaxSteps bounds execution; 0 means the default (2,000,000).
+	MaxSteps int
+	// DisableTracing turns off all event recording (used to measure
+	// uninstrumented baseline cost for the overhead experiment).
+	DisableTracing bool
+}
+
+// DelayInstance records one applied perturbation for post-hoc propagation
+// analysis (paper Figure 2 b/c).
+type DelayInstance struct {
+	Key    trace.Key
+	Thread int
+	Site   int
+	Start  int64 // virtual time the delay began
+	End    int64 // Start + delay duration
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Trace      *trace.Trace
+	Delays     []DelayInstance
+	Deadlocked bool
+	Steps      int
+	// VirtualDuration is the maximum thread clock at completion: the
+	// virtual wall-clock of the test.
+	VirtualDuration int64
+}
+
+// ErrTooManySteps is returned when MaxSteps is exceeded (a spin loop whose
+// flag is never set, or a pathological schedule).
+var ErrTooManySteps = errors.New("sched: step budget exhausted")
+
+type tstate uint8
+
+const (
+	stRunnable tstate = iota
+	stBlocked
+	stDone
+)
+
+// frame is one entry of a thread's call stack: a statement cursor plus
+// optional method bookkeeping.
+type frame struct {
+	stmts  []Stmt
+	pc     int
+	remain int // loop iterations left (loop frames only)
+
+	isMethod bool
+	method   string
+	obj      uint64
+	onExit   func(now int64)
+}
+
+// Stmt aliases prog.Stmt locally for brevity.
+type Stmt = prog.Stmt
+
+type thread struct {
+	id     int
+	clock  int64
+	state  tstate
+	stack  []*frame
+	handle string // handle name signaled on completion ("" for main)
+
+	// served marks the dynamic statement instance whose injected delay has
+	// already been applied, so the next step executes it for real. Delays
+	// are their own scheduling phase: during the bumped clock window every
+	// other thread keeps running, preserving causality (a delayed write
+	// must not be visible before its timestamp).
+	served delayMarker
+
+	// Blocking protocol: ready reports whether the thread can resume at
+	// time now; wake consumes the resources and finishes the blocked
+	// statement (emitting its End event and advancing the pc).
+	ready func(now int64) bool
+	wake  func(now int64)
+}
+
+// delayMarker identifies one dynamic statement instance: its frame and pc
+// (pc −1 denotes the frame's method-exit point).
+type delayMarker struct {
+	f  *frame
+	pc int
+}
+
+type machine struct {
+	p   *prog.Program
+	t   *prog.Test
+	opt Options
+	rng *rand.Rand
+
+	threads []*thread
+	nextTID int
+
+	// Resources.
+	locks    map[string]*lockState
+	rwlocks  map[string]*rwState
+	sems     map[string]int
+	queues   map[string]int
+	barriers map[string]*barrierState
+	handles  map[string]*handleState
+	// handleTID maps fork handles to spawned thread ids (instrumentation
+	// reads this off the thread/task object).
+	handleTID map[string]int
+	inits     map[string]*initState
+
+	// Object identity.
+	slots     map[string]uint64
+	nextObjID uint64
+	fieldAddr map[string]uint64
+	fieldVal  map[uint64]int64
+	nextAddr  uint64
+
+	events []trace.Event
+	delays []DelayInstance
+	steps  int
+}
+
+type lockState struct {
+	holder int // thread id, -1 when free
+}
+
+type rwState struct {
+	readers map[int]bool
+	writer  int // -1 when none
+}
+
+// barrierState tracks Barrier.SignalAndWait arrivals per generation.
+type barrierState struct {
+	arrived    int
+	generation int
+}
+
+type handleState struct {
+	done   bool
+	doneAt int64
+	conts  []func(now int64) // continuations to fire on completion
+}
+
+type initState struct {
+	// 0 not started, 1 running, 2 done
+	phase int
+}
+
+// Run executes one unit test of p under opt.
+func Run(p *prog.Program, t *prog.Test, opt Options) (*Result, error) {
+	if err := p.Finalize(); err != nil {
+		return nil, err
+	}
+	maxSteps := opt.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 2_000_000
+	}
+	m := &machine{
+		p:         p,
+		t:         t,
+		opt:       opt,
+		rng:       rand.New(rand.NewSource(opt.Seed)),
+		locks:     map[string]*lockState{},
+		rwlocks:   map[string]*rwState{},
+		sems:      map[string]int{},
+		queues:    map[string]int{},
+		barriers:  map[string]*barrierState{},
+		handles:   map[string]*handleState{},
+		handleTID: map[string]int{},
+		inits:     map[string]*initState{},
+		slots:     map[string]uint64{},
+		fieldAddr: map[string]uint64{},
+		fieldVal:  map[uint64]int64{},
+		nextObjID: 1,
+		nextAddr:  0x1000,
+	}
+
+	main := m.newThread(0)
+	if t.Init != "" {
+		// Framework pattern (Figure 3.E): run the init method on the main
+		// thread, then execute the test body as a named method in a fresh
+		// thread with a hidden happens-before edge, then wait for it.
+		main.stack = []*frame{{stmts: []Stmt{
+			&prog.Call{Method: t.Init, Slot: "@init"},
+			&runTestBody{method: &prog.Method{Name: t.Name, Body: t.Body}},
+		}}}
+	} else {
+		main.stack = []*frame{{stmts: t.Body}}
+	}
+
+	for {
+		th := m.pickRunnable()
+		if th == nil {
+			if m.allDone() {
+				break
+			}
+			// No runnable, not all done: deadlock.
+			return m.finish(true), nil
+		}
+		m.steps++
+		if m.steps > maxSteps {
+			return m.finish(false), fmt.Errorf("%w after %d steps (test %s)", ErrTooManySteps, m.steps, t.Name)
+		}
+		m.step(th)
+	}
+	return m.finish(false), nil
+}
+
+// runTestBody is an internal statement used only for the TestInitialize
+// pattern: it hidden-forks the test body as a named method and blocks until
+// it completes.
+type runTestBody struct {
+	method *prog.Method
+	site   int
+}
+
+func (l *runTestBody) Site() int     { return l.site }
+func (l *runTestBody) SetSite(i int) { l.site = i }
+
+func (m *machine) finish(deadlocked bool) *Result {
+	sort.SliceStable(m.events, func(i, j int) bool { return m.events[i].Time < m.events[j].Time })
+	tr := &trace.Trace{App: m.p.Name, Test: m.t.Name, Seed: m.opt.Seed, Events: m.events}
+	var maxClock int64
+	for _, th := range m.threads {
+		if th.clock > maxClock {
+			maxClock = th.clock
+		}
+	}
+	return &Result{
+		Trace:           tr,
+		Delays:          m.delays,
+		Deadlocked:      deadlocked,
+		Steps:           m.steps,
+		VirtualDuration: maxClock,
+	}
+}
+
+func (m *machine) newThread(clock int64) *thread {
+	th := &thread{id: m.nextTID, clock: clock, state: stRunnable}
+	m.nextTID++
+	m.threads = append(m.threads, th)
+	return th
+}
+
+// pickRunnable returns the runnable thread with the smallest clock (ties
+// broken by id), or nil when none is runnable.
+func (m *machine) pickRunnable() *thread {
+	var best *thread
+	for _, th := range m.threads {
+		if th.state != stRunnable {
+			continue
+		}
+		if best == nil || th.clock < best.clock {
+			best = th
+		}
+	}
+	return best
+}
+
+func (m *machine) allDone() bool {
+	for _, th := range m.threads {
+		if th.state != stDone {
+			return false
+		}
+	}
+	return true
+}
+
+// wakeBlocked re-evaluates every blocked thread's predicate at time now.
+func (m *machine) wakeBlocked(now int64) {
+	for _, th := range m.threads {
+		if th.state != stBlocked {
+			continue
+		}
+		if th.ready(now) {
+			th.state = stRunnable
+			if th.clock < now {
+				th.clock = now
+			}
+			w := th.wake
+			th.ready, th.wake = nil, nil
+			w(th.clock)
+			// A wake can change resource state; rescan from the start so
+			// predicate evaluation stays deterministic in thread order.
+			m.wakeBlocked(th.clock)
+			return
+		}
+	}
+}
+
+// block parks the thread until ready(now); wake completes the statement.
+func (m *machine) block(th *thread, ready func(int64) bool, wake func(int64)) {
+	th.state = stBlocked
+	th.ready = ready
+	th.wake = wake
+}
+
+// objID resolves a slot name to a stable object id for this run.
+func (m *machine) objID(slot string) uint64 {
+	if slot == "" {
+		return 0
+	}
+	if id, ok := m.slots[slot]; ok {
+		return id
+	}
+	id := m.nextObjID
+	m.nextObjID++
+	m.slots[slot] = id
+	return id
+}
+
+// addr resolves (field, object) to a stable address for this run.
+func (m *machine) addr(field string, obj uint64) uint64 {
+	key := fmt.Sprintf("%s#%d", field, obj)
+	if a, ok := m.fieldAddr[key]; ok {
+		return a
+	}
+	a := m.nextAddr
+	m.nextAddr += 8
+	m.fieldAddr[key] = a
+	return a
+}
+
+// jitter returns d scaled by a uniform factor in [1-j, 1+j].
+func (m *machine) jitter(d int64, j float64) int64 {
+	if d <= 0 {
+		return 0
+	}
+	f := 1 + j*(2*m.rng.Float64()-1)
+	v := int64(float64(d) * f)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// dispatch returns the random scheduling latency added before a statement.
+func (m *machine) dispatch() int64 {
+	return int64(m.rng.Intn(costDispatch + 1))
+}
+
+// emit appends a log entry unless tracing is disabled.
+func (m *machine) emit(e trace.Event) {
+	if m.opt.DisableTracing {
+		return
+	}
+	m.events = append(m.events, e)
+}
+
+// serveDelay implements two-phase delay injection for the dynamic
+// statement instance identified by marker. On the first visit with a
+// planned delay it bumps the thread clock, records the instances, and
+// returns true: the delay consumed this scheduling step, and every other
+// thread keeps running inside the delay window before the statement's
+// effects become visible. The next visit executes the statement for real.
+func (m *machine) serveDelay(th *thread, marker delayMarker, site int, keys ...trace.Key) bool {
+	if th.served == marker {
+		th.served = delayMarker{}
+		return false
+	}
+	if m.opt.Delays == nil && m.opt.SiteDelays == nil {
+		return false
+	}
+	var total int64
+	for _, k := range keys {
+		total += m.opt.Delays[k]
+	}
+	siteDelay := m.opt.SiteDelays[site]
+	total += siteDelay
+	if total == 0 {
+		return false
+	}
+	if p := m.opt.DelayProbability; p > 0 && p < 1 && m.rng.Float64() >= p {
+		// Probabilistic injection: skip this dynamic instance. The
+		// statement executes immediately (no second visit re-rolls).
+		return false
+	}
+	for _, k := range keys {
+		if d := m.opt.Delays[k]; d > 0 {
+			m.delays = append(m.delays, DelayInstance{
+				Key: k, Thread: th.id, Site: site, Start: th.clock, End: th.clock + total,
+			})
+		}
+	}
+	if siteDelay > 0 {
+		var key trace.Key
+		if len(keys) > 0 {
+			key = keys[0]
+		}
+		m.delays = append(m.delays, DelayInstance{
+			Key: key, Thread: th.id, Site: site, Start: th.clock, End: th.clock + total,
+		})
+	}
+	th.clock += total
+	th.served = marker
+	return true
+}
+
+// exitMethod emits the method End event and runs completion hooks.
+func (m *machine) exitMethod(th *thread, f *frame) {
+	th.clock += m.jitter(costMethod, 0.3)
+	if !m.opt.HiddenMethods[f.method] {
+		m.emit(trace.Event{
+			Time: th.clock, Thread: th.id, Kind: trace.KindEnd,
+			Name: f.method, Obj: f.obj,
+		})
+	}
+	if f.onExit != nil {
+		f.onExit(th.clock)
+	}
+	m.wakeBlocked(th.clock)
+}
+
+// pushCall pushes an invocation frame for a registered application method.
+func (m *machine) pushCall(th *thread, method string, obj uint64) *frame {
+	return m.pushMethodFrame(th, m.p.Methods[method], obj)
+}
+
+// pushMethodFrame pushes a method invocation frame, emitting the Begin
+// event.
+func (m *machine) pushMethodFrame(th *thread, mm *prog.Method, obj uint64) *frame {
+	th.clock += m.jitter(costMethod, 0.3)
+	if !m.opt.HiddenMethods[mm.Name] {
+		m.emit(trace.Event{
+			Time: th.clock, Thread: th.id, Kind: trace.KindBegin,
+			Name: mm.Name, Obj: obj,
+		})
+	}
+	f := &frame{stmts: mm.Body, isMethod: true, method: mm.Name, obj: obj}
+	th.stack = append(th.stack, f)
+	return f
+}
+
+// finishThread marks th done and fires handle completions.
+func (m *machine) finishThread(th *thread, handle string) {
+	th.state = stDone
+	if handle != "" {
+		h := m.handle(handle)
+		h.done = true
+		h.doneAt = th.clock
+		for _, c := range h.conts {
+			c(th.clock)
+		}
+		h.conts = nil
+	}
+	m.wakeBlocked(th.clock)
+}
+
+func (m *machine) handle(name string) *handleState {
+	h, ok := m.handles[name]
+	if !ok {
+		h = &handleState{}
+		m.handles[name] = h
+	}
+	return h
+}
+
+func (m *machine) barrier(name string) *barrierState {
+	b, ok := m.barriers[name]
+	if !ok {
+		b = &barrierState{}
+		m.barriers[name] = b
+	}
+	return b
+}
+
+func (m *machine) lock(name string) *lockState {
+	l, ok := m.locks[name]
+	if !ok {
+		l = &lockState{holder: -1}
+		m.locks[name] = l
+	}
+	return l
+}
+
+func (m *machine) rwlock(name string) *rwState {
+	l, ok := m.rwlocks[name]
+	if !ok {
+		l = &rwState{readers: map[int]bool{}, writer: -1}
+		m.rwlocks[name] = l
+	}
+	return l
+}

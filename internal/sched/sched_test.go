@@ -1,0 +1,580 @@
+package sched
+
+import (
+	"errors"
+	"testing"
+
+	"sherlock/internal/prog"
+	"sherlock/internal/trace"
+)
+
+// run builds, finalizes, and executes a single-test program.
+func run(t *testing.T, p *prog.Program, opt Options) *Result {
+	t.Helper()
+	res, err := Run(p, p.Tests[0], opt)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Deadlocked {
+		t.Fatalf("unexpected deadlock")
+	}
+	return res
+}
+
+// find returns all events matching key, in time order.
+func find(res *Result, k trace.Key) []trace.Event {
+	var out []trace.Event
+	for _, e := range res.Trace.Events {
+		if trace.EventKey(&e) == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func timeOrdered(res *Result) bool {
+	ev := res.Trace.Events
+	for i := 1; i < len(ev); i++ {
+		if ev[i].Time < ev[i-1].Time {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSequentialEventsAndDurations(t *testing.T) {
+	p := prog.New("app", "App")
+	p.AddMethod("C::leaf", prog.Cp(100), prog.Wr("C::x", "o", 7))
+	p.AddTest("T", prog.Do("C::leaf", "o"), prog.Rd("C::x", "o"))
+	res := run(t, p, Options{Seed: 1})
+
+	if !timeOrdered(res) {
+		t.Fatal("trace not time ordered")
+	}
+	begins := find(res, prog.BK("C::leaf"))
+	ends := find(res, prog.EK("C::leaf"))
+	if len(begins) != 1 || len(ends) != 1 {
+		t.Fatalf("begin/end counts = %d/%d, want 1/1", len(begins), len(ends))
+	}
+	if ends[0].Time <= begins[0].Time {
+		t.Error("method end must follow begin")
+	}
+	ws := find(res, prog.WK("C::x"))
+	rs := find(res, prog.RK("C::x"))
+	if len(ws) != 1 || len(rs) != 1 {
+		t.Fatalf("write/read counts = %d/%d", len(ws), len(rs))
+	}
+	if ws[0].Addr != rs[0].Addr || ws[0].Addr == 0 {
+		t.Error("same field+object must share a nonzero address")
+	}
+	if ws[0].Time <= begins[0].Time || ws[0].Time >= ends[0].Time {
+		t.Error("write inside method must be between begin and end")
+	}
+}
+
+func TestMonitorMutualExclusion(t *testing.T) {
+	// Two threads increment inside a lock; the lock's critical sections
+	// must not overlap in virtual time.
+	p := prog.New("app", "App")
+	p.AddMethod("C::crit",
+		prog.Lock("L"),
+		prog.Cp(500),
+		prog.Wr("C::n", "o", 1),
+		prog.Unlock("L"),
+	)
+	p.AddTest("T",
+		prog.Go(prog.ForkThread, "C::crit", "o", "h1"),
+		prog.Go(prog.ForkThread, "C::crit", "o", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	res := run(t, p, Options{Seed: 3})
+
+	enterEnds := find(res, prog.EK(prog.APIMonitorEnter))
+	exitEnds := find(res, prog.EK(prog.APIMonitorExit))
+	if len(enterEnds) != 2 || len(exitEnds) != 2 {
+		t.Fatalf("enter/exit = %d/%d, want 2/2", len(enterEnds), len(exitEnds))
+	}
+	// Sections: [enterEnd_i, exitEnd_i] per thread; they must be disjoint.
+	type sec struct{ a, b int64 }
+	bySec := map[int]*sec{}
+	for _, e := range enterEnds {
+		bySec[e.Thread] = &sec{a: e.Time}
+	}
+	for _, e := range exitEnds {
+		bySec[e.Thread].b = e.Time
+	}
+	secs := make([]*sec, 0, 2)
+	for _, s := range bySec {
+		secs = append(secs, s)
+	}
+	if len(secs) != 2 {
+		t.Fatalf("expected 2 threads in critical section, got %d", len(secs))
+	}
+	if secs[0].a < secs[1].b && secs[1].a < secs[0].b {
+		t.Errorf("critical sections overlap: [%d,%d] vs [%d,%d]",
+			secs[0].a, secs[0].b, secs[1].a, secs[1].b)
+	}
+}
+
+func TestSemaphoreOrdering(t *testing.T) {
+	// Consumer waits; producer sets after writing. WaitOne's end must be
+	// at/after Set's end, and the read must follow the write.
+	p := prog.New("app", "App")
+	p.AddMethod("C::producer", prog.Cp(1000), prog.Wr("C::data", "o", 42), prog.Set("S"))
+	p.AddMethod("C::consumer", prog.Wait("S"), prog.Rd("C::data", "o"))
+	p.AddTest("T",
+		prog.Go(prog.ForkTaskRun, "C::consumer", "o", "hc"),
+		prog.Go(prog.ForkTaskRun, "C::producer", "o", "hp"),
+		prog.WaitT("hc"), prog.WaitT("hp"),
+	)
+	res := run(t, p, Options{Seed: 5})
+	set := find(res, prog.EK(prog.APISemSet))
+	waitEnd := find(res, prog.EK(prog.APISemWait))
+	if len(set) != 1 || len(waitEnd) != 1 {
+		t.Fatalf("set/wait = %d/%d", len(set), len(waitEnd))
+	}
+	if waitEnd[0].Time < set[0].Time {
+		t.Error("WaitOne completed before Set")
+	}
+	w := find(res, prog.WK("C::data"))[0]
+	r := find(res, prog.RK("C::data"))[0]
+	if r.Time < w.Time {
+		t.Error("consumer read before producer write despite semaphore")
+	}
+}
+
+func TestWaitAllBlocksForAllSignals(t *testing.T) {
+	p := prog.New("app", "App")
+	p.AddMethod("C::w1", prog.Cp(500), prog.Set("S1"))
+	p.AddMethod("C::w2", prog.Cp(2500), prog.Set("S2"))
+	p.AddTest("T",
+		prog.Go(prog.ForkThread, "C::w1", "o", "h1"),
+		prog.Go(prog.ForkThread, "C::w2", "o", "h2"),
+		prog.All("S1", "S2"),
+	)
+	res := run(t, p, Options{Seed: 7})
+	all := find(res, prog.EK(prog.APIWaitAll))
+	if len(all) != 1 {
+		t.Fatalf("WaitAll events = %d", len(all))
+	}
+	for _, set := range find(res, prog.EK(prog.APISemSet)) {
+		if all[0].Time < set.Time {
+			t.Error("WaitAll returned before a Set")
+		}
+	}
+}
+
+func TestQueuePostReceiveRunsHandler(t *testing.T) {
+	p := prog.New("app", "App")
+	p.AddMethod("C::handler", prog.Cp(100))
+	p.AddMethod("C::recv", prog.RecvQ("Q", "C::handler", "o"))
+	p.AddTest("T",
+		prog.Go(prog.ForkThread, "C::recv", "o", "hr"),
+		prog.Cp(800),
+		prog.PostQ("Q"),
+		prog.JoinT("hr"),
+	)
+	res := run(t, p, Options{Seed: 9})
+	post := find(res, prog.EK(prog.APIPost))
+	recvEnd := find(res, prog.EK(prog.APIReceive))
+	hBegin := find(res, prog.BK("C::handler"))
+	if len(post) != 1 || len(recvEnd) != 1 || len(hBegin) != 1 {
+		t.Fatalf("post/recv/handler = %d/%d/%d", len(post), len(recvEnd), len(hBegin))
+	}
+	if recvEnd[0].Time < post[0].Time {
+		t.Error("Receive returned before Post")
+	}
+	if hBegin[0].Time < recvEnd[0].Time {
+		t.Error("handler began before Receive returned")
+	}
+}
+
+func TestForkJoinAllAPIs(t *testing.T) {
+	apis := []prog.ForkAPI{prog.ForkThread, prog.ForkTaskRun, prog.ForkTaskNew, prog.ForkThreadPool}
+	for _, api := range apis {
+		p := prog.New("app", "App")
+		p.AddMethod("C::work", prog.Cp(200), prog.Wr("C::y", "o", 1))
+		p.AddTest("T",
+			prog.Go(api, "C::work", "o", "h"),
+			prog.JoinT("h"),
+			prog.Rd("C::y", "o"),
+		)
+		res := run(t, p, Options{Seed: 11})
+		forkEnd := find(res, prog.EK(api.APIName()))
+		delegateBegin := find(res, prog.BK("C::work"))
+		if len(forkEnd) != 1 || len(delegateBegin) != 1 {
+			t.Fatalf("%v: fork/delegate = %d/%d", api, len(forkEnd), len(delegateBegin))
+		}
+		if delegateBegin[0].Time < forkEnd[0].Time {
+			t.Errorf("%v: delegate began before fork returned", api)
+		}
+		joinEnd := find(res, prog.EK(prog.JoinThread.APIName()))
+		workEnd := find(res, prog.EK("C::work"))
+		if joinEnd[0].Time < workEnd[0].Time {
+			t.Errorf("%v: join returned before delegate finished", api)
+		}
+	}
+}
+
+func TestContinueWithOrdering(t *testing.T) {
+	p := prog.New("app", "App")
+	p.AddMethod("C::a1", prog.Cp(400), prog.Wr("C::z", "o", 1))
+	p.AddMethod("C::a2", prog.Rd("C::z", "o"))
+	p.AddTest("T",
+		prog.Go(prog.ForkTaskRun, "C::a1", "o", "t1"),
+		prog.Then("t1", "C::a2", "o", "t2"),
+		prog.WaitT("t2"),
+	)
+	res := run(t, p, Options{Seed: 13})
+	a1End := find(res, prog.EK("C::a1"))
+	a2Begin := find(res, prog.BK("C::a2"))
+	if len(a1End) != 1 || len(a2Begin) != 1 {
+		t.Fatalf("a1End/a2Begin = %d/%d", len(a1End), len(a2Begin))
+	}
+	if a2Begin[0].Time < a1End[0].Time {
+		t.Error("continuation began before antecedent finished")
+	}
+}
+
+func TestContinueWithAfterCompletion(t *testing.T) {
+	// Registering the continuation after the antecedent already finished
+	// must still fire it.
+	p := prog.New("app", "App")
+	p.AddMethod("C::fast", prog.Cp(10))
+	p.AddMethod("C::cont", prog.Cp(10))
+	p.AddTest("T",
+		prog.Go(prog.ForkTaskRun, "C::fast", "o", "t1"),
+		prog.Cp(5000), // let t1 finish first
+		prog.Then("t1", "C::cont", "o", "t2"),
+		prog.WaitT("t2"),
+	)
+	res := run(t, p, Options{Seed: 15})
+	if len(find(res, prog.BK("C::cont"))) != 1 {
+		t.Fatal("late-registered continuation did not run")
+	}
+}
+
+func TestSpinUntilFlagSync(t *testing.T) {
+	p := prog.New("app", "App")
+	p.AddMethod("C::writer", prog.Cp(2000), prog.Wr("C::flag", "o", 1))
+	p.AddMethod("C::waiter", prog.Spin("C::flag", "o", 1, 300), prog.Rd("C::data2", "o"))
+	p.AddTest("T",
+		prog.Go(prog.ForkThread, "C::waiter", "o", "hw"),
+		prog.Go(prog.ForkThread, "C::writer", "o", "hr"),
+		prog.JoinT("hw"), prog.JoinT("hr"),
+	)
+	res := run(t, p, Options{Seed: 17})
+	reads := find(res, prog.RK("C::flag"))
+	if len(reads) < 2 {
+		t.Fatalf("spin produced %d reads, expected several polls", len(reads))
+	}
+	w := find(res, prog.WK("C::flag"))[0]
+	last := reads[len(reads)-1]
+	if last.Time < w.Time {
+		t.Error("spin exited before the flag write")
+	}
+}
+
+func TestStaticInitRunsOnceAndBlocks(t *testing.T) {
+	p := prog.New("app", "App")
+	p.AddMethod("C::.cctor", prog.Cp(3000), prog.Wr("C::table", "", 1))
+	p.AddMethod("C::use",
+		prog.StaticInit("C", "C::.cctor"),
+		prog.Rd("C::table", ""),
+	)
+	p.AddTest("T",
+		prog.Go(prog.ForkThread, "C::use", "o1", "h1"),
+		prog.Go(prog.ForkThread, "C::use", "o2", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	res := run(t, p, Options{Seed: 19})
+	ctors := find(res, prog.BK("C::.cctor"))
+	if len(ctors) != 1 {
+		t.Fatalf("cctor ran %d times, want exactly 1", len(ctors))
+	}
+	ctorEnd := find(res, prog.EK("C::.cctor"))[0]
+	for _, r := range find(res, prog.RK("C::table")) {
+		if r.Time < ctorEnd.Time {
+			t.Error("field used before static constructor completed")
+		}
+	}
+}
+
+func TestFinalizerRunsAfterDropWithGCDelay(t *testing.T) {
+	p := prog.New("app", "App")
+	p.AddMethod("C::Finalize", prog.Cp(50))
+	p.AddTest("T",
+		prog.Wr("C::ref", "o", 0),
+		prog.GC("o", "C::Finalize", 5000),
+	)
+	res := run(t, p, Options{Seed: 21})
+	w := find(res, prog.WK("C::ref"))[0]
+	fin := find(res, prog.BK("C::Finalize"))
+	if len(fin) != 1 {
+		t.Fatalf("finalizer ran %d times", len(fin))
+	}
+	if fin[0].Time < w.Time+5000 {
+		t.Errorf("finalizer at %d, want >= %d (GC delay)", fin[0].Time, w.Time+5000)
+	}
+}
+
+func TestTestInitPattern(t *testing.T) {
+	p := prog.New("app", "App")
+	p.AddMethod("Tests::TestInitialize", prog.Cp(500), prog.Wr("Tests::env", "", 1))
+	p.AddTestWithInit("Tests::Body", "Tests::TestInitialize",
+		prog.Rd("Tests::env", ""),
+	)
+	res := run(t, p, Options{Seed: 23})
+	initEnd := find(res, prog.EK("Tests::TestInitialize"))
+	bodyBegin := find(res, prog.BK("Tests::Body"))
+	if len(initEnd) != 1 || len(bodyBegin) != 1 {
+		t.Fatalf("init/body = %d/%d", len(initEnd), len(bodyBegin))
+	}
+	if bodyBegin[0].Time < initEnd[0].Time {
+		t.Error("test body began before TestInitialize completed")
+	}
+	if bodyBegin[0].Thread == initEnd[0].Thread {
+		t.Error("test body should run in a different thread than init")
+	}
+}
+
+func TestHiddenLockSynchronizesWithoutEvents(t *testing.T) {
+	p := prog.New("app", "App")
+	p.AddMethod("C::GetOrAdd",
+		prog.HLock("inner"),
+		prog.Cp(400),
+		prog.Wr("C::cache", "", 1),
+		prog.HUnlock("inner"),
+	)
+	p.AddTest("T",
+		prog.Go(prog.ForkThread, "C::GetOrAdd", "o", "h1"),
+		prog.Go(prog.ForkThread, "C::GetOrAdd", "o", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	res := run(t, p, Options{Seed: 25})
+	for _, e := range res.Trace.Events {
+		if e.Name == prog.APIMonitorEnter || e.Name == prog.APIMonitorExit {
+			t.Fatalf("hidden lock leaked a monitor event: %v", e)
+		}
+	}
+	// Critical sections (hidden-lock … write) must still be serialized:
+	// the second write can start only after the first section released,
+	// so the writes are separated by at least the minimum compute time
+	// (400 ns with ±30% jitter ⇒ ≥ 280 ns).
+	ws := find(res, prog.WK("C::cache"))
+	if len(ws) != 2 {
+		t.Fatalf("writes = %d", len(ws))
+	}
+	if gap := ws[1].Time - ws[0].Time; gap < 280 {
+		t.Errorf("cache writes only %d ns apart; hidden lock did not serialize", gap)
+	}
+}
+
+func TestRWLockUpgradeSemantics(t *testing.T) {
+	p := prog.New("app", "App")
+	p.AddMethod("C::upgrader",
+		prog.RdLock("rw"),
+		prog.Cp(100),
+		prog.Upgrade("rw"),
+		prog.Wr("C::shared", "o", 1),
+		prog.Downgrade("rw"),
+		prog.RdUnlock("rw"),
+	)
+	p.AddMethod("C::reader",
+		prog.RdLock("rw"),
+		prog.Rd("C::shared", "o"),
+		prog.RdUnlock("rw"),
+	)
+	p.AddTest("T",
+		prog.Go(prog.ForkThread, "C::upgrader", "o", "h1"),
+		prog.Go(prog.ForkThread, "C::reader", "o", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	res := run(t, p, Options{Seed: 27})
+	if len(find(res, prog.EK(prog.APIRWUpgrade))) != 1 {
+		t.Fatal("missing upgrade event")
+	}
+	if res.Deadlocked {
+		t.Fatal("rw lock deadlocked")
+	}
+}
+
+func TestDelayInjectionRecordsInstances(t *testing.T) {
+	p := prog.New("app", "App")
+	p.AddMethod("C::w", prog.Wr("C::f", "o", 1), prog.Wr("C::f", "o", 2))
+	p.AddTest("T", prog.Do("C::w", "o"))
+	key := prog.WK("C::f")
+	res := run(t, p, Options{Seed: 29, Delays: map[trace.Key]int64{key: 10_000}})
+	if len(res.Delays) != 2 {
+		t.Fatalf("recorded %d delay instances, want 2 (one per dynamic write)", len(res.Delays))
+	}
+	for _, d := range res.Delays {
+		if d.Key != key || d.End-d.Start != 10_000 {
+			t.Errorf("bad delay instance %+v", d)
+		}
+	}
+	// The delayed writes must land after their delay windows.
+	ws := find(res, prog.WK("C::f"))
+	for i, w := range ws {
+		if w.Time < res.Delays[i].End {
+			t.Errorf("write %d at %d precedes delay end %d", i, w.Time, res.Delays[i].End)
+		}
+	}
+}
+
+func TestHiddenMethodsSuppressed(t *testing.T) {
+	p := prog.New("app", "App")
+	p.AddMethod("C::secret", prog.Wr("C::f", "o", 1))
+	p.AddTest("T", prog.Do("C::secret", "o"))
+	res := run(t, p, Options{Seed: 31, HiddenMethods: map[string]bool{"C::secret": true}})
+	if n := len(find(res, prog.BK("C::secret"))) + len(find(res, prog.EK("C::secret"))); n != 0 {
+		t.Fatalf("hidden method leaked %d events", n)
+	}
+	if len(find(res, prog.WK("C::f"))) != 1 {
+		t.Fatal("inner write of hidden method should still be traced")
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	build := func() *prog.Program {
+		p := prog.New("app", "App")
+		p.AddMethod("C::crit", prog.Lock("L"), prog.Cp(200), prog.Wr("C::n", "o", 1), prog.Unlock("L"))
+		p.AddTest("T",
+			prog.Go(prog.ForkThread, "C::crit", "o", "h1"),
+			prog.Go(prog.ForkThread, "C::crit", "o", "h2"),
+			prog.JoinT("h1"), prog.JoinT("h2"),
+		)
+		return p
+	}
+	render := func(r *Result) string {
+		s := ""
+		for i := range r.Trace.Events {
+			s += r.Trace.Events[i].String() + "\n"
+		}
+		return s
+	}
+	a := run(t, build(), Options{Seed: 99})
+	b := run(t, build(), Options{Seed: 99})
+	if render(a) != render(b) {
+		t.Fatal("same seed produced different traces")
+	}
+	c := run(t, build(), Options{Seed: 100})
+	if render(a) == render(c) {
+		t.Error("different seeds produced identical traces (no jitter?)")
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	p := prog.New("app", "App")
+	p.AddTest("T", prog.Wait("never"))
+	p.MustFinalize()
+	res, err := Run(p, p.Tests[0], Options{Seed: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Deadlocked {
+		t.Fatal("expected deadlock to be reported")
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	p := prog.New("app", "App")
+	p.AddTest("T", prog.Spin("C::never", "o", 1, 10))
+	p.MustFinalize()
+	_, err := Run(p, p.Tests[0], Options{Seed: 1, MaxSteps: 1000})
+	if !errors.Is(err, ErrTooManySteps) {
+		t.Fatalf("want ErrTooManySteps, got %v", err)
+	}
+}
+
+func TestUnsafeCallEvents(t *testing.T) {
+	p := prog.New("app", "App")
+	p.AddTest("T", prog.ListAdd("list"), prog.ListRead("list"))
+	res := run(t, p, Options{Seed: 33})
+	adds := find(res, prog.BK("System.Collections.Generic.List::Add"))
+	if len(adds) != 1 {
+		t.Fatalf("adds = %d", len(adds))
+	}
+	if !adds[0].Unsafe || adds[0].Acc != trace.AccWrite || adds[0].Addr == 0 {
+		t.Errorf("unsafe call event malformed: %+v", adds[0])
+	}
+	gets := find(res, prog.BK("System.Collections.Generic.List::get_Item"))
+	if gets[0].Addr != adds[0].Addr {
+		t.Error("same collection must share an address")
+	}
+}
+
+func TestDisableTracing(t *testing.T) {
+	p := prog.New("app", "App")
+	p.AddMethod("C::m", prog.Cp(10), prog.Wr("C::f", "o", 1))
+	p.AddTest("T", prog.Do("C::m", "o"))
+	res := run(t, p, Options{Seed: 35, DisableTracing: true})
+	if res.Trace.Len() != 0 {
+		t.Fatalf("tracing disabled but %d events recorded", res.Trace.Len())
+	}
+}
+
+func TestLoopExecutesNTimes(t *testing.T) {
+	p := prog.New("app", "App")
+	p.AddTest("T", prog.Rep(5, prog.Wr("C::i", "o", 1)))
+	res := run(t, p, Options{Seed: 37})
+	if n := len(find(res, prog.WK("C::i"))); n != 5 {
+		t.Fatalf("loop body ran %d times, want 5", n)
+	}
+}
+
+func TestBarrierRendezvous(t *testing.T) {
+	// Three parties write before the barrier and read after it: every
+	// post-barrier read must follow every pre-barrier write.
+	p := prog.New("app", "App")
+	for i := 1; i <= 3; i++ {
+		n := byte('0' + i)
+		p.AddMethod("C::party"+string(n),
+			prog.CpJ(int64(100*i), 0.8),
+			prog.Wr("C::slot"+string(n), "o", int64(i)),
+			prog.Rendezvous("B", 3),
+			prog.Rd("C::slot1", "o"),
+		)
+	}
+	p.AddTest("T",
+		prog.Go(prog.ForkThread, "C::party1", "o", "h1"),
+		prog.Go(prog.ForkThread, "C::party2", "o", "h2"),
+		prog.Go(prog.ForkThread, "C::party3", "o", "h3"),
+		prog.JoinT("h1"), prog.JoinT("h2"), prog.JoinT("h3"),
+	)
+	res := run(t, p, Options{Seed: 41})
+	var lastWrite, firstRead int64 = 0, 1 << 62
+	for _, e := range res.Trace.Events {
+		if e.Kind == trace.KindWrite && e.Time > lastWrite {
+			lastWrite = e.Time
+		}
+		if e.Kind == trace.KindRead && e.Time < firstRead {
+			firstRead = e.Time
+		}
+	}
+	if firstRead < lastWrite {
+		t.Errorf("post-barrier read at %d precedes pre-barrier write at %d", firstRead, lastWrite)
+	}
+	if n := len(find(res, prog.EK(prog.APIBarrier))); n != 3 {
+		t.Errorf("barrier end events = %d, want 3", n)
+	}
+}
+
+func TestBarrierMultipleGenerations(t *testing.T) {
+	p := prog.New("app", "App")
+	p.AddMethod("C::looper",
+		prog.Rep(2,
+			prog.CpJ(150, 0.8),
+			prog.Rendezvous("B", 2),
+		),
+	)
+	p.AddTest("T",
+		prog.Go(prog.ForkThread, "C::looper", "o", "h1"),
+		prog.Go(prog.ForkThread, "C::looper", "o", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	res := run(t, p, Options{Seed: 43})
+	if n := len(find(res, prog.EK(prog.APIBarrier))); n != 4 {
+		t.Errorf("barrier crossings = %d, want 4 (2 threads x 2 generations)", n)
+	}
+}

@@ -1,0 +1,72 @@
+package solver
+
+import (
+	"testing"
+
+	"sherlock/internal/trace"
+	"sherlock/internal/window"
+)
+
+// Soft Single-Role (the paper's Section 5.5 future-work extension): with
+// strong evidence for both roles of one API, the hard constraint forfeits
+// one of them; the soft constraint pays the λ penalty and keeps both.
+func TestSoftSingleRoleRecoversDoubleRole(t *testing.T) {
+	api := "Lib::UpgradeToWriterLock"
+	o := window.NewObservations(window.DefaultConfig())
+	var ws []window.Window
+	// Strong evidence: several independent windows demand each role.
+	for i := 0; i < 4; i++ {
+		ws = append(ws,
+			window.Window{Pair: window.PairID{First: 10 + i, Second: 20 + i},
+				RelEvents: cands(ek(api)), AcqEvents: cands(rk("C::f"))},
+			window.Window{Pair: window.PairID{First: 30 + i, Second: 40 + i},
+				RelEvents: cands(wk("C::f")), AcqEvents: cands(bk(api))},
+		)
+	}
+	o.AddWindows(ws)
+	o.AddTraceStats(&trace.Trace{Events: []trace.Event{
+		{Time: 1, Kind: trace.KindBegin, Name: api, Lib: true},
+		{Time: 2, Kind: trace.KindEnd, Name: api, Lib: true},
+	}})
+
+	// Hard constraint: at most one role.
+	hard := solveOK(t, o, DefaultConfig())
+	bothHard := hard.Acquires[bk(api)] >= 0.9 && hard.Releases[ek(api)] >= 0.9
+	if bothHard {
+		t.Fatal("hard Single-Role should forbid the double role")
+	}
+
+	// Soft constraint: both roles survive.
+	cfg := DefaultConfig()
+	cfg.SoftSingleRole = true
+	soft := solveOK(t, o, cfg)
+	if soft.Acquires[bk(api)] < 0.9 || soft.Releases[ek(api)] < 0.9 {
+		t.Errorf("soft Single-Role should keep both roles: acq=%v rel=%v",
+			soft.Acquires[bk(api)], soft.Releases[ek(api)])
+	}
+}
+
+// With weak evidence, the soft constraint still behaves like Single-Role:
+// the λ penalty outweighs a single marginal window.
+func TestSoftSingleRoleStillRegularizes(t *testing.T) {
+	api := "Lib::Op"
+	o := window.NewObservations(window.DefaultConfig())
+	// Both roles fully determined elsewhere; the API appears once per side
+	// alongside a cheaper alternative.
+	o.AddWindows([]window.Window{
+		{Pair: window.PairID{First: 1, Second: 2},
+			RelEvents: cands(ek(api), wk("C::v")), AcqEvents: cands(rk("C::v"))},
+		{Pair: window.PairID{First: 3, Second: 4},
+			RelEvents: cands(wk("C::v")), AcqEvents: cands(bk(api), rk("C::v"))},
+	})
+	o.AddTraceStats(&trace.Trace{Events: []trace.Event{
+		{Time: 1, Kind: trace.KindBegin, Name: api, Lib: true},
+		{Time: 2, Kind: trace.KindEnd, Name: api, Lib: true},
+	}})
+	cfg := DefaultConfig()
+	cfg.SoftSingleRole = true
+	r := solveOK(t, o, cfg)
+	if r.Acquires[bk(api)] >= 0.9 && r.Releases[ek(api)] >= 0.9 {
+		t.Error("weakly supported API should not claim both roles even under the soft constraint")
+	}
+}

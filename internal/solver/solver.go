@@ -1,0 +1,413 @@
+// Package solver encodes SherLock's synchronization properties and
+// hypotheses (paper Section 2) over accumulated observations as a linear
+// program (Section 4.2, Eq. 1–8) and interprets the optimum as
+// acquire/release probabilities per candidate operation.
+//
+// Hard constraints (properties):
+//
+//   - Read-Acquire & Write-Release: read^rel = write^acq = begin^rel =
+//     end^acq = 0. Implemented by not creating those variables at all; the
+//     Table 5 ablation re-creates them (plus the role-exclusivity
+//     constraint acq+rel ≤ 1 the paper states alongside).
+//   - Single Role: a library API serves one synchronization role:
+//     begin(l)^acq + end(l)^rel ≤ 1.
+//
+// Soft constraints (hypotheses), as objective penalties:
+//
+//   - Mostly Protected (Eq. 2): per window, ε ≥ 1 − Σ role-capable vars,
+//     minimize ε (weight 1).
+//   - Synchronizations are Rare (Eq. 3, 4): λ·(v + 0.1·avgOcc(v)·v).
+//   - Acquisition-Time Mostly Varies (Eq. 5): λ·(1 − pct(CV(dur)))·begin^acq.
+//   - Mostly Paired (Eq. 6, 7): λ·|Σ acq − Σ rel| per class (methods) and
+//     λ·|read(f)^acq − write(f)^rel| per field.
+//
+// λ scales everything except Mostly-Protected (Table 6's behaviour: larger
+// λ ⇒ Mostly-Protected loses relative weight ⇒ fewer inferred syncs).
+package solver
+
+import (
+	"fmt"
+	"sort"
+
+	"sherlock/internal/lp"
+	"sherlock/internal/trace"
+	"sherlock/internal/window"
+)
+
+// Hypotheses toggles each property/hypothesis for the Table 5 ablation.
+type Hypotheses struct {
+	MostlyProtected bool
+	SyncsAreRare    bool
+	AcqTimeVaries   bool
+	MostlyPaired    bool
+	ReadAcqWriteRel bool
+	SingleRole      bool
+}
+
+// AllHypotheses enables everything (SherLock's default).
+func AllHypotheses() Hypotheses {
+	return Hypotheses{
+		MostlyProtected: true,
+		SyncsAreRare:    true,
+		AcqTimeVaries:   true,
+		MostlyPaired:    true,
+		ReadAcqWriteRel: true,
+		SingleRole:      true,
+	}
+}
+
+// Config tunes the encoding.
+type Config struct {
+	// Lambda trades Mostly-Protected off against all other hypotheses
+	// (paper default 0.2; Table 6 sweeps it).
+	Lambda float64
+	// RareCoef is Eq. 4's 0.1 coefficient.
+	RareCoef float64
+	// Threshold is the probability at which a variable counts as a
+	// synchronization ("assigned 1" in the paper; vertex solutions are
+	// near-integral, 0.9 tolerates rounding).
+	Threshold float64
+	// Hyp selects active hypotheses.
+	Hyp Hypotheses
+	// KeepRacyWindows disables the data-race-observation feedback: windows
+	// from racy pairs keep their Mostly-Protected terms (Figure 4's "no
+	// race removal" line).
+	KeepRacyWindows bool
+	// SoftSingleRole turns the Single-Role property into a soft constraint
+	// (penalty λ·max(0, begin^acq + end^rel − 1)) instead of a hard one —
+	// the extension the paper proposes in Section 5.5 to recover
+	// double-role APIs like UpgradeToWriterLock.
+	SoftSingleRole bool
+}
+
+// DefaultConfig mirrors the paper's defaults.
+func DefaultConfig() Config {
+	return Config{Lambda: 0.2, RareCoef: 0.1, Threshold: 0.9, Hyp: AllHypotheses()}
+}
+
+// Result is the solved inference state.
+type Result struct {
+	// Acquires / Releases map every candidate to its solved probability of
+	// serving that role.
+	Acquires map[trace.Key]float64
+	Releases map[trace.Key]float64
+	// AcquireSet / ReleaseSet are the keys at/above Threshold, sorted.
+	AcquireSet []trace.Key
+	ReleaseSet []trace.Key
+	// Objective is the LP optimum; Vars/Constraints/Iters describe problem
+	// size (overhead reporting).
+	Objective   float64
+	Vars        int
+	Constraints int
+	Iters       int
+}
+
+// Syncs returns the union of inferred acquire and release keys with roles.
+func (r *Result) Syncs() map[trace.Key]trace.Role {
+	out := map[trace.Key]trace.Role{}
+	for _, k := range r.AcquireSet {
+		out[k] = trace.RoleAcquire
+	}
+	for _, k := range r.ReleaseSet {
+		out[k] = trace.RoleRelease
+	}
+	return out
+}
+
+// IsRelease reports whether the solver currently believes key is a release
+// (Perturber input).
+func (r *Result) IsRelease(k trace.Key) bool {
+	return r.Releases[k] >= 0.9
+}
+
+// vars holds the per-key LP variable ids (−1 when the role variable does
+// not exist under the Read-Acquire & Write-Release property).
+type varPair struct {
+	acq, rel int
+}
+
+type encoder struct {
+	cfg  Config
+	obs  *window.Observations
+	prob *lp.Problem
+	vars map[trace.Key]varPair
+}
+
+// Solve encodes the accumulated observations and returns the optimum.
+func Solve(obs *window.Observations, cfg Config) (*Result, error) {
+	e := &encoder{cfg: cfg, obs: obs, prob: lp.NewProblem(), vars: map[trace.Key]varPair{}}
+
+	windows := obs.ActiveWindows()
+	if cfg.KeepRacyWindows {
+		windows = obs.Windows
+	}
+
+	// Collect candidate keys from every accumulated window (racy ones
+	// included: their keys can still participate in pairing terms), in
+	// deterministic order.
+	keySet := map[trace.Key]bool{}
+	for _, w := range obs.Windows {
+		for k := range w.UniqueRel() {
+			keySet[k] = true
+		}
+		for k := range w.UniqueAcq() {
+			keySet[k] = true
+		}
+	}
+	keys := make([]trace.Key, 0, len(keySet))
+	for k := range keySet {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	for _, k := range keys {
+		e.addVars(k)
+	}
+	e.addMostlyProtected(windows)
+	e.addRareness(keys)
+	e.addAcqTimeVaries(keys)
+	e.addMostlyPaired(keys)
+	e.addSingleRole(keys)
+
+	sol, err := e.prob.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("solver: %w", err)
+	}
+
+	res := &Result{
+		Acquires:    map[trace.Key]float64{},
+		Releases:    map[trace.Key]float64{},
+		Objective:   sol.Objective,
+		Vars:        e.prob.NumVars(),
+		Constraints: e.prob.NumConstraints(),
+		Iters:       sol.Iters,
+	}
+	for _, k := range keys {
+		vp := e.vars[k]
+		if vp.acq >= 0 {
+			p := sol.Value(vp.acq)
+			res.Acquires[k] = p
+			if p >= cfg.Threshold {
+				res.AcquireSet = append(res.AcquireSet, k)
+			}
+		}
+		if vp.rel >= 0 {
+			p := sol.Value(vp.rel)
+			res.Releases[k] = p
+			if p >= cfg.Threshold {
+				res.ReleaseSet = append(res.ReleaseSet, k)
+			}
+		}
+	}
+	return res, nil
+}
+
+// addVars creates the role variables of one candidate under the
+// Read-Acquire & Write-Release property (or both roles under its ablation,
+// with the role-exclusivity constraint instead).
+func (e *encoder) addVars(k trace.Key) {
+	vp := varPair{acq: -1, rel: -1}
+	acqCapable := trace.AcquireCapable(k.Kind())
+	relCapable := trace.ReleaseCapable(k.Kind())
+	if !e.cfg.Hyp.ReadAcqWriteRel {
+		// Ablation: every op may serve either role, but never both.
+		acqCapable, relCapable = true, true
+	}
+	if acqCapable {
+		vp.acq = e.prob.AddVariable(string(k) + "^acq")
+		e.prob.SetUpperBound(vp.acq, 1)
+	}
+	if relCapable {
+		vp.rel = e.prob.AddVariable(string(k) + "^rel")
+		e.prob.SetUpperBound(vp.rel, 1)
+	}
+	if vp.acq >= 0 && vp.rel >= 0 {
+		// A release cannot be an acquire and vice versa.
+		e.prob.AddConstraint(map[int]float64{vp.acq: 1, vp.rel: 1}, lp.LE, 1)
+	}
+	e.vars[k] = vp
+}
+
+// addMostlyProtected adds Eq. 2's rel(w) and acq(w) terms for every window.
+func (e *encoder) addMostlyProtected(windows []window.Window) {
+	if !e.cfg.Hyp.MostlyProtected {
+		return
+	}
+	for wi, w := range windows {
+		e.addWindowTerm(fmt.Sprintf("rel(w%d)", wi), w.UniqueRel(), trace.RoleRelease)
+		e.addWindowTerm(fmt.Sprintf("acq(w%d)", wi), w.UniqueAcq(), trace.RoleAcquire)
+	}
+}
+
+// addWindowTerm adds ε ≥ 1 − Σ var over the distinct role-capable
+// candidates of one window side, with cost 1 on ε. Each distinct operation
+// contributes its variable once regardless of dynamic occurrences (paper
+// Section 4.2).
+func (e *encoder) addWindowTerm(name string, cands map[trace.Key]int, role trace.Role) {
+	coeffs := map[int]float64{}
+	ordered := make([]trace.Key, 0, len(cands))
+	for k := range cands {
+		ordered = append(ordered, k)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+	for _, k := range ordered {
+		vp := e.vars[k]
+		v := vp.rel
+		if role == trace.RoleAcquire {
+			v = vp.acq
+		}
+		if v >= 0 {
+			coeffs[v] += 1
+		}
+	}
+	eps := e.prob.AddVariable(name)
+	e.prob.AddCost(eps, 1)
+	coeffs[eps] = 1
+	e.prob.AddConstraint(coeffs, lp.GE, 1)
+}
+
+// addRareness adds Eq. 3's regularization and Eq. 4's occurrence penalty.
+func (e *encoder) addRareness(keys []trace.Key) {
+	if !e.cfg.Hyp.SyncsAreRare {
+		return
+	}
+	for _, k := range keys {
+		pen := e.cfg.Lambda * (1 + e.cfg.RareCoef*e.obs.AvgOccurrence(k))
+		vp := e.vars[k]
+		if vp.acq >= 0 {
+			e.prob.AddCost(vp.acq, pen)
+		}
+		if vp.rel >= 0 {
+			e.prob.AddCost(vp.rel, pen)
+		}
+	}
+}
+
+// addAcqTimeVaries adds Eq. 5's duration-variation penalty on method-entry
+// acquire variables.
+func (e *encoder) addAcqTimeVaries(keys []trace.Key) {
+	if !e.cfg.Hyp.AcqTimeVaries {
+		return
+	}
+	pct := e.obs.CVPercentiles()
+	for _, k := range keys {
+		if k.Kind() != trace.KindBegin {
+			continue
+		}
+		vp := e.vars[k]
+		if vp.acq < 0 {
+			continue
+		}
+		p := pct[k.Name()] // methods never completed rank at percentile 0
+		e.prob.AddCost(vp.acq, e.cfg.Lambda*(1-p))
+	}
+}
+
+// addMostlyPaired adds Eq. 6 (class-level method pairing) and Eq. 7
+// (field read/write pairing).
+func (e *encoder) addMostlyPaired(keys []trace.Key) {
+	if !e.cfg.Hyp.MostlyPaired {
+		return
+	}
+	// Eq. 6: per class, |Σ method acq − Σ method rel|.
+	classAcq := map[string][]int{}
+	classRel := map[string][]int{}
+	for _, k := range keys {
+		if k.IsField() || k.Class() == "" {
+			continue
+		}
+		vp := e.vars[k]
+		if vp.acq >= 0 {
+			classAcq[k.Class()] = append(classAcq[k.Class()], vp.acq)
+		}
+		if vp.rel >= 0 {
+			classRel[k.Class()] = append(classRel[k.Class()], vp.rel)
+		}
+	}
+	classes := map[string]bool{}
+	for c := range classAcq {
+		classes[c] = true
+	}
+	for c := range classRel {
+		classes[c] = true
+	}
+	ordered := make([]string, 0, len(classes))
+	for c := range classes {
+		ordered = append(ordered, c)
+	}
+	sort.Strings(ordered)
+	for _, c := range ordered {
+		e.addAbsTerm("pair_c("+c+")", classAcq[c], classRel[c])
+	}
+
+	// Eq. 7: per field, |read^acq − write^rel|.
+	fields := map[string]bool{}
+	for _, k := range keys {
+		if k.IsField() {
+			fields[k.Name()] = true
+		}
+	}
+	orderedF := make([]string, 0, len(fields))
+	for f := range fields {
+		orderedF = append(orderedF, f)
+	}
+	sort.Strings(orderedF)
+	for _, f := range orderedF {
+		var acqs, rels []int
+		if vp, ok := e.vars[trace.KeyFor(trace.KindRead, f)]; ok && vp.acq >= 0 {
+			acqs = append(acqs, vp.acq)
+		}
+		if vp, ok := e.vars[trace.KeyFor(trace.KindWrite, f)]; ok && vp.rel >= 0 {
+			rels = append(rels, vp.rel)
+		}
+		if len(acqs)+len(rels) > 0 {
+			e.addAbsTerm("pair_f("+f+")", acqs, rels)
+		}
+	}
+}
+
+// addAbsTerm adds t ≥ ±(Σ acqs − Σ rels) with cost λ·t.
+func (e *encoder) addAbsTerm(name string, acqs, rels []int) {
+	t := e.prob.AddVariable(name)
+	e.prob.AddCost(t, e.cfg.Lambda)
+	pos := map[int]float64{t: 1}
+	neg := map[int]float64{t: 1}
+	for _, v := range acqs {
+		pos[v] -= 1
+		neg[v] += 1
+	}
+	for _, v := range rels {
+		pos[v] += 1
+		neg[v] -= 1
+	}
+	e.prob.AddConstraint(pos, lp.GE, 0)
+	e.prob.AddConstraint(neg, lp.GE, 0)
+}
+
+// addSingleRole adds begin(l)^acq + end(l)^rel ≤ 1 for every library API —
+// or, under SoftSingleRole, the relaxed penalty λ·max(0, begin+end−1) that
+// lets strong evidence overrule the assumption (double-role APIs).
+func (e *encoder) addSingleRole(keys []trace.Key) {
+	if !e.cfg.Hyp.SingleRole {
+		return
+	}
+	for _, k := range keys {
+		if k.Kind() != trace.KindBegin || !e.obs.LibAPIs[k.Name()] {
+			continue
+		}
+		beginVP := e.vars[k]
+		endVP, ok := e.vars[trace.KeyFor(trace.KindEnd, k.Name())]
+		if !ok || beginVP.acq < 0 || endVP.rel < 0 {
+			continue
+		}
+		if e.cfg.SoftSingleRole {
+			eps := e.prob.AddVariable("singlerole(" + k.Name() + ")")
+			e.prob.AddCost(eps, e.cfg.Lambda)
+			e.prob.AddConstraint(map[int]float64{
+				eps: 1, beginVP.acq: -1, endVP.rel: -1,
+			}, lp.GE, -1)
+			continue
+		}
+		e.prob.AddConstraint(map[int]float64{beginVP.acq: 1, endVP.rel: 1}, lp.LE, 1)
+	}
+}

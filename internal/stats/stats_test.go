@@ -1,0 +1,192 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{}, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.in); !almostEq(got, c.want) {
+			t.Errorf("Mean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{5}); got != 0 {
+		t.Errorf("StdDev of single sample = %v, want 0", got)
+	}
+	// Population stddev of {2,4,4,4,5,5,7,9} is exactly 2.
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !almostEq(got, 2) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestCV(t *testing.T) {
+	if got := CV([]float64{0, 0, 0}); got != 0 {
+		t.Errorf("CV of zeros = %v, want 0", got)
+	}
+	// Constant positive samples: CV = 0.
+	if got := CV([]float64{3, 3, 3}); !almostEq(got, 0) {
+		t.Errorf("CV of constant = %v, want 0", got)
+	}
+	got := CV([]float64{2, 4, 4, 4, 5, 5, 7, 9}) // stddev 2, mean 5
+	if !almostEq(got, 0.4) {
+		t.Errorf("CV = %v, want 0.4", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	pop := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{0, 0},
+		{1, 0},
+		{3, 0.4},
+		{5.5, 1},
+	}
+	for _, c := range cases {
+		if got := Percentile(c.x, pop); !almostEq(got, c.want) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if got := Percentile(1, nil); got != 0 {
+		t.Errorf("Percentile over empty population = %v, want 0", got)
+	}
+}
+
+func TestPercentilesOrderAndTies(t *testing.T) {
+	xs := []float64{10, 20, 20, 30}
+	got := Percentiles(xs)
+	want := []float64{0, 0.25, 0.25, 0.75}
+	for i := range want {
+		if !almostEq(got[i], want[i]) {
+			t.Fatalf("Percentiles(%v) = %v, want %v", xs, got, want)
+		}
+	}
+	if len(Percentiles(nil)) != 0 {
+		t.Error("Percentiles(nil) should be empty")
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 100)
+	var w Welford
+	for i := range xs {
+		xs[i] = rng.Float64() * 100
+		w.Add(xs[i])
+	}
+	if !almostEq(w.Mean(), Mean(xs)) {
+		t.Errorf("Welford mean %v != batch %v", w.Mean(), Mean(xs))
+	}
+	if math.Abs(w.StdDev()-StdDev(xs)) > 1e-6 {
+		t.Errorf("Welford stddev %v != batch %v", w.StdDev(), StdDev(xs))
+	}
+	if math.Abs(w.CV()-CV(xs)) > 1e-6 {
+		t.Errorf("Welford CV %v != batch %v", w.CV(), CV(xs))
+	}
+}
+
+func TestWelfordMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var all, a, b Welford
+	var xs []float64
+	for i := 0; i < 37; i++ {
+		x := rng.NormFloat64()*3 + 10
+		xs = append(xs, x)
+		all.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(&b)
+	if a.N() != all.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), all.N())
+	}
+	if math.Abs(a.Mean()-all.Mean()) > 1e-9 || math.Abs(a.StdDev()-all.StdDev()) > 1e-9 {
+		t.Errorf("merged (%v,%v) != sequential (%v,%v)", a.Mean(), a.StdDev(), all.Mean(), all.StdDev())
+	}
+	_ = xs
+	// Merging into an empty accumulator copies.
+	var empty Welford
+	empty.Merge(&all)
+	if empty.N() != all.N() || !almostEq(empty.Mean(), all.Mean()) {
+		t.Error("merge into empty accumulator should copy")
+	}
+	// Merging an empty accumulator is a no-op.
+	before := all
+	var e2 Welford
+	all.Merge(&e2)
+	if all != before {
+		t.Error("merging empty accumulator should be a no-op")
+	}
+}
+
+// Property: percentiles are in [0,1], monotone with value, and equal values
+// get equal percentiles.
+func TestPercentilesProperties(t *testing.T) {
+	f := func(raw []uint16) bool {
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r % 100) // force ties
+		}
+		ps := Percentiles(xs)
+		for i := range xs {
+			if ps[i] < 0 || ps[i] > 1 {
+				return false
+			}
+			for j := range xs {
+				if xs[i] == xs[j] && ps[i] != ps[j] {
+					return false
+				}
+				if xs[i] < xs[j] && ps[i] > ps[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Welford matches batch statistics for random inputs.
+func TestWelfordProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		var w Welford
+		for i, r := range raw {
+			xs[i] = float64(r)
+			w.Add(xs[i])
+		}
+		return math.Abs(w.Mean()-Mean(xs)) < 1e-6 && math.Abs(w.StdDev()-StdDev(xs)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

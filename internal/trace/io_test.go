@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleTrace() *Trace {
+	return &Trace{
+		App: "App-4", Test: "Tests::ByteBuffer", Seed: 42,
+		Events: []Event{
+			{Time: 10, Thread: 0, Kind: KindBegin, Name: "C::m", Obj: 3},
+			{Time: 20, Thread: 1, Kind: KindWrite, Name: "C::f", Addr: 0x1000, Site: 7, Acc: AccWrite},
+			{Time: 30, Thread: 1, Kind: KindRead, Name: "C::f", Addr: 0x1000, Site: 8, Acc: AccRead},
+			{Time: 40, Thread: 0, Kind: KindEnd, Name: "Lib::Api", Lib: true, Addr: 9, Child: 2,
+				Extra: []uint64{4, 5}},
+			{Time: 50, Thread: 2, Kind: KindBegin, Name: "List::Add", Lib: true, Unsafe: true,
+				Addr: 11, Acc: AccWrite},
+		},
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.App != tr.App || got.Test != tr.Test || got.Seed != tr.Seed {
+		t.Errorf("metadata mismatch: %+v", got)
+	}
+	if !reflect.DeepEqual(got.Events, tr.Events) {
+		t.Errorf("events mismatch:\n got %+v\nwant %+v", got.Events, tr.Events)
+	}
+}
+
+func TestTraceReadErrors(t *testing.T) {
+	if _, err := Read(strings.NewReader("")); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := Read(strings.NewReader(`{"app":"a","test":"t","events":2}` + "\n" +
+		`{"t":1,"th":0,"k":"read","n":"C::f"}` + "\n")); err == nil {
+		t.Error("truncated trace should fail")
+	}
+	if _, err := Read(strings.NewReader(`{"app":"a","test":"t","events":1}` + "\n" +
+		`{"t":1,"th":0,"k":"bogus","n":"C::f"}` + "\n")); err == nil {
+		t.Error("unknown kind should fail")
+	}
+	if _, err := Read(strings.NewReader(`{"app":"a","test":"t","events":1}` + "\n" +
+		`{"t":1,"th":0,"k":"read","n":"C::f","acc":"zzz"}` + "\n")); err == nil {
+		t.Error("unknown access class should fail")
+	}
+}
+
+// Property: round-tripping random traces is the identity.
+func TestTraceRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		tr := &Trace{App: "a", Test: "t", Seed: int64(trial)}
+		n := rng.Intn(40)
+		tm := int64(0)
+		for i := 0; i < n; i++ {
+			tm += int64(rng.Intn(100))
+			kind := Kind(rng.Intn(4))
+			acc := AccNone
+			if kind == KindRead {
+				acc = AccRead
+			} else if kind == KindWrite {
+				acc = AccWrite
+			}
+			e := Event{
+				Time: tm, Thread: rng.Intn(4), Kind: kind,
+				Name: "C::x", Addr: uint64(rng.Intn(100)), Site: rng.Intn(50),
+				Lib: rng.Intn(2) == 0, Acc: acc,
+			}
+			if rng.Intn(5) == 0 {
+				e.Extra = []uint64{uint64(rng.Intn(9)), uint64(rng.Intn(9))}
+			}
+			tr.Events = append(tr.Events, e)
+		}
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Events) != len(tr.Events) {
+			t.Fatalf("trial %d: length mismatch", trial)
+		}
+		for i := range tr.Events {
+			if !reflect.DeepEqual(got.Events[i], tr.Events[i]) {
+				t.Fatalf("trial %d event %d: %+v != %+v", trial, i, got.Events[i], tr.Events[i])
+			}
+		}
+	}
+}

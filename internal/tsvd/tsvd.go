@@ -1,0 +1,246 @@
+// Package tsvd reproduces the "Enhancing TSVD inference" experiment of the
+// SherLock paper (Section 5.6). TSVD [Li et al., SOSP'19] hunts
+// thread-safety violations: conflicting calls into thread-unsafe library
+// APIs (List.Add vs List.get_Item on the same object). To avoid wasting
+// effort on already-synchronized call pairs, TSVD infers happens-before
+// between a pair by injecting a delay before the first call and checking
+// whether the delay cascades to the second.
+//
+// This package implements that inference over our traces — one delayed run
+// per first-call site — and the SherLock enhancement: a pair also counts as
+// synchronized when SherLock's inferred operations prove the pair ordered
+// (no race on the collection under the SherLock_dr happens-before model).
+package tsvd
+
+import (
+	"sort"
+
+	"sherlock/internal/prog"
+	"sherlock/internal/race"
+	"sherlock/internal/sched"
+	"sherlock/internal/trace"
+)
+
+// Config tunes the analysis.
+type Config struct {
+	Runs  int   // plain runs per test to discover conflicting pairs
+	Near  int64 // pairing window (virtual ns)
+	Delay int64 // injected delay (virtual ns)
+	Seed  int64
+}
+
+// DefaultConfig mirrors the paper's ratios at virtual-time scale.
+func DefaultConfig() Config {
+	return Config{Runs: 3, Near: 1_000_000, Delay: 100_000, Seed: 7}
+}
+
+// Pair is a conflicting thread-unsafe API call pair (static sites, first
+// call's site first).
+type Pair struct {
+	SiteA, SiteB int
+	APIA, APIB   string
+}
+
+// Result summarizes the experiment for one application.
+type Result struct {
+	App string
+	// Conflicting lists every conflicting call pair observed.
+	Conflicting []Pair
+	// TSVDSynced are pairs TSVD's delay-propagation inferred as ordered.
+	TSVDSynced []Pair
+	// SherSynced are pairs proven ordered by SherLock's inferred
+	// synchronizations (no race on the collection under SherLock_dr).
+	SherSynced []Pair
+}
+
+// occurrence is one dynamic instance of a conflicting pair.
+type occurrence struct {
+	pair    Pair
+	test    int
+	addr    uint64
+	threadA int
+	ta, tb  int64
+}
+
+// Analyze runs the full experiment on one application.
+func Analyze(app *prog.Program, inferred map[trace.Key]trace.Role, cfg Config) (*Result, error) {
+	if err := app.Finalize(); err != nil {
+		return nil, err
+	}
+	res := &Result{App: app.Name}
+
+	// Phase 1: plain runs — discover conflicting pairs and collect the
+	// racy-collection evidence for the SherLock enhancement.
+	pairSet := map[Pair]bool{}
+	pairTests := map[Pair]map[int]bool{} // which tests exhibit the pair
+	racedAddrs := map[Pair]bool{}        // pair's collection raced under SherLock_dr
+	model := race.NewSherLockModel(inferred)
+
+	for run := 0; run < cfg.Runs; run++ {
+		for ti, test := range app.Tests {
+			r, err := sched.Run(app, test, sched.Options{
+				Seed:          cfg.Seed + int64(run)*911 + int64(ti)*17,
+				HiddenMethods: app.Truth.HiddenMethods,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if r.Deadlocked {
+				continue
+			}
+			occs := findOccurrences(r.Trace, cfg.Near)
+			racy := racyAddrs(model, r.Trace)
+			for _, o := range occs {
+				pairSet[o.pair] = true
+				if pairTests[o.pair] == nil {
+					pairTests[o.pair] = map[int]bool{}
+				}
+				pairTests[o.pair][ti] = true
+				if racy[o.addr] {
+					racedAddrs[o.pair] = true
+				}
+			}
+		}
+	}
+
+	// Phase 2: TSVD delay probing — one delayed run per distinct
+	// first-call site, over the tests where the pair occurred.
+	siteTests := map[int]map[int]bool{}
+	for p, tests := range pairTests {
+		if siteTests[p.SiteA] == nil {
+			siteTests[p.SiteA] = map[int]bool{}
+		}
+		for ti := range tests {
+			siteTests[p.SiteA][ti] = true
+		}
+	}
+	// A delay before the first call either propagates (the second call is
+	// held back too: the pair survives in order, with the first call
+	// executing right after its delay window) or it does not (the second
+	// call overtakes the delayed first call: the pair shows up REVERSED,
+	// with the new first call landing inside the delay window).
+	const slack = 2_000 // service-time tolerance after a delay window
+	supported := map[Pair]bool{}
+	refuted := map[Pair]bool{}
+	for site, tests := range siteTests {
+		for ti := range tests {
+			r, err := sched.Run(app, app.Tests[ti], sched.Options{
+				Seed:          cfg.Seed + int64(site)*131 + int64(ti)*17,
+				HiddenMethods: app.Truth.HiddenMethods,
+				SiteDelays:    map[int]int64{site: cfg.Delay},
+			})
+			if err != nil {
+				return nil, err
+			}
+			if r.Deadlocked {
+				continue
+			}
+			inDelay := func(t int64) bool {
+				for _, d := range r.Delays {
+					if d.Site == site && t > d.Start && t < d.End {
+						return true
+					}
+				}
+				return false
+			}
+			afterDelay := func(t int64) bool {
+				for _, d := range r.Delays {
+					if d.Site == site && t >= d.End && t <= d.End+slack {
+						return true
+					}
+				}
+				return false
+			}
+			for _, o := range findOccurrences(r.Trace, cfg.Near+cfg.Delay) {
+				if o.pair.SiteA == site && afterDelay(o.ta) {
+					// The delayed call still came first: propagated.
+					supported[o.pair] = true
+				}
+				if o.pair.SiteB == site && inDelay(o.ta) {
+					// The other call overtook the delayed one: the
+					// original-order pair is not synchronized.
+					refuted[Pair{SiteA: o.pair.SiteB, SiteB: o.pair.SiteA,
+						APIA: o.pair.APIB, APIB: o.pair.APIA}] = true
+				}
+			}
+		}
+	}
+	tsvdSynced := map[Pair]bool{}
+	for p := range supported {
+		if !refuted[p] {
+			tsvdSynced[p] = true
+		}
+	}
+
+	for p := range pairSet {
+		res.Conflicting = append(res.Conflicting, p)
+		if tsvdSynced[p] {
+			res.TSVDSynced = append(res.TSVDSynced, p)
+		}
+		if !racedAddrs[p] {
+			res.SherSynced = append(res.SherSynced, p)
+		}
+	}
+	sortPairs(res.Conflicting)
+	sortPairs(res.TSVDSynced)
+	sortPairs(res.SherSynced)
+	return res, nil
+}
+
+func sortPairs(ps []Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].SiteA != ps[j].SiteA {
+			return ps[i].SiteA < ps[j].SiteA
+		}
+		return ps[i].SiteB < ps[j].SiteB
+	})
+}
+
+// findOccurrences extracts conflicting unsafe-call pair instances from a
+// trace: same collection object, different threads, at least one write
+// semantics, within near.
+func findOccurrences(tr *trace.Trace, near int64) []occurrence {
+	type call struct {
+		e trace.Event
+	}
+	byAddr := map[uint64][]call{}
+	for _, e := range tr.Events {
+		if e.Unsafe && e.Kind == trace.KindBegin {
+			byAddr[e.Addr] = append(byAddr[e.Addr], call{e})
+		}
+	}
+	var out []occurrence
+	for addr, calls := range byAddr {
+		for j := 1; j < len(calls); j++ {
+			b := calls[j].e
+			for i := j - 1; i >= 0; i-- {
+				a := calls[i].e
+				if b.Time-a.Time > near {
+					break
+				}
+				if a.Thread == b.Thread {
+					continue
+				}
+				if a.Acc != trace.AccWrite && b.Acc != trace.AccWrite {
+					continue
+				}
+				out = append(out, occurrence{
+					pair: Pair{SiteA: a.Site, SiteB: b.Site, APIA: a.Name, APIB: b.Name},
+					addr: addr, threadA: a.Thread, ta: a.Time, tb: b.Time,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// racyAddrs returns the addresses the SherLock_dr model reports races on.
+func racyAddrs(model race.SyncModel, tr *trace.Trace) map[uint64]bool {
+	d := race.NewDetector(model)
+	d.Process(tr)
+	out := map[uint64]bool{}
+	for _, r := range d.Reports() {
+		out[r.Addr] = true
+	}
+	return out
+}

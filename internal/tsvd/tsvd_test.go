@@ -1,0 +1,120 @@
+package tsvd
+
+import (
+	"testing"
+
+	"sherlock/internal/core"
+	"sherlock/internal/prog"
+	"sherlock/internal/trace"
+)
+
+// syncedApp: two threads touch the same List and a plain counter, ordered
+// by a semaphore. A second test arrives late at the WaitOne so both
+// contended and uncontended interleavings occur across runs.
+func syncedApp() *prog.Program {
+	p := prog.New("tsvd-synced", "TSVDSynced")
+	p.AddMethod("C::adder",
+		prog.CpJ(250, 0.8),
+		prog.ListAdd("list"),
+		prog.Wr("C::count", "o", 1),
+		prog.Set("S"),
+	)
+	p.AddMethod("C::reader",
+		prog.CpJ(400, 0.95),
+		prog.Wait("S"),
+		prog.Rd("C::count", "o"),
+		prog.ListRead("list"),
+	)
+	p.AddMethod("C::lateReader",
+		prog.Cp(900),
+		prog.Wait("S"),
+		prog.Rd("C::count", "o"),
+		prog.ListRead("list"),
+	)
+	p.AddTest("T1",
+		prog.Go(prog.ForkThread, "C::reader", "o", "hr"),
+		prog.Go(prog.ForkThread, "C::adder", "o", "ha"),
+		prog.JoinT("hr"), prog.JoinT("ha"),
+	)
+	p.AddTest("T2",
+		prog.Go(prog.ForkThread, "C::lateReader", "o", "hr"),
+		prog.Go(prog.ForkThread, "C::adder", "o", "ha"),
+		prog.JoinT("hr"), prog.JoinT("ha"),
+	)
+	p.Truth.Sync(prog.BK(prog.APISemWait), trace.RoleAcquire)
+	p.Truth.Sync(prog.EK(prog.APISemSet), trace.RoleRelease)
+	return p
+}
+
+// unsyncedApp: the same shape with no synchronization at all — a genuine
+// thread-safety violation candidate.
+func unsyncedApp() *prog.Program {
+	p := prog.New("tsvd-unsynced", "TSVDUnsynced")
+	p.AddMethod("C::adder", prog.CpJ(300, 0.5), prog.ListAdd("list"))
+	p.AddMethod("C::reader", prog.CpJ(300, 0.5), prog.ListRead("list"))
+	p.AddTest("T",
+		prog.Go(prog.ForkThread, "C::reader", "o", "hr"),
+		prog.Go(prog.ForkThread, "C::adder", "o", "ha"),
+		prog.JoinT("hr"), prog.JoinT("ha"),
+	)
+	p.Truth.RacyFields["System.Collections.Generic.List"] = true
+	return p
+}
+
+func TestSyncedPairDetected(t *testing.T) {
+	app := syncedApp()
+	res, err := core.Infer(app, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Analyze(app, res.SyncKeys(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Conflicting) == 0 {
+		t.Fatal("no conflicting pairs found; workload broken")
+	}
+	if len(out.SherSynced) == 0 {
+		t.Errorf("SherLock enhancement found no synced pairs: %+v", out)
+	}
+	if len(out.TSVDSynced) == 0 {
+		t.Errorf("TSVD propagation found no synced pairs: %+v", out)
+	}
+}
+
+func TestUnsyncedPairNotSynced(t *testing.T) {
+	app := unsyncedApp()
+	// No inferred syncs: SherLock_dr sees the collection race.
+	out, err := Analyze(app, nil, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Conflicting) == 0 {
+		t.Fatal("no conflicting pairs found; workload broken")
+	}
+	if len(out.SherSynced) != 0 {
+		t.Errorf("unsynchronized pair claimed synced by enhancement: %+v", out.SherSynced)
+	}
+	if len(out.TSVDSynced) != 0 {
+		t.Errorf("unsynchronized pair claimed synced by TSVD: %+v", out.TSVDSynced)
+	}
+}
+
+// The paper's headline for this experiment: SherLock's inferred
+// synchronizations prove at least as many pairs synchronized as TSVD's
+// quick heuristic.
+func TestSherLockEnhancesTSVD(t *testing.T) {
+	app := syncedApp()
+	res, err := core.Infer(app, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Analyze(app, res.SyncKeys(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.SherSynced) < len(out.TSVDSynced) {
+		t.Errorf("enhancement weaker than TSVD alone: sher=%d tsvd=%d",
+			len(out.SherSynced), len(out.TSVDSynced))
+	}
+}

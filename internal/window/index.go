@@ -1,0 +1,95 @@
+// Indexed window extraction: BuildWindows batches what BuildWindow does one
+// conflict at a time. A per-thread time-sorted index turns each window into
+// two binary searches plus an output copy, so extracting W windows from a
+// trace of N events costs O(N + W·(log N + K)) for window size K instead of
+// BuildWindow's O(W·N). App-1's traces (thousands of events, hundreds of
+// conflicts per run) make this the Observer's hot path.
+package window
+
+import (
+	"sort"
+
+	"sherlock/internal/trace"
+)
+
+// threadIndex holds one thread's candidate events in time order.
+type threadIndex struct {
+	times []int64
+	cands []CandEvent
+}
+
+// Index is a reusable per-trace acceleration structure.
+type Index struct {
+	app, test string
+	threads   map[int]*threadIndex
+}
+
+// NewIndex builds the per-thread index of a trace. Events arrive
+// time-ordered from the scheduler; out-of-order inputs are sorted
+// defensively.
+func NewIndex(tr *trace.Trace) *Index {
+	idx := &Index{app: tr.App, test: tr.Test, threads: map[int]*threadIndex{}}
+	for i := range tr.Events {
+		e := &tr.Events[i]
+		ti, ok := idx.threads[e.Thread]
+		if !ok {
+			ti = &threadIndex{}
+			idx.threads[e.Thread] = ti
+		}
+		ti.times = append(ti.times, e.Time)
+		ti.cands = append(ti.cands, CandEvent{Key: trace.EventKey(e), Time: e.Time})
+	}
+	for _, ti := range idx.threads {
+		if !sort.SliceIsSorted(ti.cands, func(i, j int) bool { return ti.cands[i].Time < ti.cands[j].Time }) {
+			sort.SliceStable(ti.cands, func(i, j int) bool { return ti.cands[i].Time < ti.cands[j].Time })
+			for i, c := range ti.cands {
+				ti.times[i] = c.Time
+			}
+		}
+	}
+	return idx
+}
+
+// between returns the thread's candidate events with lo < Time < hi.
+func (ti *threadIndex) between(lo, hi int64) []CandEvent {
+	if ti == nil {
+		return nil
+	}
+	start := sort.Search(len(ti.times), func(i int) bool { return ti.times[i] > lo })
+	end := sort.Search(len(ti.times), func(i int) bool { return ti.times[i] >= hi })
+	if start >= end {
+		return nil
+	}
+	out := make([]CandEvent, end-start)
+	copy(out, ti.cands[start:end])
+	return out
+}
+
+// Window extracts one conflict's window using the index. Equivalent to
+// BuildWindow on the same trace.
+func (idx *Index) Window(c Conflict) Window {
+	return Window{
+		App: idx.app, Test: idx.test,
+		Pair:      PairID{First: c.A.Site, Second: c.B.Site},
+		ThreadA:   c.A.Thread,
+		ThreadB:   c.B.Thread,
+		TA:        c.A.Time,
+		TB:        c.B.Time,
+		RelEvents: idx.threads[c.A.Thread].between(c.A.Time, c.B.Time),
+		AcqEvents: idx.threads[c.B.Thread].between(c.A.Time, c.B.Time),
+	}
+}
+
+// BuildWindows extracts every conflict's window from tr in one pass over
+// the trace plus two binary searches per conflict.
+func BuildWindows(tr *trace.Trace, conflicts []Conflict) []Window {
+	if len(conflicts) == 0 {
+		return nil
+	}
+	idx := NewIndex(tr)
+	out := make([]Window, 0, len(conflicts))
+	for _, c := range conflicts {
+		out = append(out, idx.Window(c))
+	}
+	return out
+}

@@ -1,0 +1,345 @@
+// Package window implements the Observer's post-processing (paper Section
+// 4.1): finding conflicting-access pairs in a trace, filtering them with the
+// physical-time Near parameter, extracting acquire/release windows, capping
+// windows per static location pair, spotting data-race observations, and
+// accumulating the statistics (occurrence counts, method-duration CVs) the
+// Solver's hypotheses consume.
+package window
+
+import (
+	"sherlock/internal/stats"
+	"sherlock/internal/trace"
+)
+
+// Config tunes window extraction.
+type Config struct {
+	// Near is the physical-time filter (virtual ns): conflicting accesses
+	// farther apart than this are ignored (paper default 1 s wall clock; 1 ms
+	// virtual here — the ratios to operation costs match).
+	Near int64
+	// PerPairCap bounds the number of windows a single static location pair
+	// may contribute, across all runs (paper: 15).
+	PerPairCap int
+	// UseUnsafeAPIs includes thread-unsafe library calls (List.Add, …) as
+	// conflicting accesses. This is the paper's optional 14-class API list;
+	// turning it off loses only a few percent of inferences.
+	UseUnsafeAPIs bool
+}
+
+// DefaultConfig mirrors the paper's defaults at virtual-time scale.
+func DefaultConfig() Config {
+	return Config{Near: 1_000_000, PerPairCap: 15, UseUnsafeAPIs: true}
+}
+
+// PairID identifies a static conflicting-location pair, ordered
+// first-executed → second-executed.
+type PairID struct {
+	First, Second int // statement site ids
+}
+
+// CandEvent is one candidate operation occurrence inside a window.
+type CandEvent struct {
+	Key  trace.Key
+	Time int64
+}
+
+// Window is one acquire/release window observation (paper Figure 2a): a
+// conflicting pair (a at TA in ThreadA, b at TB in ThreadB) plus the
+// operations that executed between them in each of the two threads.
+type Window struct {
+	App, Test string
+	Pair      PairID
+	ThreadA   int
+	ThreadB   int
+	TA, TB    int64
+	// RelEvents are operations from ThreadA in (TA, TB): release candidates.
+	RelEvents []CandEvent
+	// AcqEvents are operations from ThreadB in (TA, TB): acquire candidates.
+	AcqEvents []CandEvent
+}
+
+// UniqueRel returns each distinct release-candidate key with its occurrence
+// count in this window. Only one probability subtraction per distinct key is
+// allowed in the Mostly-Protected term (paper Section 4.2), so callers use
+// the key set; the counts feed the Synchronizations-are-Rare penalty.
+func (w *Window) UniqueRel() map[trace.Key]int { return uniq(w.RelEvents) }
+
+// UniqueAcq is UniqueRel for the acquire side.
+func (w *Window) UniqueAcq() map[trace.Key]int { return uniq(w.AcqEvents) }
+
+func uniq(evs []CandEvent) map[trace.Key]int {
+	m := make(map[trace.Key]int, len(evs))
+	for _, e := range evs {
+		m[e.Key]++
+	}
+	return m
+}
+
+// RacyRelease reports whether the release side proves no release can
+// protect the pair: the window is empty or every operation in it is a read
+// (paper Section 4.3's data-race observation). Method operations never
+// disqualify a window: a blocking call's before-event can precede the
+// window even when the call itself is the synchronization, so only field
+// accesses give the guarantee the paper requires.
+func (w *Window) RacyRelease() bool {
+	for _, e := range w.RelEvents {
+		if e.Key.Kind() != trace.KindRead {
+			return false
+		}
+	}
+	return true
+}
+
+// RacyAcquire is RacyRelease for the acquire side: racy when empty or all
+// writes.
+func (w *Window) RacyAcquire() bool {
+	for _, e := range w.AcqEvents {
+		if e.Key.Kind() != trace.KindWrite {
+			return false
+		}
+	}
+	return true
+}
+
+// Racy reports whether this window is a data-race observation.
+func (w *Window) Racy() bool { return w.RacyRelease() || w.RacyAcquire() }
+
+// Conflict is one conflicting-access pair found in a trace.
+type Conflict struct {
+	A, B trace.Event // A executed first
+}
+
+// FindConflicts returns every conflicting-access pair in tr within near
+// virtual ns: same address, different threads, at least one write, ordered
+// A before B. Pairs per static location pair are capped by perPairCap to
+// bound the quadratic blowup from loops (the Extractor applies its own
+// cross-run cap later).
+func FindConflicts(tr *trace.Trace, cfg Config) []Conflict {
+	type acc struct {
+		ev trace.Event
+	}
+	byAddr := map[uint64][]acc{}
+	for _, e := range tr.Events {
+		if !e.ConflictEligible() {
+			continue
+		}
+		if e.Lib && !cfg.UseUnsafeAPIs {
+			continue
+		}
+		byAddr[e.Addr] = append(byAddr[e.Addr], acc{ev: e})
+	}
+	var out []Conflict
+	perPair := map[PairID]int{}
+	for _, evs := range byAddr {
+		// Events arrive time-ordered (trace is sorted).
+		for j := 1; j < len(evs); j++ {
+			b := evs[j].ev
+			for i := j - 1; i >= 0; i-- {
+				a := evs[i].ev
+				if b.Time-a.Time > cfg.Near {
+					break
+				}
+				if a.Thread == b.Thread {
+					continue
+				}
+				if a.Acc != trace.AccWrite && b.Acc != trace.AccWrite {
+					continue
+				}
+				pid := PairID{First: a.Site, Second: b.Site}
+				if perPair[pid] >= cfg.PerPairCap {
+					continue
+				}
+				perPair[pid]++
+				out = append(out, Conflict{A: a, B: b})
+			}
+		}
+	}
+	return out
+}
+
+// BuildWindow extracts the acquire/release window of one conflict from the
+// trace: all operations strictly between the pair, split by thread.
+func BuildWindow(tr *trace.Trace, c Conflict) Window {
+	w := Window{
+		App: tr.App, Test: tr.Test,
+		Pair:    PairID{First: c.A.Site, Second: c.B.Site},
+		ThreadA: c.A.Thread, ThreadB: c.B.Thread,
+		TA: c.A.Time, TB: c.B.Time,
+	}
+	for i := range tr.Events {
+		e := &tr.Events[i]
+		if e.Time <= c.A.Time || e.Time >= c.B.Time {
+			continue
+		}
+		switch e.Thread {
+		case c.A.Thread:
+			w.RelEvents = append(w.RelEvents, CandEvent{Key: trace.EventKey(e), Time: e.Time})
+		case c.B.Thread:
+			w.AcqEvents = append(w.AcqEvents, CandEvent{Key: trace.EventKey(e), Time: e.Time})
+		}
+	}
+	return w
+}
+
+// MethodDurations extracts per-method duration samples (virtual ns) from a
+// trace by pairing Begin/End events per thread with a call stack. Library
+// call sites pair the same way (they never interleave within a thread).
+func MethodDurations(tr *trace.Trace) map[string][]float64 {
+	type open struct {
+		name string
+		t    int64
+	}
+	stacks := map[int][]open{}
+	out := map[string][]float64{}
+	for _, e := range tr.Events {
+		switch e.Kind {
+		case trace.KindBegin:
+			stacks[e.Thread] = append(stacks[e.Thread], open{e.Name, e.Time})
+		case trace.KindEnd:
+			st := stacks[e.Thread]
+			// Pop until the matching Begin (defensive against hidden
+			// methods producing unbalanced logs).
+			for len(st) > 0 {
+				top := st[len(st)-1]
+				st = st[:len(st)-1]
+				if top.name == e.Name {
+					out[e.Name] = append(out[e.Name], float64(e.Time-top.t))
+					break
+				}
+			}
+			stacks[e.Thread] = st
+		}
+	}
+	return out
+}
+
+// Observations accumulates everything the Solver consumes, across runs
+// (paper Section 4.3: no constraint or statistic from a previous run is
+// thrown away).
+type Observations struct {
+	cfg Config
+
+	Windows []Window
+	// perPair counts windows per static pair across all runs (cap 15).
+	perPair map[PairID]int
+
+	// Durations tracks method-duration statistics per static method name.
+	Durations map[string]*stats.Welford
+
+	// occSum / winCnt track, per candidate key, total occurrences across
+	// windows and the number of windows it appeared in: their ratio is the
+	// "average occurrence time" of Eq. 4.
+	occSum map[trace.Key]int
+	winCnt map[trace.Key]int
+
+	// LibAPIs records static names seen as library call sites (Single-Role
+	// constraint scope).
+	LibAPIs map[string]bool
+
+	// RacyPairs records static pairs with at least one data-race
+	// observation; the Solver drops their Mostly-Protected terms.
+	RacyPairs map[PairID]bool
+
+	// Runs counts accumulated traces.
+	Runs int
+}
+
+// NewObservations returns an empty accumulator with the given config.
+func NewObservations(cfg Config) *Observations {
+	return &Observations{
+		cfg:       cfg,
+		perPair:   map[PairID]int{},
+		Durations: map[string]*stats.Welford{},
+		occSum:    map[trace.Key]int{},
+		winCnt:    map[trace.Key]int{},
+		LibAPIs:   map[string]bool{},
+		RacyPairs: map[PairID]bool{},
+	}
+}
+
+// Config returns the extraction configuration.
+func (o *Observations) Config() Config { return o.cfg }
+
+// AddWindows folds a set of (possibly Perturber-refined) windows into the
+// accumulator, enforcing the cross-run per-pair cap and recording data-race
+// observations.
+func (o *Observations) AddWindows(ws []Window) {
+	for _, w := range ws {
+		if o.perPair[w.Pair] >= o.cfg.PerPairCap {
+			continue
+		}
+		o.perPair[w.Pair]++
+		if w.Racy() {
+			o.RacyPairs[w.Pair] = true
+		}
+		o.Windows = append(o.Windows, w)
+		for k, n := range w.UniqueRel() {
+			o.occSum[k] += n
+			o.winCnt[k]++
+		}
+		for k, n := range w.UniqueAcq() {
+			o.occSum[k] += n
+			o.winCnt[k]++
+		}
+	}
+}
+
+// AddTraceStats folds per-trace statistics (durations, library API names)
+// into the accumulator. Call once per trace, independent of windows.
+func (o *Observations) AddTraceStats(tr *trace.Trace) {
+	for name, durs := range MethodDurations(tr) {
+		w, ok := o.Durations[name]
+		if !ok {
+			w = &stats.Welford{}
+			o.Durations[name] = w
+		}
+		for _, d := range durs {
+			w.Add(d)
+		}
+	}
+	for i := range tr.Events {
+		if tr.Events[i].Lib {
+			o.LibAPIs[tr.Events[i].Name] = true
+		}
+	}
+	o.Runs++
+}
+
+// AvgOccurrence returns the average number of times key occurs in the
+// windows it appears in (Eq. 4's coefficient input); 0 if never seen.
+func (o *Observations) AvgOccurrence(k trace.Key) float64 {
+	if o.winCnt[k] == 0 {
+		return 0
+	}
+	return float64(o.occSum[k]) / float64(o.winCnt[k])
+}
+
+// CVPercentiles returns, for every method with duration samples, the
+// percentile of its duration CV among all observed methods (Eq. 5).
+func (o *Observations) CVPercentiles() map[string]float64 {
+	names := make([]string, 0, len(o.Durations))
+	cvs := make([]float64, 0, len(o.Durations))
+	for name, w := range o.Durations {
+		names = append(names, name)
+		cvs = append(cvs, w.CV())
+	}
+	ps := stats.Percentiles(cvs)
+	out := make(map[string]float64, len(names))
+	for i, name := range names {
+		out[name] = ps[i]
+	}
+	return out
+}
+
+// ActiveWindows returns the accumulated windows whose static pair has no
+// data-race observation; only these contribute Mostly-Protected terms.
+func (o *Observations) ActiveWindows() []Window {
+	out := make([]Window, 0, len(o.Windows))
+	for _, w := range o.Windows {
+		if o.RacyPairs[w.Pair] {
+			continue
+		}
+		out = append(out, w)
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+// Package sherlock is a Go reproduction of "SherLock: Unsupervised
+// Synchronization-Operation Inference" (Li, Chen, Lu, Musuvathi, Nath —
+// ASPLOS 2021).
+//
+// SherLock infers which operations of a concurrent program act as
+// synchronization — acquires and releases that induce happens-before
+// edges — with no annotations: it executes the program's tests a few
+// times under observation, collects acquire/release windows around
+// conflicting accesses, encodes a set of synchronization properties and
+// hypotheses as a linear program, and perturbs subsequent runs with
+// targeted delays to sharpen the evidence.
+//
+// The package exposes the full pipeline:
+//
+//   - Program construction: build concurrent workloads with the statement
+//     DSL in internal/prog, re-exported here via type aliases (Program,
+//     Method, Test). The eight benchmark applications of the paper are
+//     available through Apps and AppByName.
+//   - Inference: Infer runs the Observer → Solver → Perturber loop and
+//     returns the inferred operation set; ScoreResult classifies it
+//     against a program's ground truth.
+//   - Consumers: CompareDetectors feeds inferred synchronizations into a
+//     FastTrack race detector next to a manually annotated baseline
+//     (the paper's Manual_dr vs SherLock_dr); AnalyzeTSVD reproduces the
+//     TSVD-enhancement study.
+//
+// Quick start:
+//
+//	app := sherlock.NewProgram("demo", "Demo")
+//	// ... add methods and tests (see examples/quickstart) ...
+//	res, err := sherlock.Infer(app, sherlock.DefaultConfig())
+//	for _, s := range res.Inferred {
+//		fmt.Println(s.Role, s.Key.Display())
+//	}
+package sherlock
+
+import (
+	"io"
+
+	"sherlock/internal/apps"
+	"sherlock/internal/core"
+	"sherlock/internal/prog"
+	"sherlock/internal/race"
+	"sherlock/internal/sched"
+	"sherlock/internal/trace"
+	"sherlock/internal/tsvd"
+)
+
+// Core types, re-exported.
+type (
+	// Program is a concurrent application under analysis.
+	Program = prog.Program
+	// Method is one application method.
+	Method = prog.Method
+	// Test is one unit test of a Program.
+	Test = prog.Test
+	// Truth is a program's ground-truth annotation (optional; used only
+	// for scoring).
+	Truth = prog.Truth
+
+	// Config tunes an inference campaign (rounds, Near, λ, hypotheses,
+	// feedback toggles).
+	Config = core.Config
+	// Result is the outcome of Infer.
+	Result = core.Result
+	// InferredSync is one reported synchronization operation.
+	InferredSync = core.InferredSync
+	// Score classifies a Result against ground truth.
+	Score = core.Score
+
+	// Key names a static candidate operation ("write:Class::field",
+	// "begin:Class::Method", ...).
+	Key = trace.Key
+	// Role is acquire or release.
+	Role = trace.Role
+
+	// Trace is one test execution's log in the paper's schema.
+	Trace = trace.Trace
+
+	// RaceComparison is a Manual_dr vs SherLock_dr detection outcome.
+	RaceComparison = race.Comparison
+	// TSVDResult is the outcome of the TSVD-enhancement analysis.
+	TSVDResult = tsvd.Result
+)
+
+// Role values.
+const (
+	RoleAcquire = trace.RoleAcquire
+	RoleRelease = trace.RoleRelease
+)
+
+// NewProgram returns an empty program; add methods with AddMethod and unit
+// tests with AddTest, then pass it to Infer.
+func NewProgram(name, title string) *Program { return prog.New(name, title) }
+
+// DefaultConfig mirrors the paper's default operating point: 3 rounds,
+// Near = 1 ms (virtual), λ = 0.2, all hypotheses and feedback mechanisms
+// enabled, 100 µs (virtual) injected delays.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Infer runs the full SherLock loop — execute tests, extract windows,
+// solve, perturb, repeat — and returns the inferred synchronizations.
+func Infer(app *Program, cfg Config) (*Result, error) { return core.Infer(app, cfg) }
+
+// ScoreResult classifies an inference result against the program's ground
+// truth, reproducing the paper's manual-inspection buckets.
+func ScoreResult(app *Program, res *Result) *Score { return core.ScoreResult(app, res) }
+
+// Apps returns the paper's eight benchmark applications (App-1..App-8) as
+// synthetic equivalents with ground truth.
+func Apps() []*Program { return apps.All() }
+
+// AppByName returns one benchmark application by id ("App-1".."App-8").
+func AppByName(name string) (*Program, error) { return apps.ByName(name) }
+
+// CompareDetectors runs the FastTrack race detector over the program's
+// tests twice — once with the classic manually annotated synchronization
+// list, once with the inferred set — and counts true/false first-reported
+// races (the paper's Table 3).
+func CompareDetectors(app *Program, inferred map[Key]Role) (*RaceComparison, error) {
+	return race.Compare(app, inferred, race.DefaultCompareConfig())
+}
+
+// AnalyzeTSVD reproduces the Section 5.6 experiment: which conflicting
+// thread-unsafe API-call pairs are provably synchronized, per TSVD's
+// delay-propagation heuristic and per SherLock's inferred operations.
+func AnalyzeTSVD(app *Program, inferred map[Key]Role) (*TSVDResult, error) {
+	return tsvd.Analyze(app, inferred, tsvd.DefaultConfig())
+}
+
+// CaptureTrace executes one unit test of app under the given scheduler seed
+// and returns its execution log — the raw material of inference. Traces
+// serialize as JSON lines via (*Trace).Write and load with ReadTrace.
+func CaptureTrace(app *Program, test *Test, seed int64) (*Trace, error) {
+	res, err := sched.Run(app, test, sched.Options{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return res.Trace, nil
+}
+
+// ReadTrace parses a trace serialized with (*Trace).Write.
+func ReadTrace(r io.Reader) (*Trace, error) { return trace.Read(r) }
+
+// InferFromTraces runs window extraction and a single solve over previously
+// captured traces — the paper's log-analysis step without re-execution or
+// Perturber feedback. Use it to analyze logs from external instrumentation.
+func InferFromTraces(traces []*Trace, cfg Config) (*Result, error) {
+	return core.InferFromTraces(traces, cfg)
+}

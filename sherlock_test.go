@@ -1,0 +1,129 @@
+package sherlock
+
+import (
+	"bytes"
+	"testing"
+
+	"sherlock/internal/prog"
+)
+
+// buildDemo constructs a small program through the public facade.
+func buildDemo() *Program {
+	app := NewProgram("facade-demo", "FacadeDemo")
+	app.AddMethod("D.P::Produce",
+		prog.CpJ(400, 0.7),
+		prog.Wr("D.P::data", "p", 1),
+		prog.Cp(50),
+		prog.Wr("D.P::ready", "p", 1),
+	)
+	app.AddMethod("D.P::Consume",
+		prog.Spin("D.P::ready", "p", 1, 200),
+		prog.Cp(30),
+		prog.Rd("D.P::data", "p"),
+	)
+	app.AddTest("T",
+		prog.Go(prog.ForkThread, "D.P::Consume", "p", "h1"),
+		prog.Go(prog.ForkThread, "D.P::Produce", "p", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	return app
+}
+
+func TestFacadeInfer(t *testing.T) {
+	app := buildDemo()
+	res, err := Infer(app, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	syncs := res.SyncKeys()
+	if syncs["write:D.P::ready"] != RoleRelease {
+		t.Errorf("flag write not inferred as release: %v", res.Inferred)
+	}
+	if syncs["read:D.P::ready"] != RoleAcquire {
+		t.Errorf("flag read not inferred as acquire: %v", res.Inferred)
+	}
+}
+
+func TestFacadeCaptureAndOfflineInfer(t *testing.T) {
+	app := buildDemo()
+	var traces []*Trace
+	for seed := int64(1); seed <= 3; seed++ {
+		tr, err := CaptureTrace(app, app.Tests[0], seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Round-trip each trace through its serialized form.
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadTrace(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces = append(traces, back)
+	}
+	res, err := InferFromTraces(traces, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SyncKeys()["write:D.P::ready"] != RoleRelease {
+		t.Errorf("offline inference missed the flag release: %v", res.Inferred)
+	}
+}
+
+func TestFacadeBenchmarkApps(t *testing.T) {
+	if len(Apps()) != 8 {
+		t.Fatal("benchmark registry incomplete")
+	}
+	app, err := AppByName("App-7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Title != "Stastd" {
+		t.Errorf("App-7 title = %q", app.Title)
+	}
+	if _, err := AppByName("nope"); err == nil {
+		t.Error("unknown app must error")
+	}
+}
+
+func TestFacadeDetectorsAndTSVD(t *testing.T) {
+	app, err := AppByName("App-7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Infer(app, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := CompareDetectors(app, res.SyncKeys())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.App != "App-7" {
+		t.Errorf("comparison app = %q", cmp.App)
+	}
+	ts, err := AnalyzeTSVD(app, res.SyncKeys())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts.Conflicting) == 0 {
+		t.Error("App-7 has a known conflicting unsafe pair")
+	}
+}
+
+func TestFacadeScoring(t *testing.T) {
+	app, err := AppByName("App-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Infer(app, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	score := ScoreResult(app, res)
+	if score.Precision() < 0.8 {
+		t.Errorf("App-2 precision = %.2f", score.Precision())
+	}
+}
