@@ -6,6 +6,7 @@
 package sherlock
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"testing"
@@ -35,7 +36,7 @@ func BenchmarkTable1AppInventory(b *testing.B) {
 
 func BenchmarkTable2InferredResults(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, runs, err := exper.Table2()
+		rows, runs, err := exper.Table2(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -45,7 +46,7 @@ func BenchmarkTable2InferredResults(b *testing.B) {
 
 func BenchmarkTable3RaceDetection(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		cmps, err := exper.Table3()
+		cmps, err := exper.Table3(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -67,11 +68,11 @@ func BenchmarkTable3RaceDetection(b *testing.B) {
 
 func BenchmarkTable4Breakdown(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, runs, err := exper.Table2()
+		_, runs, err := exper.Table2(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
-		cmps, err := exper.Table3()
+		cmps, err := exper.Table3(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -82,7 +83,7 @@ func BenchmarkTable4Breakdown(b *testing.B) {
 
 func BenchmarkTable5HypothesisAblation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := exper.Table5()
+		rows, err := exper.Table5(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -101,7 +102,7 @@ func BenchmarkTable5HypothesisAblation(b *testing.B) {
 
 func BenchmarkFigure4PerturberFeedback(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		series, err := exper.Figure4(5)
+		series, err := exper.Figure4(context.Background(), 5)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -121,7 +122,7 @@ func BenchmarkFigure4PerturberFeedback(b *testing.B) {
 
 func BenchmarkTable6LambdaSensitivity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := exper.Table6()
+		rows, err := exper.Table6(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -136,7 +137,7 @@ func BenchmarkTable6LambdaSensitivity(b *testing.B) {
 
 func BenchmarkTable7NearSensitivity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := exper.Table7()
+		rows, err := exper.Table7(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -150,7 +151,7 @@ func BenchmarkTable7NearSensitivity(b *testing.B) {
 
 func BenchmarkTable8and9SyncListings(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, runs, err := exper.Table2()
+		_, runs, err := exper.Table2(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -161,7 +162,7 @@ func BenchmarkTable8and9SyncListings(b *testing.B) {
 
 func BenchmarkTSVDEnhancement(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := exper.TSVDEnhancement()
+		rows, err := exper.TSVDEnhancement(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -180,7 +181,7 @@ func BenchmarkTSVDEnhancement(b *testing.B) {
 
 func BenchmarkOverhead(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := exper.Overhead()
+		rows, err := exper.Overhead(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -198,9 +199,39 @@ func BenchmarkInferOneApp(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Infer(app, core.DefaultConfig()); err != nil {
+		if _, err := core.Infer(context.Background(), app, core.DefaultConfig()); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkInferParallel measures one App-1 campaign (20 tests × 3 rounds)
+// at Parallelism 1 versus the host's full GOMAXPROCS pool. The two
+// sub-benchmarks produce identical inference results — only the wall clock
+// differs — so their ratio is the engine's parallel speedup.
+func BenchmarkInferParallel(b *testing.B) {
+	app, err := AppByName("App-1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bench := range []struct {
+		name    string
+		workers int
+	}{
+		{"Parallelism=1", 1},
+		{"Parallelism=GOMAXPROCS", 0},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Parallelism = bench.workers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Infer(context.Background(), app, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -215,7 +246,7 @@ func BenchmarkExtensionSoftSingleRole(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		hardRes, err := Infer(app, DefaultConfig())
+		hardRes, err := Infer(context.Background(), app, DefaultConfig())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -228,7 +259,7 @@ func BenchmarkExtensionSoftSingleRole(b *testing.B) {
 
 		cfg := DefaultConfig()
 		cfg.Solver.SoftSingleRole = true
-		softRes, err := Infer(app, cfg)
+		softRes, err := Infer(context.Background(), app, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -250,13 +281,13 @@ func BenchmarkExtensionSoftSingleRole(b *testing.B) {
 // close to deterministic injection.
 func BenchmarkExtensionProbabilisticDelay(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		det, err := exper.RunAll(core.DefaultConfig())
+		det, err := exper.RunAll(context.Background(), core.DefaultConfig())
 		if err != nil {
 			b.Fatal(err)
 		}
 		cfg := core.DefaultConfig()
 		cfg.DelayProbability = 0.5
-		prob, err := exper.RunAll(cfg)
+		prob, err := exper.RunAll(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}

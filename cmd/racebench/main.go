@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"sherlock/internal/apps"
 	"sherlock/internal/core"
@@ -28,25 +30,29 @@ func main() {
 	)
 	flag.Parse()
 
+	// ^C cancels between test executions.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	if *appName != "" {
 		app, err := apps.ByName(*appName)
 		die(err)
-		res, err := core.Infer(app, core.DefaultConfig())
+		res, err := core.Infer(ctx, app, core.DefaultConfig())
 		die(err)
 		ccfg := race.DefaultCompareConfig()
 		ccfg.Runs = *runs
-		cmp, err := race.Compare(app, res.SyncKeys(), ccfg)
+		cmp, err := race.Compare(ctx, app, res.SyncKeys(), ccfg)
 		die(err)
 		report.Table3(os.Stdout, []*race.Comparison{cmp})
 		return
 	}
 
-	cmps, err := exper.Table3()
+	cmps, err := exper.Table3(ctx)
 	die(err)
 	report.Table3(os.Stdout, cmps)
 
 	fmt.Println()
-	_, runsAll, err := exper.Table2()
+	_, runsAll, err := exper.Table2(ctx)
 	die(err)
 	report.Table4(os.Stdout, exper.Table4(runsAll, cmps))
 }

@@ -4,15 +4,17 @@
 //
 // Usage:
 //
-//	sherlock -app App-4 [-rounds 3] [-lambda 0.2] [-near 1000000] [-seed 1]
+//	sherlock -app App-4 [-rounds 3] [-lambda 0.2] [-near 1000000] [-seed 1] [-p 4]
 //	sherlock -all
 //	sherlock -list
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 
 	"sherlock/internal/apps"
@@ -35,19 +37,25 @@ func main() {
 		lambda     = flag.Float64("lambda", 0.2, "Mostly-Protected trade-off knob")
 		near       = flag.Int64("near", 1_000_000, "conflict window in virtual ns")
 		seed       = flag.Int64("seed", 1, "base scheduler seed")
+		parallel   = flag.Int("p", 0, "worker pool size per round (0 = GOMAXPROCS); results are identical for every value")
 		verbose    = flag.Bool("v", false, "print per-round snapshots")
 	)
 	flag.Parse()
+
+	// ^C cancels the campaign between test executions instead of killing
+	// the process mid-table.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	switch {
 	case *list:
 		report.Table1(os.Stdout)
 	case *all:
-		rows, runs, err := exper.Table2()
+		rows, runs, err := exper.Table2(ctx)
 		die(err)
 		report.Table2(os.Stdout, rows, exper.UniqueCorrect(runs))
 	case *analyzeDir != "":
-		die(analyzeTraces(*analyzeDir, *lambda, *near))
+		die(analyzeTraces(ctx, *analyzeDir, *lambda, *near))
 	case *appName != "" && *dumpDir != "":
 		app, err := apps.ByName(*appName)
 		die(err)
@@ -60,7 +68,8 @@ func main() {
 		cfg.Solver.Lambda = *lambda
 		cfg.Window.Near = *near
 		cfg.Seed = *seed
-		res, err := core.Infer(app, cfg)
+		cfg.Parallelism = *parallel
+		res, err := core.Infer(ctx, app, cfg)
 		die(err)
 		printResult(app, res, *verbose)
 	default:
@@ -148,7 +157,7 @@ func dumpTraces(app *prog.Program, dir string, seed int64) error {
 
 // analyzeTraces loads every .jsonl trace in dir and runs the offline
 // log-analysis step (no re-execution, no Perturber).
-func analyzeTraces(dir string, lambda float64, near int64) error {
+func analyzeTraces(ctx context.Context, dir string, lambda float64, near int64) error {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return err
@@ -175,7 +184,7 @@ func analyzeTraces(dir string, lambda float64, near int64) error {
 	cfg := core.DefaultConfig()
 	cfg.Solver.Lambda = lambda
 	cfg.Window.Near = near
-	res, err := core.InferFromTraces(traces, cfg)
+	res, err := core.InferFromTraces(ctx, traces, cfg)
 	if err != nil {
 		return err
 	}

@@ -9,9 +9,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"sherlock/internal/exper"
 	"sherlock/internal/report"
@@ -22,30 +24,34 @@ func main() {
 	rounds := flag.Int("rounds", 5, "rounds for figure4")
 	flag.Parse()
 
+	// ^C cancels the sweep between test executions.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	run := func(m string) {
 		switch m {
 		case "table5":
-			rows, err := exper.Table5()
+			rows, err := exper.Table5(ctx)
 			die(err)
 			report.Table5(os.Stdout, rows)
 		case "table6":
-			rows, err := exper.Table6()
+			rows, err := exper.Table6(ctx)
 			die(err)
 			report.Sweep(os.Stdout, "Table 6: sensitivity of lambda", "lambda", rows)
 		case "table7":
-			rows, err := exper.Table7()
+			rows, err := exper.Table7(ctx)
 			die(err)
 			report.Sweep(os.Stdout, "Table 7: sensitivity of Near (x default)", "near", rows)
 		case "figure4":
-			series, err := exper.Figure4(*rounds)
+			series, err := exper.Figure4(ctx, *rounds)
 			die(err)
 			report.Figure4(os.Stdout, series)
 		case "tsvd":
-			rows, err := exper.TSVDEnhancement()
+			rows, err := exper.TSVDEnhancement(ctx)
 			die(err)
 			report.TSVD(os.Stdout, rows)
 		case "overhead":
-			rows, err := exper.Overhead()
+			rows, err := exper.Overhead(ctx)
 			die(err)
 			report.Overhead(os.Stdout, rows)
 		default:

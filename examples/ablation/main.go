@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -39,7 +40,7 @@ func main() {
 	for _, ab := range ablations {
 		cfg := core.DefaultConfig()
 		ab.apply(&cfg.Solver.Hyp)
-		res, err := sherlock.Infer(app, cfg)
+		res, err := sherlock.Infer(context.Background(), app, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

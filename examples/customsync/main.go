@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -63,7 +64,7 @@ func main() {
 		prog.Cp(150),
 	)
 
-	res, err := sherlock.Infer(app, sherlock.DefaultConfig())
+	res, err := sherlock.Infer(context.Background(), app, sherlock.DefaultConfig())
 	if err != nil {
 		log.Fatal(err)
 	}

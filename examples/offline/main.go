@@ -7,6 +7,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 
@@ -38,7 +39,7 @@ func main() {
 	// in-memory buffer; cmd/sherlock -dump-traces writes real files).
 	var files []bytes.Buffer
 	for seed := int64(1); seed <= 5; seed++ {
-		tr, err := sherlock.CaptureTrace(app, app.Tests[0], seed)
+		tr, err := sherlock.CaptureTrace(context.Background(), app, app.Tests[0], seed)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -60,7 +61,7 @@ func main() {
 		}
 		traces = append(traces, tr)
 	}
-	res, err := sherlock.InferFromTraces(traces, sherlock.DefaultConfig())
+	res, err := sherlock.InferFromTraces(context.Background(), traces, sherlock.DefaultConfig())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -66,7 +67,7 @@ func main() {
 		prog.JoinT("h1"), prog.JoinT("h2"),
 	)
 
-	res, err := sherlock.Infer(app, sherlock.DefaultConfig())
+	res, err := sherlock.Infer(context.Background(), app, sherlock.DefaultConfig())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -42,7 +43,7 @@ func main() {
 	app.Truth.Race("Svc.Stats::hits")
 
 	// Step 1: infer synchronizations.
-	res, err := sherlock.Infer(app, sherlock.DefaultConfig())
+	res, err := sherlock.Infer(context.Background(), app, sherlock.DefaultConfig())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func main() {
 	}
 
 	// Step 2: run both detector variants over the same executions.
-	cmp, err := sherlock.CompareDetectors(app, res.SyncKeys())
+	cmp, err := sherlock.CompareDetectors(context.Background(), app, res.SyncKeys())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"context"
 	"testing"
 
 	"sherlock/internal/core"
@@ -85,7 +86,7 @@ func TestInferenceOnAllApps(t *testing.T) {
 	for _, app := range All() {
 		app := app
 		t.Run(app.Name, func(t *testing.T) {
-			res, err := core.Infer(app, core.DefaultConfig())
+			res, err := core.Infer(context.Background(), app, core.DefaultConfig())
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -123,7 +124,7 @@ func TestInferenceOnAllApps(t *testing.T) {
 // round-1 count (Figure 4's rising curve).
 func TestRound3Convergence(t *testing.T) {
 	for _, app := range All() {
-		res, err := core.Infer(app, core.DefaultConfig())
+		res, err := core.Infer(context.Background(), app, core.DefaultConfig())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -177,7 +178,7 @@ func TestFlagshipIdioms(t *testing.T) {
 		},
 	}
 	for _, app := range All() {
-		res, err := core.Infer(app, core.DefaultConfig())
+		res, err := core.Infer(context.Background(), app, core.DefaultConfig())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -203,7 +204,7 @@ func TestSeedStability(t *testing.T) {
 		for _, app := range All() {
 			cfg := core.DefaultConfig()
 			cfg.Seed = seed
-			res, err := core.Infer(app, cfg)
+			res, err := core.Infer(context.Background(), app, cfg)
 			if err != nil {
 				t.Fatalf("seed %d %s: %v", seed, app.Name, err)
 			}

@@ -5,61 +5,35 @@
 // next round (Perturber). It also scores inference results against an
 // application's ground truth, reproducing the paper's manual-inspection
 // classification.
+//
+// The engine is split along the loop's phases:
+//
+//   - config.go  — Config, defaults, Validate
+//   - planner.go — derive every (round, test) execution spec up front
+//   - runner.go  — execute a round's specs on a bounded worker pool
+//   - merger.go  — fold per-run outputs into Observations, in test order
+//   - engine.go  — the round loop: plan → run → merge → solve → perturb
+//   - batch.go   — InferAll, the multi-application entrypoint
+//
+// Within a round the executions are embarrassingly parallel (each has its
+// own derived seed and its own trace); the round barrier is inherent —
+// the Perturber's plan for round k+1 comes from round k's solve. Results
+// are bit-identical for every Config.Parallelism value because merging
+// replays the sequential engine's exact accumulation order.
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
 
 	"sherlock/internal/perturb"
 	"sherlock/internal/prog"
-	"sherlock/internal/sched"
 	"sherlock/internal/solver"
 	"sherlock/internal/trace"
 	"sherlock/internal/window"
 )
-
-// Config tunes one inference campaign.
-type Config struct {
-	// Rounds is the number of times each test input is executed (paper
-	// default: 3; Figure 4 sweeps 1–6).
-	Rounds int
-	// Window configures conflict pairing and window extraction.
-	Window window.Config
-	// Solver configures the constraint encoding.
-	Solver solver.Config
-	// Delay is the perturbation length in virtual ns.
-	Delay int64
-	// DelayProbability injects each planned delay with this probability
-	// per dynamic instance (0 or 1 = always, the paper's default).
-	DelayProbability float64
-	// Seed is the base scheduler seed; each (round, test) derives its own.
-	Seed int64
-
-	// Feedback toggles (Figure 4's ablations). All default true via
-	// DefaultConfig.
-	Accumulate   bool // keep observations from earlier rounds
-	InjectDelays bool // run the Perturber at all
-	RemoveRacyMP bool // drop Mostly-Protected terms on data-race observations
-
-	// MaxStepsPerTest bounds each simulated test (0 = scheduler default).
-	MaxStepsPerTest int
-}
-
-// DefaultConfig mirrors the paper's default operating point.
-func DefaultConfig() Config {
-	return Config{
-		Rounds:       3,
-		Window:       window.DefaultConfig(),
-		Solver:       solver.DefaultConfig(),
-		Delay:        perturb.DefaultDelay,
-		Seed:         1,
-		Accumulate:   true,
-		InjectDelays: true,
-		RemoveRacyMP: true,
-	}
-}
 
 // InferredSync is one reported synchronization operation.
 type InferredSync struct {
@@ -78,7 +52,10 @@ type RoundSnapshot struct {
 
 // Overhead aggregates the cost accounting of Section 5.6.
 type Overhead struct {
-	RunWall      time.Duration // wall time executing instrumented tests
+	// RunWall is the summed per-run wall time inside the scheduler — the
+	// aggregate execution cost. Under Parallelism > 1 it exceeds elapsed
+	// time, exactly as per-test instrumentation cost would.
+	RunWall      time.Duration
 	SolveWall    time.Duration // wall time in the LP solver
 	Events       int           // log entries recorded
 	Windows      int           // windows accumulated
@@ -101,22 +78,29 @@ type Result struct {
 	Deadlocks int
 }
 
-// SyncKeys returns the inferred synchronizations as a role map.
-func (r *Result) SyncKeys() map[trace.Key]trace.Role {
-	out := map[trace.Key]trace.Role{}
+// SyncKeys returns the inferred synchronizations as a typed role set.
+func (r *Result) SyncKeys() trace.SyncSet {
+	out := make(trace.SyncSet, len(r.Inferred))
 	for _, s := range r.Inferred {
 		out[s.Key] = s.Role
 	}
 	return out
 }
 
-// Infer runs the full SherLock loop on app.
-func Infer(app *prog.Program, cfg Config) (*Result, error) {
+// Infer runs the full SherLock loop on app. Each round's per-test
+// executions are dispatched across a worker pool of cfg.Parallelism
+// goroutines; ctx cancels the campaign between executions (a run already
+// on a worker finishes, queued runs do not start) and the returned error
+// then matches errors.Is(err, ctx.Err()).
+func Infer(ctx context.Context, app *prog.Program, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid config: %w", err)
+	}
 	if err := app.Finalize(); err != nil {
 		return nil, err
 	}
-	if cfg.Rounds <= 0 {
-		return nil, fmt.Errorf("core: Rounds must be positive, got %d", cfg.Rounds)
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	scfg := cfg.Solver
 	scfg.KeepRacyWindows = !cfg.RemoveRacyMP
@@ -131,36 +115,10 @@ func Infer(app *prog.Program, cfg Config) (*Result, error) {
 			// Figure 4's "no accumulation" line: every round stands alone.
 			obs = window.NewObservations(cfg.Window)
 		}
-		for ti, test := range app.Tests {
-			opt := sched.Options{
-				Seed:             cfg.Seed + int64(round)*7919 + int64(ti)*127,
-				HiddenMethods:    app.Truth.HiddenMethods,
-				MaxSteps:         cfg.MaxStepsPerTest,
-				DelayProbability: cfg.DelayProbability,
-			}
-			if cfg.InjectDelays {
-				opt.Delays = plan
-			}
-			t0 := time.Now()
-			run, err := sched.Run(app, test, opt)
-			res.Overhead.RunWall += time.Since(t0)
-			if err != nil {
-				return nil, fmt.Errorf("core: %s/%s round %d: %w", app.Name, test.Name, round+1, err)
-			}
-			if run.Deadlocked {
-				res.Deadlocks++
-				continue
-			}
-			for _, d := range run.Delays {
-				res.Overhead.DelayVirtual += d.End - d.Start
-			}
-			res.Overhead.Events += run.Trace.Len()
-
-			conflicts := window.FindConflicts(run.Trace, cfg.Window)
-			ws := window.BuildWindows(run.Trace, conflicts)
-			ws = perturb.Refine(ws, run.Delays)
-			obs.AddWindows(ws)
-			obs.AddTraceStats(run.Trace)
+		specs := planRound(app, cfg, round, plan)
+		outs := executeRound(ctx, app, specs, cfg)
+		if err := mergeRound(app, specs, outs, res, obs); err != nil {
+			return nil, err
 		}
 
 		t0 := time.Now()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"sherlock/internal/prog"
@@ -115,7 +116,7 @@ func forkApp() *prog.Program {
 
 func inferAndScore(t *testing.T, app *prog.Program) (*Result, *Score) {
 	t.Helper()
-	res, err := Infer(app, DefaultConfig())
+	res, err := Infer(context.Background(), app, DefaultConfig())
 	if err != nil {
 		t.Fatalf("Infer(%s): %v", app.Name, err)
 	}
@@ -181,11 +182,11 @@ func TestSnapshotsPerRound(t *testing.T) {
 }
 
 func TestInferDeterministic(t *testing.T) {
-	a, err := Infer(lockApp(), DefaultConfig())
+	a, err := Infer(context.Background(), lockApp(), DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Infer(lockApp(), DefaultConfig())
+	b, err := Infer(context.Background(), lockApp(), DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +203,7 @@ func TestInferDeterministic(t *testing.T) {
 func TestInferRejectsZeroRounds(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Rounds = 0
-	if _, err := Infer(lockApp(), cfg); err == nil {
+	if _, err := Infer(context.Background(), lockApp(), cfg); err == nil {
 		t.Fatal("want error for Rounds=0")
 	}
 }
@@ -213,7 +214,7 @@ func TestInferRejectsZeroRounds(t *testing.T) {
 func TestProbabilisticDelaysSimilarResults(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.DelayProbability = 0.5
-	res, err := Infer(flagApp(), cfg)
+	res, err := Infer(context.Background(), flagApp(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"sherlock/internal/apps"
+	"sherlock/internal/prog"
+)
+
+// TestInferDeterministicAcrossParallelism is the engine's core guarantee:
+// for a fixed Seed, Infer produces bit-identical results for every
+// Parallelism value, because each (round, test) run derives its own seed
+// and the merger replays the sequential accumulation order.
+func TestInferDeterministicAcrossParallelism(t *testing.T) {
+	for _, name := range []string{"App-2", "App-5"} {
+		t.Run(name, func(t *testing.T) {
+			app, err := apps.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq := DefaultConfig()
+			seq.Parallelism = 1
+			par := DefaultConfig()
+			par.Parallelism = 8
+
+			r1, err := Infer(context.Background(), app, seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r8, err := Infer(context.Background(), app, par)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(r1.Inferred, r8.Inferred) {
+				t.Errorf("Inferred diverges across parallelism:\n p=1: %v\n p=8: %v", r1.Inferred, r8.Inferred)
+			}
+			if !reflect.DeepEqual(r1.Rounds, r8.Rounds) {
+				t.Errorf("Rounds diverge across parallelism:\n p=1: %v\n p=8: %v", r1.Rounds, r8.Rounds)
+			}
+			if !reflect.DeepEqual(r1.Acquires, r8.Acquires) || !reflect.DeepEqual(r1.Releases, r8.Releases) {
+				t.Error("final probability maps diverge across parallelism")
+			}
+			if r1.Overhead.Events != r8.Overhead.Events || r1.Overhead.Windows != r8.Overhead.Windows {
+				t.Errorf("overhead counters diverge: events %d vs %d, windows %d vs %d",
+					r1.Overhead.Events, r8.Overhead.Events, r1.Overhead.Windows, r8.Overhead.Windows)
+			}
+		})
+	}
+}
+
+// TestInferPreCanceledContext: a context that is already canceled must make
+// Infer return promptly with an error matching context.Canceled, without
+// executing any test.
+func TestInferPreCanceledContext(t *testing.T) {
+	app, err := apps.ByName("App-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	start := time.Now()
+	res, err := Infer(ctx, app, DefaultConfig())
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("pre-canceled Infer took %v, want a prompt return", elapsed)
+	}
+	if res != nil {
+		t.Error("canceled Infer must not return a result")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestInferMidCampaignCancel: canceling while runs are queued aborts
+// between executions and still reports context.Canceled.
+func TestInferMidCampaignCancel(t *testing.T) {
+	app, err := apps.ByName("App-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancel before the first round's pool drains its queue
+	cfg := DefaultConfig()
+	cfg.Parallelism = 4
+	if _, err := Infer(ctx, app, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestDefaultConfigValidates(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("DefaultConfig().Validate() = %v, want nil", err)
+	}
+}
+
+// TestConfigValidateCollectsAllProblems: Validate reports every
+// misconfiguration at once rather than stopping at the first.
+func TestConfigValidateCollectsAllProblems(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Rounds = -1
+	cfg.DelayProbability = 1.5
+	cfg.Parallelism = -2
+	cfg.Delay = 0 // invalid while InjectDelays is set
+	cfg.MaxStepsPerTest = -5
+
+	err := cfg.Validate()
+	if err == nil {
+		t.Fatal("Validate accepted a thoroughly broken config")
+	}
+	for _, want := range []string{"Rounds", "DelayProbability", "Parallelism", "Delay", "MaxStepsPerTest"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("Validate error missing %q problem: %v", want, err)
+		}
+	}
+}
+
+func TestInferRejectsInvalidConfig(t *testing.T) {
+	app, err := apps.ByName("App-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Rounds = 0
+	if _, err := Infer(context.Background(), app, cfg); err == nil ||
+		!strings.Contains(err.Error(), "invalid config") {
+		t.Fatalf("Infer with Rounds=0: err = %v, want invalid-config error", err)
+	}
+}
+
+// TestInferAllMatchesIndividualInfer: the batch entrypoint must produce
+// exactly what per-app Infer calls produce, indexed like its input.
+func TestInferAllMatchesIndividualInfer(t *testing.T) {
+	var list []*prog.Program
+	for _, name := range []string{"App-2", "App-5"} {
+		app, err := apps.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		list = append(list, app)
+	}
+	batch, err := InferAll(context.Background(), list, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(list) {
+		t.Fatalf("InferAll returned %d results for %d apps", len(batch), len(list))
+	}
+	for i, app := range list {
+		solo, err := Infer(context.Background(), app, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i] == nil || batch[i].App != app.Name {
+			t.Fatalf("result %d = %v, want campaign for %s", i, batch[i], app.Name)
+		}
+		if !reflect.DeepEqual(batch[i].Inferred, solo.Inferred) {
+			t.Errorf("%s: InferAll result diverges from Infer:\n batch: %v\n solo:  %v",
+				app.Name, batch[i].Inferred, solo.Inferred)
+		}
+	}
+}
+
+// TestInferAllAggregatesErrors: a pre-canceled context fails every campaign;
+// the joined error names each app and matches context.Canceled.
+func TestInferAllAggregatesErrors(t *testing.T) {
+	var list []*prog.Program
+	for _, name := range []string{"App-2", "App-5"} {
+		app, err := apps.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		list = append(list, app)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := InferAll(ctx, list, DefaultConfig())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for _, name := range []string{"App-2", "App-5"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("joined error does not name %s: %v", name, err)
+		}
+	}
+	for i, r := range res {
+		if r != nil {
+			t.Errorf("result %d non-nil despite canceled campaign", i)
+		}
+	}
+}

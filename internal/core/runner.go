@@ -1,0 +1,91 @@
+// Parallel run execution: dispatch a round's planned executions across a
+// bounded worker pool. Every run is independent — its own seeded scheduler,
+// its own trace, its own window extraction — so workers share nothing but
+// the finalized (immutable) program and the read-only delay plan. Outputs
+// land in a slice indexed by spec position; the merger consumes them in
+// test order, making results bit-identical to a sequential loop for any
+// worker count.
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sherlock/internal/perturb"
+	"sherlock/internal/prog"
+	"sherlock/internal/sched"
+	"sherlock/internal/window"
+)
+
+// runOutput is everything one execution contributes to the round.
+type runOutput struct {
+	windows   []window.Window // refined acquire/release windows
+	run       *sched.Result
+	wall      time.Duration // wall time inside sched.Run (summed into Overhead.RunWall)
+	err       error         // execution failure
+	canceled  bool          // context expired before this run started
+	cancelErr error
+}
+
+// executeRound runs every spec, at most cfg.workers() concurrently, and
+// returns the outputs indexed like specs. The context is checked between
+// executions: once it expires, remaining runs are marked canceled instead
+// of executed, so a mid-campaign abort returns promptly without waiting
+// for work that hasn't started.
+func executeRound(ctx context.Context, app *prog.Program, specs []runSpec, cfg Config) []runOutput {
+	outs := make([]runOutput, len(specs))
+	workers := cfg.workers()
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if workers <= 1 {
+		for i := range specs {
+			if err := ctx.Err(); err != nil {
+				outs[i] = runOutput{canceled: true, cancelErr: err}
+				continue
+			}
+			outs[i] = executeOne(app, specs[i], cfg.Window)
+		}
+		return outs
+	}
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(specs) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					outs[i] = runOutput{canceled: true, cancelErr: err}
+					continue
+				}
+				outs[i] = executeOne(app, specs[i], cfg.Window)
+			}
+		}()
+	}
+	wg.Wait()
+	return outs
+}
+
+// executeOne performs one scheduler run plus its Observer post-processing
+// (conflict pairing, window extraction, Perturber refinement). The heavy
+// per-run work all happens here, inside the worker.
+func executeOne(app *prog.Program, spec runSpec, wcfg window.Config) runOutput {
+	t0 := time.Now()
+	run, err := sched.Run(app, spec.test, spec.opt)
+	out := runOutput{run: run, wall: time.Since(t0), err: err}
+	if err != nil || run.Deadlocked {
+		return out
+	}
+	conflicts := window.FindConflicts(run.Trace, wcfg)
+	ws := window.BuildWindows(run.Trace, conflicts)
+	out.windows = perturb.Refine(ws, run.Delays)
+	return out
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"sherlock/internal/prog"
@@ -118,7 +119,7 @@ func TestInferSurvivesDeadlockingTest(t *testing.T) {
 		prog.JoinT("h1"), prog.JoinT("h2"),
 	)
 	app.AddTest("Stuck", prog.Wait("never-signaled"))
-	res, err := Infer(app, DefaultConfig())
+	res, err := Infer(context.Background(), app, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,11 +171,11 @@ func TestInferFromTracesMatchesLiveObservations(t *testing.T) {
 		}
 		stored = append(stored, back)
 	}
-	a, err := InferFromTraces(live, DefaultConfig())
+	a, err := InferFromTraces(context.Background(), live, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := InferFromTraces(stored, DefaultConfig())
+	b, err := InferFromTraces(context.Background(), stored, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +191,7 @@ func TestInferFromTracesMatchesLiveObservations(t *testing.T) {
 }
 
 func TestInferFromTracesRejectsEmpty(t *testing.T) {
-	if _, err := InferFromTraces(nil, DefaultConfig()); err == nil {
+	if _, err := InferFromTraces(context.Background(), nil, DefaultConfig()); err == nil {
 		t.Fatal("want error for empty trace set")
 	}
 }

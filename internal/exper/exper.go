@@ -6,6 +6,7 @@
 package exper
 
 import (
+	"context"
 	"sort"
 
 	"sherlock/internal/apps"
@@ -25,14 +26,17 @@ type AppRun struct {
 	Score  *core.Score
 }
 
-// RunAll infers every benchmark app under cfg.
-func RunAll(cfg core.Config) ([]AppRun, error) {
-	out := make([]AppRun, 0, 8)
-	for _, app := range apps.All() {
-		res, err := core.Infer(app, cfg)
-		if err != nil {
-			return nil, err
-		}
+// RunAll infers every benchmark app under cfg, campaigns running
+// concurrently via core.InferAll.
+func RunAll(ctx context.Context, cfg core.Config) ([]AppRun, error) {
+	all := apps.All()
+	results, err := core.InferAll(ctx, all, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]AppRun, 0, len(all))
+	for i, app := range all {
+		res := results[i]
 		out = append(out, AppRun{App: app, Result: res, Score: core.ScoreResult(app, res)})
 	}
 	return out, nil
@@ -76,8 +80,8 @@ type Table2Row struct {
 }
 
 // Table2 runs the default configuration over all apps.
-func Table2() ([]Table2Row, []AppRun, error) {
-	runs, err := RunAll(core.DefaultConfig())
+func Table2(ctx context.Context) ([]Table2Row, []AppRun, error) {
+	runs, err := RunAll(ctx, core.DefaultConfig())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -101,14 +105,15 @@ func Table2() ([]Table2Row, []AppRun, error) {
 
 // Table3 compares the two detector variants per app, using each app's own
 // inference result for SherLock_dr.
-func Table3() ([]*race.Comparison, error) {
-	out := make([]*race.Comparison, 0, 8)
-	for _, app := range apps.All() {
-		res, err := core.Infer(app, core.DefaultConfig())
-		if err != nil {
-			return nil, err
-		}
-		cmp, err := race.Compare(app, res.SyncKeys(), race.DefaultCompareConfig())
+func Table3(ctx context.Context) ([]*race.Comparison, error) {
+	all := apps.All()
+	results, err := core.InferAll(ctx, all, core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*race.Comparison, 0, len(all))
+	for i, app := range all {
+		cmp, err := race.Compare(ctx, app, results[i].SyncKeys(), race.DefaultCompareConfig())
 		if err != nil {
 			return nil, err
 		}
@@ -196,12 +201,12 @@ type Table5Row struct {
 }
 
 // Table5 runs every ablation over all apps.
-func Table5() ([]Table5Row, error) {
+func Table5(ctx context.Context) ([]Table5Row, error) {
 	rows := make([]Table5Row, 0, len(Ablations))
 	for _, ab := range Ablations {
 		cfg := core.DefaultConfig()
 		ab.Apply(&cfg.Solver.Hyp)
-		runs, err := RunAll(cfg)
+		runs, err := RunAll(ctx, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -239,7 +244,7 @@ type Figure4Series struct {
 }
 
 // Figure4 runs each feedback setting for the given number of rounds.
-func Figure4(rounds int) ([]Figure4Series, error) {
+func Figure4(ctx context.Context, rounds int) ([]Figure4Series, error) {
 	out := make([]Figure4Series, 0, len(FeedbackSettings))
 	for _, fs := range FeedbackSettings {
 		cfg := core.DefaultConfig()
@@ -249,11 +254,13 @@ func Figure4(rounds int) ([]Figure4Series, error) {
 		for i := range perRound {
 			perRound[i] = map[trace.Key]bool{}
 		}
-		for _, app := range apps.All() {
-			res, err := core.Infer(app, cfg)
-			if err != nil {
-				return nil, err
-			}
+		all := apps.All()
+		results, err := core.InferAll(ctx, all, cfg)
+		if err != nil {
+			return nil, err
+		}
+		for ai, app := range all {
+			res := results[ai]
 			for i, snap := range res.Rounds {
 				m := map[trace.Key]trace.Role{}
 				for _, k := range snap.Acquires {
@@ -293,12 +300,12 @@ type SweepRow struct {
 }
 
 // Table6 sweeps λ.
-func Table6() ([]SweepRow, error) {
+func Table6(ctx context.Context) ([]SweepRow, error) {
 	rows := make([]SweepRow, 0, len(LambdaValues))
 	for _, lam := range LambdaValues {
 		cfg := core.DefaultConfig()
 		cfg.Solver.Lambda = lam
-		runs, err := RunAll(cfg)
+		runs, err := RunAll(ctx, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -320,12 +327,12 @@ func Table6() ([]SweepRow, error) {
 var NearValues = []int64{2_000, 1_000_000, 100_000_000}
 
 // Table7 sweeps Near.
-func Table7() ([]SweepRow, error) {
+func Table7(ctx context.Context) ([]SweepRow, error) {
 	rows := make([]SweepRow, 0, len(NearValues))
 	for _, near := range NearValues {
 		cfg := core.DefaultConfig()
 		cfg.Window.Near = near
-		runs, err := RunAll(cfg)
+		runs, err := RunAll(ctx, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -383,14 +390,15 @@ type TSVDRow struct {
 }
 
 // TSVDEnhancement runs the TSVD experiment on every app.
-func TSVDEnhancement() ([]TSVDRow, error) {
-	out := make([]TSVDRow, 0, 8)
-	for _, app := range apps.All() {
-		res, err := core.Infer(app, core.DefaultConfig())
-		if err != nil {
-			return nil, err
-		}
-		t, err := tsvd.Analyze(app, res.SyncKeys(), tsvd.DefaultConfig())
+func TSVDEnhancement(ctx context.Context) ([]TSVDRow, error) {
+	all := apps.All()
+	results, err := core.InferAll(ctx, all, core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]TSVDRow, 0, len(all))
+	for i, app := range all {
+		t, err := tsvd.Analyze(ctx, app, results[i].SyncKeys(), tsvd.DefaultConfig())
 		if err != nil {
 			return nil, err
 		}

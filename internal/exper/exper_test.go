@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"testing"
 
 	"sherlock/internal/core"
@@ -10,7 +11,7 @@ import (
 )
 
 func TestRunAllAndUniqueCounting(t *testing.T) {
-	runs, err := RunAll(core.DefaultConfig())
+	runs, err := RunAll(context.Background(), core.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +33,7 @@ func TestRunAllAndUniqueCounting(t *testing.T) {
 }
 
 func TestTable2Shape(t *testing.T) {
-	rows, runs, err := Table2()
+	rows, runs, err := Table2(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestTable4JoinsScoresAndRaceCauses(t *testing.T) {
 }
 
 func TestFigure4SeriesShape(t *testing.T) {
-	series, err := Figure4(2)
+	series, err := Figure4(context.Background(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestFigure4SeriesShape(t *testing.T) {
 }
 
 func TestListings(t *testing.T) {
-	runs, err := RunAll(core.DefaultConfig())
+	runs, err := RunAll(context.Background(), core.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestListings(t *testing.T) {
 }
 
 func TestTSVDEnhancementShape(t *testing.T) {
-	rows, err := TSVDEnhancement()
+	rows, err := TSVDEnhancement(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestTSVDEnhancementShape(t *testing.T) {
 }
 
 func TestOverheadRows(t *testing.T) {
-	rows, err := Overhead()
+	rows, err := Overhead(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,6 +4,7 @@
 package exper
 
 import (
+	"context"
 	"time"
 
 	"sherlock/internal/apps"
@@ -27,13 +28,16 @@ type OverheadRow struct {
 // Overhead measures every app. Wall-clock results depend on the host; the
 // paper reports 24%–800% per test with a 278% average — the shape to
 // compare is "tracing dominates, solving is the second-largest cost".
-func Overhead() ([]OverheadRow, error) {
+func Overhead(ctx context.Context) ([]OverheadRow, error) {
 	rows := make([]OverheadRow, 0, 8)
 	for _, app := range apps.All() {
 		// Baseline: the same number of executions, uninstrumented.
 		start := time.Now()
 		for round := 0; round < 3; round++ {
 			for ti, test := range app.Tests {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 				_, err := sched.Run(app, test, sched.Options{
 					Seed:           int64(1 + round*7919 + ti*127),
 					DisableTracing: true,
@@ -45,7 +49,12 @@ func Overhead() ([]OverheadRow, error) {
 		}
 		baseline := time.Since(start)
 
-		res, err := core.Infer(app, core.DefaultConfig())
+		// The overhead experiment times the engine's serial cost model, so
+		// it pins Parallelism to 1: RunWall vs Baseline stays apples to
+		// apples regardless of the host's core count.
+		cfg := core.DefaultConfig()
+		cfg.Parallelism = 1
+		res, err := core.Infer(ctx, app, cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -12,6 +12,7 @@ package prog
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"sherlock/internal/trace"
 )
@@ -137,6 +138,11 @@ type Program struct {
 	// mirroring the paper's manually specified synchronization list.
 	Volatile map[string]bool
 
+	// mu serializes Finalize so concurrent executors (the parallel
+	// inference engine runs sched.Run from many goroutines) can all call
+	// it safely; after the first call succeeds the program is immutable
+	// and every later call is a cheap guarded read.
+	mu        sync.Mutex
 	finalized bool
 	numSites  int
 }
@@ -181,8 +187,13 @@ func (p *Program) NumSites() int { return p.numSites }
 
 // Finalize assigns unique static site ids to every statement (in
 // deterministic order) and validates that every referenced method exists.
-// It must be called once after construction and is idempotent.
+// It must be called after construction and is idempotent. Finalize is safe
+// for concurrent use: the first caller performs the (mutating) site
+// assignment under a lock, every later caller returns immediately. Do not
+// add methods or tests after the first Finalize.
 func (p *Program) Finalize() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.finalized {
 		return nil
 	}

@@ -5,6 +5,8 @@
 package race
 
 import (
+	"context"
+
 	"sherlock/internal/prog"
 	"sherlock/internal/sched"
 	"sherlock/internal/trace"
@@ -37,8 +39,8 @@ type Comparison struct {
 }
 
 // Compare runs the experiment for one application with the given inferred
-// synchronization set.
-func Compare(app *prog.Program, inferred map[trace.Key]trace.Role, cfg CompareConfig) (*Comparison, error) {
+// synchronization set. ctx cancels between test executions.
+func Compare(ctx context.Context, app *prog.Program, inferred trace.SyncSet, cfg CompareConfig) (*Comparison, error) {
 	if err := app.Finalize(); err != nil {
 		return nil, err
 	}
@@ -48,6 +50,9 @@ func Compare(app *prog.Program, inferred map[trace.Key]trace.Role, cfg CompareCo
 
 	for run := 0; run < cfg.Runs; run++ {
 		for ti, test := range app.Tests {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			res, err := sched.Run(app, test, sched.Options{
 				Seed:          cfg.Seed + int64(run)*2011 + int64(ti)*31,
 				HiddenMethods: app.Truth.HiddenMethods,

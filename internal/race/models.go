@@ -113,11 +113,11 @@ func className(name string) string {
 // everything else pairs releases to acquires over resource-address channels
 // (fields, locks, handles, queues) or class channels (method operations).
 type SherLockModel struct {
-	Syncs map[trace.Key]trace.Role
+	Syncs trace.SyncSet
 }
 
 // NewSherLockModel builds the model from inferred synchronizations.
-func NewSherLockModel(syncs map[trace.Key]trace.Role) *SherLockModel {
+func NewSherLockModel(syncs trace.SyncSet) *SherLockModel {
 	return &SherLockModel{Syncs: syncs}
 }
 

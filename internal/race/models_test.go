@@ -1,6 +1,7 @@
 package race
 
 import (
+	"context"
 	"testing"
 
 	"sherlock/internal/core"
@@ -131,11 +132,11 @@ func TestCompareEndToEnd(t *testing.T) {
 	app.Truth.Sync(prog.WK("C::flag"), trace.RoleRelease)
 	app.Truth.Race("C::racy")
 
-	res, err := core.Infer(app, core.DefaultConfig())
+	res, err := core.Infer(context.Background(), app, core.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	cmp, err := Compare(app, res.SyncKeys(), DefaultCompareConfig())
+	cmp, err := Compare(context.Background(), app, res.SyncKeys(), DefaultCompareConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,11 +163,11 @@ func TestManualFalseRaceOnTaskRun(t *testing.T) {
 	app.Truth.Sync(prog.EK(prog.ForkTaskRun.APIName()), trace.RoleRelease)
 	app.Truth.Sync(prog.BK("C::child"), trace.RoleAcquire)
 
-	res, err := core.Infer(app, core.DefaultConfig())
+	res, err := core.Infer(context.Background(), app, core.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	cmp, err := Compare(app, res.SyncKeys(), DefaultCompareConfig())
+	cmp, err := Compare(context.Background(), app, res.SyncKeys(), DefaultCompareConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +191,7 @@ func TestTrueRaceDetectedByBoth(t *testing.T) {
 	)
 	app.Truth.Race("C::racy")
 
-	cmp, err := Compare(app, nil, DefaultCompareConfig())
+	cmp, err := Compare(context.Background(), app, nil, DefaultCompareConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +234,7 @@ func TestBarrierOrdersUnderManualModel(t *testing.T) {
 		prog.Go(prog.ForkThread, "C::party2", "o", "h2"),
 		prog.JoinT("h1"), prog.JoinT("h2"),
 	)
-	cmp, err := Compare(app, nil, DefaultCompareConfig())
+	cmp, err := Compare(context.Background(), app, nil, DefaultCompareConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +271,7 @@ func TestCombinedModelLayersInferredOverManual(t *testing.T) {
 
 // BenchmarkDetector measures FastTrack throughput over a realistic trace.
 func BenchmarkDetector(b *testing.B) {
-	app, err := core.Infer(mustApp(b), core.DefaultConfig())
+	app, err := core.Infer(context.Background(), mustApp(b), core.DefaultConfig())
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -194,6 +194,14 @@ type initState struct {
 }
 
 // Run executes one unit test of p under opt.
+//
+// Run is safe for concurrent use against a shared *prog.Program: all
+// execution state lives in the per-call machine, the program is read-only
+// once finalized, and Finalize itself serializes internally — so the
+// parallel inference engine may dispatch many Runs of the same program
+// (same or different tests) from different goroutines. Callers must not
+// mutate opt.Delays, opt.SiteDelays or opt.HiddenMethods while any Run
+// using them is in flight; the engine shares one immutable plan per round.
 func Run(p *prog.Program, t *prog.Test, opt Options) (*Result, error) {
 	if err := p.Finalize(); err != nil {
 		return nil, err

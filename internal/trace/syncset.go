@@ -1,0 +1,72 @@
+// SyncSet: the typed result surface of inference. Earlier revisions passed
+// bare map[Key]Role values between the engine and its consumers (race
+// detection, TSVD analysis); the named type documents the contract and
+// carries the small query helpers every consumer was reimplementing.
+package trace
+
+import "sort"
+
+// SyncSet maps every inferred synchronization operation to its role. It is
+// the currency between the inference engine and downstream consumers: the
+// race detector's SherLock_dr model and the TSVD analyzer both take one.
+//
+// A nil SyncSet is valid and empty.
+type SyncSet map[Key]Role
+
+// Keys returns every operation in the set, sorted.
+func (s SyncSet) Keys() []Key {
+	out := make([]Key, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Acquires returns the operations inferred as acquires, sorted.
+func (s SyncSet) Acquires() []Key { return s.withRole(RoleAcquire) }
+
+// Releases returns the operations inferred as releases, sorted.
+func (s SyncSet) Releases() []Key { return s.withRole(RoleRelease) }
+
+func (s SyncSet) withRole(r Role) []Key {
+	var out []Key
+	for k, role := range s {
+		if role == r {
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Has reports whether k is in the set with role r.
+func (s SyncSet) Has(k Key, r Role) bool {
+	role, ok := s[k]
+	return ok && role == r
+}
+
+// Clone returns an independent copy of the set.
+func (s SyncSet) Clone() SyncSet {
+	if s == nil {
+		return nil
+	}
+	out := make(SyncSet, len(s))
+	for k, r := range s {
+		out[k] = r
+	}
+	return out
+}
+
+// Equal reports whether two sets contain exactly the same roles.
+func (s SyncSet) Equal(o SyncSet) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for k, r := range s {
+		if or, ok := o[k]; !ok || or != r {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSyncSetQueries(t *testing.T) {
+	s := SyncSet{
+		"write:C::flag": RoleRelease,
+		"read:C::flag":  RoleAcquire,
+		"begin:L::Wait": RoleAcquire,
+	}
+	if got, want := s.Keys(), []Key{"begin:L::Wait", "read:C::flag", "write:C::flag"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Keys() = %v, want %v", got, want)
+	}
+	if got, want := s.Acquires(), []Key{"begin:L::Wait", "read:C::flag"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Acquires() = %v, want %v", got, want)
+	}
+	if got, want := s.Releases(), []Key{"write:C::flag"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Releases() = %v, want %v", got, want)
+	}
+	if !s.Has("write:C::flag", RoleRelease) {
+		t.Error("Has missed a present entry")
+	}
+	if s.Has("write:C::flag", RoleAcquire) {
+		t.Error("Has matched the wrong role")
+	}
+	if s.Has("nope", RoleAcquire) {
+		t.Error("Has matched an absent key")
+	}
+}
+
+func TestSyncSetCloneAndEqual(t *testing.T) {
+	s := SyncSet{"write:C::x": RoleRelease}
+	c := s.Clone()
+	if !s.Equal(c) {
+		t.Fatal("clone not equal to original")
+	}
+	c["read:C::x"] = RoleAcquire
+	if s.Equal(c) {
+		t.Error("mutating the clone leaked into the original")
+	}
+	if len(s) != 1 {
+		t.Error("original mutated")
+	}
+	d := SyncSet{"write:C::x": RoleAcquire}
+	if s.Equal(d) {
+		t.Error("Equal ignored a role mismatch")
+	}
+}
+
+func TestSyncSetNil(t *testing.T) {
+	var s SyncSet
+	if len(s.Keys()) != 0 || len(s.Acquires()) != 0 || len(s.Releases()) != 0 {
+		t.Error("nil SyncSet must behave as empty")
+	}
+	if s.Has("k", RoleAcquire) {
+		t.Error("nil SyncSet has nothing")
+	}
+	if s.Clone() != nil {
+		t.Error("Clone of nil is nil")
+	}
+	if !s.Equal(SyncSet{}) {
+		t.Error("nil and empty sets are equal")
+	}
+}

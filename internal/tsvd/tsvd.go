@@ -13,6 +13,7 @@
 package tsvd
 
 import (
+	"context"
 	"sort"
 
 	"sherlock/internal/prog"
@@ -62,8 +63,9 @@ type occurrence struct {
 	ta, tb  int64
 }
 
-// Analyze runs the full experiment on one application.
-func Analyze(app *prog.Program, inferred map[trace.Key]trace.Role, cfg Config) (*Result, error) {
+// Analyze runs the full experiment on one application. ctx cancels between
+// test executions.
+func Analyze(ctx context.Context, app *prog.Program, inferred trace.SyncSet, cfg Config) (*Result, error) {
 	if err := app.Finalize(); err != nil {
 		return nil, err
 	}
@@ -78,6 +80,9 @@ func Analyze(app *prog.Program, inferred map[trace.Key]trace.Role, cfg Config) (
 
 	for run := 0; run < cfg.Runs; run++ {
 		for ti, test := range app.Tests {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			r, err := sched.Run(app, test, sched.Options{
 				Seed:          cfg.Seed + int64(run)*911 + int64(ti)*17,
 				HiddenMethods: app.Truth.HiddenMethods,
@@ -124,6 +129,9 @@ func Analyze(app *prog.Program, inferred map[trace.Key]trace.Role, cfg Config) (
 	refuted := map[Pair]bool{}
 	for site, tests := range siteTests {
 		for ti := range tests {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			r, err := sched.Run(app, app.Tests[ti], sched.Options{
 				Seed:          cfg.Seed + int64(site)*131 + int64(ti)*17,
 				HiddenMethods: app.Truth.HiddenMethods,

@@ -1,6 +1,7 @@
 package tsvd
 
 import (
+	"context"
 	"testing"
 
 	"sherlock/internal/core"
@@ -63,11 +64,11 @@ func unsyncedApp() *prog.Program {
 
 func TestSyncedPairDetected(t *testing.T) {
 	app := syncedApp()
-	res, err := core.Infer(app, core.DefaultConfig())
+	res, err := core.Infer(context.Background(), app, core.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := Analyze(app, res.SyncKeys(), DefaultConfig())
+	out, err := Analyze(context.Background(), app, res.SyncKeys(), DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestSyncedPairDetected(t *testing.T) {
 func TestUnsyncedPairNotSynced(t *testing.T) {
 	app := unsyncedApp()
 	// No inferred syncs: SherLock_dr sees the collection race.
-	out, err := Analyze(app, nil, DefaultConfig())
+	out, err := Analyze(context.Background(), app, nil, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,11 +106,11 @@ func TestUnsyncedPairNotSynced(t *testing.T) {
 // quick heuristic.
 func TestSherLockEnhancesTSVD(t *testing.T) {
 	app := syncedApp()
-	res, err := core.Infer(app, core.DefaultConfig())
+	res, err := core.Infer(context.Background(), app, core.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := Analyze(app, res.SyncKeys(), DefaultConfig())
+	out, err := Analyze(context.Background(), app, res.SyncKeys(), DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,138 @@
+package window
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"sherlock/internal/stats"
+	"sherlock/internal/trace"
+)
+
+// syntheticWindow builds a non-racy window for pair with one release and
+// one acquire candidate, keyed so distinct i values yield distinct keys.
+func syntheticWindow(pair PairID, i int) Window {
+	return Window{
+		App: "a", Test: "t", Pair: pair,
+		ThreadA: 0, ThreadB: 1, TA: int64(100 * i), TB: int64(100*i + 50),
+		RelEvents: []CandEvent{{Key: trace.Key(fmt.Sprintf("write:C::f%d", i)), Time: int64(100*i + 10)}},
+		AcqEvents: []CandEvent{{Key: trace.Key(fmt.Sprintf("read:C::f%d", i)), Time: int64(100*i + 20)}},
+	}
+}
+
+// TestObservationsMergeMatchesDirectAdd: merging two accumulators must be
+// observationally identical to adding every window to one accumulator in
+// the same order.
+func TestObservationsMergeMatchesDirectAdd(t *testing.T) {
+	cfg := DefaultConfig()
+	var first, second []Window
+	for i := 0; i < 4; i++ {
+		first = append(first, syntheticWindow(PairID{First: 1, Second: 2}, i))
+	}
+	for i := 4; i < 7; i++ {
+		second = append(second, syntheticWindow(PairID{First: 3, Second: 4}, i))
+	}
+	// A racy window (release side is a lone read) in the second shard: the
+	// merge must carry the RacyPairs observation over.
+	racy := Window{
+		App: "a", Test: "t", Pair: PairID{First: 5, Second: 6},
+		RelEvents: []CandEvent{{Key: trace.Key("read:C::r"), Time: 1}},
+		AcqEvents: []CandEvent{{Key: trace.Key("read:C::r2"), Time: 2}},
+	}
+	second = append(second, racy)
+
+	direct := NewObservations(cfg)
+	direct.AddWindows(first)
+	direct.AddWindows(second)
+
+	o1 := NewObservations(cfg)
+	o1.AddWindows(first)
+	o2 := NewObservations(cfg)
+	o2.AddWindows(second)
+	o1.Merge(o2)
+
+	if len(o1.Windows) != len(direct.Windows) {
+		t.Fatalf("windows after merge = %d, direct = %d", len(o1.Windows), len(direct.Windows))
+	}
+	if !o1.RacyPairs[racy.Pair] {
+		t.Error("racy pair lost in merge")
+	}
+	for i := 0; i < 7; i++ {
+		for _, k := range []trace.Key{
+			trace.Key(fmt.Sprintf("write:C::f%d", i)),
+			trace.Key(fmt.Sprintf("read:C::f%d", i)),
+		} {
+			if got, want := o1.AvgOccurrence(k), direct.AvgOccurrence(k); got != want {
+				t.Errorf("AvgOccurrence(%s) = %g after merge, direct = %g", k, got, want)
+			}
+		}
+	}
+}
+
+// TestObservationsMergeRespectsPerPairCap: the cross-accumulator per-pair
+// cap admits windows exactly as if they had been added directly.
+func TestObservationsMergeRespectsPerPairCap(t *testing.T) {
+	cfg := DefaultConfig()
+	pair := PairID{First: 9, Second: 10}
+
+	o1 := NewObservations(cfg)
+	for i := 0; i < cfg.PerPairCap; i++ {
+		o1.AddWindows([]Window{syntheticWindow(pair, i)})
+	}
+	o2 := NewObservations(cfg)
+	for i := 0; i < 5; i++ {
+		o2.AddWindows([]Window{syntheticWindow(pair, 100+i)})
+	}
+	o1.Merge(o2)
+	if len(o1.Windows) != cfg.PerPairCap {
+		t.Fatalf("merge admitted %d windows for one pair, cap is %d", len(o1.Windows), cfg.PerPairCap)
+	}
+}
+
+// TestObservationsMergeStatsAndCounts: duration statistics combine via
+// parallel Welford merging; library APIs union; run counts sum.
+func TestObservationsMergeStatsAndCounts(t *testing.T) {
+	cfg := DefaultConfig()
+	o1 := NewObservations(cfg)
+	o2 := NewObservations(cfg)
+
+	w1 := &stats.Welford{}
+	for _, x := range []float64{100, 200, 300} {
+		w1.Add(x)
+	}
+	w2 := &stats.Welford{}
+	for _, x := range []float64{400, 500} {
+		w2.Add(x)
+	}
+	o1.Durations["C::m"] = w1
+	o2.Durations["C::m"] = w2
+	o2.Durations["C::only2"] = func() *stats.Welford { w := &stats.Welford{}; w.Add(7); return w }()
+	o1.LibAPIs["Lib::A"] = true
+	o2.LibAPIs["Lib::B"] = true
+	o1.Runs, o2.Runs = 3, 2
+
+	o1.Merge(o2)
+
+	m := o1.Durations["C::m"]
+	if m.N() != 5 {
+		t.Fatalf("merged sample count = %d, want 5", m.N())
+	}
+	if math.Abs(m.Mean()-300) > 1e-9 {
+		t.Errorf("merged mean = %g, want 300", m.Mean())
+	}
+	if o1.Durations["C::only2"].N() != 1 {
+		t.Error("method present only in o2 lost in merge")
+	}
+	if !o1.LibAPIs["Lib::A"] || !o1.LibAPIs["Lib::B"] {
+		t.Error("library API union incomplete")
+	}
+	if o1.Runs != 5 {
+		t.Errorf("Runs = %d, want 5", o1.Runs)
+	}
+
+	// Merging nil is a no-op.
+	o1.Merge(nil)
+	if o1.Runs != 5 {
+		t.Error("Merge(nil) changed state")
+	}
+}

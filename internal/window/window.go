@@ -305,6 +305,38 @@ func (o *Observations) AddTraceStats(tr *trace.Trace) {
 	o.Runs++
 }
 
+// Merge folds another accumulator into o: windows are replayed through the
+// same admission path as AddWindows (so the cross-accumulator per-pair cap
+// and data-race bookkeeping behave exactly as if every window had been
+// added to o directly, in o2's order), duration statistics combine via
+// parallel Welford merging, and library-API sets and run counts union/sum.
+//
+// Merging is order-sensitive in the same way AddWindows is: the per-pair
+// cap admits the first windows seen, so merge partial accumulators in a
+// deterministic order. Note the combined duration statistics are
+// mathematically — not bit-for-bit — equal to sequential accumulation;
+// the engine's hot path folds raw runs in test order for that reason, and
+// Merge serves consumers combining independently collected observation
+// sets (e.g. shards of an offline corpus).
+func (o *Observations) Merge(o2 *Observations) {
+	if o2 == nil {
+		return
+	}
+	o.AddWindows(o2.Windows)
+	for name, w2 := range o2.Durations {
+		w, ok := o.Durations[name]
+		if !ok {
+			w = &stats.Welford{}
+			o.Durations[name] = w
+		}
+		w.Merge(w2)
+	}
+	for api := range o2.LibAPIs {
+		o.LibAPIs[api] = true
+	}
+	o.Runs += o2.Runs
+}
+
 // AvgOccurrence returns the average number of times key occurs in the
 // windows it appears in (Eq. 4's coefficient input); 0 if never seen.
 func (o *Observations) AvgOccurrence(k trace.Key) float64 {

@@ -17,24 +17,33 @@
 //     Method, Test). The eight benchmark applications of the paper are
 //     available through Apps and AppByName.
 //   - Inference: Infer runs the Observer → Solver → Perturber loop and
-//     returns the inferred operation set; ScoreResult classifies it
-//     against a program's ground truth.
-//   - Consumers: CompareDetectors feeds inferred synchronizations into a
+//     returns the inferred operation set; InferAll batches whole
+//     applications concurrently; ScoreResult classifies a result against
+//     a program's ground truth.
+//   - Consumers: CompareDetectors feeds an inferred SyncSet into a
 //     FastTrack race detector next to a manually annotated baseline
 //     (the paper's Manual_dr vs SherLock_dr); AnalyzeTSVD reproduces the
 //     TSVD-enhancement study.
+//
+// Every entrypoint that executes tests takes a context.Context as its
+// first argument; cancellation aborts a campaign between test executions
+// and the returned error matches errors.Is(err, ctx.Err()). Within each
+// round the per-test executions run on a bounded worker pool
+// (Config.Parallelism, default GOMAXPROCS); results are bit-identical for
+// every parallelism level.
 //
 // Quick start:
 //
 //	app := sherlock.NewProgram("demo", "Demo")
 //	// ... add methods and tests (see examples/quickstart) ...
-//	res, err := sherlock.Infer(app, sherlock.DefaultConfig())
+//	res, err := sherlock.Infer(context.Background(), app, sherlock.DefaultConfig())
 //	for _, s := range res.Inferred {
 //		fmt.Println(s.Role, s.Key.Display())
 //	}
 package sherlock
 
 import (
+	"context"
 	"io"
 
 	"sherlock/internal/apps"
@@ -59,7 +68,7 @@ type (
 	Truth = prog.Truth
 
 	// Config tunes an inference campaign (rounds, Near, λ, hypotheses,
-	// feedback toggles).
+	// parallelism, feedback toggles). Validate reports misconfigurations.
 	Config = core.Config
 	// Result is the outcome of Infer.
 	Result = core.Result
@@ -73,6 +82,10 @@ type (
 	Key = trace.Key
 	// Role is acquire or release.
 	Role = trace.Role
+	// SyncSet maps inferred synchronization operations to their roles —
+	// the typed currency between Infer (via Result.SyncKeys) and the
+	// consumers CompareDetectors and AnalyzeTSVD.
+	SyncSet = trace.SyncSet
 
 	// Trace is one test execution's log in the paper's schema.
 	Trace = trace.Trace
@@ -95,12 +108,26 @@ func NewProgram(name, title string) *Program { return prog.New(name, title) }
 
 // DefaultConfig mirrors the paper's default operating point: 3 rounds,
 // Near = 1 ms (virtual), λ = 0.2, all hypotheses and feedback mechanisms
-// enabled, 100 µs (virtual) injected delays.
+// enabled, 100 µs (virtual) injected delays, and a worker pool sized to
+// runtime.GOMAXPROCS(0).
 func DefaultConfig() Config { return core.DefaultConfig() }
 
 // Infer runs the full SherLock loop — execute tests, extract windows,
 // solve, perturb, repeat — and returns the inferred synchronizations.
-func Infer(app *Program, cfg Config) (*Result, error) { return core.Infer(app, cfg) }
+// Within each round the per-test executions are dispatched across
+// cfg.Parallelism workers; the result is identical for every parallelism
+// level. ctx cancels the campaign between test executions.
+func Infer(ctx context.Context, app *Program, cfg Config) (*Result, error) {
+	return core.Infer(ctx, app, cfg)
+}
+
+// InferAll runs one inference campaign per application, campaigns
+// executing concurrently. The result slice is indexed like apps; failed
+// campaigns leave a nil entry and their errors are aggregated with
+// errors.Join.
+func InferAll(ctx context.Context, apps []*Program, cfg Config) ([]*Result, error) {
+	return core.InferAll(ctx, apps, cfg)
+}
 
 // ScoreResult classifies an inference result against the program's ground
 // truth, reproducing the paper's manual-inspection buckets.
@@ -116,22 +143,26 @@ func AppByName(name string) (*Program, error) { return apps.ByName(name) }
 // CompareDetectors runs the FastTrack race detector over the program's
 // tests twice — once with the classic manually annotated synchronization
 // list, once with the inferred set — and counts true/false first-reported
-// races (the paper's Table 3).
-func CompareDetectors(app *Program, inferred map[Key]Role) (*RaceComparison, error) {
-	return race.Compare(app, inferred, race.DefaultCompareConfig())
+// races (the paper's Table 3). Pass Result.SyncKeys() as inferred.
+func CompareDetectors(ctx context.Context, app *Program, inferred SyncSet) (*RaceComparison, error) {
+	return race.Compare(ctx, app, inferred, race.DefaultCompareConfig())
 }
 
 // AnalyzeTSVD reproduces the Section 5.6 experiment: which conflicting
 // thread-unsafe API-call pairs are provably synchronized, per TSVD's
 // delay-propagation heuristic and per SherLock's inferred operations.
-func AnalyzeTSVD(app *Program, inferred map[Key]Role) (*TSVDResult, error) {
-	return tsvd.Analyze(app, inferred, tsvd.DefaultConfig())
+// Pass Result.SyncKeys() as inferred.
+func AnalyzeTSVD(ctx context.Context, app *Program, inferred SyncSet) (*TSVDResult, error) {
+	return tsvd.Analyze(ctx, app, inferred, tsvd.DefaultConfig())
 }
 
 // CaptureTrace executes one unit test of app under the given scheduler seed
 // and returns its execution log — the raw material of inference. Traces
 // serialize as JSON lines via (*Trace).Write and load with ReadTrace.
-func CaptureTrace(app *Program, test *Test, seed int64) (*Trace, error) {
+func CaptureTrace(ctx context.Context, app *Program, test *Test, seed int64) (*Trace, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	res, err := sched.Run(app, test, sched.Options{Seed: seed})
 	if err != nil {
 		return nil, err
@@ -145,6 +176,45 @@ func ReadTrace(r io.Reader) (*Trace, error) { return trace.Read(r) }
 // InferFromTraces runs window extraction and a single solve over previously
 // captured traces — the paper's log-analysis step without re-execution or
 // Perturber feedback. Use it to analyze logs from external instrumentation.
-func InferFromTraces(traces []*Trace, cfg Config) (*Result, error) {
-	return core.InferFromTraces(traces, cfg)
+func InferFromTraces(ctx context.Context, traces []*Trace, cfg Config) (*Result, error) {
+	return core.InferFromTraces(ctx, traces, cfg)
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated context-less wrappers, kept for pre-context callers.
+// ---------------------------------------------------------------------------
+
+// InferBackground is Infer with context.Background().
+//
+// Deprecated: use Infer, which takes a context.Context.
+func InferBackground(app *Program, cfg Config) (*Result, error) {
+	return Infer(context.Background(), app, cfg)
+}
+
+// InferFromTracesBackground is InferFromTraces with context.Background().
+//
+// Deprecated: use InferFromTraces, which takes a context.Context.
+func InferFromTracesBackground(traces []*Trace, cfg Config) (*Result, error) {
+	return InferFromTraces(context.Background(), traces, cfg)
+}
+
+// CompareDetectorsBackground is CompareDetectors with context.Background().
+//
+// Deprecated: use CompareDetectors, which takes a context.Context.
+func CompareDetectorsBackground(app *Program, inferred SyncSet) (*RaceComparison, error) {
+	return CompareDetectors(context.Background(), app, inferred)
+}
+
+// AnalyzeTSVDBackground is AnalyzeTSVD with context.Background().
+//
+// Deprecated: use AnalyzeTSVD, which takes a context.Context.
+func AnalyzeTSVDBackground(app *Program, inferred SyncSet) (*TSVDResult, error) {
+	return AnalyzeTSVD(context.Background(), app, inferred)
+}
+
+// CaptureTraceBackground is CaptureTrace with context.Background().
+//
+// Deprecated: use CaptureTrace, which takes a context.Context.
+func CaptureTraceBackground(app *Program, test *Test, seed int64) (*Trace, error) {
+	return CaptureTrace(context.Background(), app, test, seed)
 }

@@ -2,6 +2,7 @@ package sherlock
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"sherlock/internal/prog"
@@ -31,7 +32,7 @@ func buildDemo() *Program {
 
 func TestFacadeInfer(t *testing.T) {
 	app := buildDemo()
-	res, err := Infer(app, DefaultConfig())
+	res, err := Infer(context.Background(), app, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestFacadeCaptureAndOfflineInfer(t *testing.T) {
 	app := buildDemo()
 	var traces []*Trace
 	for seed := int64(1); seed <= 3; seed++ {
-		tr, err := CaptureTrace(app, app.Tests[0], seed)
+		tr, err := CaptureTrace(context.Background(), app, app.Tests[0], seed)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -63,7 +64,7 @@ func TestFacadeCaptureAndOfflineInfer(t *testing.T) {
 		}
 		traces = append(traces, back)
 	}
-	res, err := InferFromTraces(traces, DefaultConfig())
+	res, err := InferFromTraces(context.Background(), traces, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,18 +94,18 @@ func TestFacadeDetectorsAndTSVD(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Infer(app, DefaultConfig())
+	res, err := Infer(context.Background(), app, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	cmp, err := CompareDetectors(app, res.SyncKeys())
+	cmp, err := CompareDetectors(context.Background(), app, res.SyncKeys())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cmp.App != "App-7" {
 		t.Errorf("comparison app = %q", cmp.App)
 	}
-	ts, err := AnalyzeTSVD(app, res.SyncKeys())
+	ts, err := AnalyzeTSVD(context.Background(), app, res.SyncKeys())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestFacadeScoring(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Infer(app, DefaultConfig())
+	res, err := Infer(context.Background(), app, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
