@@ -13,7 +13,10 @@ import (
 
 	"sherlock/internal/core"
 	"sherlock/internal/exper"
+	"sherlock/internal/lp"
 	"sherlock/internal/report"
+	"sherlock/internal/solver"
+	"sherlock/internal/window"
 )
 
 // printOnce renders a table on the first benchmark iteration only.
@@ -232,6 +235,78 @@ func BenchmarkInferParallel(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// solverCampaign runs a 6-round App-1 campaign once and returns each
+// round's accumulated observations, plus the solver configuration the
+// engine used. The snapshots let the Solve benchmarks measure exactly the
+// per-round encode+solve cost, without re-running the scheduler.
+func solverCampaign(b *testing.B) ([]*window.Observations, solver.Config) {
+	b.Helper()
+	app, err := AppByName("App-1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Rounds = 6
+	var snaps []*window.Observations
+	cfg.OnRound = func(_ int, obs *window.Observations) {
+		snaps = append(snaps, obs.Clone())
+	}
+	if _, err := core.Infer(context.Background(), app, cfg); err != nil {
+		b.Fatal(err)
+	}
+	scfg := cfg.Solver
+	scfg.KeepRacyWindows = !cfg.RemoveRacyMP
+	return snaps, scfg
+}
+
+// BenchmarkSolveCold solves each round of the App-1 campaign from scratch:
+// a fresh encoding and a cold simplex basis per round, the pre-reuse
+// engine's cost.
+func BenchmarkSolveCold(b *testing.B) {
+	snaps, scfg := solverCampaign(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, obs := range snaps {
+			if _, err := solver.Solve(obs, scfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkSolveWarm solves the same campaign with cross-round reuse: one
+// Encoder incrementally extends its cached encoding and each round's solve
+// starts from the previous round's basis. Same results as BenchmarkSolveCold
+// (the equivalence tests enforce it); the ratio of the two benchmarks is the
+// warm-starting speedup.
+func BenchmarkSolveWarm(b *testing.B) {
+	snaps, scfg := solverCampaign(b)
+	// The Encoder caches by accumulator identity; replay the snapshots
+	// through one shell object so they look like the engine's single
+	// growing accumulator.
+	shell := &window.Observations{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc := solver.NewEncoder(scfg)
+		var basis *lp.Basis
+		warmed := false
+		for _, snap := range snaps {
+			*shell = *snap
+			sr, bs, err := enc.Solve(shell, basis)
+			if err != nil {
+				b.Fatal(err)
+			}
+			basis = bs
+			warmed = warmed || sr.WarmStarted
+		}
+		if !warmed {
+			b.Fatal("no round reused the previous basis; warm path is inert")
+		}
 	}
 }
 

@@ -1,0 +1,119 @@
+// Command bench measures the solver's cross-round warm-starting against
+// the cold-start path on a multi-round campaign and writes the numbers to
+// a JSON file, so the speedup can be tracked across commits and asserted
+// by CI without parsing `go test -bench` output.
+//
+// The workload mirrors BenchmarkSolveCold / BenchmarkSolveWarm: one App-1
+// campaign's per-round observation snapshots, each round encoded and
+// solved cold (fresh encoding, cold basis) and warm (incremental encoder,
+// previous round's basis carried). Both paths produce identical inference
+// results; only the cost differs.
+//
+// Usage:
+//
+//	bench [-app App-1] [-rounds 6] [-reps 5] [-o BENCH_solver.json]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sherlock/internal/apps"
+	"sherlock/internal/core"
+	"sherlock/internal/lp"
+	"sherlock/internal/solver"
+	"sherlock/internal/window"
+)
+
+// result is the file schema. Times are the best-of-reps wall clock for one
+// full campaign's worth of solves, in nanoseconds.
+type result struct {
+	App        string  `json:"app"`
+	Rounds     int     `json:"rounds"`
+	Reps       int     `json:"reps"`
+	ColdNs     int64   `json:"cold_ns"`
+	WarmNs     int64   `json:"warm_ns"`
+	Speedup    float64 `json:"speedup"`
+	ColdIters  int     `json:"cold_iters"`
+	WarmIters  int     `json:"warm_iters"`
+	WarmRounds int     `json:"warm_rounds"`
+}
+
+func main() {
+	var (
+		appName = flag.String("app", "App-1", "application to campaign on")
+		rounds  = flag.Int("rounds", 6, "campaign rounds")
+		reps    = flag.Int("reps", 5, "repetitions (best is reported)")
+		out     = flag.String("o", "BENCH_solver.json", "output file")
+	)
+	flag.Parse()
+
+	app, err := apps.ByName(*appName)
+	die(err)
+	cfg := core.DefaultConfig()
+	cfg.Rounds = *rounds
+	var snaps []*window.Observations
+	cfg.OnRound = func(_ int, obs *window.Observations) {
+		snaps = append(snaps, obs.Clone())
+	}
+	_, err = core.Infer(context.Background(), app, cfg)
+	die(err)
+	scfg := cfg.Solver
+	scfg.KeepRacyWindows = !cfg.RemoveRacyMP
+
+	res := result{App: *appName, Rounds: *rounds, Reps: *reps}
+	for rep := 0; rep < *reps; rep++ {
+		iters := 0
+		t0 := time.Now()
+		for _, obs := range snaps {
+			sr, err := solver.Solve(obs, scfg)
+			die(err)
+			iters += sr.Iters
+		}
+		if d := time.Since(t0); rep == 0 || d.Nanoseconds() < res.ColdNs {
+			res.ColdNs = d.Nanoseconds()
+		}
+		res.ColdIters = iters
+	}
+	shell := &window.Observations{}
+	for rep := 0; rep < *reps; rep++ {
+		iters, warmRounds := 0, 0
+		enc := solver.NewEncoder(scfg)
+		var basis *lp.Basis
+		t0 := time.Now()
+		for _, snap := range snaps {
+			*shell = *snap
+			sr, bs, err := enc.Solve(shell, basis)
+			die(err)
+			basis = bs
+			iters += sr.Iters
+			if sr.WarmStarted {
+				warmRounds++
+			}
+		}
+		if d := time.Since(t0); rep == 0 || d.Nanoseconds() < res.WarmNs {
+			res.WarmNs = d.Nanoseconds()
+		}
+		res.WarmIters, res.WarmRounds = iters, warmRounds
+	}
+	res.Speedup = float64(res.ColdNs) / float64(res.WarmNs)
+
+	buf, err := json.MarshalIndent(res, "", "  ")
+	die(err)
+	buf = append(buf, '\n')
+	die(os.WriteFile(*out, buf, 0o644))
+	fmt.Printf("%s: cold %.1fms (%d pivots) vs warm %.1fms (%d pivots, %d/%d rounds warm): %.2fx\n",
+		*out, float64(res.ColdNs)/1e6, res.ColdIters,
+		float64(res.WarmNs)/1e6, res.WarmIters, res.WarmRounds, res.Rounds, res.Speedup)
+}
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}

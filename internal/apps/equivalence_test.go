@@ -1,0 +1,115 @@
+package apps
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"sherlock/internal/core"
+	"sherlock/internal/trace"
+)
+
+// TestWarmColdEquivalence is the tentpole's contract: on every application,
+// a campaign with cross-round warm starting and incremental encoding must
+// produce exactly the results of the cold-start path — identical SyncKeys,
+// identical per-round snapshots, per-key probabilities and objective within
+// 1e-6 — for any Parallelism.
+func TestWarmColdEquivalence(t *testing.T) {
+	for _, app := range All() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			t.Parallel()
+			coldCfg := core.DefaultConfig()
+			coldCfg.ColdStart = true
+			coldCfg.Parallelism = 1
+			cold, err := core.Infer(context.Background(), app, coldCfg)
+			if err != nil {
+				t.Fatalf("cold: %v", err)
+			}
+			for _, par := range []int{1, 4} {
+				warmCfg := core.DefaultConfig()
+				warmCfg.Parallelism = par
+				warm, err := core.Infer(context.Background(), app, warmCfg)
+				if err != nil {
+					t.Fatalf("warm (parallelism %d): %v", par, err)
+				}
+				assertEquivalent(t, par, cold, warm)
+			}
+		})
+	}
+}
+
+func assertEquivalent(t *testing.T, par int, cold, warm *core.Result) {
+	t.Helper()
+	ck, wk := cold.SyncKeys(), warm.SyncKeys()
+	if len(ck) != len(wk) {
+		t.Fatalf("parallelism %d: %d cold syncs vs %d warm", par, len(ck), len(wk))
+	}
+	for k, role := range ck {
+		if wk[k] != role {
+			t.Errorf("parallelism %d: key %s role %v cold, %v warm", par, k, role, wk[k])
+		}
+	}
+	if math.Abs(cold.Overhead.Objective-warm.Overhead.Objective) > 1e-6 {
+		t.Errorf("parallelism %d: objective %v cold, %v warm",
+			par, cold.Overhead.Objective, warm.Overhead.Objective)
+	}
+	if len(cold.Rounds) != len(warm.Rounds) {
+		t.Fatalf("parallelism %d: %d cold rounds vs %d warm", par, len(cold.Rounds), len(warm.Rounds))
+	}
+	for i := range cold.Rounds {
+		if !sameKeys(cold.Rounds[i].Acquires, warm.Rounds[i].Acquires) ||
+			!sameKeys(cold.Rounds[i].Releases, warm.Rounds[i].Releases) {
+			t.Errorf("parallelism %d: round %d snapshots differ", par, i+1)
+		}
+	}
+	for k, p := range cold.Acquires {
+		if math.Abs(warm.Acquires[k]-p) > 1e-6 {
+			t.Errorf("parallelism %d: acquire prob %s: %v cold, %v warm", par, k, p, warm.Acquires[k])
+		}
+	}
+	for k, p := range cold.Releases {
+		if math.Abs(warm.Releases[k]-p) > 1e-6 {
+			t.Errorf("parallelism %d: release prob %s: %v cold, %v warm", par, k, p, warm.Releases[k])
+		}
+	}
+}
+
+func sameKeys(a, b []trace.Key) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestWarmStartEngages guards the perf mechanism itself: on App-1's
+// default multi-round campaign the warm path must actually take effect
+// (every round after the first reuses the previous basis).
+func TestWarmStartEngages(t *testing.T) {
+	app, err := ByName("App-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	res, err := core.Infer(context.Background(), app, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overhead.WarmRounds == 0 {
+		t.Fatal("no round reused the previous basis; warm starting is inert")
+	}
+	coldCfg := core.DefaultConfig()
+	coldCfg.ColdStart = true
+	cres, err := core.Infer(context.Background(), app, coldCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.Overhead.WarmRounds != 0 {
+		t.Fatalf("ColdStart campaign reports %d warm rounds", cres.Overhead.WarmRounds)
+	}
+}

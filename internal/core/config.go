@@ -43,6 +43,20 @@ type Config struct {
 
 	// MaxStepsPerTest bounds each simulated test (0 = scheduler default).
 	MaxStepsPerTest int
+
+	// ColdStart disables cross-round solver reuse: every round encodes from
+	// scratch and solves the LP from a cold basis, exactly like the
+	// pre-warm-starting engine. Results are identical either way (the
+	// equivalence tests enforce it); the toggle exists for benchmarking and
+	// for bisecting solver issues.
+	ColdStart bool
+
+	// OnRound, when non-nil, is called after each round's observations are
+	// merged and solved, with the 1-based round number and the live
+	// accumulator. The accumulator is reused across rounds — callers that
+	// keep it past the callback must Clone it. A diagnostics hook, used by
+	// the solver benchmarks to replay a campaign's accumulator states.
+	OnRound func(round int, obs *window.Observations)
 }
 
 // DefaultConfig mirrors the paper's default operating point.

@@ -28,6 +28,7 @@ import (
 	"sort"
 	"time"
 
+	"sherlock/internal/lp"
 	"sherlock/internal/perturb"
 	"sherlock/internal/prog"
 	"sherlock/internal/solver"
@@ -48,6 +49,12 @@ type RoundSnapshot struct {
 	Acquires []trace.Key
 	Releases []trace.Key
 	Windows  int // accumulated windows so far
+
+	// LPIters counts the round's simplex pivots; Warm reports whether the
+	// solve reused the previous round's basis. Together they make the
+	// warm-starting payoff visible per round.
+	LPIters int
+	Warm    bool
 }
 
 // Overhead aggregates the cost accounting of Section 5.6.
@@ -61,7 +68,11 @@ type Overhead struct {
 	Windows      int           // windows accumulated
 	Vars         int           // final LP size
 	Constraints  int
-	DelayVirtual int64 // total injected virtual delay
+	Objective    float64 // final LP optimum
+	DelayVirtual int64   // total injected virtual delay
+	// WarmRounds counts rounds whose LP solve reused the previous round's
+	// basis (0 under Config.ColdStart or when reuse never applied).
+	WarmRounds int
 }
 
 // Result is the outcome of one inference campaign on one application.
@@ -110,10 +121,20 @@ func Infer(ctx context.Context, app *prog.Program, cfg Config) (*Result, error) 
 	var plan perturb.Plan
 	var last *solver.Result
 
+	// The solver state threaded across rounds: the Encoder caches the
+	// per-window encoding work, and basis carries each round's optimal LP
+	// basis into the next round's solve (the problems differ only by the
+	// round's appended windows, so the warm solve re-optimizes in a few
+	// pivots). Both reset whenever the accumulator does.
+	enc := solver.NewEncoder(scfg)
+	var basis *lp.Basis
+
 	for round := 0; round < cfg.Rounds; round++ {
 		if !cfg.Accumulate {
 			// Figure 4's "no accumulation" line: every round stands alone.
 			obs = window.NewObservations(cfg.Window)
+			enc.Reset()
+			basis = nil
 		}
 		specs := planRound(app, cfg, round, plan)
 		outs := executeRound(ctx, app, specs, cfg)
@@ -122,19 +143,32 @@ func Infer(ctx context.Context, app *prog.Program, cfg Config) (*Result, error) 
 		}
 
 		t0 := time.Now()
-		sr, err := solver.Solve(obs, scfg)
+		if cfg.ColdStart {
+			enc.Reset()
+			basis = nil
+		}
+		sr, b, err := enc.Solve(obs, basis)
+		basis = b
 		res.Overhead.SolveWall += time.Since(t0)
 		if err != nil {
 			return nil, fmt.Errorf("core: %s round %d solve: %w", app.Name, round+1, err)
 		}
 		last = sr
+		if sr.WarmStarted {
+			res.Overhead.WarmRounds++
+		}
 		res.Rounds = append(res.Rounds, RoundSnapshot{
 			Round:    round + 1,
 			Acquires: append([]trace.Key(nil), sr.AcquireSet...),
 			Releases: append([]trace.Key(nil), sr.ReleaseSet...),
 			Windows:  len(obs.Windows),
+			LPIters:  sr.Iters,
+			Warm:     sr.WarmStarted,
 		})
 		plan = perturb.BuildPlan(sr.ReleaseSet, cfg.Delay)
+		if cfg.OnRound != nil {
+			cfg.OnRound(round+1, obs)
+		}
 	}
 
 	res.Acquires = last.Acquires
@@ -142,6 +176,7 @@ func Infer(ctx context.Context, app *prog.Program, cfg Config) (*Result, error) 
 	res.Overhead.Windows = len(obs.Windows)
 	res.Overhead.Vars = last.Vars
 	res.Overhead.Constraints = last.Constraints
+	res.Overhead.Objective = last.Objective
 	for _, k := range last.AcquireSet {
 		res.Inferred = append(res.Inferred, InferredSync{Key: k, Role: trace.RoleAcquire, Prob: last.Acquires[k]})
 	}

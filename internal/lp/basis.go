@@ -1,0 +1,259 @@
+// Cross-solve warm starting. A Basis carries a solve's optimal basis —
+// which column is basic in each row, the basis inverse, and the basic
+// values — keyed by row/column names. Because the SherLock encodings grow
+// incrementally (each Perturber round mostly appends windows, i.e. new
+// rows and columns, to the previous round's program), the next problem's
+// basis matrix relative to the carried basis is block-triangular,
+//
+//	B_new = ⎡B_old  0⎤        (new rows start on their own
+//	        ⎣  C    D⎦         singleton columns, so D is diagonal)
+//
+// and its inverse extends the carried one in O(nnz·m) arithmetic — no
+// factorization, no pivot replay. Rows retired since the snapshot (racy
+// windows dropped by the encoder) are excised the same way in reverse:
+// when a vanished row's basic column was local to that row — true for the
+// slack, surplus, ε, and artificial columns such rows carry — deleting
+// its row and column from the inverse leaves exactly the inverse of the
+// surviving block.
+//
+// Safety does not rest on those structural assumptions: the snapshot
+// stores each basic column's sparse entries, and applyWarm accepts the
+// carried inverse only after checking — entry by exact entry — that every
+// carried basic column and right-hand side is unchanged on the surviving
+// rows. Renamed rows, coefficient changes, or inexcisable retirements all
+// fail the check and fall back to a cold start.
+package lp
+
+// Basis is the warm-start state of a previous Solve, opaque to callers. It
+// is immutable once returned and safe to share across goroutines; applying
+// it to an unrelated problem is harmless (the solve falls back to a cold
+// start).
+type Basis struct {
+	rows []string    // row names, in the solved problem's row order
+	bcol []string    // basic column name per row
+	rhs  []float64   // right-hand side per row, post-normalization
+	loc  []bool      // basic column is a singleton local to its own row
+	brow [][]int32   // basic column's row positions, per row
+	bval [][]float64 // basic column's coefficients, matching brow
+	binv [][]float64 // basis inverse at the optimum
+	xB   []float64   // basic values at the optimum
+}
+
+// Size returns the number of rows the basis covers.
+func (b *Basis) Size() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.rows)
+}
+
+// applyWarm installs warm as this problem's starting basis. Carried rows
+// are matched by name; matched rows must have their recorded basic
+// column, coefficients, and right-hand side unchanged, vanished rows must
+// be excisable (row-local basic column), and rows not covered — newly
+// appended ones — get a singleton column chosen by the sign of their
+// residual, extending the carried inverse block-triangularly.
+//
+// Reports whether the warm basis was installed; on false the receiver is
+// left in an unusable state and the caller must rebuild from the crash
+// basis. The receiver needs only sf and tmp populated.
+func (r *revised) applyWarm(warm *Basis) bool {
+	sf := r.sf
+	m := sf.m
+	mw := len(warm.rows)
+	if mw == 0 {
+		return false
+	}
+
+	// Match carried rows by name; vanished rows must be excisable.
+	rowIdx := make(map[string]int, m)
+	for i, name := range sf.rowName {
+		if _, dup := rowIdx[name]; !dup {
+			rowIdx[name] = i
+		}
+	}
+	pos := make([]int, mw) // carried row position → row index here, -1 excised
+	carried := make([]bool, m)
+	keep := make([]int, 0, mw)
+	for i0, name := range warm.rows {
+		i, ok := rowIdx[name]
+		if !ok {
+			if !warm.loc[i0] {
+				return false // retired row's basic column reaches other rows
+			}
+			pos[i0] = -1
+			continue
+		}
+		if carried[i] {
+			return false
+		}
+		carried[i] = true
+		pos[i0] = i
+		keep = append(keep, i0)
+	}
+	if len(keep) == 0 {
+		return false
+	}
+
+	// Re-resolve the carried basic columns by name.
+	colIdx := make(map[string]int, sf.total)
+	for j, name := range sf.colName {
+		if _, dup := colIdx[name]; !dup {
+			colIdx[name] = j
+		}
+	}
+	basis := make([]int, m)
+	inBasis := make([]bool, sf.total)
+	for i := range basis {
+		basis[i] = -1
+	}
+	for _, i0 := range keep {
+		j, ok := colIdx[warm.bcol[i0]]
+		if !ok || inBasis[j] {
+			return false
+		}
+		basis[pos[i0]] = j
+		inBasis[j] = true
+	}
+
+	// Verify the carried inverse still describes this problem: every kept
+	// basic column must have exactly its recorded entries on the carried
+	// rows (new rows may add entries — that is the C block), and every
+	// kept row its recorded right-hand side. Coefficients are recomputed
+	// by the same code on the same frozen window data, so the comparison
+	// is exact, not tolerance-based.
+	t := r.tmp
+	for i := range t {
+		t[i] = 0
+	}
+	for _, i0 := range keep {
+		i := pos[i0]
+		if sf.rhs[i] != warm.rhs[i0] {
+			return false
+		}
+		c := &sf.cols[basis[i]]
+		cnt := 0
+		for k, ri := range c.rows {
+			if carried[ri] {
+				t[ri] = c.vals[k]
+				cnt++
+			}
+		}
+		ok, matched := true, 0
+		for k, r0 := range warm.brow[i0] {
+			ii := pos[r0]
+			if ii < 0 {
+				continue // entry lived in an excised row
+			}
+			if t[ii] != warm.bval[i0][k] {
+				ok = false
+				break
+			}
+			matched++
+		}
+		for _, ri := range c.rows {
+			t[ri] = 0
+		}
+		if !ok || matched != cnt {
+			return false
+		}
+	}
+
+	// Place the carried inverse block and basic values, skipping excised
+	// rows (their basic columns were row-local, so the surviving block of
+	// the inverse is exactly the surviving block's inverse).
+	binv := make([][]float64, m)
+	for i := range binv {
+		binv[i] = make([]float64, m)
+	}
+	xB := make([]float64, m)
+	for _, i0 := range keep {
+		src := warm.binv[i0]
+		dst := binv[pos[i0]]
+		for _, k0 := range keep {
+			dst[pos[k0]] = src[k0]
+		}
+		xB[pos[i0]] = warm.xB[i0]
+	}
+
+	// Accumulate the C block: entries of carried basic columns in the new
+	// rows. Each contributes −a·(carried inverse row) to the new row's
+	// inverse row and −a·x to its residual. Iteration order is fixed
+	// (carried row order, then column order) so the floating-point sums
+	// are deterministic.
+	rho := make([]float64, m)
+	for i := 0; i < m; i++ {
+		if !carried[i] {
+			rho[i] = sf.rhs[i]
+		}
+	}
+	for _, i0 := range keep {
+		c := &sf.cols[basis[pos[i0]]]
+		src := binv[pos[i0]]
+		x := xB[pos[i0]]
+		for k, ri := range c.rows {
+			i := int(ri)
+			if carried[i] {
+				continue
+			}
+			a := c.vals[k]
+			rho[i] -= a * x
+			dst := binv[i]
+			for q := 0; q < m; q++ {
+				dst[q] -= a * src[q]
+			}
+		}
+	}
+
+	// Give every new row a singleton basic column matching its residual's
+	// sign, completing the block inverse.
+	for i := 0; i < m; i++ {
+		if carried[i] {
+			continue
+		}
+		col, d := -1, 0.0
+		if rho[i] >= -feasTol {
+			switch {
+			case sf.slackCol[i] >= 0 && sf.slackSign[i] > 0:
+				col, d = sf.slackCol[i], 1
+			case sf.posSingleton[i] >= 0:
+				col, d = sf.posSingleton[i], sf.posSingletonVal[i]
+			case sf.artCol[i] >= 0:
+				col, d = sf.artCol[i], 1
+			}
+		} else if sf.slackCol[i] >= 0 && sf.slackSign[i] < 0 {
+			col, d = sf.slackCol[i], -1
+		}
+		if col < 0 || inBasis[col] {
+			return false
+		}
+		c := &sf.cols[col]
+		if len(c.rows) != 1 || int(c.rows[0]) != i {
+			return false // not a row-local singleton: D would not be diagonal
+		}
+		basis[i] = col
+		inBasis[col] = true
+		inv := 1 / d
+		row := binv[i]
+		for q := 0; q < m; q++ {
+			row[q] *= inv
+		}
+		row[i] += inv
+		v := rho[i] * inv
+		if v < 0 && v > -eps {
+			v = 0
+		}
+		xB[i] = v
+	}
+
+	for i := 0; i < m; i++ {
+		if xB[i] < -feasTol {
+			return false
+		}
+	}
+	r.basis = basis
+	r.inBasis = inBasis
+	r.binv = binv
+	r.xB = xB
+	return true
+}

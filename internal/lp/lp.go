@@ -1,17 +1,24 @@
-// Package lp implements a small linear-programming solver: a dense two-phase
-// primal simplex over problems of the form
+// Package lp implements a small linear-programming solver for problems of
+// the form
 //
 //	minimize    cᵀx
 //	subject to  Aᵢ x {≤,=,≥} bᵢ      for every constraint i
 //	            0 ≤ xⱼ ≤ uⱼ          for every variable j
 //
 // It stands in for the external solver (Flipy/CBC) used by the SherLock
-// paper. The synchronization-inference encodings produced by
-// internal/solver are modest (hundreds of variables and constraints), well
-// within the reach of a dense tableau.
+// paper. Two solver backends share one problem representation:
 //
-// The solver is deterministic: identical problems yield identical vertex
-// solutions, which keeps the whole inference pipeline reproducible.
+//   - Solve / SolveWarm — a sparse revised simplex: constraint columns are
+//     stored sparsely (the synchronization-inference encodings are >95%
+//     zeros), the basis inverse is maintained explicitly and refactorized
+//     periodically, and an optimal Basis can be carried into the next,
+//     slightly different problem to re-optimize in a handful of pivots
+//     (cross-round warm starting in the Perturber feedback loop).
+//   - SolveDense — the original dense two-phase tableau, kept as the
+//     reference implementation for equivalence testing.
+//
+// Both backends are deterministic: identical problems yield identical
+// vertex solutions, which keeps the whole inference pipeline reproducible.
 package lp
 
 import (
@@ -50,6 +57,7 @@ const (
 	Optimal Status = iota
 	Infeasible
 	Unbounded
+	IterLimit // the pivot budget ran out before optimality was proven
 )
 
 func (s Status) String() string {
@@ -60,6 +68,8 @@ func (s Status) String() string {
 		return "infeasible"
 	case Unbounded:
 		return "unbounded"
+	case IterLimit:
+		return "iteration limit"
 	}
 	return "unknown"
 }
@@ -67,13 +77,21 @@ func (s Status) String() string {
 // ErrNotOptimal is wrapped by Solve when the problem has no finite optimum.
 var ErrNotOptimal = errors.New("lp: no finite optimum")
 
+// ErrIterationLimit is wrapped by Solve when the simplex pivot budget
+// (Problem.MaxIters, default 200000) is exhausted before optimality is
+// proven. It additionally wraps ErrNotOptimal, so existing errors.Is
+// checks keep matching; callers that care specifically about the budget
+// match this sentinel.
+var ErrIterationLimit = fmt.Errorf("%w: simplex iteration limit reached", ErrNotOptimal)
+
 const (
-	eps     = 1e-9 // numerical tolerance for pivoting and feasibility
-	infUB   = math.MaxFloat64
-	maxIter = 200000
+	eps            = 1e-9 // numerical tolerance for pivoting and feasibility
+	infUB          = math.MaxFloat64
+	defaultMaxIter = 200000
 )
 
 type constraint struct {
+	name   string
 	idx    []int
 	coeffs []float64
 	sense  Sense
@@ -87,6 +105,12 @@ type Problem struct {
 	cost        []float64
 	upper       []float64
 	constraints []constraint
+
+	// MaxIters bounds the total simplex pivots across both phases
+	// (0 means the 200000 default). Exhausting it makes Solve return a
+	// Solution with Status IterLimit and an error wrapping
+	// ErrIterationLimit.
+	MaxIters int
 }
 
 // NewProblem returns an empty problem.
@@ -101,7 +125,9 @@ func (p *Problem) NumVars() int { return len(p.names) }
 func (p *Problem) NumConstraints() int { return len(p.constraints) }
 
 // AddVariable adds a variable named name with lower bound 0, no upper bound
-// and zero objective cost, returning its index.
+// and zero objective cost, returning its index. Variable names identify
+// columns when a Basis is mapped onto a different problem, so callers that
+// warm-start should keep them unique and stable across rounds.
 func (p *Problem) AddVariable(name string) int {
 	p.names = append(p.names, name)
 	p.cost = append(p.cost, 0)
@@ -127,10 +153,19 @@ func (p *Problem) SetUpperBound(v int, u float64) {
 	p.upper[v] = u
 }
 
-// AddConstraint adds Σ coeffs[v]·x_v  sense  rhs. Zero coefficients are
-// dropped. Variables listed twice have their coefficients summed.
+// AddConstraint adds Σ coeffs[v]·x_v  sense  rhs under an automatic name.
+// Zero coefficients are dropped. Variables listed twice have their
+// coefficients summed.
 func (p *Problem) AddConstraint(coeffs map[int]float64, sense Sense, rhs float64) {
-	c := constraint{sense: sense, rhs: rhs}
+	p.AddNamedConstraint(fmt.Sprintf("c#%d", len(p.constraints)), coeffs, sense, rhs)
+}
+
+// AddNamedConstraint is AddConstraint with an explicit row name. Row names
+// identify constraint rows (and their slack/artificial columns) when a
+// Basis from a previous solve is mapped onto this problem, so warm-starting
+// callers should keep them unique and stable across rounds.
+func (p *Problem) AddNamedConstraint(name string, coeffs map[int]float64, sense Sense, rhs float64) {
+	c := constraint{name: name, sense: sense, rhs: rhs}
 	for v, a := range coeffs {
 		if a == 0 {
 			continue
@@ -144,329 +179,64 @@ func (p *Problem) AddConstraint(coeffs map[int]float64, sense Sense, rhs float64
 	p.constraints = append(p.constraints, c)
 }
 
+// maxIters resolves the pivot budget.
+func (p *Problem) maxIters() int {
+	if p.MaxIters > 0 {
+		return p.MaxIters
+	}
+	return defaultMaxIter
+}
+
 // Solution holds the result of Solve.
 type Solution struct {
 	Status    Status
 	X         []float64 // value per structural variable, len == NumVars
 	Objective float64   // cᵀx at the optimum (meaningful only when Optimal)
 	Iters     int       // simplex pivots performed across both phases
+
+	// Basis is the optimal basis (sparse backend only, nil otherwise); pass
+	// it to SolveWarm on the next, incrementally modified problem.
+	Basis *Basis
+	// WarmStarted reports whether a supplied warm basis was actually
+	// applied (false when it was rejected and the solve fell back to a cold
+	// start).
+	WarmStarted bool
 }
 
 // Value returns the solution value of variable v.
 func (s *Solution) Value(v int) float64 { return s.X[v] }
 
-// Solve runs two-phase simplex and returns the optimal vertex, or a
-// Solution whose Status reports infeasibility/unboundedness (accompanied by
-// a wrapped ErrNotOptimal).
+// Solve runs the sparse revised simplex from a cold start and returns the
+// optimal vertex, or a Solution whose Status reports why there is no finite
+// optimum (accompanied by a wrapped ErrNotOptimal / ErrIterationLimit).
 func (p *Problem) Solve() (*Solution, error) {
-	t := newTableau(p)
-	status, iters := t.phase1()
-	if status != Optimal {
-		return &Solution{Status: Infeasible, Iters: iters}, fmt.Errorf("%w: %s", ErrNotOptimal, Infeasible)
-	}
-	status, it2 := t.phase2()
-	iters += it2
-	if status != Optimal {
-		return &Solution{Status: status, Iters: iters}, fmt.Errorf("%w: %s", ErrNotOptimal, status)
-	}
-	x := t.extract()
-	obj := 0.0
-	for v, c := range p.cost {
-		obj += c * x[v]
-	}
-	return &Solution{Status: Optimal, X: x, Objective: obj, Iters: iters}, nil
+	return p.SolveWarm(nil)
 }
 
-// tableau is the dense simplex working state. Column layout:
-//
-//	[0, n)            structural variables
-//	[n, n+nSlack)     slack/surplus variables
-//	[n+nSlack, total) artificial variables (phase 1 only)
-//
-// rows[i][total] holds the RHS. basis[i] is the column basic in row i.
-type tableau struct {
-	p      *Problem
-	n      int // structural variables
-	nSlack int
-	nArt   int
-	total  int
-	rows   [][]float64
-	basis  []int
-	obj    []float64 // reduced-cost row, length total+1 (last = -objective value)
-	artAt  int       // first artificial column
+// SolveWarm is Solve, seeded with the optimal basis of a previous —
+// typically slightly smaller — problem. The basis is mapped onto this
+// problem by variable and constraint-row names: rows that kept their basic
+// column re-enter the basis directly, new rows enter on their slack or
+// artificial column, and vanished columns are dropped. If the mapped basis
+// is singular or cannot be cheaply repaired to a feasible vertex, SolveWarm
+// transparently falls back to the cold two-phase path, so it is never less
+// correct than Solve — only faster when the problems are related.
+func (p *Problem) SolveWarm(warm *Basis) (*Solution, error) {
+	return solveSparse(p, warm)
 }
 
-func newTableau(p *Problem) *tableau {
-	n := len(p.names)
-
-	// Materialize upper bounds as explicit ≤ rows. The inference encodings
-	// only bound probability variables, so this stays small.
-	type row struct {
-		coeffs []float64 // dense over structural vars
-		sense  Sense
-		rhs    float64
-	}
-	var rows []row
-	for _, c := range p.constraints {
-		r := row{coeffs: make([]float64, n), sense: c.sense, rhs: c.rhs}
-		for k, v := range c.idx {
-			r.coeffs[v] += c.coeffs[k]
-		}
-		rows = append(rows, r)
-	}
-	for v, u := range p.upper {
-		if u < infUB {
-			r := row{coeffs: make([]float64, n), sense: LE, rhs: u}
-			r.coeffs[v] = 1
-			rows = append(rows, r)
-		}
-	}
-
-	// Normalize to rhs ≥ 0.
-	for i := range rows {
-		if rows[i].rhs < 0 {
-			for j := range rows[i].coeffs {
-				rows[i].coeffs[j] = -rows[i].coeffs[j]
-			}
-			rows[i].rhs = -rows[i].rhs
-			switch rows[i].sense {
-			case LE:
-				rows[i].sense = GE
-			case GE:
-				rows[i].sense = LE
-			}
-		}
-	}
-
-	// Count slack and artificial columns.
-	nSlack, nArt := 0, 0
-	for _, r := range rows {
-		switch r.sense {
-		case LE:
-			nSlack++
-		case GE:
-			nSlack++
-			nArt++
-		case EQ:
-			nArt++
-		}
-	}
-
-	total := n + nSlack + nArt
-	t := &tableau{
-		p:      p,
-		n:      n,
-		nSlack: nSlack,
-		nArt:   nArt,
-		total:  total,
-		artAt:  n + nSlack,
-		basis:  make([]int, len(rows)),
-	}
-	t.rows = make([][]float64, len(rows))
-	slack, art := n, t.artAt
-	for i, r := range rows {
-		tr := make([]float64, total+1)
-		copy(tr, r.coeffs)
-		tr[total] = r.rhs
-		switch r.sense {
-		case LE:
-			tr[slack] = 1
-			t.basis[i] = slack
-			slack++
-		case GE:
-			tr[slack] = -1
-			slack++
-			tr[art] = 1
-			t.basis[i] = art
-			art++
-		case EQ:
-			tr[art] = 1
-			t.basis[i] = art
-			art++
-		}
-		t.rows[i] = tr
-	}
-	return t
+// Solve runs the sparse revised simplex on prob, warm-started from the
+// previous round's optimal basis when warmStart is non-nil (see
+// Problem.SolveWarm).
+func Solve(prob *Problem, warmStart *Basis) (*Solution, error) {
+	return prob.SolveWarm(warmStart)
 }
 
-// phase1 minimizes the sum of artificial variables to find a basic feasible
-// solution. Returns Optimal when one exists.
-func (t *tableau) phase1() (Status, int) {
-	if t.nArt == 0 {
-		return Optimal, 0
+// statusErr converts a non-optimal terminal status into the error Solve
+// reports alongside the Solution.
+func statusErr(status Status) error {
+	if status == IterLimit {
+		return fmt.Errorf("%w (budget exhausted)", ErrIterationLimit)
 	}
-	// Objective: minimize Σ artificials. Price out basic artificials.
-	t.obj = make([]float64, t.total+1)
-	for j := t.artAt; j < t.total; j++ {
-		t.obj[j] = 1
-	}
-	for i, b := range t.basis {
-		if b >= t.artAt {
-			subRow(t.obj, t.rows[i], 1)
-		}
-	}
-	status, iters := t.iterate(t.artAt) // artificials may leave, not enter
-	if status != Optimal {
-		return status, iters
-	}
-	// Feasible iff phase-1 objective is ~0.
-	if -t.obj[t.total] > 1e-7 {
-		return Infeasible, iters
-	}
-	t.purgeArtificials()
-	return Optimal, iters
-}
-
-// purgeArtificials pivots any artificial still basic (at value 0) out of the
-// basis, or marks its row redundant by zeroing it.
-func (t *tableau) purgeArtificials() {
-	for i, b := range t.basis {
-		if b < t.artAt {
-			continue
-		}
-		pivoted := false
-		for j := 0; j < t.artAt; j++ {
-			if math.Abs(t.rows[i][j]) > eps {
-				t.pivot(i, j)
-				pivoted = true
-				break
-			}
-		}
-		if !pivoted {
-			// Redundant row: every structural/slack coefficient is 0.
-			for j := range t.rows[i] {
-				t.rows[i][j] = 0
-			}
-		}
-	}
-	// Artificial columns must never re-enter: zero them everywhere.
-	for i := range t.rows {
-		for j := t.artAt; j < t.total; j++ {
-			t.rows[i][j] = 0
-		}
-	}
-}
-
-// phase2 minimizes the real objective from the feasible basis.
-func (t *tableau) phase2() (Status, int) {
-	t.obj = make([]float64, t.total+1)
-	for v, c := range t.p.cost {
-		t.obj[v] = c
-	}
-	for i, b := range t.basis {
-		if b < t.total && math.Abs(t.obj[b]) > 0 {
-			subRow(t.obj, t.rows[i], t.obj[b])
-		}
-	}
-	return t.iterate(t.artAt)
-}
-
-// iterate runs simplex pivots until optimality or unboundedness. Columns at
-// or beyond colLimit are excluded from entering the basis (artificials).
-// Dantzig pricing with a switch to Bland's rule after a run of degenerate
-// pivots guards against cycling.
-func (t *tableau) iterate(colLimit int) (Status, int) {
-	iters := 0
-	degenerate := 0
-	bland := false
-	for ; iters < maxIter; iters++ {
-		// Entering column.
-		enter := -1
-		if bland {
-			for j := 0; j < colLimit; j++ {
-				if t.obj[j] < -eps {
-					enter = j
-					break
-				}
-			}
-		} else {
-			best := -eps
-			for j := 0; j < colLimit; j++ {
-				if t.obj[j] < best {
-					best = t.obj[j]
-					enter = j
-				}
-			}
-		}
-		if enter < 0 {
-			return Optimal, iters
-		}
-		// Ratio test.
-		leave := -1
-		var minRatio float64
-		for i, row := range t.rows {
-			a := row[enter]
-			if a > eps {
-				ratio := row[t.total] / a
-				if leave < 0 || ratio < minRatio-eps ||
-					(math.Abs(ratio-minRatio) <= eps && t.basis[i] < t.basis[leave]) {
-					leave = i
-					minRatio = ratio
-				}
-			}
-		}
-		if leave < 0 {
-			return Unbounded, iters
-		}
-		if minRatio < eps {
-			degenerate++
-			if degenerate > 2*len(t.rows)+20 {
-				bland = true
-			}
-		} else {
-			degenerate = 0
-			bland = false
-		}
-		t.pivot(leave, enter)
-	}
-	return Unbounded, iters // iteration limit: treat as failure
-}
-
-// pivot makes column enter basic in row leave.
-func (t *tableau) pivot(leave, enter int) {
-	prow := t.rows[leave]
-	pv := prow[enter]
-	inv := 1 / pv
-	for j := range prow {
-		prow[j] *= inv
-	}
-	prow[enter] = 1 // fight rounding
-	for i, row := range t.rows {
-		if i == leave {
-			continue
-		}
-		if f := row[enter]; math.Abs(f) > eps {
-			subRow(row, prow, f)
-			row[enter] = 0
-		} else {
-			row[enter] = 0
-		}
-	}
-	if f := t.obj[enter]; math.Abs(f) > 0 {
-		subRow(t.obj, prow, f)
-		t.obj[enter] = 0
-	}
-	t.basis[leave] = enter
-}
-
-// extract reads structural variable values out of the basis.
-func (t *tableau) extract() []float64 {
-	x := make([]float64, t.n)
-	for i, b := range t.basis {
-		if b < t.n {
-			v := t.rows[i][t.total]
-			if v < 0 && v > -eps {
-				v = 0
-			}
-			x[b] = v
-		}
-	}
-	return x
-}
-
-// subRow computes dst -= f*src element-wise.
-func subRow(dst, src []float64, f float64) {
-	for j := range dst {
-		dst[j] -= f * src[j]
-	}
+	return fmt.Errorf("%w: %s", ErrNotOptimal, status)
 }

@@ -1,0 +1,578 @@
+// Sparse revised simplex. The SherLock encodings are >95% zeros — each
+// Mostly-Protected row touches only the window's candidate keys — so the
+// constraint matrix is stored column-sparse and the working state is the
+// basis inverse, not a full tableau:
+//
+//   - A crash basis exploits the encoding's structure: every GE row with a
+//     positive singleton column (the ε/t auxiliary variables) starts with
+//     that column basic, every LE row with its slack, so SherLock problems
+//     typically begin primal-feasible and skip phase 1 entirely.
+//   - The basis inverse B⁻¹ starts diagonal (the crash basis) and is
+//     maintained by product-form pivot updates — there is no O(m³)
+//     factorization on any path.
+//   - Reduced costs are maintained incrementally (the revised analogue of
+//     the dense tableau's objective row), with Dantzig pricing and the same
+//     Bland's-rule anti-cycling switch as the dense backend.
+//   - Warm starts (basis.go) replay a prior optimal basis column-by-column
+//     into the crash basis, then repair sign errors on singleton rows in
+//     O(m); anything unrepairable falls back to a cold start.
+package lp
+
+import "math"
+
+// feasTol is the feasibility tolerance on basic values.
+const feasTol = 1e-7
+
+// spCol is one sparsely stored column of the standard-form matrix.
+type spCol struct {
+	rows []int32
+	vals []float64
+}
+
+// standardForm is the problem in computational standard form: constraints
+// plus materialized upper-bound rows, normalized to rhs ≥ 0, with slack,
+// surplus and artificial columns appended after the structural ones.
+//
+//	[0, n)            structural variables
+//	[n, artAt)        slack/surplus variables
+//	[artAt, total)    artificial variables
+//
+// Row and column names are the stable identities a Basis is keyed by.
+type standardForm struct {
+	m, n  int
+	nArt  int
+	artAt int
+	total int
+
+	cols    []spCol
+	rhs     []float64
+	rowName []string
+	colName []string
+
+	slackCol  []int     // per row: slack/surplus column, -1 if none
+	slackSign []float64 // per row: +1 (LE slack) or -1 (GE surplus)
+	artCol    []int     // per row: artificial column, -1 if none
+
+	// posSingleton is, per row, a structural column that appears only in
+	// this row with a positive coefficient (-1 if none) — the crash basis
+	// uses it to start feasible without an artificial. The SherLock
+	// encodings have one in every Mostly-Protected row (the ε variable).
+	posSingleton    []int
+	posSingletonVal []float64
+}
+
+// sfRow is a standard-form row under construction.
+type sfRow struct {
+	name   string
+	idx    []int
+	coeffs []float64
+	sense  Sense
+	rhs    float64
+}
+
+func buildStandardForm(p *Problem) *standardForm {
+	n := len(p.names)
+	rows := make([]sfRow, 0, len(p.constraints)+n)
+	for _, c := range p.constraints {
+		rows = append(rows, sfRow{name: c.name, idx: c.idx, coeffs: c.coeffs, sense: c.sense, rhs: c.rhs})
+	}
+	// Materialize upper bounds as explicit ≤ rows, exactly like the dense
+	// backend, so both backends solve the identical standard form.
+	for v, u := range p.upper {
+		if u < infUB {
+			rows = append(rows, sfRow{name: "ub(" + p.names[v] + ")", idx: []int{v}, coeffs: []float64{1}, sense: LE, rhs: u})
+		}
+	}
+	// Normalize to rhs ≥ 0.
+	for i := range rows {
+		if rows[i].rhs < 0 {
+			neg := make([]float64, len(rows[i].coeffs))
+			for k, a := range rows[i].coeffs {
+				neg[k] = -a
+			}
+			rows[i].coeffs = neg
+			rows[i].rhs = -rows[i].rhs
+			switch rows[i].sense {
+			case LE:
+				rows[i].sense = GE
+			case GE:
+				rows[i].sense = LE
+			}
+		}
+	}
+
+	nSlack, nArt := 0, 0
+	for _, r := range rows {
+		switch r.sense {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+	m := len(rows)
+	total := n + nSlack + nArt
+	sf := &standardForm{
+		m: m, n: n, nArt: nArt, artAt: n + nSlack, total: total,
+		cols:    make([]spCol, total),
+		rhs:     make([]float64, m),
+		rowName: make([]string, m),
+		colName: make([]string, total),
+
+		slackCol:  make([]int, m),
+		slackSign: make([]float64, m),
+		artCol:    make([]int, m),
+
+		posSingleton:    make([]int, m),
+		posSingletonVal: make([]float64, m),
+	}
+	for v := 0; v < n; v++ {
+		sf.colName[v] = "v:" + p.names[v]
+	}
+	slack, art := n, sf.artAt
+	for i, r := range rows {
+		sf.rhs[i] = r.rhs
+		sf.rowName[i] = r.name
+		sf.slackCol[i], sf.artCol[i], sf.posSingleton[i] = -1, -1, -1
+		for k, v := range r.idx {
+			if a := r.coeffs[k]; a != 0 {
+				sf.cols[v].rows = append(sf.cols[v].rows, int32(i))
+				sf.cols[v].vals = append(sf.cols[v].vals, a)
+			}
+		}
+		switch r.sense {
+		case LE:
+			sf.cols[slack] = spCol{rows: []int32{int32(i)}, vals: []float64{1}}
+			sf.colName[slack] = "s:" + r.name
+			sf.slackCol[i], sf.slackSign[i] = slack, 1
+			slack++
+		case GE:
+			sf.cols[slack] = spCol{rows: []int32{int32(i)}, vals: []float64{-1}}
+			sf.colName[slack] = "s:" + r.name
+			sf.slackCol[i], sf.slackSign[i] = slack, -1
+			slack++
+			sf.cols[art] = spCol{rows: []int32{int32(i)}, vals: []float64{1}}
+			sf.colName[art] = "a:" + r.name
+			sf.artCol[i] = art
+			art++
+		case EQ:
+			sf.cols[art] = spCol{rows: []int32{int32(i)}, vals: []float64{1}}
+			sf.colName[art] = "a:" + r.name
+			sf.artCol[i] = art
+			art++
+		}
+	}
+	// Positive structural singletons (crash-basis candidates), first by
+	// column order per row.
+	for j := 0; j < n; j++ {
+		c := &sf.cols[j]
+		if len(c.rows) != 1 || c.vals[0] <= eps {
+			continue
+		}
+		if i := int(c.rows[0]); sf.posSingleton[i] < 0 {
+			sf.posSingleton[i] = j
+			sf.posSingletonVal[i] = c.vals[0]
+		}
+	}
+	return sf
+}
+
+// revised is the sparse revised-simplex working state.
+type revised struct {
+	p  *Problem
+	sf *standardForm
+
+	basis   []int  // column basic in row i
+	inBasis []bool // per column
+	binv    [][]float64
+	xB      []float64
+
+	cost []float64 // current phase's cost vector over all columns
+	d    []float64 // maintained reduced costs (nil outside iterate phases)
+
+	iters int
+	tmp   []float64 // ftran scratch, length m
+}
+
+// newRevised builds the crash basis: per row a positive structural
+// singleton (GE/EQ), the slack (LE, or GE with zero rhs), or the
+// artificial. B is diagonal, so B⁻¹ and the basic values are immediate, and
+// every basic value is ≥ 0 by construction.
+func newRevised(p *Problem, sf *standardForm) *revised {
+	m := sf.m
+	r := &revised{
+		p: p, sf: sf,
+		basis:   make([]int, m),
+		inBasis: make([]bool, sf.total),
+		binv:    make([][]float64, m),
+		xB:      make([]float64, m),
+		tmp:     make([]float64, m),
+	}
+	for i := 0; i < m; i++ {
+		r.binv[i] = make([]float64, m)
+	}
+	for i := 0; i < m; i++ {
+		col, a := sf.crashCol(i)
+		r.basis[i] = col
+		r.inBasis[col] = true
+		r.binv[i][i] = 1 / a
+		r.xB[i] = sf.rhs[i] / a
+	}
+	return r
+}
+
+// crashCol picks row i's starting basic column and its coefficient.
+func (sf *standardForm) crashCol(i int) (int, float64) {
+	if sf.slackCol[i] >= 0 && sf.slackSign[i] > 0 { // LE
+		return sf.slackCol[i], 1
+	}
+	if j := sf.posSingleton[i]; j >= 0 {
+		return j, sf.posSingletonVal[i]
+	}
+	if sf.slackCol[i] >= 0 && sf.rhs[i] <= feasTol { // GE with rhs 0: surplus at 0
+		return sf.slackCol[i], -1
+	}
+	return sf.artCol[i], 1 // GE/EQ rows always have one
+}
+
+// ftran computes t = B⁻¹·A_j for column j into t (length m).
+func (r *revised) ftran(j int, t []float64) {
+	c := &r.sf.cols[j]
+	for i := 0; i < r.sf.m; i++ {
+		row := r.binv[i]
+		s := 0.0
+		for k, ri := range c.rows {
+			s += row[ri] * c.vals[k]
+		}
+		t[i] = s
+	}
+}
+
+// computeD recomputes the reduced costs d = c − cB·B⁻¹·A from scratch for
+// the current phase cost vector (done once per phase; pivots then maintain
+// d incrementally).
+func (r *revised) computeD() {
+	sf := r.sf
+	m := sf.m
+	y := make([]float64, m)
+	for i := 0; i < m; i++ {
+		cb := r.cost[r.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		row := r.binv[i]
+		for j := 0; j < m; j++ {
+			y[j] += cb * row[j]
+		}
+	}
+	if r.d == nil {
+		r.d = make([]float64, sf.total)
+	}
+	for j := 0; j < sf.total; j++ {
+		if r.inBasis[j] {
+			r.d[j] = 0
+			continue
+		}
+		s := r.cost[j]
+		c := &sf.cols[j]
+		for k, ri := range c.rows {
+			s -= y[ri] * c.vals[k]
+		}
+		r.d[j] = s
+	}
+}
+
+// price selects the entering column among the first colLimit columns:
+// Dantzig (most negative reduced cost) or Bland (first negative).
+func (r *revised) price(colLimit int, bland bool) int {
+	if bland {
+		for j := 0; j < colLimit; j++ {
+			if !r.inBasis[j] && r.d[j] < -eps {
+				return j
+			}
+		}
+		return -1
+	}
+	best, enter := -eps, -1
+	for j := 0; j < colLimit; j++ {
+		if !r.inBasis[j] && r.d[j] < best {
+			best, enter = r.d[j], j
+		}
+	}
+	return enter
+}
+
+// pivot makes column enter basic in row leave; t must hold B⁻¹·A_enter.
+// When reduced costs are live (r.d != nil) they are updated from the
+// pre-pivot leave row of B⁻¹A, the revised analogue of the dense tableau's
+// objective-row update.
+func (r *revised) pivot(leave, enter int, t []float64) {
+	sf := r.sf
+	m := sf.m
+	pv := t[leave]
+	if r.d != nil {
+		if f := r.d[enter] / pv; f != 0 {
+			rowL := r.binv[leave]
+			for j := 0; j < sf.total; j++ {
+				if r.inBasis[j] || j == enter {
+					continue
+				}
+				c := &sf.cols[j]
+				s := 0.0
+				for k, ri := range c.rows {
+					s += rowL[ri] * c.vals[k]
+				}
+				if s != 0 {
+					r.d[j] -= f * s
+				}
+			}
+			r.d[r.basis[leave]] = -f // leaving column: its B⁻¹A entry is 1
+		} else {
+			r.d[r.basis[leave]] = 0
+		}
+		r.d[enter] = 0
+	}
+	theta := r.xB[leave] / pv
+	rowL := r.binv[leave]
+	inv := 1 / pv
+	for j := 0; j < m; j++ {
+		rowL[j] *= inv
+	}
+	for i := 0; i < m; i++ {
+		if i == leave {
+			continue
+		}
+		f := t[i]
+		if math.Abs(f) <= 1e-12 {
+			continue
+		}
+		ri := r.binv[i]
+		for j := 0; j < m; j++ {
+			ri[j] -= f * rowL[j]
+		}
+		r.xB[i] -= f * theta
+	}
+	r.xB[leave] = theta
+	r.inBasis[r.basis[leave]] = false
+	r.inBasis[enter] = true
+	r.basis[leave] = enter
+	r.iters++
+}
+
+// iterate runs simplex pivots until optimality, unboundedness or the pivot
+// budget. Columns at or beyond colLimit (artificials) may leave the basis
+// but never enter. Dantzig pricing with a switch to Bland's rule after a
+// run of degenerate pivots guards against cycling — the same policy and
+// thresholds as the dense backend.
+func (r *revised) iterate(colLimit int) Status {
+	m := r.sf.m
+	degenerate, bland := 0, false
+	budget := r.p.maxIters()
+	for {
+		enter := r.price(colLimit, bland)
+		if enter < 0 {
+			return Optimal
+		}
+		if r.iters >= budget {
+			return IterLimit
+		}
+		t := r.tmp
+		r.ftran(enter, t)
+		leave := -1
+		var minRatio float64
+		for i := 0; i < m; i++ {
+			a := t[i]
+			if a > eps {
+				ratio := r.xB[i] / a
+				if leave < 0 || ratio < minRatio-eps ||
+					(math.Abs(ratio-minRatio) <= eps && r.basis[i] < r.basis[leave]) {
+					leave, minRatio = i, ratio
+				}
+			}
+		}
+		if leave < 0 {
+			return Unbounded
+		}
+		if minRatio < eps {
+			degenerate++
+			if degenerate > 2*m+20 {
+				bland = true
+			}
+		} else {
+			degenerate, bland = 0, false
+		}
+		r.pivot(leave, enter, t)
+	}
+}
+
+// phase1 minimizes the sum of artificial variables from the current
+// (feasible) basis. Returns Optimal when a basic feasible solution of the
+// real problem exists.
+func (r *revised) phase1() Status {
+	sf := r.sf
+	r.cost = make([]float64, sf.total)
+	for j := sf.artAt; j < sf.total; j++ {
+		r.cost[j] = 1
+	}
+	r.d = nil
+	r.computeD()
+	st := r.iterate(sf.artAt)
+	if st != Optimal {
+		return st
+	}
+	inf := 0.0
+	for i, b := range r.basis {
+		if b >= sf.artAt && r.xB[i] > 0 {
+			inf += r.xB[i]
+		}
+	}
+	if inf > feasTol {
+		return Infeasible
+	}
+	return Optimal
+}
+
+// purgeArtificials pivots any basic artificial (at value ~0) out of the
+// basis where an eligible column exists. Rows where none exists are
+// linearly dependent: every structural/slack coefficient of their B⁻¹A row
+// is ~0, so the artificial stays harmlessly basic at zero and can never
+// move (the entering direction never touches the row).
+func (r *revised) purgeArtificials() {
+	sf := r.sf
+	if sf.nArt == 0 {
+		return
+	}
+	r.d = nil // phase costs change next; no point maintaining reduced costs
+	for i := 0; i < sf.m; i++ {
+		if r.basis[i] < sf.artAt {
+			continue
+		}
+		rowL := r.binv[i]
+		enter := -1
+		for j := 0; j < sf.artAt; j++ {
+			if r.inBasis[j] {
+				continue
+			}
+			c := &sf.cols[j]
+			s := 0.0
+			for k, ri := range c.rows {
+				s += rowL[ri] * c.vals[k]
+			}
+			if math.Abs(s) > eps {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			continue
+		}
+		r.ftran(enter, r.tmp)
+		r.pivot(i, enter, r.tmp)
+	}
+}
+
+// phase2 minimizes the real objective from the current feasible basis.
+func (r *revised) phase2() Status {
+	sf := r.sf
+	r.cost = make([]float64, sf.total)
+	for v, c := range r.p.cost {
+		r.cost[v] = c
+	}
+	r.d = nil
+	r.computeD()
+	return r.iterate(sf.artAt)
+}
+
+// extract reads structural variable values out of the basis.
+func (r *revised) extract() []float64 {
+	x := make([]float64, r.sf.n)
+	for i, b := range r.basis {
+		if b < r.sf.n {
+			v := r.xB[i]
+			if v < 0 && v > -eps {
+				v = 0
+			}
+			x[b] = v
+		}
+	}
+	return x
+}
+
+// snapshot captures the solve's final basis — names, basic-column entries,
+// inverse, and basic values — the currency a warm start on a related
+// problem is paid in. Slices are handed over by reference: the standard
+// form and revised state are discarded after the solve, so nothing else
+// mutates them.
+func (r *revised) snapshot() *Basis {
+	sf := r.sf
+	b := &Basis{
+		rows: sf.rowName,
+		bcol: make([]string, sf.m),
+		rhs:  sf.rhs,
+		loc:  make([]bool, sf.m),
+		brow: make([][]int32, sf.m),
+		bval: make([][]float64, sf.m),
+		binv: r.binv,
+		xB:   r.xB,
+	}
+	for i, c := range r.basis {
+		b.bcol[i] = sf.colName[c]
+		col := &sf.cols[c]
+		b.brow[i] = col.rows
+		b.bval[i] = col.vals
+		b.loc[i] = len(col.rows) == 1 && int(col.rows[0]) == i
+	}
+	return b
+}
+
+// solveSparse runs the sparse revised simplex, warm-started when warm is
+// non-nil and applicable.
+func solveSparse(p *Problem, warm *Basis) (*Solution, error) {
+	sf := buildStandardForm(p)
+	var r *revised
+	warmApplied := false
+	if warm != nil && sf.m > 0 {
+		// Try the carried basis on a bare solver state first; the crash
+		// basis (and its m×m inverse) is only built if the carry fails.
+		rw := &revised{p: p, sf: sf, tmp: make([]float64, sf.m)}
+		if rw.applyWarm(warm) {
+			r, warmApplied = rw, true
+		}
+	}
+	if r == nil {
+		r = newRevised(p, sf)
+	}
+	needP1 := false
+	for i, b := range r.basis {
+		if b >= sf.artAt && r.xB[i] > feasTol {
+			needP1 = true
+			break
+		}
+	}
+	if needP1 {
+		st := r.phase1()
+		if st == IterLimit {
+			return &Solution{Status: st, Iters: r.iters, WarmStarted: warmApplied}, statusErr(st)
+		}
+		if st != Optimal {
+			return &Solution{Status: Infeasible, Iters: r.iters, WarmStarted: warmApplied}, statusErr(Infeasible)
+		}
+	}
+	r.purgeArtificials()
+	st := r.phase2()
+	if st != Optimal {
+		return &Solution{Status: st, Iters: r.iters, WarmStarted: warmApplied}, statusErr(st)
+	}
+	x := r.extract()
+	obj := 0.0
+	for v, c := range p.cost {
+		obj += c * x[v]
+	}
+	return &Solution{
+		Status: Optimal, X: x, Objective: obj, Iters: r.iters,
+		Basis: r.snapshot(), WarmStarted: warmApplied,
+	}, nil
+}

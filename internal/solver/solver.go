@@ -23,6 +23,13 @@
 //
 // λ scales everything except Mostly-Protected (Table 6's behaviour: larger
 // λ ⇒ Mostly-Protected loses relative weight ⇒ fewer inferred syncs).
+//
+// Because the Perturber loop re-solves a problem that only grows between
+// rounds, the package offers two entrypoints: the one-shot Solve, and a
+// stateful Encoder that caches the per-window work across rounds and
+// carries the previous optimal basis into the next solve (warm starting).
+// Both produce the identical linear program for the same Observations, so
+// their results agree — the Encoder is purely a performance device.
 package solver
 
 import (
@@ -78,6 +85,10 @@ type Config struct {
 	// the extension the paper proposes in Section 5.5 to recover
 	// double-role APIs like UpgradeToWriterLock.
 	SoftSingleRole bool
+	// MaxLPIters bounds the simplex pivots per solve (0 = lp's default).
+	// Exhausting it is an error carrying the problem dimensions, wrapped
+	// around lp.ErrIterationLimit — never a silent suboptimal result.
+	MaxLPIters int
 }
 
 // DefaultConfig mirrors the paper's defaults.
@@ -100,6 +111,9 @@ type Result struct {
 	Vars        int
 	Constraints int
 	Iters       int
+	// WarmStarted reports whether the LP reused the previous round's basis
+	// (Encoder path only; always false for one-shot Solve).
+	WarmStarted bool
 }
 
 // Syncs returns the union of inferred acquire and release keys with roles.
@@ -120,122 +134,225 @@ func (r *Result) IsRelease(k trace.Key) bool {
 	return r.Releases[k] >= 0.9
 }
 
-// vars holds the per-key LP variable ids (−1 when the role variable does
+// varPair holds the per-key LP variable ids (−1 when the role variable does
 // not exist under the Read-Acquire & Write-Release property).
 type varPair struct {
 	acq, rel int
 }
 
-type encoder struct {
-	cfg  Config
-	obs  *window.Observations
-	prob *lp.Problem
-	vars map[trace.Key]varPair
+// Encoder incrementally encodes a growing Observations accumulator across
+// Perturber rounds. It caches the per-window derived data (sorted unique
+// candidate key lists) keyed by the window's absolute index in
+// obs.Windows — valid because the accumulator only ever appends windows —
+// and the global candidate key set, ingesting only the delta since the
+// previous round. Racy-pair rows are retired at emit time, so a pair
+// turning racy in a later round drops its Mostly-Protected rows without
+// disturbing the cache.
+//
+// Each Solve rebuilds the lp.Problem in exactly the order a fresh encode
+// would, so a persistent Encoder and a fresh one produce the identical
+// program; all rows and variables carry names stable across rounds, which
+// is what lets the previous round's optimal basis map onto the next
+// round's problem.
+//
+// An Encoder is not safe for concurrent use. The zero value is not usable;
+// construct with NewEncoder.
+type Encoder struct {
+	cfg Config
+
+	lastObs *window.Observations // accumulator the cache was built from
+	nCached int                  // windows ingested so far
+
+	winRel [][]trace.Key // per absolute window index: sorted unique rel keys
+	winAcq [][]trace.Key
+	keys   []trace.Key // all candidate keys, sorted
+	keySet map[trace.Key]bool
 }
 
-// Solve encodes the accumulated observations and returns the optimum.
-func Solve(obs *window.Observations, cfg Config) (*Result, error) {
-	e := &encoder{cfg: cfg, obs: obs, prob: lp.NewProblem(), vars: map[trace.Key]varPair{}}
+// NewEncoder returns an empty Encoder for cfg.
+func NewEncoder(cfg Config) *Encoder {
+	return &Encoder{cfg: cfg, keySet: map[trace.Key]bool{}}
+}
 
-	windows := obs.ActiveWindows()
-	if cfg.KeepRacyWindows {
-		windows = obs.Windows
-	}
+// Reset drops all cached state, as after construction. The engine calls it
+// when the Observations accumulator itself restarts (no-accumulation mode);
+// Solve also detects that case on its own.
+func (e *Encoder) Reset() {
+	e.lastObs = nil
+	e.nCached = 0
+	e.winRel = e.winRel[:0]
+	e.winAcq = e.winAcq[:0]
+	e.keys = e.keys[:0]
+	e.keySet = map[trace.Key]bool{}
+}
 
-	// Collect candidate keys from every accumulated window (racy ones
-	// included: their keys can still participate in pairing terms), in
-	// deterministic order.
-	keySet := map[trace.Key]bool{}
-	for _, w := range obs.Windows {
-		for k := range w.UniqueRel() {
-			keySet[k] = true
+// sync ingests windows appended to obs since the previous round. A
+// different accumulator, or one with fewer windows than already cached,
+// invalidates the cache entirely.
+func (e *Encoder) sync(obs *window.Observations) {
+	if e.lastObs != obs || len(obs.Windows) < e.nCached {
+		e.Reset()
+	}
+	e.lastObs = obs
+	newKeys := false
+	for wi := e.nCached; wi < len(obs.Windows); wi++ {
+		w := &obs.Windows[wi]
+		rel := sortedUniqueKeys(w.RelEvents)
+		acq := sortedUniqueKeys(w.AcqEvents)
+		e.winRel = append(e.winRel, rel)
+		e.winAcq = append(e.winAcq, acq)
+		for _, k := range rel {
+			if !e.keySet[k] {
+				e.keySet[k] = true
+				e.keys = append(e.keys, k)
+				newKeys = true
+			}
 		}
-		for k := range w.UniqueAcq() {
-			keySet[k] = true
+		for _, k := range acq {
+			if !e.keySet[k] {
+				e.keySet[k] = true
+				e.keys = append(e.keys, k)
+				newKeys = true
+			}
 		}
 	}
-	keys := make([]trace.Key, 0, len(keySet))
-	for k := range keySet {
-		keys = append(keys, k)
+	e.nCached = len(obs.Windows)
+	if newKeys {
+		sort.Slice(e.keys, func(i, j int) bool { return e.keys[i] < e.keys[j] })
+	}
+}
+
+// sortedUniqueKeys returns the distinct keys of evs in sorted order without
+// allocating a map.
+func sortedUniqueKeys(evs []window.CandEvent) []trace.Key {
+	if len(evs) == 0 {
+		return nil
+	}
+	keys := make([]trace.Key, len(evs))
+	for i, e := range evs {
+		keys[i] = e.Key
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-
-	for _, k := range keys {
-		e.addVars(k)
+	out := keys[:1]
+	for _, k := range keys[1:] {
+		if k != out[len(out)-1] {
+			out = append(out, k)
+		}
 	}
-	e.addMostlyProtected(windows)
-	e.addRareness(keys)
-	e.addAcqTimeVaries(keys)
-	e.addMostlyPaired(keys)
-	e.addSingleRole(keys)
+	return out
+}
 
-	sol, err := e.prob.Solve()
+// Solve encodes obs — reusing everything cached from previous rounds — and
+// solves it, warm-started from warm when non-nil. It returns the result
+// and the optimal basis to pass into the next round's Solve. Passing a
+// stale or nil basis is always safe: the LP falls back to a cold start.
+func (e *Encoder) Solve(obs *window.Observations, warm *lp.Basis) (*Result, *lp.Basis, error) {
+	e.sync(obs)
+	b := &builder{cfg: e.cfg, obs: obs, prob: lp.NewProblem(), vars: map[trace.Key]varPair{}}
+	b.prob.MaxIters = e.cfg.MaxLPIters
+
+	for _, k := range e.keys {
+		b.addVars(k)
+	}
+	b.addMostlyProtected(e)
+	b.addRareness(e.keys)
+	b.addAcqTimeVaries(e.keys)
+	b.addMostlyPaired(e.keys)
+	b.addSingleRole(e.keys)
+
+	sol, err := lp.Solve(b.prob, warm)
 	if err != nil {
-		return nil, fmt.Errorf("solver: %w", err)
+		return nil, nil, fmt.Errorf("solver: lp with %d vars, %d constraints over %d windows: %w",
+			b.prob.NumVars(), b.prob.NumConstraints(), len(obs.Windows), err)
 	}
 
 	res := &Result{
 		Acquires:    map[trace.Key]float64{},
 		Releases:    map[trace.Key]float64{},
 		Objective:   sol.Objective,
-		Vars:        e.prob.NumVars(),
-		Constraints: e.prob.NumConstraints(),
+		Vars:        b.prob.NumVars(),
+		Constraints: b.prob.NumConstraints(),
 		Iters:       sol.Iters,
+		WarmStarted: sol.WarmStarted,
 	}
-	for _, k := range keys {
-		vp := e.vars[k]
+	for _, k := range e.keys {
+		vp := b.vars[k]
 		if vp.acq >= 0 {
 			p := sol.Value(vp.acq)
 			res.Acquires[k] = p
-			if p >= cfg.Threshold {
+			if p >= e.cfg.Threshold {
 				res.AcquireSet = append(res.AcquireSet, k)
 			}
 		}
 		if vp.rel >= 0 {
 			p := sol.Value(vp.rel)
 			res.Releases[k] = p
-			if p >= cfg.Threshold {
+			if p >= e.cfg.Threshold {
 				res.ReleaseSet = append(res.ReleaseSet, k)
 			}
 		}
 	}
-	return res, nil
+	return res, sol.Basis, nil
+}
+
+// Solve encodes the accumulated observations from scratch and returns the
+// optimum. It is the one-shot form of Encoder.Solve; both produce the same
+// linear program and the same result.
+func Solve(obs *window.Observations, cfg Config) (*Result, error) {
+	res, _, err := NewEncoder(cfg).Solve(obs, nil)
+	return res, err
+}
+
+// builder assembles one round's lp.Problem.
+type builder struct {
+	cfg  Config
+	obs  *window.Observations
+	prob *lp.Problem
+	vars map[trace.Key]varPair
 }
 
 // addVars creates the role variables of one candidate under the
 // Read-Acquire & Write-Release property (or both roles under its ablation,
 // with the role-exclusivity constraint instead).
-func (e *encoder) addVars(k trace.Key) {
+func (b *builder) addVars(k trace.Key) {
 	vp := varPair{acq: -1, rel: -1}
 	acqCapable := trace.AcquireCapable(k.Kind())
 	relCapable := trace.ReleaseCapable(k.Kind())
-	if !e.cfg.Hyp.ReadAcqWriteRel {
+	if !b.cfg.Hyp.ReadAcqWriteRel {
 		// Ablation: every op may serve either role, but never both.
 		acqCapable, relCapable = true, true
 	}
 	if acqCapable {
-		vp.acq = e.prob.AddVariable(string(k) + "^acq")
-		e.prob.SetUpperBound(vp.acq, 1)
+		vp.acq = b.prob.AddVariable(string(k) + "^acq")
+		b.prob.SetUpperBound(vp.acq, 1)
 	}
 	if relCapable {
-		vp.rel = e.prob.AddVariable(string(k) + "^rel")
-		e.prob.SetUpperBound(vp.rel, 1)
+		vp.rel = b.prob.AddVariable(string(k) + "^rel")
+		b.prob.SetUpperBound(vp.rel, 1)
 	}
 	if vp.acq >= 0 && vp.rel >= 0 {
 		// A release cannot be an acquire and vice versa.
-		e.prob.AddConstraint(map[int]float64{vp.acq: 1, vp.rel: 1}, lp.LE, 1)
+		b.prob.AddNamedConstraint("excl("+string(k)+")",
+			map[int]float64{vp.acq: 1, vp.rel: 1}, lp.LE, 1)
 	}
-	e.vars[k] = vp
+	b.vars[k] = vp
 }
 
-// addMostlyProtected adds Eq. 2's rel(w) and acq(w) terms for every window.
-func (e *encoder) addMostlyProtected(windows []window.Window) {
-	if !e.cfg.Hyp.MostlyProtected {
+// addMostlyProtected adds Eq. 2's rel(w) and acq(w) terms for every
+// non-retired window. Windows are identified by their absolute index in the
+// accumulator — not their position after racy filtering — so the term names
+// (and with them the basis mapping) stay stable when a pair turns racy and
+// its rows are retired.
+func (b *builder) addMostlyProtected(e *Encoder) {
+	if !b.cfg.Hyp.MostlyProtected {
 		return
 	}
-	for wi, w := range windows {
-		e.addWindowTerm(fmt.Sprintf("rel(w%d)", wi), w.UniqueRel(), trace.RoleRelease)
-		e.addWindowTerm(fmt.Sprintf("acq(w%d)", wi), w.UniqueAcq(), trace.RoleAcquire)
+	for wi := range b.obs.Windows {
+		if !b.cfg.KeepRacyWindows && b.obs.RacyPairs[b.obs.Windows[wi].Pair] {
+			continue
+		}
+		b.addWindowTerm(fmt.Sprintf("rel(w%d)", wi), e.winRel[wi], trace.RoleRelease)
+		b.addWindowTerm(fmt.Sprintf("acq(w%d)", wi), e.winAcq[wi], trace.RoleAcquire)
 	}
 }
 
@@ -243,15 +360,10 @@ func (e *encoder) addMostlyProtected(windows []window.Window) {
 // candidates of one window side, with cost 1 on ε. Each distinct operation
 // contributes its variable once regardless of dynamic occurrences (paper
 // Section 4.2).
-func (e *encoder) addWindowTerm(name string, cands map[trace.Key]int, role trace.Role) {
+func (b *builder) addWindowTerm(name string, cands []trace.Key, role trace.Role) {
 	coeffs := map[int]float64{}
-	ordered := make([]trace.Key, 0, len(cands))
-	for k := range cands {
-		ordered = append(ordered, k)
-	}
-	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
-	for _, k := range ordered {
-		vp := e.vars[k]
+	for _, k := range cands {
+		vp := b.vars[k]
 		v := vp.rel
 		if role == trace.RoleAcquire {
 			v = vp.acq
@@ -260,53 +372,53 @@ func (e *encoder) addWindowTerm(name string, cands map[trace.Key]int, role trace
 			coeffs[v] += 1
 		}
 	}
-	eps := e.prob.AddVariable(name)
-	e.prob.AddCost(eps, 1)
+	eps := b.prob.AddVariable(name)
+	b.prob.AddCost(eps, 1)
 	coeffs[eps] = 1
-	e.prob.AddConstraint(coeffs, lp.GE, 1)
+	b.prob.AddNamedConstraint("mp_"+name, coeffs, lp.GE, 1)
 }
 
 // addRareness adds Eq. 3's regularization and Eq. 4's occurrence penalty.
-func (e *encoder) addRareness(keys []trace.Key) {
-	if !e.cfg.Hyp.SyncsAreRare {
+func (b *builder) addRareness(keys []trace.Key) {
+	if !b.cfg.Hyp.SyncsAreRare {
 		return
 	}
 	for _, k := range keys {
-		pen := e.cfg.Lambda * (1 + e.cfg.RareCoef*e.obs.AvgOccurrence(k))
-		vp := e.vars[k]
+		pen := b.cfg.Lambda * (1 + b.cfg.RareCoef*b.obs.AvgOccurrence(k))
+		vp := b.vars[k]
 		if vp.acq >= 0 {
-			e.prob.AddCost(vp.acq, pen)
+			b.prob.AddCost(vp.acq, pen)
 		}
 		if vp.rel >= 0 {
-			e.prob.AddCost(vp.rel, pen)
+			b.prob.AddCost(vp.rel, pen)
 		}
 	}
 }
 
 // addAcqTimeVaries adds Eq. 5's duration-variation penalty on method-entry
 // acquire variables.
-func (e *encoder) addAcqTimeVaries(keys []trace.Key) {
-	if !e.cfg.Hyp.AcqTimeVaries {
+func (b *builder) addAcqTimeVaries(keys []trace.Key) {
+	if !b.cfg.Hyp.AcqTimeVaries {
 		return
 	}
-	pct := e.obs.CVPercentiles()
+	pct := b.obs.CVPercentiles()
 	for _, k := range keys {
 		if k.Kind() != trace.KindBegin {
 			continue
 		}
-		vp := e.vars[k]
+		vp := b.vars[k]
 		if vp.acq < 0 {
 			continue
 		}
 		p := pct[k.Name()] // methods never completed rank at percentile 0
-		e.prob.AddCost(vp.acq, e.cfg.Lambda*(1-p))
+		b.prob.AddCost(vp.acq, b.cfg.Lambda*(1-p))
 	}
 }
 
 // addMostlyPaired adds Eq. 6 (class-level method pairing) and Eq. 7
 // (field read/write pairing).
-func (e *encoder) addMostlyPaired(keys []trace.Key) {
-	if !e.cfg.Hyp.MostlyPaired {
+func (b *builder) addMostlyPaired(keys []trace.Key) {
+	if !b.cfg.Hyp.MostlyPaired {
 		return
 	}
 	// Eq. 6: per class, |Σ method acq − Σ method rel|.
@@ -316,7 +428,7 @@ func (e *encoder) addMostlyPaired(keys []trace.Key) {
 		if k.IsField() || k.Class() == "" {
 			continue
 		}
-		vp := e.vars[k]
+		vp := b.vars[k]
 		if vp.acq >= 0 {
 			classAcq[k.Class()] = append(classAcq[k.Class()], vp.acq)
 		}
@@ -337,7 +449,7 @@ func (e *encoder) addMostlyPaired(keys []trace.Key) {
 	}
 	sort.Strings(ordered)
 	for _, c := range ordered {
-		e.addAbsTerm("pair_c("+c+")", classAcq[c], classRel[c])
+		b.addAbsTerm("pair_c("+c+")", classAcq[c], classRel[c])
 	}
 
 	// Eq. 7: per field, |read^acq − write^rel|.
@@ -354,22 +466,22 @@ func (e *encoder) addMostlyPaired(keys []trace.Key) {
 	sort.Strings(orderedF)
 	for _, f := range orderedF {
 		var acqs, rels []int
-		if vp, ok := e.vars[trace.KeyFor(trace.KindRead, f)]; ok && vp.acq >= 0 {
+		if vp, ok := b.vars[trace.KeyFor(trace.KindRead, f)]; ok && vp.acq >= 0 {
 			acqs = append(acqs, vp.acq)
 		}
-		if vp, ok := e.vars[trace.KeyFor(trace.KindWrite, f)]; ok && vp.rel >= 0 {
+		if vp, ok := b.vars[trace.KeyFor(trace.KindWrite, f)]; ok && vp.rel >= 0 {
 			rels = append(rels, vp.rel)
 		}
 		if len(acqs)+len(rels) > 0 {
-			e.addAbsTerm("pair_f("+f+")", acqs, rels)
+			b.addAbsTerm("pair_f("+f+")", acqs, rels)
 		}
 	}
 }
 
 // addAbsTerm adds t ≥ ±(Σ acqs − Σ rels) with cost λ·t.
-func (e *encoder) addAbsTerm(name string, acqs, rels []int) {
-	t := e.prob.AddVariable(name)
-	e.prob.AddCost(t, e.cfg.Lambda)
+func (b *builder) addAbsTerm(name string, acqs, rels []int) {
+	t := b.prob.AddVariable(name)
+	b.prob.AddCost(t, b.cfg.Lambda)
 	pos := map[int]float64{t: 1}
 	neg := map[int]float64{t: 1}
 	for _, v := range acqs {
@@ -380,34 +492,35 @@ func (e *encoder) addAbsTerm(name string, acqs, rels []int) {
 		pos[v] += 1
 		neg[v] -= 1
 	}
-	e.prob.AddConstraint(pos, lp.GE, 0)
-	e.prob.AddConstraint(neg, lp.GE, 0)
+	b.prob.AddNamedConstraint(name+"+", pos, lp.GE, 0)
+	b.prob.AddNamedConstraint(name+"-", neg, lp.GE, 0)
 }
 
 // addSingleRole adds begin(l)^acq + end(l)^rel ≤ 1 for every library API —
 // or, under SoftSingleRole, the relaxed penalty λ·max(0, begin+end−1) that
 // lets strong evidence overrule the assumption (double-role APIs).
-func (e *encoder) addSingleRole(keys []trace.Key) {
-	if !e.cfg.Hyp.SingleRole {
+func (b *builder) addSingleRole(keys []trace.Key) {
+	if !b.cfg.Hyp.SingleRole {
 		return
 	}
 	for _, k := range keys {
-		if k.Kind() != trace.KindBegin || !e.obs.LibAPIs[k.Name()] {
+		if k.Kind() != trace.KindBegin || !b.obs.LibAPIs[k.Name()] {
 			continue
 		}
-		beginVP := e.vars[k]
-		endVP, ok := e.vars[trace.KeyFor(trace.KindEnd, k.Name())]
+		beginVP := b.vars[k]
+		endVP, ok := b.vars[trace.KeyFor(trace.KindEnd, k.Name())]
 		if !ok || beginVP.acq < 0 || endVP.rel < 0 {
 			continue
 		}
-		if e.cfg.SoftSingleRole {
-			eps := e.prob.AddVariable("singlerole(" + k.Name() + ")")
-			e.prob.AddCost(eps, e.cfg.Lambda)
-			e.prob.AddConstraint(map[int]float64{
+		if b.cfg.SoftSingleRole {
+			eps := b.prob.AddVariable("singlerole(" + k.Name() + ")")
+			b.prob.AddCost(eps, b.cfg.Lambda)
+			b.prob.AddNamedConstraint("srs("+k.Name()+")", map[int]float64{
 				eps: 1, beginVP.acq: -1, endVP.rel: -1,
 			}, lp.GE, -1)
 			continue
 		}
-		e.prob.AddConstraint(map[int]float64{beginVP.acq: 1, endVP.rel: 1}, lp.LE, 1)
+		b.prob.AddNamedConstraint("sr("+k.Name()+")",
+			map[int]float64{beginVP.acq: 1, endVP.rel: 1}, lp.LE, 1)
 	}
 }

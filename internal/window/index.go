@@ -50,7 +50,10 @@ func NewIndex(tr *trace.Trace) *Index {
 	return idx
 }
 
-// between returns the thread's candidate events with lo < Time < hi.
+// between returns the thread's candidate events with lo < Time < hi, as a
+// view over the index's backing array — no copy. Callers must treat the
+// slice as read-only (the package-wide contract on window event slices);
+// overlapping windows share the same backing elements.
 func (ti *threadIndex) between(lo, hi int64) []CandEvent {
 	if ti == nil {
 		return nil
@@ -60,13 +63,13 @@ func (ti *threadIndex) between(lo, hi int64) []CandEvent {
 	if start >= end {
 		return nil
 	}
-	out := make([]CandEvent, end-start)
-	copy(out, ti.cands[start:end])
-	return out
+	return ti.cands[start:end:end]
 }
 
 // Window extracts one conflict's window using the index. Equivalent to
-// BuildWindow on the same trace.
+// BuildWindow on the same trace, except the event slices are views over the
+// index (read-only, possibly shared between overlapping windows) rather
+// than fresh copies.
 func (idx *Index) Window(c Conflict) Window {
 	return Window{
 		App: idx.app, Test: idx.test,

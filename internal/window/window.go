@@ -7,6 +7,8 @@
 package window
 
 import (
+	"sort"
+
 	"sherlock/internal/stats"
 	"sherlock/internal/trace"
 )
@@ -46,6 +48,11 @@ type CandEvent struct {
 // Window is one acquire/release window observation (paper Figure 2a): a
 // conflicting pair (a at TA in ThreadA, b at TB in ThreadB) plus the
 // operations that executed between them in each of the two threads.
+//
+// RelEvents and AcqEvents are read-only once a Window is built: the
+// indexed extractor hands out views over a shared per-trace array, so
+// consumers (and refiners like the Perturber) must build new slices
+// instead of mutating in place.
 type Window struct {
 	App, Test string
 	Pair      PairID
@@ -69,10 +76,18 @@ func (w *Window) UniqueAcq() map[trace.Key]int { return uniq(w.AcqEvents) }
 
 func uniq(evs []CandEvent) map[trace.Key]int {
 	m := make(map[trace.Key]int, len(evs))
+	uniqInto(m, evs)
+	return m
+}
+
+// uniqInto fills m — cleared first — with per-key occurrence counts,
+// letting accumulation loops reuse one scratch map instead of allocating
+// per window.
+func uniqInto(m map[trace.Key]int, evs []CandEvent) {
+	clear(m)
 	for _, e := range evs {
 		m[e.Key]++
 	}
-	return m
 }
 
 // RacyRelease reports whether the release side proves no release can
@@ -128,9 +143,20 @@ func FindConflicts(tr *trace.Trace, cfg Config) []Conflict {
 		}
 		byAddr[e.Addr] = append(byAddr[e.Addr], acc{ev: e})
 	}
+	// The per-pair cap below consumes a budget shared across addresses, so
+	// the iteration order decides WHICH conflicts survive once a pair
+	// exceeds the cap. Walk addresses in sorted order — ranging over the
+	// map directly would make the selected set (and every inference
+	// downstream of it) vary between identical runs.
+	addrs := make([]uint64, 0, len(byAddr))
+	for a := range byAddr {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
 	var out []Conflict
 	perPair := map[PairID]int{}
-	for _, evs := range byAddr {
+	for _, a := range addrs {
+		evs := byAddr[a]
 		// Events arrive time-ordered (trace is sorted).
 		for j := 1; j < len(evs); j++ {
 			b := evs[j].ev
@@ -242,6 +268,9 @@ type Observations struct {
 
 	// Runs counts accumulated traces.
 	Runs int
+
+	// scratch is AddWindows' reusable per-window occurrence-count map.
+	scratch map[trace.Key]int
 }
 
 // NewObservations returns an empty accumulator with the given config.
@@ -264,6 +293,9 @@ func (o *Observations) Config() Config { return o.cfg }
 // accumulator, enforcing the cross-run per-pair cap and recording data-race
 // observations.
 func (o *Observations) AddWindows(ws []Window) {
+	if o.scratch == nil {
+		o.scratch = map[trace.Key]int{}
+	}
 	for _, w := range ws {
 		if o.perPair[w.Pair] >= o.cfg.PerPairCap {
 			continue
@@ -273,11 +305,14 @@ func (o *Observations) AddWindows(ws []Window) {
 			o.RacyPairs[w.Pair] = true
 		}
 		o.Windows = append(o.Windows, w)
-		for k, n := range w.UniqueRel() {
+		// Map iteration order is irrelevant here: the updates commute.
+		uniqInto(o.scratch, w.RelEvents)
+		for k, n := range o.scratch {
 			o.occSum[k] += n
 			o.winCnt[k]++
 		}
-		for k, n := range w.UniqueAcq() {
+		uniqInto(o.scratch, w.AcqEvents)
+		for k, n := range o.scratch {
 			o.occSum[k] += n
 			o.winCnt[k]++
 		}
@@ -335,6 +370,36 @@ func (o *Observations) Merge(o2 *Observations) {
 		o.LibAPIs[api] = true
 	}
 	o.Runs += o2.Runs
+}
+
+// Clone returns an independent deep copy of the accumulator: mutating
+// either afterwards leaves the other unchanged. Window event slices are
+// shared — they are immutable under the package's no-mutation contract —
+// so cloning per round (benchmark snapshots, what-if solves) stays cheap.
+func (o *Observations) Clone() *Observations {
+	c := NewObservations(o.cfg)
+	c.Windows = append([]Window(nil), o.Windows...)
+	for p, n := range o.perPair {
+		c.perPair[p] = n
+	}
+	for name, w := range o.Durations {
+		cw := *w
+		c.Durations[name] = &cw
+	}
+	for k, n := range o.occSum {
+		c.occSum[k] = n
+	}
+	for k, n := range o.winCnt {
+		c.winCnt[k] = n
+	}
+	for api := range o.LibAPIs {
+		c.LibAPIs[api] = true
+	}
+	for p := range o.RacyPairs {
+		c.RacyPairs[p] = true
+	}
+	c.Runs = o.Runs
+	return c
 }
 
 // AvgOccurrence returns the average number of times key occurs in the

@@ -358,6 +358,17 @@ func windowsEqual(a, b Window) bool {
 	return true
 }
 
+// BenchmarkFindConflicts measures conflict-pair detection (now with the
+// sorted address walk) on an App-1-sized trace.
+func BenchmarkFindConflicts(b *testing.B) {
+	tr, _ := benchTrace()
+	cfg := DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FindConflicts(tr, cfg)
+	}
+}
+
 // BenchmarkBuildWindows vs the naive path, on an App-1-sized trace.
 func BenchmarkBuildWindows(b *testing.B) {
 	tr, conflicts := benchTrace()
