@@ -9,9 +9,16 @@
 // previous round's basis carried). Both paths produce identical inference
 // results; only the cost differs.
 //
+// It also measures the serving layer (cmd/sherlockd's internals driven
+// over real HTTP): cold submissions that run a fresh campaign vs.
+// cache-hit resubmissions answered from the content-addressed result
+// cache, written to a second JSON file. Together the two files record the
+// perf trajectory of the solver and of the serving path.
+//
 // Usage:
 //
-//	bench [-app App-1] [-rounds 6] [-reps 5] [-o BENCH_solver.json]
+//	bench [-app App-1] [-rounds 6] [-reps 5] [-out BENCH_solver.json]
+//	      [-server-out BENCH_server.json] [-server-jobs 16]
 package main
 
 import (
@@ -45,12 +52,18 @@ type result struct {
 
 func main() {
 	var (
-		appName = flag.String("app", "App-1", "application to campaign on")
-		rounds  = flag.Int("rounds", 6, "campaign rounds")
-		reps    = flag.Int("reps", 5, "repetitions (best is reported)")
-		out     = flag.String("o", "BENCH_solver.json", "output file")
+		appName    = flag.String("app", "App-1", "application to campaign on")
+		rounds     = flag.Int("rounds", 6, "campaign rounds")
+		reps       = flag.Int("reps", 5, "repetitions (best is reported)")
+		out        = flag.String("out", "BENCH_solver.json", "solver benchmark output file")
+		outAlias   = flag.String("o", "", "alias for -out (deprecated)")
+		serverOut  = flag.String("server-out", "BENCH_server.json", "server benchmark output file (empty = skip)")
+		serverJobs = flag.Int("server-jobs", 16, "cold/hit submissions per server measurement")
 	)
 	flag.Parse()
+	if *outAlias != "" {
+		*out = *outAlias
+	}
 
 	app, err := apps.ByName(*appName)
 	die(err)
@@ -109,6 +122,10 @@ func main() {
 	fmt.Printf("%s: cold %.1fms (%d pivots) vs warm %.1fms (%d pivots, %d/%d rounds warm): %.2fx\n",
 		*out, float64(res.ColdNs)/1e6, res.ColdIters,
 		float64(res.WarmNs)/1e6, res.WarmIters, res.WarmRounds, res.Rounds, res.Speedup)
+
+	if *serverOut != "" {
+		die(benchServer(*serverOut, *appName, *serverJobs))
+	}
 }
 
 func die(err error) {

@@ -1,0 +1,160 @@
+// Serving-path benchmark: drive an in-process sherlockd over a real TCP
+// socket and measure the submit→done latency of cold campaigns against
+// cache-hit resubmissions, plus aggregate throughput of a concurrent cold
+// sweep. The numbers land in BENCH_server.json so the serving perf
+// trajectory is tracked across commits next to the solver's.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"sherlock/internal/server"
+)
+
+// serverResult is the BENCH_server.json schema. Latencies are per-job
+// medians in nanoseconds; throughput is jobs per second over the whole
+// cold sweep.
+type serverResult struct {
+	App            string  `json:"app"`
+	Jobs           int     `json:"jobs"`
+	Workers        int     `json:"workers"`
+	ColdMedianNs   int64   `json:"cold_median_ns"`
+	HitMedianNs    int64   `json:"hit_median_ns"`
+	Speedup        float64 `json:"speedup"`
+	ColdThroughput float64 `json:"cold_jobs_per_sec"`
+	CacheHits      uint64  `json:"cache_hits"`
+	CacheMisses    uint64  `json:"cache_misses"`
+}
+
+func benchServer(outFile, appName string, jobs int) error {
+	cfg := server.DefaultConfig()
+	cfg.QueueSize = 2 * jobs
+	cfg.CacheCapacity = 4 * jobs
+	cfg.Inference.Rounds = 1
+	srv, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	// Cold sweep: distinct seeds => distinct content addresses => every
+	// job runs a real campaign.
+	coldLat := make([]time.Duration, jobs)
+	sweep0 := time.Now()
+	for i := 0; i < jobs; i++ {
+		t0 := time.Now()
+		if _, err := submitWait(base, appName, int64(1+i)); err != nil {
+			return fmt.Errorf("cold job %d: %w", i, err)
+		}
+		coldLat[i] = time.Since(t0)
+	}
+	sweepWall := time.Since(sweep0)
+
+	// Hit sweep: resubmit the first seed; every submission must be
+	// answered from the cache.
+	hitLat := make([]time.Duration, jobs)
+	for i := 0; i < jobs; i++ {
+		t0 := time.Now()
+		v, err := submitWait(base, appName, 1)
+		if err != nil {
+			return fmt.Errorf("hit job %d: %w", i, err)
+		}
+		if !v.Cached {
+			return fmt.Errorf("hit job %d: expected a cache hit", i)
+		}
+		hitLat[i] = time.Since(t0)
+	}
+
+	hits, misses, _, _ := srv.Cache().Stats()
+	res := serverResult{
+		App:            appName,
+		Jobs:           jobs,
+		Workers:        cfg.Workers,
+		ColdMedianNs:   median(coldLat).Nanoseconds(),
+		HitMedianNs:    median(hitLat).Nanoseconds(),
+		ColdThroughput: float64(jobs) / sweepWall.Seconds(),
+		CacheHits:      hits,
+		CacheMisses:    misses,
+	}
+	res.Speedup = float64(res.ColdMedianNs) / float64(res.HitMedianNs)
+
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(outFile, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s: cold median %.2fms vs cache-hit median %.3fms: %.0fx; %.1f cold jobs/s\n",
+		outFile, float64(res.ColdMedianNs)/1e6, float64(res.HitMedianNs)/1e6,
+		res.Speedup, res.ColdThroughput)
+	return nil
+}
+
+// clientJob mirrors the daemon's job JSON.
+type clientJob struct {
+	ID     string `json:"id"`
+	Key    string `json:"key"`
+	Status string `json:"status"`
+	Cached bool   `json:"cached"`
+	Error  string `json:"error,omitempty"`
+}
+
+// submitWait posts one job and polls it to a terminal state.
+func submitWait(base, app string, seed int64) (*clientJob, error) {
+	buf, _ := json.Marshal(map[string]any{"app": app, "seed": seed})
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return nil, err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return nil, fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var v clientJob
+	if err := json.Unmarshal(body, &v); err != nil {
+		return nil, err
+	}
+	for v.Status != "done" {
+		if v.Status == "failed" || v.Status == "canceled" {
+			return nil, fmt.Errorf("job %s ended %s: %s", v.ID, v.Status, v.Error)
+		}
+		sr, err := http.Get(base + "/v1/jobs/" + v.ID)
+		if err != nil {
+			return nil, err
+		}
+		sb, _ := io.ReadAll(sr.Body)
+		sr.Body.Close()
+		if err := json.Unmarshal(sb, &v); err != nil {
+			return nil, err
+		}
+	}
+	return &v, nil
+}
+
+func median(ds []time.Duration) time.Duration {
+	sorted := append([]time.Duration(nil), ds...)
+	for i := 1; i < len(sorted); i++ { // insertion sort; n is small
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	return sorted[len(sorted)/2]
+}

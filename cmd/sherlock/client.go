@@ -1,0 +1,169 @@
+// sherlockd client mode: submit jobs to a running daemon, poll status,
+// and fetch content-addressed results, so a fleet of CLI users shares one
+// warm cache instead of each paying full trace capture + inference.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// jobView mirrors the server's job JSON (internal/server.jobView).
+type jobView struct {
+	ID        string `json:"id"`
+	Key       string `json:"key"`
+	Status    string `json:"status"`
+	Cached    bool   `json:"cached"`
+	Error     string `json:"error,omitempty"`
+	ResultURL string `json:"result_url,omitempty"`
+}
+
+// submitSpec mirrors the server's JobSpec.
+type submitSpec struct {
+	App    string  `json:"app,omitempty"`
+	Rounds int     `json:"rounds,omitempty"`
+	Lambda float64 `json:"lambda,omitempty"`
+	Near   int64   `json:"near,omitempty"`
+	Seed   int64   `json:"seed,omitempty"`
+}
+
+// submitJob POSTs a job and optionally polls it to completion, printing
+// the id, content key, and terminal status. With wait set it also fetches
+// and pretty-prints the result summary.
+func submitJob(ctx context.Context, base, app string, rounds int, lambda float64, near, seed int64, wait bool) error {
+	spec := submitSpec{App: app, Rounds: rounds, Lambda: lambda, Near: near, Seed: seed}
+	buf, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/jobs", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("submit: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var v jobView
+	if err := json.Unmarshal(body, &v); err != nil {
+		return fmt.Errorf("submit: bad response: %w", err)
+	}
+	fmt.Printf("job %s  key %s  status %s  cached %v\n", v.ID, v.Key, v.Status, v.Cached)
+	if !wait {
+		return nil
+	}
+	final, err := pollJob(ctx, base, v.ID)
+	if err != nil {
+		return err
+	}
+	if final.Status != "done" {
+		return fmt.Errorf("job %s ended %s: %s", final.ID, final.Status, final.Error)
+	}
+	return printServerResult(ctx, base, final.Key)
+}
+
+// pollJob polls GET /v1/jobs/{id} until the job is terminal.
+func pollJob(ctx context.Context, base, id string) (*jobView, error) {
+	for {
+		v, err := jobStatus(ctx, base, id)
+		if err != nil {
+			return nil, err
+		}
+		switch v.Status {
+		case "done", "failed", "canceled":
+			return v, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+func jobStatus(ctx context.Context, base, id string) (*jobView, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %s: %s: %s", id, resp.Status, strings.TrimSpace(string(body)))
+	}
+	var v jobView
+	if err := json.Unmarshal(body, &v); err != nil {
+		return nil, err
+	}
+	return &v, nil
+}
+
+// printJobStatus is the -status entrypoint.
+func printJobStatus(ctx context.Context, base, id string) error {
+	v, err := jobStatus(ctx, base, id)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("job %s  key %s  status %s  cached %v\n", v.ID, v.Key, v.Status, v.Cached)
+	if v.Error != "" {
+		fmt.Printf("error: %s\n", v.Error)
+	}
+	return nil
+}
+
+// printServerResult fetches GET /v1/results/{key} and prints the inferred
+// operations (the -result entrypoint).
+func printServerResult(ctx context.Context, base, key string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/results/"+key, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("result %s: %s: %s", key, resp.Status, strings.TrimSpace(string(body)))
+	}
+	var env struct {
+		Key    string `json:"key"`
+		App    string `json:"app"`
+		Result struct {
+			Inferred []struct {
+				Key  string  `json:"Key"`
+				Role int     `json:"Role"`
+				Prob float64 `json:"Prob"`
+			} `json:"Inferred"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil {
+		return fmt.Errorf("result %s: bad body: %w", key, err)
+	}
+	fmt.Printf("%s: %d inferred operations (key %s)\n", env.App, len(env.Result.Inferred), env.Key)
+	for _, s := range env.Result.Inferred {
+		role := "acquire"
+		if s.Role != 0 {
+			role = "release"
+		}
+		fmt.Printf("  %-8s %-60s p=%.2f\n", role, s.Key, s.Prob)
+	}
+	return nil
+}

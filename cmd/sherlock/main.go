@@ -7,6 +7,12 @@
 //	sherlock -app App-4 [-rounds 3] [-lambda 0.2] [-near 1000000] [-seed 1] [-p 4]
 //	sherlock -all
 //	sherlock -list
+//
+// Client mode against a running sherlockd (see cmd/sherlockd):
+//
+//	sherlock -server http://localhost:8419 -submit App-4 [-wait]
+//	sherlock -server http://localhost:8419 -status job-000001
+//	sherlock -server http://localhost:8419 -result <content-key>
 package main
 
 import (
@@ -39,6 +45,13 @@ func main() {
 		seed       = flag.Int64("seed", 1, "base scheduler seed")
 		parallel   = flag.Int("p", 0, "worker pool size per round (0 = GOMAXPROCS); results are identical for every value")
 		verbose    = flag.Bool("v", false, "print per-round snapshots")
+
+		// Client mode.
+		serverURL = flag.String("server", "", "sherlockd base URL; enables -submit/-status/-result")
+		submit    = flag.String("submit", "", "submit an application job to -server")
+		status    = flag.String("status", "", "query a job id on -server")
+		result    = flag.String("result", "", "fetch a result by content key from -server")
+		wait      = flag.Bool("wait", false, "with -submit: poll to completion and print the result")
 	)
 	flag.Parse()
 
@@ -48,6 +61,14 @@ func main() {
 	defer stop()
 
 	switch {
+	case *serverURL != "" && *submit != "":
+		die(submitJob(ctx, *serverURL, *submit, *rounds, *lambda, *near, *seed, *wait))
+	case *serverURL != "" && *status != "":
+		die(printJobStatus(ctx, *serverURL, *status))
+	case *serverURL != "" && *result != "":
+		die(printServerResult(ctx, *serverURL, *result))
+	case *serverURL != "":
+		die(fmt.Errorf("-server needs one of -submit, -status, or -result"))
 	case *list:
 		report.Table1(os.Stdout)
 	case *all:

@@ -1,0 +1,92 @@
+// Command sherlockd serves synchronization-operation inference over HTTP:
+// a bounded job queue with a worker pool, a content-addressed result cache
+// (resubmitting an identical workload is answered byte-identically from
+// memory), and a Prometheus-format /metrics endpoint.
+//
+// Usage:
+//
+//	sherlockd [-addr :8419] [-workers N] [-queue N] [-cache N]
+//	          [-job-timeout 2m] [-drain-timeout 30s] [-rounds 3]
+//
+// The daemon prints "listening on HOST:PORT" once the socket is bound
+// (pass -addr 127.0.0.1:0 to let the kernel pick a free port, as the CI
+// smoke test does). SIGTERM/SIGINT triggers a graceful drain: submissions
+// are refused with 503 while admitted jobs run to completion, bounded by
+// -drain-timeout.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"sherlock/internal/server"
+)
+
+func main() {
+	cfg := server.DefaultConfig()
+	var (
+		addr         = flag.String("addr", ":8419", "listen address (host:0 picks a free port)")
+		workers      = flag.Int("workers", cfg.Workers, "worker pool size (concurrent campaigns)")
+		queueSize    = flag.Int("queue", cfg.QueueSize, "job queue capacity (full queue => 429)")
+		cacheCap     = flag.Int("cache", cfg.CacheCapacity, "result cache capacity (entries)")
+		jobTimeout   = flag.Duration("job-timeout", cfg.JobTimeout, "per-job wall-clock bound (0 = none)")
+		drainTimeout = flag.Duration("drain-timeout", cfg.DrainTimeout, "graceful shutdown bound (0 = wait forever)")
+		rounds       = flag.Int("rounds", cfg.Inference.Rounds, "default campaign rounds (jobs may override)")
+	)
+	flag.Parse()
+	cfg.Workers = *workers
+	cfg.QueueSize = *queueSize
+	cfg.CacheCapacity = *cacheCap
+	cfg.JobTimeout = *jobTimeout
+	cfg.DrainTimeout = *drainTimeout
+	cfg.Inference.Rounds = *rounds
+
+	srv, err := server.New(cfg)
+	die(err)
+
+	ln, err := net.Listen("tcp", *addr)
+	die(err)
+	fmt.Printf("sherlockd: listening on %s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		die(err)
+	case <-ctx.Done():
+	}
+	stop()
+
+	fmt.Println("sherlockd: draining...")
+	drainCtx := context.Background()
+	if cfg.DrainTimeout > 0 {
+		var cancel context.CancelFunc
+		drainCtx, cancel = context.WithTimeout(drainCtx, cfg.DrainTimeout)
+		defer cancel()
+	}
+	// Stop accepting HTTP first, then let admitted jobs finish.
+	_ = hs.Shutdown(drainCtx)
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "sherlockd: drain timed out, in-flight jobs canceled:", err)
+		os.Exit(1)
+	}
+	fmt.Println("sherlockd: drained, bye")
+}
+
+func die(err error) {
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "sherlockd:", err)
+		os.Exit(1)
+	}
+}

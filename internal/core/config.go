@@ -57,6 +57,14 @@ type Config struct {
 	// keep it past the callback must Clone it. A diagnostics hook, used by
 	// the solver benchmarks to replay a campaign's accumulator states.
 	OnRound func(round int, obs *window.Observations)
+
+	// OnSnapshot, when non-nil, receives each round's RoundSnapshot right
+	// after the solve, before the next round starts. Unlike OnRound it
+	// carries the solved per-round statistics (inferred sets, LP pivots,
+	// warm-start flag), so long-running consumers — the serving layer's
+	// metrics in particular — can stream campaign progress without waiting
+	// for the final Result. The snapshot is the caller's to keep.
+	OnSnapshot func(RoundSnapshot)
 }
 
 // DefaultConfig mirrors the paper's default operating point.

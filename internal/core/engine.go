@@ -157,14 +157,18 @@ func Infer(ctx context.Context, app *prog.Program, cfg Config) (*Result, error) 
 		if sr.WarmStarted {
 			res.Overhead.WarmRounds++
 		}
-		res.Rounds = append(res.Rounds, RoundSnapshot{
+		snap := RoundSnapshot{
 			Round:    round + 1,
 			Acquires: append([]trace.Key(nil), sr.AcquireSet...),
 			Releases: append([]trace.Key(nil), sr.ReleaseSet...),
 			Windows:  len(obs.Windows),
 			LPIters:  sr.Iters,
 			Warm:     sr.WarmStarted,
-		})
+		}
+		res.Rounds = append(res.Rounds, snap)
+		if cfg.OnSnapshot != nil {
+			cfg.OnSnapshot(snap)
+		}
 		plan = perturb.BuildPlan(sr.ReleaseSet, cfg.Delay)
 		if cfg.OnRound != nil {
 			cfg.OnRound(round+1, obs)

@@ -1,0 +1,88 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// BenchmarkServerSubmit measures the serving path end to end over real
+// HTTP: submit + poll to completion. The cold case forces a fresh
+// campaign per iteration (distinct seed => distinct content address); the
+// hit case resubmits one identical spec and is answered from the result
+// cache without executing anything — the microsecond path the cache
+// exists for.
+func BenchmarkServerSubmit(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Workers = 2
+	cfg.QueueSize = 64
+	cfg.CacheCapacity = 1 << 20 // never evict during the cold sweep
+	cfg.Inference.Rounds = 1
+	s, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	b.Cleanup(func() { ts.Close(); s.Close() })
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// Seeds beyond any other test's range keep iterations distinct.
+			benchSubmitWait(b, ts.URL, int64(1_000_000+i))
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		benchSubmitWait(b, ts.URL, 42) // populate
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			v := benchSubmitWait(b, ts.URL, 42)
+			if !v.Cached {
+				b.Fatal("expected a cache hit")
+			}
+		}
+	})
+}
+
+// benchSubmitWait submits an App-1 job with the given seed and blocks
+// until it is terminal (immediately, for cache hits).
+func benchSubmitWait(b *testing.B, base string, seed int64) jobView {
+	b.Helper()
+	buf, _ := json.Marshal(map[string]any{"app": "App-1", "seed": seed})
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		b.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		b.Fatalf("submit: HTTP %d: %s", resp.StatusCode, body)
+	}
+	var v jobView
+	if err := json.Unmarshal(body, &v); err != nil {
+		b.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Minute)
+	for v.Status != "done" {
+		if v.Status == "failed" || v.Status == "canceled" {
+			b.Fatalf("job %s ended %s: %s", v.ID, v.Status, v.Error)
+		}
+		if time.Now().After(deadline) {
+			b.Fatalf("job %s never finished", v.ID)
+		}
+		sr, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s", base, v.ID))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sb, _ := io.ReadAll(sr.Body)
+		sr.Body.Close()
+		if err := json.Unmarshal(sb, &v); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return v
+}

@@ -1,0 +1,79 @@
+// Serving configuration and validation.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"sherlock/internal/core"
+)
+
+// Config tunes one sherlockd instance.
+type Config struct {
+	// Workers is the worker-pool size: how many inference campaigns run
+	// concurrently. Must be positive.
+	Workers int
+	// QueueSize bounds the number of admitted-but-not-started jobs. A full
+	// queue rejects submissions with 429 + Retry-After instead of growing
+	// memory. Must be positive.
+	QueueSize int
+	// CacheCapacity bounds the content-addressed result cache (entries).
+	// Must be positive.
+	CacheCapacity int
+	// JobTimeout is the per-job wall-clock bound; a job exceeding it is
+	// canceled and reported failed. Zero disables the bound; negative is
+	// invalid.
+	JobTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown: how long SIGTERM waits for
+	// admitted jobs before force-canceling them. Zero disables the bound;
+	// negative is invalid.
+	DrainTimeout time.Duration
+	// Inference is the base campaign config that job specs override per
+	// request. Validated via core's own Config.Validate.
+	Inference core.Config
+}
+
+// DefaultConfig sizes the service for one host: one worker per CPU, a
+// queue twice the pool, a 4096-entry cache, 2-minute job timeout, and the
+// paper's default inference operating point.
+func DefaultConfig() Config {
+	return Config{
+		Workers:       runtime.GOMAXPROCS(0),
+		QueueSize:     2 * runtime.GOMAXPROCS(0),
+		CacheCapacity: 4096,
+		JobTimeout:    2 * time.Minute,
+		DrainTimeout:  30 * time.Second,
+		Inference:     core.DefaultConfig(),
+	}
+}
+
+// Validate checks the serving knobs and the embedded inference config,
+// reporting every problem at once with errors.Join (errors.Is/As still
+// match the individual values). A nil return means the server can start.
+func (c Config) Validate() error {
+	var errs []error
+	if c.Workers <= 0 {
+		errs = append(errs, fmt.Errorf("Workers must be positive, got %d", c.Workers))
+	}
+	if c.QueueSize <= 0 {
+		errs = append(errs, fmt.Errorf("QueueSize must be positive, got %d", c.QueueSize))
+	}
+	if c.CacheCapacity <= 0 {
+		errs = append(errs, fmt.Errorf("CacheCapacity must be positive, got %d", c.CacheCapacity))
+	}
+	if c.JobTimeout < 0 {
+		errs = append(errs, fmt.Errorf("JobTimeout must be non-negative, got %v", c.JobTimeout))
+	}
+	if c.DrainTimeout < 0 {
+		errs = append(errs, fmt.Errorf("DrainTimeout must be non-negative, got %v", c.DrainTimeout))
+	}
+	if err := c.Inference.Validate(); err != nil {
+		errs = append(errs, fmt.Errorf("Inference: %w", err))
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,96 @@
+package server
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		wants  []string // substrings of the joined error; empty = valid
+	}{
+		{name: "defaults are valid", mutate: func(c *Config) {}},
+		{
+			name:   "zero workers",
+			mutate: func(c *Config) { c.Workers = 0 },
+			wants:  []string{"Workers must be positive"},
+		},
+		{
+			name:   "negative workers",
+			mutate: func(c *Config) { c.Workers = -2 },
+			wants:  []string{"Workers must be positive, got -2"},
+		},
+		{
+			name:   "zero queue size",
+			mutate: func(c *Config) { c.QueueSize = 0 },
+			wants:  []string{"QueueSize must be positive"},
+		},
+		{
+			name:   "zero cache capacity",
+			mutate: func(c *Config) { c.CacheCapacity = 0 },
+			wants:  []string{"CacheCapacity must be positive"},
+		},
+		{
+			name:   "negative job timeout",
+			mutate: func(c *Config) { c.JobTimeout = -time.Second },
+			wants:  []string{"JobTimeout must be non-negative"},
+		},
+		{
+			name:   "negative drain timeout",
+			mutate: func(c *Config) { c.DrainTimeout = -time.Second },
+			wants:  []string{"DrainTimeout must be non-negative"},
+		},
+		{
+			name:   "invalid inference config surfaces through",
+			mutate: func(c *Config) { c.Inference.Rounds = 0 },
+			wants:  []string{"Inference:", "Rounds must be positive"},
+		},
+		{
+			name: "all problems reported at once",
+			mutate: func(c *Config) {
+				c.Workers = -1
+				c.QueueSize = 0
+				c.CacheCapacity = -5
+				c.JobTimeout = -time.Minute
+			},
+			wants: []string{
+				"Workers must be positive",
+				"QueueSize must be positive",
+				"CacheCapacity must be positive",
+				"JobTimeout must be non-negative",
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if len(tc.wants) == 0 {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("expected error containing %v, got nil", tc.wants)
+			}
+			for _, want := range tc.wants {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("error missing %q:\n%v", want, err)
+				}
+			}
+		})
+	}
+}
+
+func TestNewRejectsInvalidConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QueueSize = -1
+	if _, err := New(cfg); err == nil {
+		t.Fatal("New should reject an invalid config")
+	}
+}

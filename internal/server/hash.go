@@ -1,0 +1,78 @@
+// Content-addressed job keys. A job's key is the SHA-256 of a canonical
+// byte encoding of everything that determines its result: the workload
+// (benchmark application name, or the raw trace bytes for offline jobs)
+// and every result-relevant field of the effective inference Config,
+// written in a fixed order with explicit field tags. Two properties make
+// the scheme safe as a cache address:
+//
+//   - Deterministic across processes: the encoding never touches map
+//     iteration order, pointers, or wall-clock state, so the same
+//     workload+config hashes identically on every run of every binary.
+//   - Execution-irrelevant knobs are excluded: Config.Parallelism is NOT
+//     hashed because results are bit-identical for every worker-pool size
+//     (a PR 1 invariant) — a 4-worker submission hits the cache entry a
+//     16-worker submission populated. Hooks (OnRound, OnSnapshot) and
+//     ColdStart are likewise excluded: they change cost, not results
+//     (the warm/cold equivalence tests enforce the latter).
+//
+// The encoding is versioned (keyEncodingV1); changing what gets hashed
+// must bump the version so stale keys can never alias new content.
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+
+	"sherlock/internal/core"
+)
+
+const keyEncodingV1 = "sherlock-job-v1"
+
+// JobKey computes the content address of a job: the workload from spec
+// (App or Traces) plus the effective, fully resolved inference config.
+func JobKey(spec JobSpec, cfg core.Config) string {
+	h := sha256.New()
+	io.WriteString(h, keyEncodingV1+"\n")
+	if spec.App != "" {
+		fmt.Fprintf(h, "kind=app\napp=%s\n", spec.App)
+	} else {
+		fmt.Fprintf(h, "kind=traces\ntraces=%d\n", len(spec.Traces))
+		for _, tr := range spec.Traces {
+			fmt.Fprintf(h, "trace:%d\n", len(tr))
+			io.WriteString(h, tr)
+			io.WriteString(h, "\n")
+		}
+	}
+	writeConfig(h, cfg)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// writeConfig streams every result-relevant Config field with a stable tag.
+// Floats use %g (shortest round-trip form, deterministic in Go).
+func writeConfig(w io.Writer, cfg core.Config) {
+	fmt.Fprintf(w, "rounds=%d\n", cfg.Rounds)
+	fmt.Fprintf(w, "window.near=%d\n", cfg.Window.Near)
+	fmt.Fprintf(w, "window.perpaircap=%d\n", cfg.Window.PerPairCap)
+	fmt.Fprintf(w, "window.unsafeapis=%t\n", cfg.Window.UseUnsafeAPIs)
+	fmt.Fprintf(w, "solver.lambda=%g\n", cfg.Solver.Lambda)
+	fmt.Fprintf(w, "solver.rarecoef=%g\n", cfg.Solver.RareCoef)
+	fmt.Fprintf(w, "solver.threshold=%g\n", cfg.Solver.Threshold)
+	hyp := cfg.Solver.Hyp
+	fmt.Fprintf(w, "solver.hyp=%t,%t,%t,%t,%t,%t\n",
+		hyp.MostlyProtected, hyp.SyncsAreRare, hyp.AcqTimeVaries,
+		hyp.MostlyPaired, hyp.ReadAcqWriteRel, hyp.SingleRole)
+	fmt.Fprintf(w, "solver.keepracy=%t\n", cfg.Solver.KeepRacyWindows)
+	fmt.Fprintf(w, "solver.softsinglerole=%t\n", cfg.Solver.SoftSingleRole)
+	fmt.Fprintf(w, "solver.maxlpiters=%d\n", cfg.Solver.MaxLPIters)
+	fmt.Fprintf(w, "delay=%d\n", cfg.Delay)
+	fmt.Fprintf(w, "delayprob=%g\n", cfg.DelayProbability)
+	fmt.Fprintf(w, "seed=%d\n", cfg.Seed)
+	fmt.Fprintf(w, "accumulate=%t\n", cfg.Accumulate)
+	fmt.Fprintf(w, "injectdelays=%t\n", cfg.InjectDelays)
+	fmt.Fprintf(w, "removeracymp=%t\n", cfg.RemoveRacyMP)
+	fmt.Fprintf(w, "maxsteps=%d\n", cfg.MaxStepsPerTest)
+	// Parallelism, ColdStart, OnRound, OnSnapshot intentionally omitted:
+	// they affect cost, not results.
+}

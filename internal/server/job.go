@@ -1,0 +1,205 @@
+// Job model: the unit of work the daemon queues, executes, caches, and
+// reports on. A job is either a named benchmark application campaign or an
+// offline solve over raw traces in the JSONL wire format.
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sherlock/internal/core"
+)
+
+// JobSpec is the client-facing description of one inference job — the body
+// of POST /v1/jobs. Exactly one of App or Traces must be set. Zero-valued
+// tuning fields inherit the server's base inference config; non-zero
+// fields override it. The effective config (not the raw overrides) is what
+// gets hashed into the job's content address, so "rounds": 3 and an
+// omitted rounds field on a rounds=3 server address the same cache entry.
+type JobSpec struct {
+	// App names a benchmark application ("App-1".."App-8").
+	App string `json:"app,omitempty"`
+	// Traces carries previously captured execution logs, one JSONL trace
+	// document per element (the format (*Trace).Write emits). Trace jobs
+	// run the offline solve: no re-execution, no Perturber feedback.
+	Traces []string `json:"traces,omitempty"`
+
+	// Overrides of the server's base config (zero = inherit).
+	Rounds int     `json:"rounds,omitempty"`
+	Lambda float64 `json:"lambda,omitempty"`
+	Near   int64   `json:"near,omitempty"`
+	Seed   int64   `json:"seed,omitempty"`
+	// MaxSteps bounds each simulated test (guards the service against
+	// adversarially long campaigns; zero = inherit).
+	MaxSteps int `json:"max_steps,omitempty"`
+}
+
+// validate checks well-formedness (not config ranges — the effective
+// config is validated separately).
+func (s JobSpec) validate() error {
+	if s.App == "" && len(s.Traces) == 0 {
+		return fmt.Errorf("job spec: one of \"app\" or \"traces\" is required")
+	}
+	if s.App != "" && len(s.Traces) > 0 {
+		return fmt.Errorf("job spec: \"app\" and \"traces\" are mutually exclusive")
+	}
+	return nil
+}
+
+// effectiveConfig resolves the spec against the server's base config.
+func (s JobSpec) effectiveConfig(base core.Config) core.Config {
+	cfg := base
+	if s.Rounds != 0 {
+		cfg.Rounds = s.Rounds
+	}
+	if s.Lambda != 0 {
+		cfg.Solver.Lambda = s.Lambda
+	}
+	if s.Near != 0 {
+		cfg.Window.Near = s.Near
+	}
+	if s.Seed != 0 {
+		cfg.Seed = s.Seed
+	}
+	if s.MaxSteps != 0 {
+		cfg.MaxStepsPerTest = s.MaxSteps
+	}
+	// Hooks are the server's own; never inherit a caller-visible one.
+	cfg.OnRound = nil
+	cfg.OnSnapshot = nil
+	return cfg
+}
+
+// JobStatus is a job's lifecycle state.
+type JobStatus string
+
+const (
+	StatusQueued   JobStatus = "queued"
+	StatusRunning  JobStatus = "running"
+	StatusDone     JobStatus = "done"
+	StatusFailed   JobStatus = "failed"
+	StatusCanceled JobStatus = "canceled"
+)
+
+// Job is one queued/executing/finished inference request.
+type Job struct {
+	ID  string
+	Key string // content address (hash.go)
+
+	Spec JobSpec
+	Cfg  core.Config // effective config
+
+	mu         sync.Mutex
+	status     JobStatus
+	err        string
+	cached     bool // answered from the result cache, no execution
+	submitted  time.Time
+	started    time.Time
+	finished   time.Time
+	cancelOnce sync.Once
+	cancel     func() // non-nil while cancellable; set by queue/worker
+	done       chan struct{}
+}
+
+func newJob(id, key string, spec JobSpec, cfg core.Config, now time.Time) *Job {
+	return &Job{
+		ID: id, Key: key, Spec: spec, Cfg: cfg,
+		status: StatusQueued, submitted: now,
+		done: make(chan struct{}),
+	}
+}
+
+// Status returns the current lifecycle state.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Cancel requests cancellation: a queued job is dropped when a worker pops
+// it; a running job's context is canceled, aborting the campaign between
+// test executions.
+func (j *Job) Cancel() {
+	j.mu.Lock()
+	cancel := j.cancel
+	if j.status == StatusQueued {
+		// Mark immediately so the worker skips it without running.
+		j.finish(StatusCanceled, "canceled before start")
+	}
+	j.mu.Unlock()
+	if cancel != nil {
+		j.cancelOnce.Do(cancel)
+	}
+}
+
+// start transitions queued→running; returns false if the job was canceled
+// while waiting in the queue.
+func (j *Job) start(now time.Time, cancel func()) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusQueued {
+		return false
+	}
+	j.status = StatusRunning
+	j.started = now
+	j.cancel = cancel
+	return true
+}
+
+// finish records a terminal state. Callers must hold j.mu.
+func (j *Job) finish(st JobStatus, errMsg string) {
+	if j.status == StatusDone || j.status == StatusFailed || j.status == StatusCanceled {
+		return
+	}
+	j.status = st
+	j.err = errMsg
+	j.finished = time.Now()
+	close(j.done)
+}
+
+// finishLocked is finish with locking for callers outside the struct.
+func (j *Job) finishLocked(st JobStatus, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finish(st, errMsg)
+}
+
+// view is the JSON representation served by the jobs endpoints.
+type jobView struct {
+	ID          string `json:"id"`
+	Key         string `json:"key"`
+	Status      string `json:"status"`
+	Cached      bool   `json:"cached"`
+	Error       string `json:"error,omitempty"`
+	SubmittedAt string `json:"submitted_at"`
+	StartedAt   string `json:"started_at,omitempty"`
+	FinishedAt  string `json:"finished_at,omitempty"`
+	ResultURL   string `json:"result_url,omitempty"`
+}
+
+func (j *Job) view() jobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := jobView{
+		ID:          j.ID,
+		Key:         j.Key,
+		Status:      string(j.status),
+		Cached:      j.cached,
+		Error:       j.err,
+		SubmittedAt: j.submitted.UTC().Format(time.RFC3339Nano),
+	}
+	if !j.started.IsZero() {
+		v.StartedAt = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		v.FinishedAt = j.finished.UTC().Format(time.RFC3339Nano)
+	}
+	if j.status == StatusDone {
+		v.ResultURL = "/v1/results/" + j.Key
+	}
+	return v
+}

@@ -1,0 +1,279 @@
+// Hand-rolled metrics: counters, gauges, and histograms collected into a
+// registry and rendered in the Prometheus text exposition format. The
+// serving layer needs operational visibility (queue depth, cache hit rate,
+// LP pivots, latency distributions) but the repo is dependency-free by
+// policy, so this implements the small subset of the format that scrapers
+// actually consume: HELP/TYPE headers, label sets, and cumulative
+// histogram buckets.
+package server
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is unusable;
+// obtain counters from a Registry.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(n int) {
+	if n > 0 {
+		c.v.Add(uint64(n))
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Inc adds one; Dec subtracts one; Add adds n.
+func (g *Gauge) Inc()         { g.v.Add(1) }
+func (g *Gauge) Dec()         { g.v.Add(-1) }
+func (g *Gauge) Add(n int64)  { g.v.Add(n) }
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram accumulates observations into cumulative buckets (Prometheus
+// semantics: bucket le=x counts every observation ≤ x, and a +Inf bucket
+// equals the total count).
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds, +Inf implicit
+	counts []uint64  // len(bounds)+1; last is the +Inf bucket
+	sum    float64
+	count  uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.sum += v
+	h.count++
+}
+
+// snapshot returns cumulative bucket counts, sum, and count.
+func (h *Histogram) snapshot() ([]uint64, float64, uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum := make([]uint64, len(h.counts))
+	var acc uint64
+	for i, c := range h.counts {
+		acc += c
+		cum[i] = acc
+	}
+	return cum, h.sum, h.count
+}
+
+// Count returns the number of observations so far.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// LatencyBuckets is the default histogram layout for second-denominated
+// durations: 100 µs to ~100 s, exponential.
+func LatencyBuckets() []float64 {
+	out := make([]float64, 0, 13)
+	for v := 1e-4; v < 200; v *= 3.1623 { // half-decade steps
+		out = append(out, v)
+	}
+	return out
+}
+
+// metric is one registered time series: a family name plus an optional
+// fixed label set.
+type metric struct {
+	name   string // family name, e.g. "sherlock_jobs_total"
+	labels string // rendered label block, e.g. `{status="done"}` or ""
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry collects metrics and renders them. All registration methods are
+// idempotent per (name, labels) pair: re-registering returns the existing
+// metric, so packages can look metrics up by name without plumbing.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric // keyed by name+labels
+	help    map[string]string  // family name -> help text
+	order   []string           // registration order of keys (stable render)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		metrics: make(map[string]*metric),
+		help:    make(map[string]string),
+	}
+}
+
+// labelBlock renders k=v pairs (given as "k", "v", "k2", "v2", ...) into a
+// deterministic {k="v",k2="v2"} block.
+func labelBlock(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		panic("server: labels must be key/value pairs")
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", kv[i], kv[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (r *Registry) lookup(name, help string, kv []string) *metric {
+	key := name + labelBlock(kv)
+	if m, ok := r.metrics[key]; ok {
+		return m
+	}
+	m := &metric{name: name, labels: labelBlock(kv)}
+	r.metrics[key] = m
+	if _, ok := r.help[name]; !ok {
+		r.help[name] = help
+	}
+	r.order = append(r.order, key)
+	return m
+}
+
+// Counter registers (or retrieves) a counter.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.lookup(name, help, labels)
+	if m.c == nil {
+		m.c = &Counter{}
+	}
+	return m.c
+}
+
+// Gauge registers (or retrieves) a gauge.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.lookup(name, help, labels)
+	if m.g == nil {
+		m.g = &Gauge{}
+	}
+	return m.g
+}
+
+// Histogram registers (or retrieves) a histogram with the given ascending
+// bucket bounds (+Inf is implicit).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := r.lookup(name, help, labels)
+	if m.h == nil {
+		m.h = &Histogram{
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]uint64, len(bounds)+1),
+		}
+	}
+	return m.h
+}
+
+// SetGaugeFunc-style sampling is intentionally absent: callers update
+// gauges at state transitions, which keeps rendering lock-free per metric.
+
+// WriteTo renders the registry in Prometheus text format. Families are
+// sorted by name; series within a family keep registration order (which is
+// deterministic in this codebase). Implements io.WriterTo.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	byFamily := make(map[string][]*metric)
+	var families []string
+	for _, key := range r.order {
+		m := r.metrics[key]
+		if _, ok := byFamily[m.name]; !ok {
+			families = append(families, m.name)
+		}
+		byFamily[m.name] = append(byFamily[m.name], m)
+	}
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.Unlock()
+	sort.Strings(families)
+
+	var b strings.Builder
+	for _, fam := range families {
+		ms := byFamily[fam]
+		typ := "counter"
+		switch {
+		case ms[0].g != nil:
+			typ = "gauge"
+		case ms[0].h != nil:
+			typ = "histogram"
+		}
+		if h := help[fam]; h != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", fam, h)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", fam, typ)
+		for _, m := range ms {
+			switch {
+			case m.c != nil:
+				fmt.Fprintf(&b, "%s%s %d\n", m.name, m.labels, m.c.Value())
+			case m.g != nil:
+				fmt.Fprintf(&b, "%s%s %d\n", m.name, m.labels, m.g.Value())
+			case m.h != nil:
+				cum, sum, count := m.h.snapshot()
+				for i, bound := range m.h.bounds {
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", m.name, mergeLabels(m.labels, "le", formatBound(bound)), cum[i])
+				}
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", m.name, mergeLabels(m.labels, "le", "+Inf"), cum[len(cum)-1])
+				fmt.Fprintf(&b, "%s_sum%s %s\n", m.name, m.labels, strconv.FormatFloat(sum, 'g', -1, 64))
+				fmt.Fprintf(&b, "%s_count%s %d\n", m.name, m.labels, count)
+			}
+		}
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// mergeLabels injects one extra label into an already-rendered block.
+func mergeLabels(block, k, v string) string {
+	extra := fmt.Sprintf("%s=%q", k, v)
+	if block == "" {
+		return "{" + extra + "}"
+	}
+	return block[:len(block)-1] + "," + extra + "}"
+}
+
+// formatBound renders a bucket bound the way Prometheus clients do.
+func formatBound(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

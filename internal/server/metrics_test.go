@@ -1,0 +1,113 @@
+package server
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "help")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters only go up
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("test_gauge", "help")
+	g.Set(10)
+	g.Inc()
+	g.Dec()
+	g.Add(-4)
+	if got := g.Value(); got != 6 {
+		t.Fatalf("gauge = %d, want 6", got)
+	}
+	// Re-registration returns the same instance.
+	if r.Counter("test_total", "help") != c {
+		t.Fatal("re-registering a counter returned a new instance")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "help", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`test_seconds_bucket{le="0.1"} 1`,
+		`test_seconds_bucket{le="1"} 3`,
+		`test_seconds_bucket{le="10"} 4`,
+		`test_seconds_bucket{le="+Inf"} 5`,
+		`test_seconds_count 5`,
+		"# TYPE test_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderLabelsAndTypes(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jobs_total", "Jobs by status.", "status", "done").Add(3)
+	r.Counter("jobs_total", "Jobs by status.", "status", "failed").Inc()
+	r.Gauge("depth", "Queue depth.").Set(7)
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP jobs_total Jobs by status.",
+		"# TYPE jobs_total counter",
+		`jobs_total{status="done"} 3`,
+		`jobs_total{status="failed"} 1`,
+		"# TYPE depth gauge",
+		"depth 7",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Families render sorted: "depth" before "jobs_total".
+	if strings.Index(out, "depth") > strings.Index(out, "jobs_total") {
+		t.Errorf("families not sorted:\n%s", out)
+	}
+}
+
+func TestMetricsConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h_seconds", "", LatencyBuckets())
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Inc()
+				h.Observe(0.001)
+				var b strings.Builder
+				if j%100 == 0 {
+					r.WriteTo(&b)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+}

@@ -1,0 +1,404 @@
+// Package server is sherlockd's serving layer: an HTTP JSON API over the
+// inference engine, backed by a bounded job queue with a worker pool
+// (queue.go), a content-addressed LRU result cache (cache.go, hash.go),
+// and a dependency-free Prometheus-format metrics registry (metrics.go).
+//
+// Endpoints:
+//
+//	POST   /v1/jobs          submit a job (application name or raw traces);
+//	                         202 queued, 200 on cache hit, 429 + Retry-After
+//	                         when the queue is full, 503 while draining
+//	GET    /v1/jobs/{id}     job status
+//	DELETE /v1/jobs/{id}     cancel (queued jobs never start; running jobs
+//	                         abort between test executions)
+//	GET    /v1/results/{key} the serialized result at a content address
+//	GET    /metrics          Prometheus text exposition
+//	GET    /healthz          liveness + queue stats (503 while draining)
+//
+// The cache is keyed by content, not by job: identical workload + config
+// hashes to the same key in every process, so a resubmission is answered
+// with the byte-identical body of the first run without re-running
+// inference. Parallelism is deliberately absent from the key — results
+// are bit-identical for every worker-pool size.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sherlock/internal/apps"
+	"sherlock/internal/core"
+	"sherlock/internal/trace"
+)
+
+// maxBodyBytes bounds a submission body (raw traces can be large, but not
+// unboundedly so).
+const maxBodyBytes = 64 << 20
+
+// maxJobRecords bounds the in-memory job-status map; the oldest terminal
+// records are evicted past this point (the result itself lives on in the
+// content-addressed cache).
+const maxJobRecords = 16384
+
+// Server wires queue, cache, and metrics under an http.Handler.
+type Server struct {
+	cfg   Config
+	q     *queue
+	cache *ResultCache
+	reg   *Registry
+	mux   *http.ServeMux
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	// exec runs one job; defaults to runJob. A field so tests can inject
+	// controllable executors.
+	exec executor
+
+	draining atomic.Bool
+	nextID   atomic.Uint64
+
+	mu      sync.Mutex
+	byID    map[string]*Job
+	idOrder []string // submission order, for record eviction
+
+	// Metrics.
+	submitted    *Counter
+	rejected     *Counter
+	jobsDone     *Counter
+	jobsFailed   *Counter
+	jobsCanceled *Counter
+	cacheHits    *Counter
+	cacheMisses  *Counter
+	cacheEntries *Gauge
+	cacheEvicted *Gauge
+	lpPivots     *Counter
+	jobSeconds   *Histogram
+	runSeconds   *Histogram
+	solveSeconds *Histogram
+}
+
+// New builds a Server and starts its worker pool. Callers own shutdown:
+// either Shutdown (graceful drain) or Close (abort).
+func New(cfg Config) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("server: invalid config: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	reg := NewRegistry()
+	s := &Server{
+		cfg:        cfg,
+		cache:      NewResultCache(cfg.CacheCapacity),
+		reg:        reg,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		byID:       make(map[string]*Job),
+
+		submitted:    reg.Counter("sherlock_jobs_submitted_total", "Jobs accepted for execution (cache misses)."),
+		rejected:     reg.Counter("sherlock_jobs_rejected_total", "Submissions rejected with 429 because the queue was full."),
+		jobsDone:     reg.Counter("sherlock_jobs_total", "Jobs by terminal status.", "status", "done"),
+		jobsFailed:   reg.Counter("sherlock_jobs_total", "Jobs by terminal status.", "status", "failed"),
+		jobsCanceled: reg.Counter("sherlock_jobs_total", "Jobs by terminal status.", "status", "canceled"),
+		cacheHits:    reg.Counter("sherlock_cache_hits_total", "Submissions answered from the result cache."),
+		cacheMisses:  reg.Counter("sherlock_cache_misses_total", "Submissions that required a fresh campaign."),
+		cacheEntries: reg.Gauge("sherlock_cache_entries", "Entries in the result cache."),
+		cacheEvicted: reg.Gauge("sherlock_cache_evictions_total", "Entries evicted by the LRU policy."),
+		lpPivots:     reg.Counter("sherlock_lp_pivots_total", "Simplex pivots across all campaign rounds."),
+		jobSeconds:   reg.Histogram("sherlock_job_duration_seconds", "End-to-end job execution latency.", LatencyBuckets()),
+		runSeconds:   reg.Histogram("sherlock_run_wall_seconds", "Per-job summed scheduler wall time (execution phase).", LatencyBuckets()),
+		solveSeconds: reg.Histogram("sherlock_solve_wall_seconds", "Per-job summed LP solve wall time.", LatencyBuckets()),
+	}
+	s.exec = s.runJob
+	s.q = newQueue(ctx, cfg.QueueSize, cfg.Workers, cfg.JobTimeout,
+		func(ctx context.Context, j *Job) ([]byte, error) { return s.exec(ctx, j) },
+		reg, s.onFinish)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the metrics registry (for embedding extra metrics).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Cache exposes the result cache (read-side introspection and tests).
+func (s *Server) Cache() *ResultCache { return s.cache }
+
+// Shutdown drains gracefully: submissions are refused with 503, admitted
+// jobs run to completion, then workers exit. If ctx expires first, the
+// in-flight jobs are force-canceled and Shutdown returns ctx's error after
+// the workers wind down.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	err := s.q.Drain(ctx)
+	if err != nil {
+		// Deadline passed: abort stragglers and wait for the pool.
+		s.baseCancel()
+		_ = s.q.Drain(context.Background())
+		return err
+	}
+	s.baseCancel()
+	return nil
+}
+
+// Close aborts everything immediately.
+func (s *Server) Close() {
+	s.draining.Store(true)
+	s.baseCancel()
+	_ = s.q.Drain(context.Background())
+}
+
+// ---------------------------------------------------------------------------
+// Handlers
+// ---------------------------------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "draining"})
+		return
+	}
+	var spec JobSpec
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad job spec: " + err.Error()})
+		return
+	}
+	if err := spec.validate(); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	if spec.App != "" {
+		if _, err := apps.ByName(spec.App); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+			return
+		}
+	}
+	for i, doc := range spec.Traces {
+		if _, err := trace.Read(strings.NewReader(doc)); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("trace %d: %v", i, err)})
+			return
+		}
+	}
+	cfg := spec.effectiveConfig(s.cfg.Inference)
+	if err := cfg.Validate(); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "effective config: " + err.Error()})
+		return
+	}
+
+	key := JobKey(spec, cfg)
+	id := fmt.Sprintf("job-%06d", s.nextID.Add(1))
+	j := newJob(id, key, spec, cfg, time.Now())
+
+	if _, ok := s.cache.Get(key); ok {
+		// Content hit: the work already ran (this process) — answer
+		// instantly with a pre-completed job record pointing at the result.
+		s.cacheHits.Inc()
+		j.mu.Lock()
+		j.cached = true
+		j.finish(StatusDone, "")
+		j.mu.Unlock()
+		s.remember(j)
+		writeJSON(w, http.StatusOK, j.view())
+		return
+	}
+	s.cacheMisses.Inc()
+
+	if err := s.q.Submit(j); err != nil {
+		switch err {
+		case ErrQueueFull:
+			s.rejected.Inc()
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+		default: // ErrDraining
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		}
+		return
+	}
+	s.submitted.Inc()
+	s.remember(j)
+	writeJSON(w, http.StatusAccepted, j.view())
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job id"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job id"})
+		return
+	}
+	j.Cancel()
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	body, ok := s.cache.Lookup(r.PathValue("key"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no result at this key (expired or never computed)"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	_, _, evictions, size := s.cache.Stats()
+	s.cacheEntries.Set(int64(size))
+	s.cacheEvicted.Set(int64(evictions))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = s.reg.WriteTo(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	type health struct {
+		Status     string `json:"status"`
+		QueueDepth int64  `json:"queue_depth"`
+		InFlight   int64  `json:"jobs_inflight"`
+	}
+	h := health{Status: "ok", QueueDepth: s.q.depth.Value(), InFlight: s.q.inflight.Value()}
+	code := http.StatusOK
+	if s.draining.Load() {
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+// ---------------------------------------------------------------------------
+// Job bookkeeping
+// ---------------------------------------------------------------------------
+
+func (s *Server) remember(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.byID[j.ID] = j
+	s.idOrder = append(s.idOrder, j.ID)
+	// Evict the oldest terminal records past the cap; stop at the first
+	// live one (records are roughly age-ordered, so this stays O(1)
+	// amortized).
+	for len(s.idOrder) > maxJobRecords {
+		oldest := s.byID[s.idOrder[0]]
+		if oldest != nil {
+			switch oldest.Status() {
+			case StatusDone, StatusFailed, StatusCanceled:
+			default:
+				return // oldest record still live; try again next insert
+			}
+			delete(s.byID, oldest.ID)
+		}
+		s.idOrder = s.idOrder[1:]
+	}
+}
+
+func (s *Server) lookup(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.byID[id]
+}
+
+// onFinish is the queue's completion hook: cache fills, terminal-status
+// counters, and the latency histogram.
+func (s *Server) onFinish(j *Job, body []byte, err error, elapsed time.Duration) {
+	switch j.Status() {
+	case StatusDone:
+		s.jobsDone.Inc()
+		if body != nil {
+			s.cache.Put(j.Key, body)
+		}
+	case StatusFailed:
+		s.jobsFailed.Inc()
+	case StatusCanceled:
+		s.jobsCanceled.Inc()
+	}
+	if elapsed > 0 {
+		s.jobSeconds.Observe(elapsed.Seconds())
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+// resultEnvelope is the cached/served result schema. Marshaling is
+// deterministic (Go sorts map keys), so a cache hit is byte-identical to
+// the cold run that populated it.
+type resultEnvelope struct {
+	Key    string       `json:"key"`
+	App    string       `json:"app"`
+	Result *core.Result `json:"result"`
+}
+
+// runJob executes one job: a full campaign for application jobs, the
+// offline solve for trace jobs. Per-phase wall time and LP pivots stream
+// into the metrics as the campaign progresses.
+func (s *Server) runJob(ctx context.Context, j *Job) ([]byte, error) {
+	cfg := j.Cfg
+	cfg.OnSnapshot = func(snap core.RoundSnapshot) {
+		s.lpPivots.Add(snap.LPIters)
+	}
+
+	var res *core.Result
+	var err error
+	if j.Spec.App != "" {
+		prog, aerr := apps.ByName(j.Spec.App)
+		if aerr != nil {
+			return nil, aerr
+		}
+		res, err = core.Infer(ctx, prog, cfg)
+	} else {
+		traces := make([]*trace.Trace, 0, len(j.Spec.Traces))
+		for i, doc := range j.Spec.Traces {
+			tr, terr := trace.Read(strings.NewReader(doc))
+			if terr != nil {
+				return nil, fmt.Errorf("trace %d: %w", i, terr)
+			}
+			traces = append(traces, tr)
+		}
+		res, err = core.InferFromTraces(ctx, traces, cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.runSeconds.Observe(res.Overhead.RunWall.Seconds())
+	s.solveSeconds.Observe(res.Overhead.SolveWall.Seconds())
+
+	body, err := json.Marshal(resultEnvelope{Key: j.Key, App: res.App, Result: res})
+	if err != nil {
+		return nil, fmt.Errorf("marshal result: %w", err)
+	}
+	return body, nil
+}

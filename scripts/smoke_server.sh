@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Smoke-test the serving stack end to end: start sherlockd on a random
+# port, submit a small application job, poll it to completion, resubmit
+# the identical job and assert it is answered from the result cache, then
+# scrape /metrics and verify the hit is visible. Finishes with a SIGTERM
+# graceful drain.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BIN=$(mktemp -d)/sherlockd
+LOG=$(mktemp)
+go build -o "$BIN" ./cmd/sherlockd
+
+"$BIN" -addr 127.0.0.1:0 -workers 2 -rounds 1 >"$LOG" 2>&1 &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+
+# The daemon prints "listening on HOST:PORT" once the socket is bound.
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's/^sherlockd: listening on \(.*\)$/\1/p' "$LOG" | head -1)
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "sherlockd never started"; cat "$LOG"; exit 1; }
+BASE="http://$ADDR"
+echo "smoke: daemon at $BASE"
+
+curl -fsS "$BASE/healthz" | grep -q '"ok"' || { echo "healthz not ok"; exit 1; }
+
+# Cold submission: must be accepted (202) and not served from cache.
+COLD=$(curl -fsS -X POST -H 'Content-Type: application/json' \
+  -d '{"app":"App-1"}' "$BASE/v1/jobs")
+echo "smoke: cold submit: $COLD"
+echo "$COLD" | grep -q '"cached":false' || { echo "cold submit claimed cached"; exit 1; }
+ID=$(echo "$COLD" | grep -o '"id":"[^"]*"' | head -1 | cut -d'"' -f4)
+KEY=$(echo "$COLD" | grep -o '"key":"[^"]*"' | head -1 | cut -d'"' -f4)
+[ -n "$ID" ] && [ -n "$KEY" ] || { echo "no id/key in response"; exit 1; }
+
+# Poll to completion.
+STATUS=""
+for _ in $(seq 1 300); do
+  STATUS=$(curl -fsS "$BASE/v1/jobs/$ID" | grep -o '"status":"[^"]*"' | cut -d'"' -f4)
+  [ "$STATUS" = done ] && break
+  [ "$STATUS" = failed ] || [ "$STATUS" = canceled ] && { echo "job $STATUS"; exit 1; }
+  sleep 0.1
+done
+[ "$STATUS" = done ] || { echo "job stuck in $STATUS"; exit 1; }
+echo "smoke: job $ID done, key $KEY"
+
+COLD_RESULT=$(curl -fsS "$BASE/v1/results/$KEY")
+echo "$COLD_RESULT" | grep -q '"Inferred"' || { echo "result lacks inference payload"; exit 1; }
+
+# Resubmission: identical content must be a cache hit with the same key.
+HIT=$(curl -fsS -X POST -H 'Content-Type: application/json' \
+  -d '{"app":"App-1"}' "$BASE/v1/jobs")
+echo "smoke: resubmit: $HIT"
+echo "$HIT" | grep -q '"cached":true' || { echo "resubmission missed the cache"; exit 1; }
+echo "$HIT" | grep -q "\"key\":\"$KEY\"" || { echo "resubmission changed the content key"; exit 1; }
+HIT_RESULT=$(curl -fsS "$BASE/v1/results/$KEY")
+[ "$COLD_RESULT" = "$HIT_RESULT" ] || { echo "cached result not byte-identical"; exit 1; }
+
+# Metrics reflect the hit, the completed job, and the campaign's pivots.
+METRICS=$(curl -fsS "$BASE/metrics")
+echo "$METRICS" | grep -q '^sherlock_cache_hits_total 1$' || { echo "metrics missing cache hit"; echo "$METRICS"; exit 1; }
+echo "$METRICS" | grep -q '^sherlock_jobs_total{status="done"} 1$' || { echo "metrics missing done job"; exit 1; }
+echo "$METRICS" | grep -q '^sherlock_lp_pivots_total [1-9]' || { echo "metrics missing LP pivots"; exit 1; }
+echo "smoke: metrics ok"
+
+# Graceful drain on SIGTERM.
+kill -TERM "$PID"
+for _ in $(seq 1 100); do
+  kill -0 "$PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$PID" 2>/dev/null; then echo "daemon did not drain"; exit 1; fi
+grep -q "drained, bye" "$LOG" || { echo "no graceful-drain message"; cat "$LOG"; exit 1; }
+echo "smoke: graceful drain ok"
+echo "smoke: PASS"
