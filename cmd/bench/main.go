@@ -12,13 +12,16 @@
 // It also measures the serving layer (cmd/sherlockd's internals driven
 // over real HTTP): cold submissions that run a fresh campaign vs.
 // cache-hit resubmissions answered from the content-addressed result
-// cache, written to a second JSON file. Together the two files record the
-// perf trajectory of the solver and of the serving path.
+// cache, written to a second JSON file, and the trace store (binary codec
+// size and throughput against JSON lines over the full 8-app corpus),
+// written to a third. Together the files record the perf trajectory of
+// the solver, the serving path, and the trace codec.
 //
 // Usage:
 //
 //	bench [-app App-1] [-rounds 6] [-reps 5] [-out BENCH_solver.json]
 //	      [-server-out BENCH_server.json] [-server-jobs 16]
+//	      [-store-out BENCH_store.json]
 package main
 
 import (
@@ -59,6 +62,7 @@ func main() {
 		outAlias   = flag.String("o", "", "alias for -out (deprecated)")
 		serverOut  = flag.String("server-out", "BENCH_server.json", "server benchmark output file (empty = skip)")
 		serverJobs = flag.Int("server-jobs", 16, "cold/hit submissions per server measurement")
+		storeOut   = flag.String("store-out", "BENCH_store.json", "trace-store benchmark output file (empty = skip)")
 	)
 	flag.Parse()
 	if *outAlias != "" {
@@ -125,6 +129,9 @@ func main() {
 
 	if *serverOut != "" {
 		die(benchServer(*serverOut, *appName, *serverJobs))
+	}
+	if *storeOut != "" {
+		die(benchStore(*storeOut, *reps))
 	}
 }
 

@@ -26,18 +26,25 @@ type jobView struct {
 
 // submitSpec mirrors the server's JobSpec.
 type submitSpec struct {
-	App    string  `json:"app,omitempty"`
-	Rounds int     `json:"rounds,omitempty"`
-	Lambda float64 `json:"lambda,omitempty"`
-	Near   int64   `json:"near,omitempty"`
-	Seed   int64   `json:"seed,omitempty"`
+	App       string   `json:"app,omitempty"`
+	TraceKeys []string `json:"trace_keys,omitempty"`
+	Rounds    int      `json:"rounds,omitempty"`
+	Lambda    float64  `json:"lambda,omitempty"`
+	Near      int64    `json:"near,omitempty"`
+	Seed      int64    `json:"seed,omitempty"`
 }
 
-// submitJob POSTs a job and optionally polls it to completion, printing
-// the id, content key, and terminal status. With wait set it also fetches
-// and pretty-prints the result summary.
+// submitJob POSTs an application job and optionally polls it to
+// completion, printing the id, content key, and terminal status. With
+// wait set it also fetches and pretty-prints the result summary.
 func submitJob(ctx context.Context, base, app string, rounds int, lambda float64, near, seed int64, wait bool) error {
 	spec := submitSpec{App: app, Rounds: rounds, Lambda: lambda, Near: near, Seed: seed}
+	return postJobSpec(ctx, base, spec, wait)
+}
+
+// postJobSpec is the shared submit/poll/print path behind -submit and
+// -submit-keys.
+func postJobSpec(ctx context.Context, base string, spec submitSpec, wait bool) error {
 	buf, err := json.Marshal(spec)
 	if err != nil {
 		return err

@@ -8,9 +8,17 @@
 //	sherlock -all
 //	sherlock -list
 //
+// Trace corpora (see internal/store): capture benchmark runs into a
+// content-addressed corpus on disk, then infer from it offline:
+//
+//	sherlock -capture-to corpus/ [-app App-4] [-seed 1]
+//	sherlock -corpus corpus/ [-app App-4] [-lambda 0.2] [-near 1000000]
+//
 // Client mode against a running sherlockd (see cmd/sherlockd):
 //
 //	sherlock -server http://localhost:8419 -submit App-4 [-wait]
+//	sherlock -server http://localhost:8419 -upload trace.bin
+//	sherlock -server http://localhost:8419 -submit-keys key1,key2 [-wait]
 //	sherlock -server http://localhost:8419 -status job-000001
 //	sherlock -server http://localhost:8419 -result <content-key>
 package main
@@ -37,6 +45,8 @@ func main() {
 		appName    = flag.String("app", "", "application id (App-1..App-8)")
 		dumpDir    = flag.String("dump-traces", "", "write one JSONL trace per test to this directory instead of inferring")
 		analyzeDir = flag.String("analyze-traces", "", "offline: infer from the JSONL traces in this directory")
+		captureTo  = flag.String("capture-to", "", "capture test runs into the content-addressed corpus at this directory (-app selects one app; default all)")
+		corpusPath = flag.String("corpus", "", "offline: infer from the trace corpus at this directory (-app filters by application)")
 		all        = flag.Bool("all", false, "run every application and print Table 2")
 		list       = flag.Bool("list", false, "print the application inventory (Table 1)")
 		rounds     = flag.Int("rounds", 3, "rounds per test input")
@@ -47,11 +57,13 @@ func main() {
 		verbose    = flag.Bool("v", false, "print per-round snapshots")
 
 		// Client mode.
-		serverURL = flag.String("server", "", "sherlockd base URL; enables -submit/-status/-result")
-		submit    = flag.String("submit", "", "submit an application job to -server")
-		status    = flag.String("status", "", "query a job id on -server")
-		result    = flag.String("result", "", "fetch a result by content key from -server")
-		wait      = flag.Bool("wait", false, "with -submit: poll to completion and print the result")
+		serverURL  = flag.String("server", "", "sherlockd base URL; enables -submit/-upload/-submit-keys/-status/-result")
+		submit     = flag.String("submit", "", "submit an application job to -server")
+		upload     = flag.String("upload", "", "upload a trace file (binary or JSONL) to -server's corpus")
+		submitKeys = flag.String("submit-keys", "", "submit an inference job over comma-separated corpus keys on -server")
+		status     = flag.String("status", "", "query a job id on -server")
+		result     = flag.String("result", "", "fetch a result by content key from -server")
+		wait       = flag.Bool("wait", false, "with -submit/-submit-keys: poll to completion and print the result")
 	)
 	flag.Parse()
 
@@ -63,18 +75,26 @@ func main() {
 	switch {
 	case *serverURL != "" && *submit != "":
 		die(submitJob(ctx, *serverURL, *submit, *rounds, *lambda, *near, *seed, *wait))
+	case *serverURL != "" && *upload != "":
+		die(uploadTrace(ctx, *serverURL, *upload))
+	case *serverURL != "" && *submitKeys != "":
+		die(submitKeysJob(ctx, *serverURL, *submitKeys, *rounds, *lambda, *near, *seed, *wait))
 	case *serverURL != "" && *status != "":
 		die(printJobStatus(ctx, *serverURL, *status))
 	case *serverURL != "" && *result != "":
 		die(printServerResult(ctx, *serverURL, *result))
 	case *serverURL != "":
-		die(fmt.Errorf("-server needs one of -submit, -status, or -result"))
+		die(fmt.Errorf("-server needs one of -submit, -upload, -submit-keys, -status, or -result"))
 	case *list:
 		report.Table1(os.Stdout)
 	case *all:
 		rows, runs, err := exper.Table2(ctx)
 		die(err)
 		report.Table2(os.Stdout, rows, exper.UniqueCorrect(runs))
+	case *captureTo != "":
+		die(captureToCorpus(ctx, *appName, *captureTo, *seed))
+	case *corpusPath != "":
+		die(analyzeCorpus(ctx, *corpusPath, *appName, *lambda, *near))
 	case *analyzeDir != "":
 		die(analyzeTraces(ctx, *analyzeDir, *lambda, *near))
 	case *appName != "" && *dumpDir != "":

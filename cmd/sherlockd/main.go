@@ -7,6 +7,11 @@
 //
 //	sherlockd [-addr :8419] [-workers N] [-queue N] [-cache N]
 //	          [-job-timeout 2m] [-drain-timeout 30s] [-rounds 3]
+//	          [-corpus DIR]
+//
+// -corpus persists the content-addressed trace corpus (POST /v1/traces,
+// trace_keys job submission) across restarts; without it uploads land in
+// a per-process temporary directory.
 //
 // The daemon prints "listening on HOST:PORT" once the socket is bound
 // (pass -addr 127.0.0.1:0 to let the kernel pick a free port, as the CI
@@ -39,6 +44,7 @@ func main() {
 		jobTimeout   = flag.Duration("job-timeout", cfg.JobTimeout, "per-job wall-clock bound (0 = none)")
 		drainTimeout = flag.Duration("drain-timeout", cfg.DrainTimeout, "graceful shutdown bound (0 = wait forever)")
 		rounds       = flag.Int("rounds", cfg.Inference.Rounds, "default campaign rounds (jobs may override)")
+		corpusDir    = flag.String("corpus", "", "trace corpus directory (empty = ephemeral per-process temp dir)")
 	)
 	flag.Parse()
 	cfg.Workers = *workers
@@ -47,6 +53,7 @@ func main() {
 	cfg.JobTimeout = *jobTimeout
 	cfg.DrainTimeout = *drainTimeout
 	cfg.Inference.Rounds = *rounds
+	cfg.CorpusDir = *corpusDir
 
 	srv, err := server.New(cfg)
 	die(err)

@@ -30,6 +30,12 @@ type Config struct {
 	// admitted jobs before force-canceling them. Zero disables the bound;
 	// negative is invalid.
 	DrainTimeout time.Duration
+	// CorpusDir roots the content-addressed trace corpus behind
+	// POST/GET /v1/traces and trace_keys job submission. Empty means a
+	// fresh per-process temporary directory (uploads do not survive a
+	// restart); set it to persist the corpus across restarts and share it
+	// between daemons.
+	CorpusDir string
 	// Inference is the base campaign config that job specs override per
 	// request. Validated via core's own Config.Validate.
 	Inference core.Config

@@ -1,0 +1,215 @@
+// Tests for the trace-corpus HTTP surface: upload (both serializations,
+// dedup), listing, and job submission by corpus key, including the
+// acceptance invariant that inference on an uploaded corpus key returns
+// results byte-identical to in-memory inference on the same trace.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"sherlock/internal/apps"
+	"sherlock/internal/core"
+	"sherlock/internal/sched"
+	"sherlock/internal/store"
+	"sherlock/internal/trace"
+)
+
+// captureApp1Trace returns one App-1 trace for upload tests.
+func captureApp1Trace(t *testing.T) *trace.Trace {
+	t.Helper()
+	app, err := apps.ByName("App-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sched.Run(app, app.Tests[0], sched.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run.Trace
+}
+
+func postBody(t *testing.T, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	return resp, out
+}
+
+func TestTraceUploadAndDedup(t *testing.T) {
+	_, ts := startTestServer(t, fastConfig())
+	tr := captureApp1Trace(t)
+
+	// Binary upload: 201, added.
+	bin, err := store.EncodeTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := postBody(t, ts.URL+"/v1/traces", bin)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("binary upload: %s: %s", resp.Status, body)
+	}
+	var up1 uploadView
+	if err := json.Unmarshal(body, &up1); err != nil {
+		t.Fatal(err)
+	}
+	if up1.Dedup || up1.Key == "" || up1.Events != len(tr.Events) || up1.App != tr.App {
+		t.Fatalf("bad upload view: %+v", up1)
+	}
+
+	// Same trace as JSON lines: 200, dedup to the same content address —
+	// the server re-encodes canonically, so the serialization the client
+	// picked cannot fork the address space.
+	var jsonBuf bytes.Buffer
+	if err := tr.Write(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	resp, body = postBody(t, ts.URL+"/v1/traces", jsonBuf.Bytes())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("dedup upload: %s: %s", resp.Status, body)
+	}
+	var up2 uploadView
+	if err := json.Unmarshal(body, &up2); err != nil {
+		t.Fatal(err)
+	}
+	if !up2.Dedup || up2.Key != up1.Key {
+		t.Fatalf("JSON re-upload did not dedup to the same key: %+v vs %+v", up2, up1)
+	}
+
+	// Garbage is rejected.
+	resp, _ = postBody(t, ts.URL+"/v1/traces", []byte("not a trace"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage upload: %s", resp.Status)
+	}
+
+	// The listing shows exactly one entry.
+	code, body := getBody(t, ts.URL+"/v1/traces")
+	if code != http.StatusOK {
+		t.Fatalf("list: HTTP %d", code)
+	}
+	var listing struct {
+		Count  int           `json:"count"`
+		Traces []store.Entry `json:"traces"`
+	}
+	if err := json.Unmarshal(body, &listing); err != nil {
+		t.Fatal(err)
+	}
+	if listing.Count != 1 || len(listing.Traces) != 1 || listing.Traces[0].Key != up1.Key {
+		t.Fatalf("bad listing: %+v", listing)
+	}
+}
+
+// Acceptance: a job submitted by corpus key must produce a core.Result
+// byte-identical (as canonical JSON) to in-memory inference over the
+// same trace with the same effective config.
+func TestInferByCorpusKeyMatchesInMemory(t *testing.T) {
+	_, ts := startTestServer(t, fastConfig())
+	tr := captureApp1Trace(t)
+	bin, err := store.EncodeTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := postBody(t, ts.URL+"/v1/traces", bin)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload: %s: %s", resp.Status, body)
+	}
+	var up uploadView
+	if err := json.Unmarshal(body, &up); err != nil {
+		t.Fatal(err)
+	}
+
+	// Submit by key and poll to completion.
+	resp2, v := postJob(t, ts.URL, map[string]any{"trace_keys": []string{up.Key}})
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit by key: %s", resp2.Status)
+	}
+	final := waitDone(t, ts.URL, v.ID)
+	code, resBody := getBody(t, ts.URL+"/v1/results/"+final.Key)
+	if code != http.StatusOK {
+		t.Fatalf("result: HTTP %d", code)
+	}
+	var env struct {
+		Result core.Result `json:"result"`
+	}
+	if err := json.Unmarshal(resBody, &env); err != nil {
+		t.Fatal(err)
+	}
+
+	// In-memory reference: same trace, same effective config.
+	spec := JobSpec{TraceKeys: []string{up.Key}}
+	cfg := spec.effectiveConfig(fastConfig().Inference)
+	want, err := core.InferFromTraces(context.Background(), []*trace.Trace{tr}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wall-clock fields are the only legitimately nondeterministic part of
+	// a Result; zero them on both sides, then demand byte identity.
+	got := env.Result
+	got.Overhead.RunWall, got.Overhead.SolveWall = 0, 0
+	want.Overhead.RunWall, want.Overhead.SolveWall = 0, 0
+	gotJSON, err := json.Marshal(&got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Fatalf("corpus-key result differs from in-memory inference:\n got %s\nwant %s", gotJSON, wantJSON)
+	}
+
+	// Submitting the same key again is a content-cache hit.
+	resp3, v3 := postJob(t, ts.URL, map[string]any{"trace_keys": []string{up.Key}})
+	if resp3.StatusCode != http.StatusOK || !v3.Cached || v3.Key != final.Key {
+		t.Fatalf("resubmission by key missed the cache: %s %+v", resp3.Status, v3)
+	}
+}
+
+func TestSubmitCorpusKeyBadRequests(t *testing.T) {
+	_, ts := startTestServer(t, fastConfig())
+	// Unknown key: refused up front, not at run time.
+	resp, _ := postJob(t, ts.URL, map[string]any{"trace_keys": []string{"deadbeef"}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown key: %s", resp.Status)
+	}
+	// Mixing workload kinds is rejected.
+	resp, _ = postJob(t, ts.URL, map[string]any{"app": "App-1", "trace_keys": []string{"deadbeef"}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mixed spec: %s", resp.Status)
+	}
+}
+
+// Corpus metrics appear after an upload cycle.
+func TestCorpusMetrics(t *testing.T) {
+	_, ts := startTestServer(t, fastConfig())
+	tr := captureApp1Trace(t)
+	bin, err := store.EncodeTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	postBody(t, ts.URL+"/v1/traces", bin)
+	postBody(t, ts.URL+"/v1/traces", bin)
+	code, metrics := getBody(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: HTTP %d", code)
+	}
+	for _, want := range []string{
+		"sherlock_corpus_ingested_total 1",
+		"sherlock_corpus_dedup_total 1",
+		"sherlock_corpus_traces 1",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

@@ -35,9 +35,19 @@ const keyEncodingV1 = "sherlock-job-v1"
 func JobKey(spec JobSpec, cfg core.Config) string {
 	h := sha256.New()
 	io.WriteString(h, keyEncodingV1+"\n")
-	if spec.App != "" {
+	switch {
+	case spec.App != "":
 		fmt.Fprintf(h, "kind=app\napp=%s\n", spec.App)
-	} else {
+	case len(spec.TraceKeys) > 0:
+		// Corpus keys are themselves content addresses (SHA-256 of each
+		// trace's canonical encoding), so hashing the key list is hashing
+		// the trace contents — resubmitting the same stored traces hits
+		// the same cache entry regardless of which daemon ingested them.
+		fmt.Fprintf(h, "kind=corpus\nkeys=%d\n", len(spec.TraceKeys))
+		for _, k := range spec.TraceKeys {
+			fmt.Fprintf(h, "key=%s\n", k)
+		}
+	default:
 		fmt.Fprintf(h, "kind=traces\ntraces=%d\n", len(spec.Traces))
 		for _, tr := range spec.Traces {
 			fmt.Fprintf(h, "trace:%d\n", len(tr))

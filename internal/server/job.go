@@ -24,6 +24,11 @@ type JobSpec struct {
 	// document per element (the format (*Trace).Write emits). Trace jobs
 	// run the offline solve: no re-execution, no Perturber feedback.
 	Traces []string `json:"traces,omitempty"`
+	// TraceKeys names traces already in the server's corpus (uploaded via
+	// POST /v1/traces) by content address. Corpus jobs run the offline
+	// solve streaming straight off the blob store — upload once, infer
+	// many times without resending trace bytes.
+	TraceKeys []string `json:"trace_keys,omitempty"`
 
 	// Overrides of the server's base config (zero = inherit).
 	Rounds int     `json:"rounds,omitempty"`
@@ -38,11 +43,17 @@ type JobSpec struct {
 // validate checks well-formedness (not config ranges — the effective
 // config is validated separately).
 func (s JobSpec) validate() error {
-	if s.App == "" && len(s.Traces) == 0 {
-		return fmt.Errorf("job spec: one of \"app\" or \"traces\" is required")
+	set := 0
+	for _, present := range []bool{s.App != "", len(s.Traces) > 0, len(s.TraceKeys) > 0} {
+		if present {
+			set++
+		}
 	}
-	if s.App != "" && len(s.Traces) > 0 {
-		return fmt.Errorf("job spec: \"app\" and \"traces\" are mutually exclusive")
+	if set == 0 {
+		return fmt.Errorf("job spec: one of \"app\", \"traces\", or \"trace_keys\" is required")
+	}
+	if set > 1 {
+		return fmt.Errorf("job spec: \"app\", \"traces\", and \"trace_keys\" are mutually exclusive")
 	}
 	return nil
 }

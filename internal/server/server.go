@@ -5,13 +5,18 @@
 //
 // Endpoints:
 //
-//	POST   /v1/jobs          submit a job (application name or raw traces);
-//	                         202 queued, 200 on cache hit, 429 + Retry-After
-//	                         when the queue is full, 503 while draining
+//	POST   /v1/jobs          submit a job (application name, raw traces, or
+//	                         corpus trace keys); 202 queued, 200 on cache
+//	                         hit, 429 + Retry-After when the queue is full,
+//	                         503 while draining
 //	GET    /v1/jobs/{id}     job status
 //	DELETE /v1/jobs/{id}     cancel (queued jobs never start; running jobs
 //	                         abort between test executions)
 //	GET    /v1/results/{key} the serialized result at a content address
+//	POST   /v1/traces        upload one trace (binary or JSON-lines, auto-
+//	                         detected) into the content-addressed corpus;
+//	                         201 with the entry, 200 on dedup
+//	GET    /v1/traces        list the corpus index (deterministic order)
 //	GET    /metrics          Prometheus text exposition
 //	GET    /healthz          liveness + queue stats (503 while draining)
 //
@@ -26,7 +31,9 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -34,6 +41,7 @@ import (
 
 	"sherlock/internal/apps"
 	"sherlock/internal/core"
+	"sherlock/internal/store"
 	"sherlock/internal/trace"
 )
 
@@ -46,16 +54,21 @@ const maxBodyBytes = 64 << 20
 // content-addressed cache).
 const maxJobRecords = 16384
 
-// Server wires queue, cache, and metrics under an http.Handler.
+// Server wires queue, cache, corpus, and metrics under an http.Handler.
 type Server struct {
-	cfg   Config
-	q     *queue
-	cache *ResultCache
-	reg   *Registry
-	mux   *http.ServeMux
+	cfg    Config
+	q      *queue
+	cache  *ResultCache
+	corpus *store.Corpus
+	reg    *Registry
+	mux    *http.ServeMux
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
+
+	// ephemeralCorpus is the temp dir backing the corpus when
+	// Config.CorpusDir was empty; removed on Close/Shutdown.
+	ephemeralCorpus string
 
 	// exec runs one job; defaults to runJob. A field so tests can inject
 	// controllable executors.
@@ -82,6 +95,11 @@ type Server struct {
 	jobSeconds   *Histogram
 	runSeconds   *Histogram
 	solveSeconds *Histogram
+
+	tracesStored *Counter
+	tracesDedup  *Counter
+	corpusTraces *Gauge
+	corpusBytes  *Gauge
 }
 
 // New builds a Server and starts its worker pool. Callers own shutdown:
@@ -90,15 +108,32 @@ func New(cfg Config) (*Server, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("server: invalid config: %w", err)
 	}
+	corpusDir, ephemeral := cfg.CorpusDir, ""
+	if corpusDir == "" {
+		dir, err := os.MkdirTemp("", "sherlockd-corpus-")
+		if err != nil {
+			return nil, fmt.Errorf("server: ephemeral corpus: %w", err)
+		}
+		corpusDir, ephemeral = dir, dir
+	}
+	corpus, err := store.Open(corpusDir)
+	if err != nil {
+		if ephemeral != "" {
+			os.RemoveAll(ephemeral)
+		}
+		return nil, fmt.Errorf("server: open corpus: %w", err)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	reg := NewRegistry()
 	s := &Server{
-		cfg:        cfg,
-		cache:      NewResultCache(cfg.CacheCapacity),
-		reg:        reg,
-		baseCtx:    ctx,
-		baseCancel: cancel,
-		byID:       make(map[string]*Job),
+		cfg:             cfg,
+		cache:           NewResultCache(cfg.CacheCapacity),
+		corpus:          corpus,
+		ephemeralCorpus: ephemeral,
+		reg:             reg,
+		baseCtx:         ctx,
+		baseCancel:      cancel,
+		byID:            make(map[string]*Job),
 
 		submitted:    reg.Counter("sherlock_jobs_submitted_total", "Jobs accepted for execution (cache misses)."),
 		rejected:     reg.Counter("sherlock_jobs_rejected_total", "Submissions rejected with 429 because the queue was full."),
@@ -113,6 +148,11 @@ func New(cfg Config) (*Server, error) {
 		jobSeconds:   reg.Histogram("sherlock_job_duration_seconds", "End-to-end job execution latency.", LatencyBuckets()),
 		runSeconds:   reg.Histogram("sherlock_run_wall_seconds", "Per-job summed scheduler wall time (execution phase).", LatencyBuckets()),
 		solveSeconds: reg.Histogram("sherlock_solve_wall_seconds", "Per-job summed LP solve wall time.", LatencyBuckets()),
+
+		tracesStored: reg.Counter("sherlock_corpus_ingested_total", "Uploads that stored a new corpus blob."),
+		tracesDedup:  reg.Counter("sherlock_corpus_dedup_total", "Uploads answered by an existing corpus blob."),
+		corpusTraces: reg.Gauge("sherlock_corpus_traces", "Unique traces in the corpus."),
+		corpusBytes:  reg.Gauge("sherlock_corpus_bytes", "Total stored corpus blob bytes."),
 	}
 	s.exec = s.runJob
 	s.q = newQueue(ctx, cfg.QueueSize, cfg.Workers, cfg.JobTimeout,
@@ -124,6 +164,8 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
+	mux.HandleFunc("POST /v1/traces", s.handleTraceUpload)
+	mux.HandleFunc("GET /v1/traces", s.handleTraceList)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux = mux
@@ -139,6 +181,9 @@ func (s *Server) Registry() *Registry { return s.reg }
 // Cache exposes the result cache (read-side introspection and tests).
 func (s *Server) Cache() *ResultCache { return s.cache }
 
+// Corpus exposes the trace corpus (introspection and tests).
+func (s *Server) Corpus() *store.Corpus { return s.corpus }
+
 // Shutdown drains gracefully: submissions are refused with 503, admitted
 // jobs run to completion, then workers exit. If ctx expires first, the
 // in-flight jobs are force-canceled and Shutdown returns ctx's error after
@@ -150,9 +195,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		// Deadline passed: abort stragglers and wait for the pool.
 		s.baseCancel()
 		_ = s.q.Drain(context.Background())
+		s.removeEphemeralCorpus()
 		return err
 	}
 	s.baseCancel()
+	s.removeEphemeralCorpus()
 	return nil
 }
 
@@ -161,6 +208,16 @@ func (s *Server) Close() {
 	s.draining.Store(true)
 	s.baseCancel()
 	_ = s.q.Drain(context.Background())
+	s.removeEphemeralCorpus()
+}
+
+// removeEphemeralCorpus deletes the temp-dir corpus of a server that was
+// started without a configured CorpusDir. Runs after the worker pool has
+// wound down, so no job is still streaming from it.
+func (s *Server) removeEphemeralCorpus() {
+	if s.ephemeralCorpus != "" {
+		_ = os.RemoveAll(s.ephemeralCorpus)
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -202,6 +259,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	for i, doc := range spec.Traces {
 		if _, err := trace.Read(strings.NewReader(doc)); err != nil {
 			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("trace %d: %v", i, err)})
+			return
+		}
+	}
+	for _, key := range spec.TraceKeys {
+		if _, ok := s.corpus.Entry(key); !ok {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("trace key %s is not in the corpus (upload it via POST /v1/traces)", key)})
 			return
 		}
 	}
@@ -275,10 +338,65 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(body)
 }
 
+// uploadView is the response of POST /v1/traces.
+type uploadView struct {
+	store.Entry
+	Dedup bool `json:"dedup"`
+}
+
+// handleTraceUpload ingests one trace into the content-addressed corpus.
+// The body is either the binary format or JSON lines (sniffed from the
+// first bytes); either way the stored blob is the canonical binary
+// encoding, so the same trace uploaded in both serializations dedups to
+// one content address.
+func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "draining"})
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "read body: " + err.Error()})
+		return
+	}
+	tr, err := store.DecodeBytes(body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad trace: " + err.Error()})
+		return
+	}
+	entry, added, err := s.corpus.Ingest(tr)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: "ingest: " + err.Error()})
+		return
+	}
+	code := http.StatusOK
+	if added {
+		code = http.StatusCreated
+		s.tracesStored.Inc()
+	} else {
+		s.tracesDedup.Inc()
+	}
+	writeJSON(w, code, uploadView{Entry: entry, Dedup: !added})
+}
+
+// handleTraceList serves the corpus index in its deterministic
+// (key-sorted) order.
+func (s *Server) handleTraceList(w http.ResponseWriter, r *http.Request) {
+	entries := s.corpus.Entries()
+	writeJSON(w, http.StatusOK, struct {
+		Count  int           `json:"count"`
+		Traces []store.Entry `json:"traces"`
+	}{Count: len(entries), Traces: entries})
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_, _, evictions, size := s.cache.Stats()
 	s.cacheEntries.Set(int64(size))
 	s.cacheEvicted.Set(int64(evictions))
+	traces, blobBytes, _ := s.corpus.Stats()
+	s.corpusTraces.Set(int64(traces))
+	s.corpusBytes.Set(blobBytes)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = s.reg.WriteTo(w)
 }
@@ -373,13 +491,19 @@ func (s *Server) runJob(ctx context.Context, j *Job) ([]byte, error) {
 
 	var res *core.Result
 	var err error
-	if j.Spec.App != "" {
+	switch {
+	case j.Spec.App != "":
 		prog, aerr := apps.ByName(j.Spec.App)
 		if aerr != nil {
 			return nil, aerr
 		}
 		res, err = core.Infer(ctx, prog, cfg)
-	} else {
+	case len(j.Spec.TraceKeys) > 0:
+		// Stream straight off the blob store: one decoded trace in memory
+		// at a time, identical results to submitting the same traces
+		// inline (the offline solve is source-agnostic).
+		res, err = core.InferFromSource(ctx, s.corpus.Source(j.Spec.TraceKeys...), cfg)
+	default:
 		traces := make([]*trace.Trace, 0, len(j.Spec.Traces))
 		for i, doc := range j.Spec.Traces {
 			tr, terr := trace.Read(strings.NewReader(doc))

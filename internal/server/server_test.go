@@ -29,6 +29,9 @@ func fastConfig() Config {
 
 func startTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
+	if cfg.CorpusDir == "" {
+		cfg.CorpusDir = t.TempDir()
+	}
 	s, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,364 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"io"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"sherlock/internal/apps"
+	"sherlock/internal/sched"
+	"sherlock/internal/trace"
+)
+
+// appTraces captures one trace per test of every benchmark application —
+// the corpus all cross-format tests run over.
+func appTraces(t testing.TB) []*trace.Trace {
+	t.Helper()
+	var out []*trace.Trace
+	for _, app := range apps.All() {
+		for i, test := range app.Tests {
+			run, err := sched.Run(app, test, sched.Options{Seed: int64(i) + 1})
+			if err != nil {
+				t.Fatalf("%s test %d: %v", app.Name, i, err)
+			}
+			out = append(out, run.Trace)
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("no app traces")
+	}
+	return out
+}
+
+func sampleTrace() *trace.Trace {
+	return &trace.Trace{
+		App: "App-4", Test: "Tests::ByteBuffer", Seed: 42,
+		Events: []trace.Event{
+			{Time: 10, Thread: 0, Kind: trace.KindBegin, Name: "C::m", Obj: 3},
+			{Time: 20, Thread: 1, Kind: trace.KindWrite, Name: "C::f", Addr: 0x1000, Site: 7, Acc: trace.AccWrite},
+			{Time: 30, Thread: 1, Kind: trace.KindRead, Name: "C::f", Addr: 0x1000, Site: 8, Acc: trace.AccRead},
+			{Time: 40, Thread: 0, Kind: trace.KindEnd, Name: "Lib::Api", Lib: true, Addr: 9, Child: 2,
+				Extra: []uint64{4, 5}},
+			{Time: 50, Thread: 2, Kind: trace.KindBegin, Name: "List::Add", Lib: true, Unsafe: true,
+				Addr: 11, Acc: trace.AccWrite},
+		},
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	data, err := EncodeTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeTrace(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.App != tr.App || got.Test != tr.Test || got.Seed != tr.Seed {
+		t.Errorf("metadata mismatch: %+v", got)
+	}
+	if !reflect.DeepEqual(got.Events, tr.Events) {
+		t.Errorf("events mismatch:\n got %+v\nwant %+v", got.Events, tr.Events)
+	}
+}
+
+func TestBinaryEmptyTrace(t *testing.T) {
+	tr := &trace.Trace{App: "a", Test: "t", Seed: -7}
+	data, err := EncodeTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeTrace(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.App != "a" || got.Test != "t" || got.Seed != -7 || len(got.Events) != 0 {
+		t.Errorf("bad empty round trip: %+v", got)
+	}
+}
+
+// Multi-block streams: a block size smaller than the trace forces delta
+// resets and multiple CRC frames.
+func TestBinaryMultiBlock(t *testing.T) {
+	tr := &trace.Trace{App: "a", Test: "t"}
+	rng := rand.New(rand.NewSource(7))
+	tm := int64(0)
+	for i := 0; i < 1000; i++ {
+		tm += int64(rng.Intn(50))
+		tr.Events = append(tr.Events, trace.Event{
+			Time: tm, Thread: rng.Intn(8), Kind: trace.Kind(rng.Intn(4)),
+			Name: []string{"A::x", "B::y", "C::z"}[rng.Intn(3)],
+			Addr: uint64(rng.Intn(1 << 20)), Site: rng.Intn(100),
+		})
+	}
+	var buf bytes.Buffer
+	wr, err := NewWriter(&buf, Meta{App: tr.App, Test: tr.Test, Seed: tr.Seed}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.Events {
+		if err := wr.Add(&tr.Events[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := wr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Events, tr.Events) {
+		t.Fatal("multi-block round trip mismatch")
+	}
+}
+
+// The streaming reader yields events one at a time with the same content
+// as the whole-trace decode.
+func TestStreamingReader(t *testing.T) {
+	tr := sampleTrace()
+	data, err := EncodeTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := rd.Meta(); m.App != tr.App || m.Test != tr.Test || m.Seed != tr.Seed {
+		t.Errorf("meta mismatch: %+v", m)
+	}
+	for i := range tr.Events {
+		e, err := rd.Next()
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(e, tr.Events[i]) {
+			t.Fatalf("event %d mismatch: %+v != %+v", i, e, tr.Events[i])
+		}
+	}
+	if _, err := rd.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF at end, got %v", err)
+	}
+	if rd.Count() != len(tr.Events) {
+		t.Fatalf("Count = %d, want %d", rd.Count(), len(tr.Events))
+	}
+}
+
+// Satellite: round-trip property over every benchmark-app trace —
+// binary → JSON → binary re-encodes byte-identically, and every hop
+// preserves the event slice exactly.
+func TestCrossFormatRoundTripAllApps(t *testing.T) {
+	for _, tr := range appTraces(t) {
+		bin1, err := EncodeTrace(tr)
+		if err != nil {
+			t.Fatalf("%s/%s: encode: %v", tr.App, tr.Test, err)
+		}
+		fromBin, err := DecodeTrace(bin1)
+		if err != nil {
+			t.Fatalf("%s/%s: decode: %v", tr.App, tr.Test, err)
+		}
+		if !reflect.DeepEqual(fromBin.Events, tr.Events) {
+			t.Fatalf("%s/%s: binary round trip changed events", tr.App, tr.Test)
+		}
+
+		var jsonBuf bytes.Buffer
+		if err := fromBin.Write(&jsonBuf); err != nil {
+			t.Fatalf("%s/%s: JSON write: %v", tr.App, tr.Test, err)
+		}
+		fromJSON, err := trace.Read(&jsonBuf)
+		if err != nil {
+			t.Fatalf("%s/%s: JSON read: %v", tr.App, tr.Test, err)
+		}
+		if !reflect.DeepEqual(fromJSON.Events, tr.Events) {
+			t.Fatalf("%s/%s: JSON hop changed events", tr.App, tr.Test)
+		}
+
+		bin2, err := EncodeTrace(fromJSON)
+		if err != nil {
+			t.Fatalf("%s/%s: re-encode: %v", tr.App, tr.Test, err)
+		}
+		if !bytes.Equal(bin1, bin2) {
+			t.Fatalf("%s/%s: binary→JSON→binary is not byte-identical (%d vs %d bytes)",
+				tr.App, tr.Test, len(bin1), len(bin2))
+		}
+	}
+}
+
+// The binary format exists to be small: assert the >=4x size win over
+// JSON lines on the full 8-app corpus (acceptance criterion; the exact
+// ratio is tracked in BENCH_store.json).
+func TestBinarySmallerThanJSON(t *testing.T) {
+	var jsonBytes, binBytes int
+	for _, tr := range appTraces(t) {
+		var jb bytes.Buffer
+		if err := tr.Write(&jb); err != nil {
+			t.Fatal(err)
+		}
+		bin, err := EncodeTrace(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jsonBytes += jb.Len()
+		binBytes += len(bin)
+	}
+	ratio := float64(jsonBytes) / float64(binBytes)
+	t.Logf("8-app corpus: JSON %d bytes, binary %d bytes, ratio %.2fx", jsonBytes, binBytes, ratio)
+	if ratio < 4 {
+		t.Errorf("binary format is only %.2fx smaller than JSON (want >=4x)", ratio)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	valid, err := EncodeTrace(sampleTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(name string, data []byte) {
+		t.Helper()
+		if _, err := DecodeTrace(data); err == nil {
+			t.Errorf("%s: want error, got nil", name)
+		}
+	}
+	check("empty", nil)
+	check("short magic", valid[:3])
+	check("bad magic", append([]byte("XXXX"), valid[4:]...))
+	check("bad version", append([]byte(Magic+"\x09"), valid[5:]...))
+	check("truncated header", valid[:6])
+	check("truncated mid-block", valid[:len(valid)-8])
+	check("missing trailer", valid[:len(valid)-2])
+	check("trailing garbage", append(append([]byte{}, valid...), 0xFF))
+
+	// Flip one payload byte: the block CRC must catch it.
+	corrupt := append([]byte{}, valid...)
+	corrupt[len(corrupt)-10] ^= 0x40
+	check("corrupt payload byte", corrupt)
+
+	// A trailer that disagrees with the decoded event count.
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	wr, err := NewWriter(&buf, Meta{App: tr.App}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.Events {
+		if err := wr.Add(&tr.Events[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := wr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lied := buf.Bytes()
+	// Close wrote trailer {0x00, count}; overwrite count with count+1.
+	lied = lied[:len(lied)-1]
+	lied = binary.AppendUvarint(lied, uint64(len(tr.Events)+1))
+	check("trailer count mismatch", lied)
+}
+
+func TestEncodeRejectsInvalidEvents(t *testing.T) {
+	tr := &trace.Trace{Events: []trace.Event{{Kind: trace.Kind(9)}}}
+	if _, err := EncodeTrace(tr); err == nil {
+		t.Error("invalid kind should fail to encode")
+	}
+	tr = &trace.Trace{Events: []trace.Event{{Acc: trace.Acc(7)}}}
+	if _, err := EncodeTrace(tr); err == nil {
+		t.Error("invalid access class should fail to encode")
+	}
+}
+
+// Extreme field values survive the varint/zigzag/delta paths.
+func TestBinaryExtremes(t *testing.T) {
+	tr := &trace.Trace{App: strings.Repeat("α", 100), Test: "", Seed: -1 << 62}
+	tr.Events = []trace.Event{
+		{Time: -1 << 60, Thread: -3, Name: "", Addr: ^uint64(0), Obj: ^uint64(0),
+			Site: -1, Child: -9, Extra: []uint64{0, ^uint64(0)}, Acc: trace.AccWrite},
+		{Time: 1 << 60, Thread: 1 << 30, Name: "n", Addr: 0, Site: 1 << 30},
+		{Time: 0, Thread: 0, Name: "n", Addr: 1},
+	}
+	data, err := EncodeTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeTrace(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.App != tr.App || got.Seed != tr.Seed {
+		t.Errorf("metadata mismatch")
+	}
+	if !reflect.DeepEqual(got.Events, tr.Events) {
+		t.Errorf("events mismatch:\n got %+v\nwant %+v", got.Events, tr.Events)
+	}
+}
+
+// Randomized round-trip property, mirroring the JSON codec's test.
+func TestBinaryRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 60; trial++ {
+		tr := &trace.Trace{App: "a", Test: "t", Seed: int64(trial)}
+		n := rng.Intn(300)
+		tm := int64(0)
+		for i := 0; i < n; i++ {
+			tm += int64(rng.Intn(100)) - 20
+			kind := trace.Kind(rng.Intn(4))
+			acc := trace.AccNone
+			if kind == trace.KindRead {
+				acc = trace.AccRead
+			} else if kind == trace.KindWrite {
+				acc = trace.AccWrite
+			}
+			e := trace.Event{
+				Time: tm, Thread: rng.Intn(4), Kind: kind,
+				Name: []string{"C::x", "C::y", "D::z", ""}[rng.Intn(4)],
+				Addr: uint64(rng.Intn(100)), Site: rng.Intn(50),
+				Lib: rng.Intn(2) == 0, Acc: acc,
+			}
+			if rng.Intn(5) == 0 {
+				e.Extra = []uint64{uint64(rng.Intn(9)), uint64(rng.Intn(9))}
+			}
+			tr.Events = append(tr.Events, e)
+		}
+		data, err := EncodeTrace(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeTrace(data)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(got.Events) != len(tr.Events) {
+			t.Fatalf("trial %d: length mismatch", trial)
+		}
+		for i := range tr.Events {
+			if !reflect.DeepEqual(got.Events[i], tr.Events[i]) {
+				t.Fatalf("trial %d event %d: %+v != %+v", trial, i, got.Events[i], tr.Events[i])
+			}
+		}
+	}
+}
+
+// A corpus source streams the same events InferFromTraces would see
+// in-memory (context plumbed through for cancellation between traces).
+func TestSourceCancellation(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Ingest(sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = c.Source().Traces(ctx, func(*trace.Trace) error { return nil })
+	if err == nil {
+		t.Fatal("canceled context should abort iteration")
+	}
+}

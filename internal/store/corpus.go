@@ -1,0 +1,295 @@
+// Content-addressed trace corpus: a directory of canonical binary trace
+// blobs keyed by the SHA-256 of their encoding, plus a manifest index.
+//
+// Layout:
+//
+//	<dir>/manifest.json        index of every entry (manifest.go)
+//	<dir>/blobs/<kk>/<key>     one blob per unique trace, where <kk> is
+//	                           the first two hex digits of the key
+//	<dir>/tmp/                 staging area for atomic write-then-rename
+//
+// Ingestion is atomic and idempotent: the canonical encoding is staged
+// under tmp/ on the same filesystem and renamed into place, so a crash
+// never leaves a partial blob at a final path, and re-ingesting a trace
+// that is already present (same content, hence same key) is a no-op dedup
+// hit. Iteration order is deterministic (sorted by key). All methods are
+// safe for concurrent use.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"sherlock/internal/trace"
+)
+
+// Entry is one corpus trace's index record.
+type Entry struct {
+	Key    string `json:"key"`        // SHA-256 of the canonical encoding, hex
+	App    string `json:"app"`        // trace metadata
+	Test   string `json:"test"`       //
+	Seed   int64  `json:"seed"`       //
+	Events int    `json:"events"`     // event count
+	Size   int64  `json:"size_bytes"` // encoded blob size
+}
+
+// Corpus is an open trace corpus rooted at a directory.
+type Corpus struct {
+	dir string
+
+	mu      sync.Mutex
+	entries map[string]Entry
+}
+
+// Open opens (creating if needed) the corpus at dir. A missing or corrupt
+// manifest is rebuilt by decoding every blob, so the blobs alone are the
+// source of truth.
+func Open(dir string) (*Corpus, error) {
+	for _, d := range []string{dir, filepath.Join(dir, "blobs"), filepath.Join(dir, "tmp")} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("store: open corpus: %w", err)
+		}
+	}
+	c := &Corpus{dir: dir, entries: make(map[string]Entry)}
+	entries, err := loadManifest(c.manifestPath())
+	if err == nil {
+		for _, e := range entries {
+			c.entries[e.Key] = e
+		}
+		return c, nil
+	}
+	if err := c.rebuild(); err != nil {
+		return nil, err
+	}
+	if len(c.entries) > 0 {
+		if err := c.saveManifestLocked(); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Dir returns the corpus root directory.
+func (c *Corpus) Dir() string { return c.dir }
+
+func (c *Corpus) manifestPath() string { return filepath.Join(c.dir, "manifest.json") }
+
+// BlobPath returns the on-disk path of a key's blob (which may not exist).
+func (c *Corpus) BlobPath(key string) string {
+	prefix := "xx"
+	if len(key) >= 2 {
+		prefix = key[:2]
+	}
+	return filepath.Join(c.dir, "blobs", prefix, key)
+}
+
+// Key returns the content address of a trace: SHA-256 over its canonical
+// binary encoding.
+func Key(t *trace.Trace) (string, error) {
+	data, err := EncodeTrace(t)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Ingest adds a trace to the corpus and returns its entry. added is false
+// when the identical trace (same canonical bytes) was already present —
+// the dedup path writes nothing.
+func (c *Corpus) Ingest(t *trace.Trace) (Entry, bool, error) {
+	data, err := EncodeTrace(t)
+	if err != nil {
+		return Entry{}, false, err
+	}
+	sum := sha256.Sum256(data)
+	key := hex.EncodeToString(sum[:])
+	entry := Entry{
+		Key: key, App: t.App, Test: t.Test, Seed: t.Seed,
+		Events: len(t.Events), Size: int64(len(data)),
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, ok := c.entries[key]; ok {
+		if _, err := os.Stat(c.BlobPath(key)); err == nil {
+			return prev, false, nil
+		}
+		// Manifest entry without a blob (manual deletion): fall through
+		// and rewrite it.
+	}
+
+	final := c.BlobPath(key)
+	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
+		return Entry{}, false, fmt.Errorf("store: ingest: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Join(c.dir, "tmp"), "ingest-*")
+	if err != nil {
+		return Entry{}, false, fmt.Errorf("store: ingest: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return Entry{}, false, fmt.Errorf("store: ingest: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return Entry{}, false, fmt.Errorf("store: ingest: %w", err)
+	}
+	if err := os.Rename(tmpName, final); err != nil {
+		os.Remove(tmpName)
+		return Entry{}, false, fmt.Errorf("store: ingest: %w", err)
+	}
+
+	c.entries[key] = entry
+	if err := c.saveManifestLocked(); err != nil {
+		return Entry{}, false, err
+	}
+	return entry, true, nil
+}
+
+// Get decodes the trace stored at key.
+func (c *Corpus) Get(key string) (*trace.Trace, error) {
+	f, err := os.Open(c.BlobPath(key))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("store: no trace with key %s", key)
+		}
+		return nil, err
+	}
+	defer f.Close()
+	t, err := ReadTrace(f)
+	if err != nil {
+		return nil, fmt.Errorf("store: blob %s: %w", key, err)
+	}
+	return t, nil
+}
+
+// Entry returns the index record for key.
+func (c *Corpus) Entry(key string) (Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	return e, ok
+}
+
+// Entries returns every index record, sorted by key — the corpus's
+// deterministic iteration order.
+func (c *Corpus) Entries() []Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Entry, 0, len(c.entries))
+	for _, e := range c.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Len returns the number of unique traces in the corpus.
+func (c *Corpus) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns the unique-trace count, the total stored blob bytes, and
+// the total event count across the corpus.
+func (c *Corpus) Stats() (traces int, bytes int64, events int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.entries {
+		bytes += e.Size
+		events += int64(e.Events)
+	}
+	return len(c.entries), bytes, events
+}
+
+// Verify checks corpus integrity: every manifest entry has a blob whose
+// bytes hash to its key (which also re-verifies every block CRC on the
+// way in, via decode), whose metadata matches the manifest, and every
+// blob on disk appears in the manifest. It returns the first problem.
+func (c *Corpus) Verify() error {
+	entries := c.Entries()
+	for _, e := range entries {
+		data, err := os.ReadFile(c.BlobPath(e.Key))
+		if err != nil {
+			return fmt.Errorf("store: verify %s: %w", e.Key, err)
+		}
+		sum := sha256.Sum256(data)
+		if got := hex.EncodeToString(sum[:]); got != e.Key {
+			return fmt.Errorf("store: verify %s: blob hashes to %s", e.Key, got)
+		}
+		t, err := DecodeTrace(data)
+		if err != nil {
+			return fmt.Errorf("store: verify %s: %w", e.Key, err)
+		}
+		if t.App != e.App || t.Test != e.Test || t.Seed != e.Seed || len(t.Events) != e.Events ||
+			int64(len(data)) != e.Size {
+			return fmt.Errorf("store: verify %s: manifest metadata does not match blob", e.Key)
+		}
+	}
+	onDisk, err := c.scanBlobs()
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, key := range onDisk {
+		if _, ok := c.entries[key]; !ok {
+			return fmt.Errorf("store: verify: blob %s is not in the manifest", key)
+		}
+	}
+	return nil
+}
+
+// rebuild reconstructs the index from the blobs directory.
+func (c *Corpus) rebuild() error {
+	keys, err := c.scanBlobs()
+	if err != nil {
+		return err
+	}
+	for _, key := range keys {
+		data, err := os.ReadFile(c.BlobPath(key))
+		if err != nil {
+			return fmt.Errorf("store: rebuild: %w", err)
+		}
+		sum := sha256.Sum256(data)
+		if got := hex.EncodeToString(sum[:]); got != key {
+			return fmt.Errorf("store: rebuild: blob named %s hashes to %s", key, got)
+		}
+		t, err := DecodeTrace(data)
+		if err != nil {
+			return fmt.Errorf("store: rebuild: blob %s: %w", key, err)
+		}
+		c.entries[key] = Entry{
+			Key: key, App: t.App, Test: t.Test, Seed: t.Seed,
+			Events: len(t.Events), Size: int64(len(data)),
+		}
+	}
+	return nil
+}
+
+// scanBlobs lists every blob key on disk, sorted.
+func (c *Corpus) scanBlobs() ([]string, error) {
+	var keys []string
+	root := filepath.Join(c.dir, "blobs")
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		keys = append(keys, filepath.Base(path))
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: scan blobs: %w", err)
+	}
+	sort.Strings(keys)
+	return keys, nil
+}

@@ -1,0 +1,337 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"sherlock/internal/trace"
+)
+
+func openTestCorpus(t *testing.T) *Corpus {
+	t.Helper()
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCorpusIngestAndGet(t *testing.T) {
+	c := openTestCorpus(t)
+	tr := sampleTrace()
+	e, added, err := c.Ingest(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !added {
+		t.Fatal("first ingest must report added")
+	}
+	if e.App != tr.App || e.Test != tr.Test || e.Seed != tr.Seed || e.Events != len(tr.Events) {
+		t.Errorf("bad entry: %+v", e)
+	}
+	wantKey, err := Key(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Key != wantKey {
+		t.Errorf("entry key %s != Key() %s", e.Key, wantKey)
+	}
+	got, err := c.Get(e.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Events, tr.Events) {
+		t.Error("stored trace does not round-trip")
+	}
+	if _, err := c.Get("feedfacedeadbeef"); err == nil {
+		t.Error("missing key should error")
+	}
+}
+
+// Acceptance: uploading the same trace twice dedups to one blob.
+func TestCorpusDedup(t *testing.T) {
+	c := openTestCorpus(t)
+	tr := sampleTrace()
+	e1, added1, err := c.Ingest(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, added2, err := c.Ingest(sampleTrace()) // equal content, distinct value
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !added1 || added2 {
+		t.Fatalf("dedup broken: added1=%v added2=%v", added1, added2)
+	}
+	if e1.Key != e2.Key {
+		t.Fatalf("same trace hashed to %s and %s", e1.Key, e2.Key)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("corpus has %d entries, want 1", c.Len())
+	}
+	// Exactly one blob file on disk.
+	keys, err := c.scanBlobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 || keys[0] != e1.Key {
+		t.Fatalf("blobs on disk: %v", keys)
+	}
+	// A different trace is a different blob.
+	other := sampleTrace()
+	other.Seed++
+	e3, added3, err := c.Ingest(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !added3 || e3.Key == e1.Key {
+		t.Fatalf("distinct trace must get a distinct blob (added=%v)", added3)
+	}
+}
+
+func TestCorpusDeterministicIteration(t *testing.T) {
+	c := openTestCorpus(t)
+	var want []string
+	for i := 0; i < 8; i++ {
+		tr := sampleTrace()
+		tr.Seed = int64(i)
+		e, _, err := c.Ingest(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, e.Key)
+	}
+	sort.Strings(want)
+	for trial := 0; trial < 3; trial++ {
+		var got []string
+		for _, e := range c.Entries() {
+			got = append(got, e.Key)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("iteration order not deterministic/sorted: %v", got)
+		}
+	}
+	if got := c.Source().Keys(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("source order %v != sorted keys %v", got, want)
+	}
+}
+
+// Open rebuilds a lost manifest from the blobs alone.
+func TestCorpusManifestRebuild(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _, err := c.Ingest(sampleTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "manifest.json")); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Entry(e.Key)
+	if !ok || !reflect.DeepEqual(got, e) {
+		t.Fatalf("rebuilt entry %+v != original %+v", got, e)
+	}
+	// The rebuild also rewrote the manifest.
+	if _, err := os.Stat(filepath.Join(dir, "manifest.json")); err != nil {
+		t.Fatal("rebuild did not persist the manifest")
+	}
+	// A corrupt manifest is likewise rebuilt, not fatal.
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c3.Entry(e.Key); !ok {
+		t.Fatal("corrupt manifest not rebuilt")
+	}
+}
+
+func TestCorpusVerify(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _, err := c.Ingest(sampleTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatalf("fresh corpus must verify: %v", err)
+	}
+	// Corrupt one byte of the blob: Verify must notice via the hash.
+	path := c.BlobPath(e.Key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-3] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Verify(); err == nil {
+		t.Fatal("corrupt blob must fail Verify")
+	}
+	if err := os.WriteFile(path, data[:len(data)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Verify(); err == nil {
+		t.Fatal("truncated blob must fail Verify")
+	}
+	// A blob the manifest does not know about is also a Verify error.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	c2 := openTestCorpus(t)
+	e2, _, err := c2.Ingest(sampleTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	orphan := filepath.Join(c2.dir, "blobs", "or", "orphan")
+	if err := os.MkdirAll(filepath.Dir(orphan), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src, err := os.ReadFile(c2.BlobPath(e2.Key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(orphan, src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Verify(); err == nil || !strings.Contains(err.Error(), "not in the manifest") {
+		t.Fatalf("orphan blob must fail Verify, got %v", err)
+	}
+}
+
+// Atomic ingest: the staging area never leaks temp files, and concurrent
+// ingests of identical and distinct traces (under -race) leave the corpus
+// consistent.
+func TestCorpusConcurrentIngest(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*2)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			same := sampleTrace() // identical across workers → one blob
+			if _, _, err := c.Ingest(same); err != nil {
+				errs <- err
+			}
+			own := sampleTrace() // distinct per worker → one blob each
+			own.Seed = 1000 + int64(w)
+			if _, _, err := c.Ingest(own); err != nil {
+				errs <- err
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if c.Len() != workers+1 {
+		t.Fatalf("corpus has %d entries, want %d", c.Len(), workers+1)
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// tmp/ staging area is empty after all renames.
+	left, err := os.ReadDir(filepath.Join(dir, "tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Fatalf("staging area leaked %d files", len(left))
+	}
+	// A reopened corpus sees the same index.
+	c2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(c2.Entries(), c.Entries()) {
+		t.Fatal("reopened corpus index differs")
+	}
+}
+
+// Decode sniffs the serialization format.
+func TestDecodeSniffing(t *testing.T) {
+	tr := sampleTrace()
+	bin, err := EncodeTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jsonBuf bytes.Buffer
+	if err := tr.Write(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := DecodeBytes(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := DecodeBytes(jsonBuf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromBin.Events, fromJSON.Events) {
+		t.Fatal("sniffed decodes disagree")
+	}
+	if _, err := DecodeBytes([]byte("neither format")); err == nil {
+		t.Fatal("junk should not decode")
+	}
+}
+
+// Corpus.Source plugs into the offline solve via the structural
+// TraceSource interface; here we just assert the stream content.
+func TestCorpusSourceStreams(t *testing.T) {
+	c := openTestCorpus(t)
+	var want []string
+	for i := 0; i < 3; i++ {
+		tr := sampleTrace()
+		tr.Seed = int64(i)
+		e, _, err := c.Ingest(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, e.Key)
+	}
+	var got []string
+	err := c.Source(want[2], want[0]).Traces(context.Background(), func(tr *trace.Trace) error {
+		k, err := Key(tr)
+		if err != nil {
+			return err
+		}
+		got = append(got, k)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []string{want[2], want[0]}) {
+		t.Fatalf("explicit key order not honored: %v", got)
+	}
+	if err := c.Source("no-such-key").Traces(context.Background(), func(*trace.Trace) error { return nil }); err == nil {
+		t.Fatal("missing key must surface as an error")
+	}
+}

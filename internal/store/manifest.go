@@ -1,0 +1,77 @@
+// Manifest persistence: the corpus index as a JSON document, rewritten
+// atomically (write-then-rename in the corpus's tmp/ staging area) after
+// every mutation so readers never observe a torn index. The manifest is a
+// cache — Open rebuilds it from the blobs when it is missing or corrupt.
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// manifestVersion guards the index schema; a reader that sees a different
+// version falls back to a rebuild from the blobs.
+const manifestVersion = 1
+
+// manifest is the on-disk index schema. Entries are sorted by key.
+type manifest struct {
+	Version int     `json:"version"`
+	Entries []Entry `json:"entries"`
+}
+
+// loadManifest reads and validates the index file.
+func loadManifest(path string) ([]Entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("store: manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("store: manifest version %d (want %d)", m.Version, manifestVersion)
+	}
+	for i, e := range m.Entries {
+		if e.Key == "" {
+			return nil, fmt.Errorf("store: manifest entry %d has no key", i)
+		}
+	}
+	return m.Entries, nil
+}
+
+// saveManifestLocked atomically rewrites the index. Callers hold c.mu.
+func (c *Corpus) saveManifestLocked() error {
+	entries := make([]Entry, 0, len(c.entries))
+	for _, e := range c.entries {
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+	data, err := json.MarshalIndent(manifest{Version: manifestVersion, Entries: entries}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: manifest: %w", err)
+	}
+	data = append(data, '\n')
+	tmp, err := os.CreateTemp(filepath.Join(c.dir, "tmp"), "manifest-*")
+	if err != nil {
+		return fmt.Errorf("store: manifest: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: manifest: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: manifest: %w", err)
+	}
+	if err := os.Rename(tmpName, c.manifestPath()); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: manifest: %w", err)
+	}
+	return nil
+}

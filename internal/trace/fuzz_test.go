@@ -1,0 +1,74 @@
+package trace_test
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"sherlock/internal/apps"
+	"sherlock/internal/sched"
+	"sherlock/internal/trace"
+)
+
+// FuzzJSONDecode hammers the JSON-lines decoder: corrupt headers, forged
+// event counts, malformed events, and trailing garbage must all return
+// errors — never panic, never a silently short trace. Seeds are the
+// JSON-lines encodings of one captured trace per benchmark app plus
+// targeted corruptions.
+func FuzzJSONDecode(f *testing.F) {
+	for _, app := range apps.All() {
+		run, err := sched.Run(app, app.Tests[0], sched.Options{Seed: 1})
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := run.Trace.Write(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte(""))
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"app":"a","test":"t","events":-1}` + "\n"))
+	f.Add([]byte(`{"app":"a","test":"t","events":99999999}` + "\n"))
+	f.Add([]byte(`{"app":"a","test":"t","events":1}` + "\n" + `{"k":"bogus"}` + "\n"))
+	f.Add([]byte(`{"app":"a","test":"t","events":0}` + "\n" + "trailing"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := trace.Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted input: the decoded trace must re-serialize and
+		// round-trip to the same events.
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			t.Fatalf("decoded trace does not re-encode: %v", err)
+		}
+		tr2, err := trace.Read(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("re-encoded trace does not decode: %v", err)
+		}
+		if tr2.App != tr.App || tr2.Test != tr.Test || tr2.Seed != tr.Seed {
+			t.Fatal("round trip changed metadata")
+		}
+		if len(tr2.Events) != len(tr.Events) {
+			t.Fatal("round trip changed event count")
+		}
+		for i := range tr.Events {
+			a, b := tr.Events[i], tr2.Events[i]
+			// The wire format's omitempty collapses a present-but-empty
+			// extra list to an absent one; normalize before comparing.
+			if len(a.Extra) == 0 {
+				a.Extra = nil
+			}
+			if len(b.Extra) == 0 {
+				b.Extra = nil
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("round trip changed event %d: %+v != %+v", i, a, b)
+			}
+		}
+	})
+}

@@ -57,6 +57,34 @@ func TestTraceReadErrors(t *testing.T) {
 		`{"t":1,"th":0,"k":"read","n":"C::f","acc":"zzz"}` + "\n")); err == nil {
 		t.Error("unknown access class should fail")
 	}
+	if _, err := Read(strings.NewReader(`{"app":"a","test":"t","events":-4}` + "\n")); err == nil {
+		t.Error("negative event count should fail")
+	}
+}
+
+// The header's event count is untrusted: events beyond it — or any other
+// trailing bytes — must be an error, not a silently clipped trace.
+func TestTraceReadTrailingGarbage(t *testing.T) {
+	cases := map[string]string{
+		"extra event": `{"app":"a","test":"t","events":1}` + "\n" +
+			`{"t":1,"th":0,"k":"read","n":"C::f"}` + "\n" +
+			`{"t":2,"th":0,"k":"read","n":"C::f"}` + "\n",
+		"non-json tail": `{"app":"a","test":"t","events":1}` + "\n" +
+			`{"t":1,"th":0,"k":"read","n":"C::f"}` + "\n" + "%%garbage%%",
+		"second header": `{"app":"a","test":"t","events":0}` + "\n" +
+			`{"app":"b","test":"t","events":0}` + "\n",
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: want error, got nil", name)
+		} else if !strings.Contains(err.Error(), "trailing garbage") {
+			t.Errorf("%s: want trailing-garbage error, got %v", name, err)
+		}
+	}
+	// Trailing whitespace is not garbage.
+	if _, err := Read(strings.NewReader(`{"app":"a","test":"t","events":0}` + "\n\n  \n")); err != nil {
+		t.Errorf("trailing whitespace should be accepted, got %v", err)
+	}
 }
 
 // Property: round-tripping random traces is the identity.

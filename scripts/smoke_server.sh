@@ -67,6 +67,40 @@ echo "$METRICS" | grep -q '^sherlock_jobs_total{status="done"} 1$' || { echo "me
 echo "$METRICS" | grep -q '^sherlock_lp_pivots_total [1-9]' || { echo "metrics missing LP pivots"; exit 1; }
 echo "smoke: metrics ok"
 
+# Trace corpus: upload a captured trace, assert dedup on re-upload, then
+# run inference addressed by the corpus key.
+TRACES=$(mktemp -d)
+go run ./cmd/sherlock -app App-1 -dump-traces "$TRACES" >/dev/null
+TRACE_FILE=$(ls "$TRACES"/*.jsonl | head -1)
+
+UP1=$(curl -fsS -X POST --data-binary @"$TRACE_FILE" "$BASE/v1/traces")
+echo "smoke: upload: $UP1"
+echo "$UP1" | grep -q '"dedup":false' || { echo "first upload claimed dedup"; exit 1; }
+TKEY=$(echo "$UP1" | grep -o '"key":"[^"]*"' | head -1 | cut -d'"' -f4)
+[ -n "$TKEY" ] || { echo "no trace key in upload response"; exit 1; }
+
+UP2=$(curl -fsS -X POST --data-binary @"$TRACE_FILE" "$BASE/v1/traces")
+echo "$UP2" | grep -q '"dedup":true' || { echo "re-upload did not dedup"; exit 1; }
+echo "$UP2" | grep -q "\"key\":\"$TKEY\"" || { echo "re-upload changed the content key"; exit 1; }
+curl -fsS "$BASE/v1/traces" | grep -q '"count":1' || { echo "corpus listing should have exactly one trace"; exit 1; }
+
+CJOB=$(curl -fsS -X POST -H 'Content-Type: application/json' \
+  -d "{\"trace_keys\":[\"$TKEY\"]}" "$BASE/v1/jobs")
+echo "smoke: corpus job: $CJOB"
+CID=$(echo "$CJOB" | grep -o '"id":"[^"]*"' | head -1 | cut -d'"' -f4)
+CKEY=$(echo "$CJOB" | grep -o '"key":"[^"]*"' | head -1 | cut -d'"' -f4)
+[ -n "$CID" ] && [ -n "$CKEY" ] || { echo "no id/key in corpus job response"; exit 1; }
+STATUS=""
+for _ in $(seq 1 300); do
+  STATUS=$(curl -fsS "$BASE/v1/jobs/$CID" | grep -o '"status":"[^"]*"' | cut -d'"' -f4)
+  [ "$STATUS" = done ] && break
+  [ "$STATUS" = failed ] || [ "$STATUS" = canceled ] && { echo "corpus job $STATUS"; exit 1; }
+  sleep 0.1
+done
+[ "$STATUS" = done ] || { echo "corpus job stuck in $STATUS"; exit 1; }
+curl -fsS "$BASE/v1/results/$CKEY" | grep -q '"Inferred"' || { echo "corpus result lacks inference payload"; exit 1; }
+echo "smoke: corpus upload + inference by key ok"
+
 # Graceful drain on SIGTERM.
 kill -TERM "$PID"
 for _ in $(seq 1 100); do

@@ -51,6 +51,7 @@ import (
 	"sherlock/internal/prog"
 	"sherlock/internal/race"
 	"sherlock/internal/sched"
+	"sherlock/internal/store"
 	"sherlock/internal/trace"
 	"sherlock/internal/tsvd"
 )
@@ -89,6 +90,18 @@ type (
 
 	// Trace is one test execution's log in the paper's schema.
 	Trace = trace.Trace
+	// TraceSource streams stored traces into the offline solve
+	// (InferFromSource); Corpus.Source and SliceSource implement it.
+	TraceSource = core.TraceSource
+	// SliceSource adapts in-memory traces to TraceSource.
+	SliceSource = core.SliceSource
+
+	// Corpus is a content-addressed on-disk trace corpus (OpenCorpus):
+	// binary blobs keyed by SHA-256 of their canonical encoding, with
+	// dedup, a manifest index, and integrity verification.
+	Corpus = store.Corpus
+	// CorpusEntry is one corpus trace's index record.
+	CorpusEntry = store.Entry
 
 	// RaceComparison is a Manual_dr vs SherLock_dr detection outcome.
 	RaceComparison = race.Comparison
@@ -179,6 +192,26 @@ func ReadTrace(r io.Reader) (*Trace, error) { return trace.Read(r) }
 func InferFromTraces(ctx context.Context, traces []*Trace, cfg Config) (*Result, error) {
 	return core.InferFromTraces(ctx, traces, cfg)
 }
+
+// InferFromSource is InferFromTraces over a streaming TraceSource — for
+// example a trace corpus (OpenCorpus) whose traces are decoded one at a
+// time, keeping memory bounded by the largest single trace.
+func InferFromSource(ctx context.Context, src TraceSource, cfg Config) (*Result, error) {
+	return core.InferFromSource(ctx, src, cfg)
+}
+
+// OpenCorpus opens (creating if needed) a content-addressed trace corpus
+// at dir. Ingest captured traces with Corpus.Ingest and feed them back to
+// inference with InferFromSource(ctx, corpus.Source(), cfg) — the
+// capture-once-infer-many workflow.
+func OpenCorpus(dir string) (*Corpus, error) { return store.Open(dir) }
+
+// EncodeTrace returns the canonical compact binary encoding of a trace
+// (the corpus blob format); DecodeTrace inverts it.
+func EncodeTrace(t *Trace) ([]byte, error) { return store.EncodeTrace(t) }
+
+// DecodeTrace parses a trace in the canonical binary encoding.
+func DecodeTrace(data []byte) (*Trace, error) { return store.DecodeTrace(data) }
 
 // ---------------------------------------------------------------------------
 // Deprecated context-less wrappers, kept for pre-context callers.
