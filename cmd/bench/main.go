@@ -22,6 +22,10 @@
 //	bench [-app App-1] [-rounds 6] [-reps 5] [-out BENCH_solver.json]
 //	      [-server-out BENCH_server.json] [-server-jobs 16]
 //	      [-store-out BENCH_store.json]
+//	      [-obs-out BENCH_obs.json] [-obs-reps 7] [-obs-max-pct 5]
+//
+// Each -*out flag accepts "" to skip that measurement; -obs-max-pct turns
+// the tracing-overhead record into a CI gate (non-zero exit on breach).
 package main
 
 import (
@@ -58,37 +62,62 @@ func main() {
 		appName    = flag.String("app", "App-1", "application to campaign on")
 		rounds     = flag.Int("rounds", 6, "campaign rounds")
 		reps       = flag.Int("reps", 5, "repetitions (best is reported)")
-		out        = flag.String("out", "BENCH_solver.json", "solver benchmark output file")
+		out        = flag.String("out", "BENCH_solver.json", "solver benchmark output file (empty = skip)")
 		outAlias   = flag.String("o", "", "alias for -out (deprecated)")
 		serverOut  = flag.String("server-out", "BENCH_server.json", "server benchmark output file (empty = skip)")
 		serverJobs = flag.Int("server-jobs", 16, "cold/hit submissions per server measurement")
 		storeOut   = flag.String("store-out", "BENCH_store.json", "trace-store benchmark output file (empty = skip)")
+		obsOut     = flag.String("obs-out", "", "tracing-overhead benchmark output file (empty = skip)")
+		obsReps    = flag.Int("obs-reps", 7, "campaign repetitions per tracing mode (best is reported)")
+		obsMaxPct  = flag.Float64("obs-max-pct", 0, "fail (exit 1) if no-sink tracing overhead exceeds this percentage (0 = record only)")
 	)
 	flag.Parse()
 	if *outAlias != "" {
 		*out = *outAlias
 	}
 
-	app, err := apps.ByName(*appName)
-	die(err)
+	if *out != "" {
+		die(benchSolver(*out, *appName, *rounds, *reps))
+	}
+	if *serverOut != "" {
+		die(benchServer(*serverOut, *appName, *serverJobs))
+	}
+	if *storeOut != "" {
+		die(benchStore(*storeOut, *reps))
+	}
+	if *obsOut != "" {
+		die(benchObs(*obsOut, *appName, *rounds, *obsReps, *obsMaxPct))
+	}
+}
+
+// benchSolver runs the cold-vs-warm solver measurement and writes the
+// result file.
+func benchSolver(out, appName string, rounds, reps int) error {
+	app, err := apps.ByName(appName)
+	if err != nil {
+		return err
+	}
 	cfg := core.DefaultConfig()
-	cfg.Rounds = *rounds
+	cfg.Rounds = rounds
 	var snaps []*window.Observations
 	cfg.OnRound = func(_ int, obs *window.Observations) {
 		snaps = append(snaps, obs.Clone())
 	}
-	_, err = core.Infer(context.Background(), app, cfg)
-	die(err)
+	if _, err := core.Infer(context.Background(), app, cfg); err != nil {
+		return err
+	}
 	scfg := cfg.Solver
 	scfg.KeepRacyWindows = !cfg.RemoveRacyMP
 
-	res := result{App: *appName, Rounds: *rounds, Reps: *reps}
-	for rep := 0; rep < *reps; rep++ {
+	res := result{App: appName, Rounds: rounds, Reps: reps}
+	for rep := 0; rep < reps; rep++ {
 		iters := 0
 		t0 := time.Now()
 		for _, obs := range snaps {
 			sr, err := solver.Solve(obs, scfg)
-			die(err)
+			if err != nil {
+				return err
+			}
 			iters += sr.Iters
 		}
 		if d := time.Since(t0); rep == 0 || d.Nanoseconds() < res.ColdNs {
@@ -97,7 +126,7 @@ func main() {
 		res.ColdIters = iters
 	}
 	shell := &window.Observations{}
-	for rep := 0; rep < *reps; rep++ {
+	for rep := 0; rep < reps; rep++ {
 		iters, warmRounds := 0, 0
 		enc := solver.NewEncoder(scfg)
 		var basis *lp.Basis
@@ -105,7 +134,9 @@ func main() {
 		for _, snap := range snaps {
 			*shell = *snap
 			sr, bs, err := enc.Solve(shell, basis)
-			die(err)
+			if err != nil {
+				return err
+			}
 			basis = bs
 			iters += sr.Iters
 			if sr.WarmStarted {
@@ -120,19 +151,17 @@ func main() {
 	res.Speedup = float64(res.ColdNs) / float64(res.WarmNs)
 
 	buf, err := json.MarshalIndent(res, "", "  ")
-	die(err)
+	if err != nil {
+		return err
+	}
 	buf = append(buf, '\n')
-	die(os.WriteFile(*out, buf, 0o644))
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
 	fmt.Printf("%s: cold %.1fms (%d pivots) vs warm %.1fms (%d pivots, %d/%d rounds warm): %.2fx\n",
-		*out, float64(res.ColdNs)/1e6, res.ColdIters,
+		out, float64(res.ColdNs)/1e6, res.ColdIters,
 		float64(res.WarmNs)/1e6, res.WarmIters, res.WarmRounds, res.Rounds, res.Speedup)
-
-	if *serverOut != "" {
-		die(benchServer(*serverOut, *appName, *serverJobs))
-	}
-	if *storeOut != "" {
-		die(benchStore(*storeOut, *reps))
-	}
+	return nil
 }
 
 func die(err error) {

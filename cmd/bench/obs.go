@@ -1,0 +1,89 @@
+// Tracing-overhead benchmark: the observability layer's acceptance gate.
+// The engine always builds spans unless Config.DisableTracing is set, so
+// the cost that matters is "tracing on, no sink attached" (the library
+// default) against the DisableTracing baseline. Both modes run identical
+// campaigns; the best-of-reps wall clocks bound the scheduler-noise floor,
+// and the relative overhead is asserted by CI via -obs-max-pct.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"sherlock/internal/apps"
+	"sherlock/internal/core"
+)
+
+// obsResult is the BENCH_obs.json schema. Times are best-of-reps wall
+// clock for one full campaign, in nanoseconds.
+type obsResult struct {
+	App         string  `json:"app"`
+	Rounds      int     `json:"rounds"`
+	Reps        int     `json:"reps"`
+	BaselineNs  int64   `json:"baseline_ns"`
+	TracedNs    int64   `json:"traced_ns"`
+	OverheadPct float64 `json:"overhead_pct"`
+	MaxPct      float64 `json:"max_pct,omitempty"`
+}
+
+// benchObs measures no-sink tracing overhead on full campaigns and fails
+// when maxPct > 0 and the measured overhead exceeds it.
+func benchObs(out, appName string, rounds, reps int, maxPct float64) error {
+	app, err := apps.ByName(appName)
+	if err != nil {
+		return err
+	}
+	campaign := func(disableTracing bool) (time.Duration, error) {
+		cfg := core.DefaultConfig()
+		cfg.Rounds = rounds
+		cfg.DisableTracing = disableTracing
+		t0 := time.Now()
+		_, err := core.Infer(context.Background(), app, cfg)
+		return time.Since(t0), err
+	}
+
+	// Warm up both paths once so neither measurement pays first-touch costs.
+	for _, mode := range []bool{true, false} {
+		if _, err := campaign(mode); err != nil {
+			return err
+		}
+	}
+
+	res := obsResult{App: appName, Rounds: rounds, Reps: reps, MaxPct: maxPct}
+	// Interleave the modes so slow drift (thermal, scheduling) hits both.
+	for rep := 0; rep < reps; rep++ {
+		base, err := campaign(true)
+		if err != nil {
+			return err
+		}
+		traced, err := campaign(false)
+		if err != nil {
+			return err
+		}
+		if rep == 0 || base.Nanoseconds() < res.BaselineNs {
+			res.BaselineNs = base.Nanoseconds()
+		}
+		if rep == 0 || traced.Nanoseconds() < res.TracedNs {
+			res.TracedNs = traced.Nanoseconds()
+		}
+	}
+	res.OverheadPct = 100 * (float64(res.TracedNs) - float64(res.BaselineNs)) / float64(res.BaselineNs)
+
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s: baseline %.1fms vs traced(no sink) %.1fms: %+.2f%% overhead\n",
+		out, float64(res.BaselineNs)/1e6, float64(res.TracedNs)/1e6, res.OverheadPct)
+	if maxPct > 0 && res.OverheadPct > maxPct {
+		return fmt.Errorf("tracing overhead %.2f%% exceeds the %.1f%% budget", res.OverheadPct, maxPct)
+	}
+	return nil
+}

@@ -74,7 +74,7 @@ func captureToCorpus(ctx context.Context, appName, dir string, seed int64) error
 // those captured from appFilter) through the offline inference path. The
 // corpus-backed source decodes one trace at a time, so memory stays
 // bounded by the largest single trace rather than the corpus size.
-func analyzeCorpus(ctx context.Context, dir, appFilter string, lambda float64, near int64) error {
+func analyzeCorpus(ctx context.Context, dir, appFilter string, lambda float64, near int64, observer core.Observer) error {
 	c, err := store.Open(dir)
 	if err != nil {
 		return err
@@ -94,6 +94,7 @@ func analyzeCorpus(ctx context.Context, dir, appFilter string, lambda float64, n
 	cfg := core.DefaultConfig()
 	cfg.Solver.Lambda = lambda
 	cfg.Window.Near = near
+	cfg.Observer = observer
 	res, err := core.InferFromSource(ctx, c.Source(keys...), cfg)
 	if err != nil {
 		return err

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	sherlock -app App-4 [-rounds 3] [-lambda 0.2] [-near 1000000] [-seed 1] [-p 4]
+//	sherlock -app App-4 -trace-out events.jsonl   # + campaign span event log
 //	sherlock -all
 //	sherlock -list
 //
@@ -24,6 +25,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -34,6 +36,7 @@ import (
 	"sherlock/internal/apps"
 	"sherlock/internal/core"
 	"sherlock/internal/exper"
+	"sherlock/internal/obs"
 	"sherlock/internal/prog"
 	"sherlock/internal/report"
 	"sherlock/internal/sched"
@@ -55,6 +58,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "base scheduler seed")
 		parallel   = flag.Int("p", 0, "worker pool size per round (0 = GOMAXPROCS); results are identical for every value")
 		verbose    = flag.Bool("v", false, "print per-round snapshots")
+		traceOut   = flag.String("trace-out", "", "write the campaign's span event log as JSON lines to this file (works with -app, -analyze-traces, -corpus)")
 
 		// Client mode.
 		serverURL  = flag.String("server", "", "sherlockd base URL; enables -submit/-upload/-submit-keys/-status/-result")
@@ -94,9 +98,13 @@ func main() {
 	case *captureTo != "":
 		die(captureToCorpus(ctx, *appName, *captureTo, *seed))
 	case *corpusPath != "":
-		die(analyzeCorpus(ctx, *corpusPath, *appName, *lambda, *near))
+		observer, closeLog, err := traceObserver(*traceOut)
+		die(err)
+		die(firstErr(analyzeCorpus(ctx, *corpusPath, *appName, *lambda, *near, observer), closeLog()))
 	case *analyzeDir != "":
-		die(analyzeTraces(ctx, *analyzeDir, *lambda, *near))
+		observer, closeLog, err := traceObserver(*traceOut)
+		die(err)
+		die(firstErr(analyzeTraces(ctx, *analyzeDir, *lambda, *near, observer), closeLog()))
 	case *appName != "" && *dumpDir != "":
 		app, err := apps.ByName(*appName)
 		die(err)
@@ -110,8 +118,11 @@ func main() {
 		cfg.Window.Near = *near
 		cfg.Seed = *seed
 		cfg.Parallelism = *parallel
-		res, err := core.Infer(ctx, app, cfg)
+		observer, closeLog, err := traceObserver(*traceOut)
 		die(err)
+		cfg.Observer = observer
+		res, err := core.Infer(ctx, app, cfg)
+		die(firstErr(err, closeLog()))
 		printResult(app, res, *verbose)
 	default:
 		flag.Usage()
@@ -198,7 +209,7 @@ func dumpTraces(app *prog.Program, dir string, seed int64) error {
 
 // analyzeTraces loads every .jsonl trace in dir and runs the offline
 // log-analysis step (no re-execution, no Perturber).
-func analyzeTraces(ctx context.Context, dir string, lambda float64, near int64) error {
+func analyzeTraces(ctx context.Context, dir string, lambda float64, near int64, observer core.Observer) error {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return err
@@ -225,6 +236,7 @@ func analyzeTraces(ctx context.Context, dir string, lambda float64, near int64) 
 	cfg := core.DefaultConfig()
 	cfg.Solver.Lambda = lambda
 	cfg.Window.Near = near
+	cfg.Observer = observer
 	res, err := core.InferFromTraces(ctx, traces, cfg)
 	if err != nil {
 		return err
@@ -241,6 +253,45 @@ func analyzeTraces(ctx context.Context, dir string, lambda float64, near int64) 
 	for _, s := range res.Inferred {
 		if s.Role == trace.RoleAcquire {
 			fmt.Printf("  %s\n", s.Key.Display())
+		}
+	}
+	return nil
+}
+
+// traceObserver opens a -trace-out event log and returns the observer that
+// streams span events into it as JSON lines, plus a close function that
+// flushes and reports any deferred write error. An empty path yields a nil
+// observer and a no-op close.
+func traceObserver(path string) (core.Observer, func() error, error) {
+	if path == "" {
+		return nil, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	bw := bufio.NewWriter(f)
+	sink := obs.NewJSONLSink(bw)
+	closeFn := func() error {
+		if err := sink.Err(); err != nil {
+			f.Close()
+			return fmt.Errorf("trace-out %s: %w", path, err)
+		}
+		if err := bw.Flush(); err != nil {
+			f.Close()
+			return fmt.Errorf("trace-out %s: %w", path, err)
+		}
+		return f.Close()
+	}
+	return core.SinkObserver(sink), closeFn, nil
+}
+
+// firstErr returns the first non-nil error (campaign failures outrank
+// event-log close failures).
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
 		}
 	}
 	return nil

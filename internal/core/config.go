@@ -51,11 +51,28 @@ type Config struct {
 	// for bisecting solver issues.
 	ColdStart bool
 
+	// Observer, when non-nil, receives the campaign's full observability
+	// stream: every span/counter event of the campaign trace plus each
+	// round's solved snapshot. It is the unified hook surface — see the
+	// Observer interface — and subsumes OnRound and OnSnapshot, which
+	// remain for compatibility but are deprecated.
+	Observer Observer
+
+	// DisableTracing turns span construction off entirely: the engine runs
+	// with a nil tracer and every span operation is inert. Tracing with no
+	// Observer already costs < 2% of a campaign (cmd/bench -obs-out keeps
+	// it honest); this toggle exists for that benchmark's baseline and for
+	// ruling tracing out when bisecting performance.
+	DisableTracing bool
+
 	// OnRound, when non-nil, is called after each round's observations are
 	// merged and solved, with the 1-based round number and the live
 	// accumulator. The accumulator is reused across rounds — callers that
 	// keep it past the callback must Clone it. A diagnostics hook, used by
 	// the solver benchmarks to replay a campaign's accumulator states.
+	//
+	// Deprecated: set Observer instead; its Round method receives the same
+	// accumulator along with the solved snapshot.
 	OnRound func(round int, obs *window.Observations)
 
 	// OnSnapshot, when non-nil, receives each round's RoundSnapshot right
@@ -64,6 +81,9 @@ type Config struct {
 	// warm-start flag), so long-running consumers — the serving layer's
 	// metrics in particular — can stream campaign progress without waiting
 	// for the final Result. The snapshot is the caller's to keep.
+	//
+	// Deprecated: set Observer instead; its Round method receives the same
+	// snapshot along with the live accumulator.
 	OnSnapshot func(RoundSnapshot)
 }
 

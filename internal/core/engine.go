@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"sherlock/internal/lp"
+	"sherlock/internal/obs"
 	"sherlock/internal/perturb"
 	"sherlock/internal/prog"
 	"sherlock/internal/solver"
@@ -117,9 +118,19 @@ func Infer(ctx context.Context, app *prog.Program, cfg Config) (*Result, error) 
 	scfg.KeepRacyWindows = !cfg.RemoveRacyMP
 
 	res := &Result{App: app.Name}
-	obs := window.NewObservations(cfg.Window)
+	acc := window.NewObservations(cfg.Window)
 	var plan perturb.Plan
 	var last *solver.Result
+
+	// The campaign span roots the whole trace; every attribute recorded
+	// below is deterministic (derived from config and the seeded runs),
+	// never from wall clock or scheduling — see internal/obs.
+	tr := cfg.tracer()
+	campaign := tr.Root("campaign", app.Name,
+		obs.Int("rounds", cfg.Rounds),
+		obs.Int("tests", len(app.Tests)),
+		obs.Int64("seed", cfg.Seed))
+	defer campaign.End()
 
 	// The solver state threaded across rounds: the Encoder caches the
 	// per-window encoding work, and basis carries each round's optimal LP
@@ -132,27 +143,36 @@ func Infer(ctx context.Context, app *prog.Program, cfg Config) (*Result, error) 
 	for round := 0; round < cfg.Rounds; round++ {
 		if !cfg.Accumulate {
 			// Figure 4's "no accumulation" line: every round stands alone.
-			obs = window.NewObservations(cfg.Window)
+			acc = window.NewObservations(cfg.Window)
 			enc.Reset()
 			basis = nil
 		}
+		rspan := campaign.Childf("round:%02d", round+1)
 		specs := planRound(app, cfg, round, plan)
-		outs := executeRound(ctx, app, specs, cfg)
-		if err := mergeRound(app, specs, outs, res, obs); err != nil {
+		exec := rspan.Child("execute", obs.Int("runs", len(specs)))
+		outs := executeRound(ctx, app, specs, cfg, exec)
+		exec.End()
+		tr.Count("runs", int64(len(specs)))
+		prevWindows := len(acc.Windows)
+		if err := mergeRound(app, specs, outs, res, acc); err != nil {
+			rspan.End()
 			return nil, err
 		}
+		tr.Count("windows", int64(len(acc.Windows)-prevWindows))
 
 		t0 := time.Now()
 		if cfg.ColdStart {
 			enc.Reset()
 			basis = nil
 		}
-		sr, b, err := enc.Solve(obs, basis)
+		sr, b, err := enc.SolveSpan(acc, basis, rspan)
 		basis = b
 		res.Overhead.SolveWall += time.Since(t0)
 		if err != nil {
+			rspan.End()
 			return nil, fmt.Errorf("core: %s round %d solve: %w", app.Name, round+1, err)
 		}
+		tr.Count("lp.pivots", int64(sr.Iters))
 		last = sr
 		if sr.WarmStarted {
 			res.Overhead.WarmRounds++
@@ -161,23 +181,25 @@ func Infer(ctx context.Context, app *prog.Program, cfg Config) (*Result, error) 
 			Round:    round + 1,
 			Acquires: append([]trace.Key(nil), sr.AcquireSet...),
 			Releases: append([]trace.Key(nil), sr.ReleaseSet...),
-			Windows:  len(obs.Windows),
+			Windows:  len(acc.Windows),
 			LPIters:  sr.Iters,
 			Warm:     sr.WarmStarted,
 		}
 		res.Rounds = append(res.Rounds, snap)
-		if cfg.OnSnapshot != nil {
-			cfg.OnSnapshot(snap)
-		}
-		plan = perturb.BuildPlan(sr.ReleaseSet, cfg.Delay)
-		if cfg.OnRound != nil {
-			cfg.OnRound(round+1, obs)
-		}
+		plan = perturb.BuildPlanObs(rspan, sr.ReleaseSet, cfg.Delay)
+		rspan.Annotate(
+			obs.Int("windows", len(acc.Windows)),
+			obs.Int("lp_iters", sr.Iters),
+			obs.Bool("warm", sr.WarmStarted),
+			obs.Int("acquires", len(sr.AcquireSet)),
+			obs.Int("releases", len(sr.ReleaseSet)))
+		rspan.End()
+		cfg.notifyRound(snap, acc)
 	}
 
 	res.Acquires = last.Acquires
 	res.Releases = last.Releases
-	res.Overhead.Windows = len(obs.Windows)
+	res.Overhead.Windows = len(acc.Windows)
 	res.Overhead.Vars = last.Vars
 	res.Overhead.Constraints = last.Constraints
 	res.Overhead.Objective = last.Objective
@@ -188,5 +210,13 @@ func Infer(ctx context.Context, app *prog.Program, cfg Config) (*Result, error) 
 		res.Inferred = append(res.Inferred, InferredSync{Key: k, Role: trace.RoleRelease, Prob: last.Releases[k]})
 	}
 	sort.Slice(res.Inferred, func(i, j int) bool { return res.Inferred[i].Key < res.Inferred[j].Key })
+	campaign.Annotate(
+		obs.Int("windows", res.Overhead.Windows),
+		obs.Int("vars", res.Overhead.Vars),
+		obs.Int("constraints", res.Overhead.Constraints),
+		obs.Int("inferred", len(res.Inferred)),
+		obs.Int("deadlocks", res.Deadlocks),
+		obs.Int("warm_rounds", res.Overhead.WarmRounds))
+	campaign.End()
 	return res, nil
 }

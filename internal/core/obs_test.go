@@ -1,0 +1,177 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"sherlock/internal/apps"
+	"sherlock/internal/obs"
+	"sherlock/internal/sched"
+	"sherlock/internal/trace"
+	"sherlock/internal/window"
+)
+
+// traceCampaign runs one campaign with a MemorySink observer and returns
+// the deterministic rendering of its span forest.
+func traceCampaign(t *testing.T, name string, parallelism int) string {
+	t.Helper()
+	app, err := apps.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := obs.NewMemorySink()
+	cfg := DefaultConfig()
+	cfg.Parallelism = parallelism
+	cfg.Observer = SinkObserver(mem)
+	if _, err := Infer(context.Background(), app, cfg); err != nil {
+		t.Fatal(err)
+	}
+	return mem.Render()
+}
+
+// TestSpanTreeGoldenAcrossParallelism is the observability layer's core
+// guarantee: the deterministic rendering — span IDs, tree shape, every
+// non-duration attribute, counter totals — is byte-identical between a
+// sequential and a heavily parallel campaign. Wall-clock durations are the
+// only thing allowed to differ, and Render excludes them.
+func TestSpanTreeGoldenAcrossParallelism(t *testing.T) {
+	for _, name := range []string{"App-1", "App-2", "App-3"} {
+		t.Run(name, func(t *testing.T) {
+			seq := traceCampaign(t, name, 1)
+			par := traceCampaign(t, name, 8)
+			if seq != par {
+				t.Fatalf("span trees diverge across parallelism:\n--- p=1 ---\n%s--- p=8 ---\n%s", seq, par)
+			}
+			// Sanity: the tree actually has the campaign shape.
+			for _, want := range []string{
+				"campaign:" + name + "{",
+				"  round:01{",
+				"    execute{",
+				"      run:00{",
+				"        sched{",
+				"        extract{",
+				"    encode{",
+				"    solve{",
+				"counters:",
+				"  runs=",
+				"  windows=",
+			} {
+				if !strings.Contains(seq, want) {
+					t.Errorf("render missing %q:\n%s", want, seq)
+				}
+			}
+		})
+	}
+}
+
+// TestObserverRoundSubsumesLegacyHooks: Observer.Round, OnRound, and
+// OnSnapshot all fire once per round with the same snapshots.
+func TestObserverRoundSubsumesLegacyHooks(t *testing.T) {
+	app, err := apps.ByName("App-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var viaObserver, viaOnRound, viaOnSnapshot []int
+	cfg := DefaultConfig()
+	cfg.Observer = ObserverFuncs{
+		OnRound: func(snap RoundSnapshot, acc *window.Observations) {
+			if acc == nil {
+				t.Error("Observer.Round got nil observations")
+			}
+			viaObserver = append(viaObserver, snap.Round)
+		},
+	}
+	cfg.OnRound = func(round int, acc *window.Observations) {
+		viaOnRound = append(viaOnRound, round)
+	}
+	cfg.OnSnapshot = func(snap RoundSnapshot) {
+		viaOnSnapshot = append(viaOnSnapshot, snap.Round)
+	}
+	res, err := Infer(context.Background(), app, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(res.Rounds)
+	if len(viaObserver) != want || len(viaOnRound) != want || len(viaOnSnapshot) != want {
+		t.Fatalf("hook fire counts: observer=%d onRound=%d onSnapshot=%d, want %d each",
+			len(viaObserver), len(viaOnRound), len(viaOnSnapshot), want)
+	}
+	for i := 0; i < want; i++ {
+		if viaObserver[i] != i+1 || viaOnRound[i] != i+1 || viaOnSnapshot[i] != i+1 {
+			t.Fatalf("round sequence wrong: %v / %v / %v", viaObserver, viaOnRound, viaOnSnapshot)
+		}
+	}
+}
+
+// TestDisableTracingStillInfers: the benchmark-baseline escape hatch must
+// not change inference results, only suppress span construction.
+func TestDisableTracingStillInfers(t *testing.T) {
+	app, err := apps.ByName("App-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := obs.NewMemorySink()
+	cfg := DefaultConfig()
+	cfg.DisableTracing = true
+	cfg.Observer = SinkObserver(mem)
+	res, err := Infer(context.Background(), app, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Inferred) == 0 {
+		t.Fatal("no inferences with tracing disabled")
+	}
+	if n := len(mem.Events()); n != 0 {
+		t.Fatalf("DisableTracing leaked %d span events", n)
+	}
+}
+
+// TestOfflineSolveEmitsSpansAndRound: the offline path produces its own
+// deterministic span tree ("offline" root, one trace:NNN child per input,
+// an encode/solve subtree) and fires the round hooks exactly once.
+func TestOfflineSolveEmitsSpansAndRound(t *testing.T) {
+	app, err := apps.ByName("App-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traces []*trace.Trace
+	for i, tc := range app.Tests {
+		res, err := sched.Run(app, tc, sched.Options{Seed: int64(100 + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces = append(traces, res.Trace)
+	}
+
+	mem := obs.NewMemorySink()
+	rounds := 0
+	cfg := DefaultConfig()
+	cfg.Observer = ObserverFuncs{
+		OnEvent: mem.Emit,
+		OnRound: func(snap RoundSnapshot, acc *window.Observations) { rounds++ },
+	}
+	if _, err := InferFromTraces(context.Background(), traces, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 1 {
+		t.Fatalf("offline solve fired Round %d times, want 1", rounds)
+	}
+	render := mem.Render()
+	for _, want := range []string{"offline{", "  trace:000{", "  encode{", "  solve{"} {
+		if !strings.Contains(render, want) {
+			t.Errorf("offline render missing %q:\n%s", want, render)
+		}
+	}
+	// Offline rendering is deterministic too: a second identical solve
+	// renders byte-identically.
+	mem2 := obs.NewMemorySink()
+	cfg2 := DefaultConfig()
+	cfg2.Observer = SinkObserver(mem2)
+	if _, err := InferFromTraces(context.Background(), traces, cfg2); err != nil {
+		t.Fatal(err)
+	}
+	if render != mem2.Render() {
+		t.Fatalf("offline renders diverge:\n%s---\n%s", render, mem2.Render())
+	}
+}

@@ -9,10 +9,12 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"sherlock/internal/obs"
 	"sherlock/internal/perturb"
 	"sherlock/internal/prog"
 	"sherlock/internal/sched"
@@ -34,7 +36,7 @@ type runOutput struct {
 // executions: once it expires, remaining runs are marked canceled instead
 // of executed, so a mid-campaign abort returns promptly without waiting
 // for work that hasn't started.
-func executeRound(ctx context.Context, app *prog.Program, specs []runSpec, cfg Config) []runOutput {
+func executeRound(ctx context.Context, app *prog.Program, specs []runSpec, cfg Config, span *obs.Span) []runOutput {
 	outs := make([]runOutput, len(specs))
 	workers := cfg.workers()
 	if workers > len(specs) {
@@ -46,7 +48,7 @@ func executeRound(ctx context.Context, app *prog.Program, specs []runSpec, cfg C
 				outs[i] = runOutput{canceled: true, cancelErr: err}
 				continue
 			}
-			outs[i] = executeOne(app, specs[i], cfg.Window)
+			outs[i] = executeOne(ctx, app, specs[i], cfg.Window, span)
 		}
 		return outs
 	}
@@ -66,7 +68,7 @@ func executeRound(ctx context.Context, app *prog.Program, specs []runSpec, cfg C
 					outs[i] = runOutput{canceled: true, cancelErr: err}
 					continue
 				}
-				outs[i] = executeOne(app, specs[i], cfg.Window)
+				outs[i] = executeOne(ctx, app, specs[i], cfg.Window, span)
 			}
 		}()
 	}
@@ -76,16 +78,30 @@ func executeRound(ctx context.Context, app *prog.Program, specs []runSpec, cfg C
 
 // executeOne performs one scheduler run plus its Observer post-processing
 // (conflict pairing, window extraction, Perturber refinement). The heavy
-// per-run work all happens here, inside the worker.
-func executeOne(app *prog.Program, spec runSpec, wcfg window.Config) runOutput {
+// per-run work all happens here, inside the worker — including the run's
+// span, whose ID is keyed by test index (not worker or completion order),
+// so the span tree is identical at every parallelism level.
+func executeOne(ctx context.Context, app *prog.Program, spec runSpec, wcfg window.Config, parent *obs.Span) runOutput {
+	rs := parent.Child(fmt.Sprintf("run:%02d", spec.testIdx),
+		obs.Str("test", spec.test.Name),
+		obs.Int64("seed", spec.opt.Seed))
+	defer rs.End()
+	opt := spec.opt
+	opt.Span = rs
 	t0 := time.Now()
-	run, err := sched.Run(app, spec.test, spec.opt)
+	run, err := sched.RunContext(ctx, app, spec.test, opt)
 	out := runOutput{run: run, wall: time.Since(t0), err: err}
 	if err != nil || run.Deadlocked {
 		return out
 	}
+	es := rs.Child("extract")
 	conflicts := window.FindConflicts(run.Trace, wcfg)
 	ws := window.BuildWindows(run.Trace, conflicts)
 	out.windows = perturb.Refine(ws, run.Delays)
+	es.Annotate(
+		obs.Int("conflicts", len(conflicts)),
+		obs.Int("windows", len(ws)),
+		obs.Int("refined", len(out.windows)))
+	es.End()
 	return out
 }

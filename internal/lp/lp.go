@@ -25,6 +25,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"sherlock/internal/obs"
 )
 
 // Sense is the relational operator of a constraint.
@@ -111,6 +113,11 @@ type Problem struct {
 	// Solution with Status IterLimit and an error wrapping
 	// ErrIterationLimit.
 	MaxIters int
+
+	// Trace, when non-nil, is the parent span under which Solve records a
+	// "solve" child span carrying the problem dimensions and pivot counts.
+	// All recorded attributes are deterministic for a given problem.
+	Trace *obs.Span
 }
 
 // NewProblem returns an empty problem.
@@ -222,7 +229,19 @@ func (p *Problem) Solve() (*Solution, error) {
 // transparently falls back to the cold two-phase path, so it is never less
 // correct than Solve — only faster when the problems are related.
 func (p *Problem) SolveWarm(warm *Basis) (*Solution, error) {
-	return solveSparse(p, warm)
+	span := p.Trace.Child("solve",
+		obs.Int("vars", p.NumVars()),
+		obs.Int("rows", p.NumConstraints()),
+		obs.Bool("warm_attempt", warm != nil))
+	sol, err := solveSparse(p, warm)
+	if sol != nil {
+		span.Annotate(
+			obs.Int("iters", sol.Iters),
+			obs.Bool("warm", sol.WarmStarted),
+			obs.Str("status", sol.Status.String()))
+	}
+	span.End()
+	return sol, err
 }
 
 // Solve runs the sparse revised simplex on prob, warm-started from the

@@ -15,6 +15,7 @@ package perturb
 import (
 	"sort"
 
+	"sherlock/internal/obs"
 	"sherlock/internal/sched"
 	"sherlock/internal/trace"
 	"sherlock/internal/window"
@@ -39,6 +40,19 @@ func BuildPlan(releases []trace.Key, delay int64) Plan {
 	for _, k := range releases {
 		p[k] = delay
 	}
+	return p
+}
+
+// BuildPlanObs is BuildPlan recording a "perturb" child span under parent
+// with the plan's (deterministic) shape: how many release candidates will
+// be delayed next round and by how much.
+func BuildPlanObs(parent *obs.Span, releases []trace.Key, delay int64) Plan {
+	p := BuildPlan(releases, delay)
+	span := parent.Child("perturb",
+		obs.Int("releases", len(releases)),
+		obs.Int64("delay_virtual_ns", delay),
+		obs.Int("planned", len(p)))
+	span.End()
 	return p
 }
 

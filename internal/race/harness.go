@@ -53,7 +53,7 @@ func Compare(ctx context.Context, app *prog.Program, inferred trace.SyncSet, cfg
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			res, err := sched.Run(app, test, sched.Options{
+			res, err := sched.RunContext(ctx, app, test, sched.Options{
 				Seed:          cfg.Seed + int64(run)*2011 + int64(ti)*31,
 				HiddenMethods: app.Truth.HiddenMethods,
 			})

@@ -1,0 +1,109 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"sherlock/internal/obs"
+	"sherlock/internal/prog"
+)
+
+// flipCtx is a context that starts live and reports context.Canceled from
+// the nth Err call on — a deterministic stand-in for "canceled while the
+// scheduler loop is running", with no goroutine races.
+type flipCtx struct {
+	context.Context
+	calls atomic.Int64
+	after int64
+}
+
+func (c *flipCtx) Err() error {
+	if c.calls.Add(1) > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+// spinProgram builds a single-test program whose body loops long enough to
+// guarantee the scheduler passes several 256-step poll points.
+func spinProgram() *prog.Program {
+	p := prog.New("app", "App")
+	p.AddMethod("C::work", prog.Cp(10), prog.Wr("C::x", "o", 1))
+	var body []prog.Stmt
+	for i := 0; i < 400; i++ {
+		body = append(body, prog.Do("C::work", "o"))
+	}
+	p.AddTest("T", body...)
+	return p
+}
+
+func TestRunContextPreCanceled(t *testing.T) {
+	p := spinProgram()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunContext(ctx, p, p.Tests[0], Options{Seed: 1})
+	if res != nil {
+		t.Error("pre-canceled run must not return a result")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "not started") {
+		t.Errorf("pre-cancel error should say the run never started: %v", err)
+	}
+}
+
+// TestRunContextCancelsMidLoop: cancellation arriving while the loop is
+// executing aborts at the next poll point (every 256 steps) rather than
+// running the schedule to completion, and the error wraps ctx.Err().
+func TestRunContextCancelsMidLoop(t *testing.T) {
+	p := spinProgram()
+
+	// Baseline: how many steps does the full schedule take?
+	full, err := RunContext(context.Background(), p, p.Tests[0], Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Steps < 1024 {
+		t.Fatalf("spin program too short to exercise the poll point: %d steps", full.Steps)
+	}
+
+	// The first Err call is RunContext's pre-start check; flip on the
+	// second so the first in-loop poll observes the cancellation.
+	ctx := &flipCtx{Context: context.Background(), after: 1}
+	res, err := RunContext(ctx, p, p.Tests[0], Options{Seed: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), "canceled after") {
+		t.Errorf("mid-loop cancel error should report the step count: %v", err)
+	}
+	// The partial result (what executed before the poll) rides along with
+	// the error; the abort must be prompt, not a full schedule.
+	if res == nil {
+		t.Fatal("mid-loop cancel should surface the partial result")
+	}
+	if res.Steps >= full.Steps {
+		t.Fatalf("cancel was not prompt: ran %d of %d steps", res.Steps, full.Steps)
+	}
+}
+
+func TestRunContextRecordsSchedSpan(t *testing.T) {
+	p := spinProgram()
+	mem := obs.NewMemorySink()
+	tr := obs.New(mem)
+	root := tr.Root("campaign", "x")
+	if _, err := RunContext(context.Background(), p, p.Tests[0], Options{Seed: 1, Span: root}); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	render := mem.Render()
+	if !strings.Contains(render, "  sched{") ||
+		!strings.Contains(render, "seed=1") ||
+		!strings.Contains(render, "deadlocked=false") {
+		t.Fatalf("sched span missing or unannotated:\n%s", render)
+	}
+}

@@ -14,11 +14,13 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
 
+	"sherlock/internal/obs"
 	"sherlock/internal/prog"
 	"sherlock/internal/trace"
 )
@@ -55,6 +57,10 @@ type Options struct {
 	// DisableTracing turns off all event recording (used to measure
 	// uninstrumented baseline cost for the overhead experiment).
 	DisableTracing bool
+	// Span, when non-nil, is the parent under which the run records a
+	// "sched" child span (test, seed, steps, events, virtual time — all
+	// deterministic attributes). A nil Span costs nothing.
+	Span *obs.Span
 }
 
 // DelayInstance records one applied perturbation for post-hoc propagation
@@ -193,6 +199,12 @@ type initState struct {
 	phase int
 }
 
+// ctxCheckMask throttles the scheduler loop's context polling: the loop
+// checks ctx.Err() every 256 steps, bounding cancellation latency to a few
+// microseconds of simulated work while keeping the uncancelable fast path
+// free of per-step overhead.
+const ctxCheckMask = 0xff
+
 // Run executes one unit test of p under opt.
 //
 // Run is safe for concurrent use against a shared *prog.Program: all
@@ -203,8 +215,37 @@ type initState struct {
 // mutate opt.Delays, opt.SiteDelays or opt.HiddenMethods while any Run
 // using them is in flight; the engine shares one immutable plan per round.
 func Run(p *prog.Program, t *prog.Test, opt Options) (*Result, error) {
+	return RunContext(context.Background(), p, t, opt)
+}
+
+// RunContext is Run with cooperative cancellation: the scheduler loop
+// polls ctx every 256 steps, so even a pathological schedule (a spin loop
+// burning the step budget) aborts promptly. On cancellation the returned
+// error wraps ctx.Err(), so errors.Is(err, context.Canceled) and
+// errors.Is(err, ctx.Err()) both match.
+func RunContext(ctx context.Context, p *prog.Program, t *prog.Test, opt Options) (*Result, error) {
 	if err := p.Finalize(); err != nil {
 		return nil, err
+	}
+	span := opt.Span.Child("sched", obs.Str("test", t.Name), obs.Int64("seed", opt.Seed))
+	res, err := runLoop(ctx, p, t, opt)
+	if res != nil {
+		span.Annotate(
+			obs.Int("steps", res.Steps),
+			obs.Int("events", res.Trace.Len()),
+			obs.Int64("virtual_ns", res.VirtualDuration),
+			obs.Bool("deadlocked", res.Deadlocked),
+			obs.Int("delays", len(res.Delays)))
+	}
+	span.End()
+	return res, err
+}
+
+// runLoop is the scheduler loop body shared by Run and RunContext; the program
+// is already finalized.
+func runLoop(ctx context.Context, p *prog.Program, t *prog.Test, opt Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("sched: run not started (test %s): %w", t.Name, err)
 	}
 	maxSteps := opt.MaxSteps
 	if maxSteps == 0 {
@@ -255,6 +296,11 @@ func Run(p *prog.Program, t *prog.Test, opt Options) (*Result, error) {
 		m.steps++
 		if m.steps > maxSteps {
 			return m.finish(false), fmt.Errorf("%w after %d steps (test %s)", ErrTooManySteps, m.steps, t.Name)
+		}
+		if m.steps&ctxCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return m.finish(false), fmt.Errorf("sched: run canceled after %d steps (test %s): %w", m.steps, t.Name, err)
+			}
 		}
 		m.step(th)
 	}

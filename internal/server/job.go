@@ -79,6 +79,7 @@ func (s JobSpec) effectiveConfig(base core.Config) core.Config {
 	// Hooks are the server's own; never inherit a caller-visible one.
 	cfg.OnRound = nil
 	cfg.OnSnapshot = nil
+	cfg.Observer = nil
 	return cfg
 }
 
@@ -104,7 +105,8 @@ type Job struct {
 	mu         sync.Mutex
 	status     JobStatus
 	err        string
-	cached     bool // answered from the result cache, no execution
+	cached     bool   // answered from the result cache, no execution
+	spans      []byte // rendered span tree (obs bridge); nil for cached jobs
 	submitted  time.Time
 	started    time.Time
 	finished   time.Time
@@ -130,6 +132,25 @@ func (j *Job) Status() JobStatus {
 
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
+
+// setSpans stores the job's rendered span tree (obs.go). A nil or
+// oversized body is dropped.
+func (j *Job) setSpans(body []byte) {
+	if body == nil || len(body) > maxSpanBodyBytes {
+		return
+	}
+	j.mu.Lock()
+	j.spans = body
+	j.mu.Unlock()
+}
+
+// SpansJSON returns the stored span tree, or nil when none was recorded
+// (job still queued, answered from the cache, or executed before tracing).
+func (j *Job) SpansJSON() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.spans
+}
 
 // Cancel requests cancellation: a queued job is dropped when a worker pops
 // it; a running job's context is canceled, aborting the campaign between
@@ -190,6 +211,7 @@ type jobView struct {
 	StartedAt   string `json:"started_at,omitempty"`
 	FinishedAt  string `json:"finished_at,omitempty"`
 	ResultURL   string `json:"result_url,omitempty"`
+	SpansURL    string `json:"spans_url,omitempty"`
 }
 
 func (j *Job) view() jobView {
@@ -211,6 +233,9 @@ func (j *Job) view() jobView {
 	}
 	if j.status == StatusDone {
 		v.ResultURL = "/v1/results/" + j.Key
+	}
+	if j.spans != nil {
+		v.SpansURL = "/v1/jobs/" + j.ID + "/spans"
 	}
 	return v
 }

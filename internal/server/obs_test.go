@@ -1,0 +1,108 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"sherlock/internal/obs"
+)
+
+func TestSpanHistSinkBucketsPhases(t *testing.T) {
+	reg := NewRegistry()
+	sink := newSpanHistSink(reg)
+	sink.Emit(obs.Event{Type: obs.EvSpanStart, Name: "round:01"}) // ignored
+	sink.Emit(obs.Event{Type: obs.EvSpanEnd, Name: "round:01", Dur: 1e6})
+	sink.Emit(obs.Event{Type: obs.EvSpanEnd, Name: "round:02", Dur: 2e6})
+	sink.Emit(obs.Event{Type: obs.EvSpanEnd, Name: "execute", Dur: 3e6})
+	var buf strings.Builder
+	if _, err := reg.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, `sherlock_span_seconds_count{phase="round"} 2`) {
+		t.Errorf("round phases did not aggregate:\n%s", text)
+	}
+	if !strings.Contains(text, `sherlock_span_seconds_count{phase="execute"} 1`) {
+		t.Errorf("execute phase missing:\n%s", text)
+	}
+}
+
+// TestJobSpansEndpoint: a finished app job serves its span tree, the tree
+// has the campaign shape with deterministic IDs, and the job view links it.
+func TestJobSpansEndpoint(t *testing.T) {
+	_, ts := startTestServer(t, fastConfig())
+
+	resp, v := postJob(t, ts.URL, map[string]any{"app": "App-1"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	done := waitDone(t, ts.URL, v.ID)
+	if done.Status != string(StatusDone) {
+		t.Fatalf("job status = %s (%s)", done.Status, done.Error)
+	}
+	if done.SpansURL == "" {
+		t.Fatal("finished job has no spans_url")
+	}
+
+	code, body := getBody(t, ts.URL+done.SpansURL)
+	if code != http.StatusOK {
+		t.Fatalf("spans: HTTP %d: %s", code, body)
+	}
+	var sb spansBody
+	if err := json.Unmarshal(body, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Job != v.ID {
+		t.Errorf("spans body names job %q, want %q", sb.Job, v.ID)
+	}
+	if len(sb.Spans) != 1 || sb.Spans[0].ID != "campaign:App-1" {
+		t.Fatalf("unexpected roots: %+v", sb.Spans)
+	}
+	var hasRound bool
+	for _, c := range sb.Spans[0].Children {
+		if c.ID == "campaign:App-1/round:01" {
+			hasRound = true
+		}
+	}
+	if !hasRound {
+		t.Fatalf("campaign root missing round:01 child: %+v", sb.Spans[0].Children)
+	}
+	if len(sb.Counters) == 0 {
+		t.Error("spans body has no counters")
+	}
+
+	// Campaign spans also feed the Prometheus bridge.
+	_, metrics := getBody(t, ts.URL+"/metrics")
+	if !strings.Contains(string(metrics), `sherlock_span_seconds_count{phase="campaign"}`) {
+		t.Error("metrics missing sherlock_span_seconds campaign phase")
+	}
+}
+
+// TestCachedJobHasNoSpans: a job answered from the result cache never ran,
+// so it has no span tree and its spans endpoint 404s.
+func TestCachedJobHasNoSpans(t *testing.T) {
+	_, ts := startTestServer(t, fastConfig())
+
+	_, first := postJob(t, ts.URL, map[string]any{"app": "App-1"})
+	waitDone(t, ts.URL, first.ID)
+
+	_, second := postJob(t, ts.URL, map[string]any{"app": "App-1"})
+	done := waitDone(t, ts.URL, second.ID)
+	if !done.Cached {
+		t.Fatal("second identical job should be a cache hit")
+	}
+	if done.SpansURL != "" {
+		t.Fatalf("cached job advertises spans_url %q", done.SpansURL)
+	}
+	code, _ := getBody(t, ts.URL+"/v1/jobs/"+second.ID+"/spans")
+	if code != http.StatusNotFound {
+		t.Fatalf("cached job spans: HTTP %d, want 404", code)
+	}
+
+	code, _ = getBody(t, ts.URL+"/v1/jobs/nonexistent/spans")
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown job spans: HTTP %d, want 404", code)
+	}
+}

@@ -10,6 +10,9 @@
 //	                         hit, 429 + Retry-After when the queue is full,
 //	                         503 while draining
 //	GET    /v1/jobs/{id}     job status
+//	GET    /v1/jobs/{id}/spans
+//	                         the job's campaign span tree (deterministic
+//	                         IDs/attrs; wall durations vary per run)
 //	DELETE /v1/jobs/{id}     cancel (queued jobs never start; running jobs
 //	                         abort between test executions)
 //	GET    /v1/results/{key} the serialized result at a content address
@@ -41,6 +44,7 @@ import (
 
 	"sherlock/internal/apps"
 	"sherlock/internal/core"
+	"sherlock/internal/obs"
 	"sherlock/internal/store"
 	"sherlock/internal/trace"
 )
@@ -95,6 +99,7 @@ type Server struct {
 	jobSeconds   *Histogram
 	runSeconds   *Histogram
 	solveSeconds *Histogram
+	spanSink     *spanHistSink
 
 	tracesStored *Counter
 	tracesDedup  *Counter
@@ -154,6 +159,10 @@ func New(cfg Config) (*Server, error) {
 		corpusTraces: reg.Gauge("sherlock_corpus_traces", "Unique traces in the corpus."),
 		corpusBytes:  reg.Gauge("sherlock_corpus_bytes", "Total stored corpus blob bytes."),
 	}
+	s.spanSink = newSpanHistSink(reg)
+	// Corpus codec spans (ingest/decode timings) feed the same phase
+	// histograms as campaign spans.
+	corpus.SetTracer(obs.New(s.spanSink))
 	s.exec = s.runJob
 	s.q = newQueue(ctx, cfg.QueueSize, cfg.Workers, cfg.JobTimeout,
 		func(ctx context.Context, j *Job) ([]byte, error) { return s.exec(ctx, j) },
@@ -162,6 +171,7 @@ func New(cfg Config) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/spans", s.handleJobSpans)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
 	mux.HandleFunc("POST /v1/traces", s.handleTraceUpload)
@@ -315,6 +325,25 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, j.view())
+}
+
+// handleJobSpans serves the job's reconstructed span tree. Cache-hit jobs
+// never executed, so they have no spans — the result is content-addressed
+// but the trace belongs to the run that produced it.
+func (s *Server) handleJobSpans(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job id"})
+		return
+	}
+	body := j.SpansJSON()
+	if body == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no spans for this job (not finished yet, answered from the result cache, or span tree too large)"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
 }
 
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
@@ -482,12 +511,20 @@ type resultEnvelope struct {
 
 // runJob executes one job: a full campaign for application jobs, the
 // offline solve for trace jobs. Per-phase wall time and LP pivots stream
-// into the metrics as the campaign progresses.
+// into the metrics as the campaign progresses; the span stream tees into
+// the per-job memory sink (the spans endpoint) and the phase histograms.
 func (s *Server) runJob(ctx context.Context, j *Job) ([]byte, error) {
 	cfg := j.Cfg
+	mem := obs.NewMemorySink()
+	cfg.Observer = core.SinkObserver(obs.Fanout(mem, s.spanSink))
 	cfg.OnSnapshot = func(snap core.RoundSnapshot) {
 		s.lpPivots.Add(snap.LPIters)
 	}
+	defer func() {
+		if body, rerr := renderSpans(j.ID, mem); rerr == nil {
+			j.setSpans(body)
+		}
+	}()
 
 	var res *core.Result
 	var err error

@@ -37,6 +37,7 @@ import (
 	"sort"
 
 	"sherlock/internal/lp"
+	obslib "sherlock/internal/obs" // aliased: "obs" names Observations locals here
 	"sherlock/internal/trace"
 	"sherlock/internal/window"
 )
@@ -247,9 +248,25 @@ func sortedUniqueKeys(evs []window.CandEvent) []trace.Key {
 // and the optimal basis to pass into the next round's Solve. Passing a
 // stale or nil basis is always safe: the LP falls back to a cold start.
 func (e *Encoder) Solve(obs *window.Observations, warm *lp.Basis) (*Result, *lp.Basis, error) {
+	return e.SolveSpan(obs, warm, nil)
+}
+
+// SolveSpan is Solve recording its work under parent: an "encode" child
+// span covering the incremental encoding (window/key/problem dimensions,
+// all deterministic), and — via lp.Problem.Trace — a sibling "solve" span
+// for the simplex itself. A nil parent makes SolveSpan identical to Solve.
+func (e *Encoder) SolveSpan(obs *window.Observations, warm *lp.Basis, parent *obslib.Span) (*Result, *lp.Basis, error) {
+	cached := e.nCached
+	if e.lastObs != obs || len(obs.Windows) < cached {
+		cached = 0
+	}
+	span := parent.Child("encode",
+		obslib.Int("windows", len(obs.Windows)),
+		obslib.Int("cached", cached))
 	e.sync(obs)
 	b := &builder{cfg: e.cfg, obs: obs, prob: lp.NewProblem(), vars: map[trace.Key]varPair{}}
 	b.prob.MaxIters = e.cfg.MaxLPIters
+	b.prob.Trace = parent
 
 	for _, k := range e.keys {
 		b.addVars(k)
@@ -259,6 +276,11 @@ func (e *Encoder) Solve(obs *window.Observations, warm *lp.Basis) (*Result, *lp.
 	b.addAcqTimeVaries(e.keys)
 	b.addMostlyPaired(e.keys)
 	b.addSingleRole(e.keys)
+	span.Annotate(
+		obslib.Int("keys", len(e.keys)),
+		obslib.Int("vars", b.prob.NumVars()),
+		obslib.Int("constraints", b.prob.NumConstraints()))
+	span.End()
 
 	sol, err := lp.Solve(b.prob, warm)
 	if err != nil {

@@ -25,6 +25,7 @@ import (
 	"sort"
 	"sync"
 
+	"sherlock/internal/obs"
 	"sherlock/internal/trace"
 )
 
@@ -44,6 +45,24 @@ type Corpus struct {
 
 	mu      sync.Mutex
 	entries map[string]Entry
+	tracer  *obs.Tracer
+}
+
+// SetTracer attaches an observability tracer: subsequent Ingest and Source
+// decode operations record "ingest:<key>" / "decode:<key>" spans with
+// codec timings and sizes. Span keys are content addresses, so the spans
+// are deterministic for deterministic inputs. A nil tracer (the default)
+// disables recording. Not safe to call concurrently with corpus
+// operations; set it right after Open.
+func (c *Corpus) SetTracer(t *obs.Tracer) { c.tracer = t }
+
+// spanKey abbreviates a content address for span identity: 12 hex digits
+// keep IDs readable while remaining collision-free at corpus scale.
+func spanKey(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
 }
 
 // Open opens (creating if needed) the corpus at dir. A missing or corrupt
@@ -113,6 +132,16 @@ func (c *Corpus) Ingest(t *trace.Trace) (Entry, bool, error) {
 		Key: key, App: t.App, Test: t.Test, Seed: t.Seed,
 		Events: len(t.Events), Size: int64(len(data)),
 	}
+	span := c.tracer.Root("ingest", spanKey(key),
+		obs.Str("app", t.App),
+		obs.Str("test", t.Test),
+		obs.Int("events", len(t.Events)),
+		obs.Int("bytes", len(data)))
+	added := false
+	defer func() {
+		span.Annotate(obs.Bool("dedup", !added))
+		span.End()
+	}()
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -151,6 +180,7 @@ func (c *Corpus) Ingest(t *trace.Trace) (Entry, bool, error) {
 	if err := c.saveManifestLocked(); err != nil {
 		return Entry{}, false, err
 	}
+	added = true
 	return entry, true, nil
 }
 

@@ -13,6 +13,7 @@ import (
 	"io"
 	"os"
 
+	"sherlock/internal/obs"
 	"sherlock/internal/trace"
 )
 
@@ -39,15 +40,24 @@ func (s *Source) Keys() []string { return append([]string(nil), s.keys...) }
 
 // Traces decodes each trace in turn and hands it to yield, stopping on
 // the first decode or yield error and between traces when ctx is done.
+// When the corpus has a tracer, each decode records a "decode:<key>" span
+// (the yield itself — inference work — is not part of the span).
 func (s *Source) Traces(ctx context.Context, yield func(*trace.Trace) error) error {
 	for _, key := range s.keys {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		span := s.c.tracer.Root("decode", spanKey(key))
 		t, err := s.c.Get(key)
 		if err != nil {
+			span.End()
 			return err
 		}
+		span.Annotate(
+			obs.Str("app", t.App),
+			obs.Str("test", t.Test),
+			obs.Int("events", t.Len()))
+		span.End()
 		if err := yield(t); err != nil {
 			return err
 		}

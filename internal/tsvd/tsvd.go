@@ -83,7 +83,7 @@ func Analyze(ctx context.Context, app *prog.Program, inferred trace.SyncSet, cfg
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			r, err := sched.Run(app, test, sched.Options{
+			r, err := sched.RunContext(ctx, app, test, sched.Options{
 				Seed:          cfg.Seed + int64(run)*911 + int64(ti)*17,
 				HiddenMethods: app.Truth.HiddenMethods,
 			})
@@ -132,7 +132,7 @@ func Analyze(ctx context.Context, app *prog.Program, inferred trace.SyncSet, cfg
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			r, err := sched.Run(app, app.Tests[ti], sched.Options{
+			r, err := sched.RunContext(ctx, app, app.Tests[ti], sched.Options{
 				Seed:          cfg.Seed + int64(site)*131 + int64(ti)*17,
 				HiddenMethods: app.Truth.HiddenMethods,
 				SiteDelays:    map[int]int64{site: cfg.Delay},

@@ -23,7 +23,15 @@
 //   - Consumers: CompareDetectors feeds an inferred SyncSet into a
 //     FastTrack race detector next to a manually annotated baseline
 //     (the paper's Manual_dr vs SherLock_dr); AnalyzeTSVD reproduces the
-//     TSVD-enhancement study.
+//     TSVD-enhancement study. Both take functional options (WithRaceRuns,
+//     WithTSVDSeed, ...) over their Default*Config.
+//   - Observability: set Config.Observer to receive the campaign's span
+//     stream — a deterministic tree of campaign → round → execute/encode/
+//     solve/perturb spans with typed attributes and counters. MemorySink
+//     buffers and reconstructs trees for inspection; JSONLSink streams an
+//     event log (`sherlock -trace-out=events.jsonl`). Span IDs and
+//     attributes are identical across parallelism levels; only wall-clock
+//     durations vary.
 //
 // Every entrypoint that executes tests takes a context.Context as its
 // first argument; cancellation aborts a campaign between test executions
@@ -48,12 +56,14 @@ import (
 
 	"sherlock/internal/apps"
 	"sherlock/internal/core"
+	"sherlock/internal/obs"
 	"sherlock/internal/prog"
 	"sherlock/internal/race"
 	"sherlock/internal/sched"
 	"sherlock/internal/store"
 	"sherlock/internal/trace"
 	"sherlock/internal/tsvd"
+	"sherlock/internal/window"
 )
 
 // Core types, re-exported.
@@ -105,8 +115,43 @@ type (
 
 	// RaceComparison is a Manual_dr vs SherLock_dr detection outcome.
 	RaceComparison = race.Comparison
+	// RaceConfig tunes CompareDetectors (runs per test, seed). Construct
+	// with DefaultRaceConfig and adjust, or use the WithRace* options.
+	RaceConfig = race.CompareConfig
 	// TSVDResult is the outcome of the TSVD-enhancement analysis.
 	TSVDResult = tsvd.Result
+	// TSVDConfig tunes AnalyzeTSVD (runs, seed, near window, delay
+	// threshold). Construct with DefaultTSVDConfig and adjust, or use the
+	// WithTSVD* options.
+	TSVDConfig = tsvd.Config
+
+	// Observer receives an inference campaign's observability stream: every
+	// span event the tracer emits plus a Round callback at the end of each
+	// round. Set it on Config.Observer; it subsumes the deprecated OnRound
+	// and OnSnapshot hooks. Implementations must be safe for concurrent
+	// Event calls (per-test spans end on pool workers).
+	Observer = core.Observer
+	// ObserverFuncs adapts plain functions to Observer; nil fields are
+	// skipped.
+	ObserverFuncs = core.ObserverFuncs
+	// RoundSnapshot summarizes one completed inference round.
+	RoundSnapshot = core.RoundSnapshot
+	// Observations is the accumulated window evidence handed to
+	// Observer.Round.
+	Observations = window.Observations
+
+	// SpanEvent is one tracer event (span start/end, annotation, counter
+	// delta) in the observability stream.
+	SpanEvent = obs.Event
+	// SpanNode is one reconstructed span-tree node (MemorySink.Tree,
+	// sherlockd's spans endpoint).
+	SpanNode = obs.Node
+	// MemorySink buffers span events in memory and reconstructs span trees —
+	// the test and programmatic-inspection sink.
+	MemorySink = obs.MemorySink
+	// JSONLSink streams span events as JSON lines to an io.Writer — the
+	// event-log sink behind `sherlock -trace-out`.
+	JSONLSink = obs.JSONLSink
 )
 
 // Role values.
@@ -153,30 +198,106 @@ func Apps() []*Program { return apps.All() }
 // AppByName returns one benchmark application by id ("App-1".."App-8").
 func AppByName(name string) (*Program, error) { return apps.ByName(name) }
 
+// SinkObserver wraps a span sink as an Observer whose Round callback is a
+// no-op — the adapter for streaming a campaign's event log (for example
+// SinkObserver(NewJSONLSink(f))).
+func SinkObserver(s obs.Sink) Observer { return core.SinkObserver(s) }
+
+// NewMemorySink returns an empty in-memory span sink.
+func NewMemorySink() *MemorySink { return obs.NewMemorySink() }
+
+// NewJSONLSink returns a sink writing one JSON object per span event to w.
+// Safe for concurrent Emit calls; the caller owns w's lifetime.
+func NewJSONLSink(w io.Writer) *JSONLSink { return obs.NewJSONLSink(w) }
+
+// ParseJSONLLog decodes an event log written by a JSONLSink (the
+// `sherlock -trace-out` format) back into span events.
+func ParseJSONLLog(data []byte) ([]SpanEvent, error) { return obs.ParseJSONL(data) }
+
+// BuildSpanTree reconstructs the deterministic span forest from events.
+func BuildSpanTree(events []SpanEvent) []*SpanNode { return obs.BuildTree(events) }
+
+// RenderSpanEvents returns the deterministic text rendering of an event
+// stream: span forest plus counter totals, wall-clock fields excluded —
+// byte-identical across runs and parallelism levels for the same campaign.
+func RenderSpanEvents(events []SpanEvent) string { return obs.RenderEvents(events) }
+
+// DefaultRaceConfig returns CompareDetectors' defaults (the paper's
+// detection protocol: every test, a fixed run budget, deterministic seed).
+func DefaultRaceConfig() RaceConfig { return race.DefaultCompareConfig() }
+
+// RaceOption adjusts one CompareDetectors setting.
+type RaceOption func(*RaceConfig)
+
+// WithRaceRuns sets how many seeded executions each test gets per detector
+// configuration.
+func WithRaceRuns(n int) RaceOption { return func(c *RaceConfig) { c.Runs = n } }
+
+// WithRaceSeed sets the base scheduler seed for the comparison.
+func WithRaceSeed(seed int64) RaceOption { return func(c *RaceConfig) { c.Seed = seed } }
+
+// WithRaceConfig replaces the whole configuration (applied before any
+// other options in the same call).
+func WithRaceConfig(cfg RaceConfig) RaceOption { return func(c *RaceConfig) { *c = cfg } }
+
 // CompareDetectors runs the FastTrack race detector over the program's
 // tests twice — once with the classic manually annotated synchronization
 // list, once with the inferred set — and counts true/false first-reported
-// races (the paper's Table 3). Pass Result.SyncKeys() as inferred.
-func CompareDetectors(ctx context.Context, app *Program, inferred SyncSet) (*RaceComparison, error) {
-	return race.Compare(ctx, app, inferred, race.DefaultCompareConfig())
+// races (the paper's Table 3). Pass Result.SyncKeys() as inferred; with no
+// options it uses DefaultRaceConfig.
+func CompareDetectors(ctx context.Context, app *Program, inferred SyncSet, opts ...RaceOption) (*RaceComparison, error) {
+	cfg := DefaultRaceConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return race.Compare(ctx, app, inferred, cfg)
 }
+
+// DefaultTSVDConfig returns AnalyzeTSVD's defaults, mirroring the TSVD
+// paper's operating point.
+func DefaultTSVDConfig() TSVDConfig { return tsvd.DefaultConfig() }
+
+// TSVDOption adjusts one AnalyzeTSVD setting.
+type TSVDOption func(*TSVDConfig)
+
+// WithTSVDRuns sets how many seeded executions feed the analysis.
+func WithTSVDRuns(n int) TSVDOption { return func(c *TSVDConfig) { c.Runs = n } }
+
+// WithTSVDSeed sets the base scheduler seed for the analysis.
+func WithTSVDSeed(seed int64) TSVDOption { return func(c *TSVDConfig) { c.Seed = seed } }
+
+// WithTSVDNear sets the physical-proximity window (virtual ns) under which
+// two conflicting calls count as near misses.
+func WithTSVDNear(near int64) TSVDOption { return func(c *TSVDConfig) { c.Near = near } }
+
+// WithTSVDDelay sets the injected delay (virtual ns) used to probe
+// delay-propagation.
+func WithTSVDDelay(delay int64) TSVDOption { return func(c *TSVDConfig) { c.Delay = delay } }
+
+// WithTSVDConfig replaces the whole configuration (applied before any
+// other options in the same call).
+func WithTSVDConfig(cfg TSVDConfig) TSVDOption { return func(c *TSVDConfig) { *c = cfg } }
 
 // AnalyzeTSVD reproduces the Section 5.6 experiment: which conflicting
 // thread-unsafe API-call pairs are provably synchronized, per TSVD's
 // delay-propagation heuristic and per SherLock's inferred operations.
-// Pass Result.SyncKeys() as inferred.
-func AnalyzeTSVD(ctx context.Context, app *Program, inferred SyncSet) (*TSVDResult, error) {
-	return tsvd.Analyze(ctx, app, inferred, tsvd.DefaultConfig())
+// Pass Result.SyncKeys() as inferred; with no options it uses
+// DefaultTSVDConfig.
+func AnalyzeTSVD(ctx context.Context, app *Program, inferred SyncSet, opts ...TSVDOption) (*TSVDResult, error) {
+	cfg := DefaultTSVDConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return tsvd.Analyze(ctx, app, inferred, cfg)
 }
 
 // CaptureTrace executes one unit test of app under the given scheduler seed
 // and returns its execution log — the raw material of inference. Traces
 // serialize as JSON lines via (*Trace).Write and load with ReadTrace.
+// Cancellation is prompt: the scheduler polls ctx between steps and the
+// returned error matches errors.Is(err, ctx.Err()).
 func CaptureTrace(ctx context.Context, app *Program, test *Test, seed int64) (*Trace, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	res, err := sched.Run(app, test, sched.Options{Seed: seed})
+	res, err := sched.RunContext(ctx, app, test, sched.Options{Seed: seed})
 	if err != nil {
 		return nil, err
 	}
@@ -187,15 +308,18 @@ func CaptureTrace(ctx context.Context, app *Program, test *Test, seed int64) (*T
 func ReadTrace(r io.Reader) (*Trace, error) { return trace.Read(r) }
 
 // InferFromTraces runs window extraction and a single solve over previously
-// captured traces — the paper's log-analysis step without re-execution or
-// Perturber feedback. Use it to analyze logs from external instrumentation.
+// captured in-memory traces — a thin convenience wrapper over
+// InferFromSource with a SliceSource.
 func InferFromTraces(ctx context.Context, traces []*Trace, cfg Config) (*Result, error) {
 	return core.InferFromTraces(ctx, traces, cfg)
 }
 
-// InferFromSource is InferFromTraces over a streaming TraceSource — for
-// example a trace corpus (OpenCorpus) whose traces are decoded one at a
-// time, keeping memory bounded by the largest single trace.
+// InferFromSource is the primary offline entrypoint: window extraction and
+// a single solve over a streaming TraceSource — the paper's log-analysis
+// step without re-execution or Perturber feedback. Sources decode one
+// trace at a time, so memory stays bounded by the largest single trace;
+// a corpus (OpenCorpus) plugs in via Corpus.Source, in-memory traces via
+// SliceSource (or the InferFromTraces shorthand).
 func InferFromSource(ctx context.Context, src TraceSource, cfg Config) (*Result, error) {
 	return core.InferFromSource(ctx, src, cfg)
 }
@@ -212,42 +336,3 @@ func EncodeTrace(t *Trace) ([]byte, error) { return store.EncodeTrace(t) }
 
 // DecodeTrace parses a trace in the canonical binary encoding.
 func DecodeTrace(data []byte) (*Trace, error) { return store.DecodeTrace(data) }
-
-// ---------------------------------------------------------------------------
-// Deprecated context-less wrappers, kept for pre-context callers.
-// ---------------------------------------------------------------------------
-
-// InferBackground is Infer with context.Background().
-//
-// Deprecated: use Infer, which takes a context.Context.
-func InferBackground(app *Program, cfg Config) (*Result, error) {
-	return Infer(context.Background(), app, cfg)
-}
-
-// InferFromTracesBackground is InferFromTraces with context.Background().
-//
-// Deprecated: use InferFromTraces, which takes a context.Context.
-func InferFromTracesBackground(traces []*Trace, cfg Config) (*Result, error) {
-	return InferFromTraces(context.Background(), traces, cfg)
-}
-
-// CompareDetectorsBackground is CompareDetectors with context.Background().
-//
-// Deprecated: use CompareDetectors, which takes a context.Context.
-func CompareDetectorsBackground(app *Program, inferred SyncSet) (*RaceComparison, error) {
-	return CompareDetectors(context.Background(), app, inferred)
-}
-
-// AnalyzeTSVDBackground is AnalyzeTSVD with context.Background().
-//
-// Deprecated: use AnalyzeTSVD, which takes a context.Context.
-func AnalyzeTSVDBackground(app *Program, inferred SyncSet) (*TSVDResult, error) {
-	return AnalyzeTSVD(context.Background(), app, inferred)
-}
-
-// CaptureTraceBackground is CaptureTrace with context.Background().
-//
-// Deprecated: use CaptureTrace, which takes a context.Context.
-func CaptureTraceBackground(app *Program, test *Test, seed int64) (*Trace, error) {
-	return CaptureTrace(context.Background(), app, test, seed)
-}
