@@ -1,0 +1,172 @@
+// Incremental-inference benchmark: how much cheaper is extending a
+// checkpointed corpus solve by a few traces than re-solving from scratch?
+// For each appended-trace count the from-scratch path re-runs the full
+// offline solve over base+k traces, while the incremental path folds just
+// the k new traces into the base checkpoint, warm-starting the LP from the
+// stored basis. The checkpoint is decoded once, outside the timed region:
+// a live daemon holds it in memory between uploads and only pays the
+// decode on restart, so the steady-state per-upload cost is the honest
+// comparison. The numbers land in BENCH_incremental.json;
+// -incr-min-speedup turns the +1-trace point into a CI gate.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"sherlock/internal/apps"
+	"sherlock/internal/core"
+	"sherlock/internal/sched"
+	"sherlock/internal/store"
+	"sherlock/internal/trace"
+)
+
+// incrPoint is one appended-trace measurement.
+type incrPoint struct {
+	Appended  int     `json:"appended"`
+	ScratchNs int64   `json:"scratch_ns"`
+	IncrNs    int64   `json:"incr_ns"`
+	Speedup   float64 `json:"speedup"`
+}
+
+// incrResult is the BENCH_incremental.json schema.
+type incrResult struct {
+	App        string      `json:"app"`
+	BaseTraces int         `json:"base_traces"`
+	Reps       int         `json:"reps"`
+	Points     []incrPoint `json:"points"`
+}
+
+// benchIncr runs the incremental-vs-from-scratch measurement and writes
+// the result file. A non-zero minSpeedup gates the +1-trace point.
+func benchIncr(outFile, appName string, baseTraces, reps int, minSpeedup float64) error {
+	app, err := apps.ByName(appName)
+	if err != nil {
+		return err
+	}
+	cfg := core.DefaultConfig()
+	appends := []int{1, 4, 16}
+	need := baseTraces + appends[len(appends)-1]
+
+	// Capture distinct traces (tests x seeds, deduped by content address).
+	var kts []core.KeyedTrace
+	seen := map[string]bool{}
+	for seed := int64(1); len(kts) < need; seed++ {
+		for _, tc := range app.Tests {
+			run, err := sched.Run(app, tc, sched.Options{Seed: seed})
+			if err != nil {
+				return err
+			}
+			key, err := store.Key(run.Trace)
+			if err != nil {
+				return err
+			}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			kts = append(kts, core.KeyedTrace{Key: key, Trace: run.Trace})
+			if len(kts) == need {
+				break
+			}
+		}
+	}
+
+	// Build the base checkpoint once and round-trip it through the persisted
+	// encoding, so the measured state is exactly what a daemon would hold.
+	ctx := context.Background()
+	_, baseCk, err := core.InferIncremental(ctx, nil, core.KeyedSlice(kts[:baseTraces]), cfg)
+	if err != nil {
+		return err
+	}
+	ckBytes, err := core.EncodeCheckpoint(baseCk)
+	if err != nil {
+		return err
+	}
+	ck, err := core.DecodeCheckpoint(ckBytes)
+	if err != nil {
+		return err
+	}
+
+	res := incrResult{App: appName, BaseTraces: baseTraces, Reps: reps}
+	for _, k := range appends {
+		full := kts[:baseTraces+k]
+		sorted := append([]core.KeyedTrace(nil), full...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+		var traces []*trace.Trace
+		for _, kt := range sorted {
+			traces = append(traces, kt.Trace)
+		}
+
+		pt := incrPoint{Appended: k}
+		var scratchRes, incrRes *core.Result
+		for rep := 0; rep < reps; rep++ {
+			t0 := time.Now()
+			sr, err := core.InferFromSource(ctx, core.SliceSource(traces), cfg)
+			if err != nil {
+				return err
+			}
+			if d := time.Since(t0); rep == 0 || d.Nanoseconds() < pt.ScratchNs {
+				pt.ScratchNs = d.Nanoseconds()
+			}
+			scratchRes = sr
+
+			t0 = time.Now()
+			ir, _, err := core.InferIncremental(ctx, ck, core.KeyedSlice(kts[baseTraces:baseTraces+k]), cfg)
+			if err != nil {
+				return err
+			}
+			if d := time.Since(t0); rep == 0 || d.Nanoseconds() < pt.IncrNs {
+				pt.IncrNs = d.Nanoseconds()
+			}
+			incrRes = ir
+		}
+		if err := sameInference(scratchRes, incrRes); err != nil {
+			return fmt.Errorf("+%d traces: %w", k, err)
+		}
+		pt.Speedup = float64(pt.ScratchNs) / float64(pt.IncrNs)
+		res.Points = append(res.Points, pt)
+	}
+
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(outFile, buf, 0o644); err != nil {
+		return err
+	}
+	for _, pt := range res.Points {
+		fmt.Printf("%s: +%d traces on %d-trace base: scratch %.1fms vs incremental %.1fms: %.2fx\n",
+			outFile, pt.Appended, res.BaseTraces,
+			float64(pt.ScratchNs)/1e6, float64(pt.IncrNs)/1e6, pt.Speedup)
+	}
+	if minSpeedup > 0 && res.Points[0].Speedup < minSpeedup {
+		return fmt.Errorf("+1-trace incremental speedup %.2fx below the %.2fx gate", res.Points[0].Speedup, minSpeedup)
+	}
+	return nil
+}
+
+// sameInference checks the benchmark's sanity invariant: both paths must
+// infer the identical operation set with identical posteriors.
+func sameInference(a, b *core.Result) error {
+	ca, cb := *a, *b
+	ca.Overhead.RunWall, ca.Overhead.SolveWall = 0, 0
+	cb.Overhead.RunWall, cb.Overhead.SolveWall = 0, 0
+	ba, err := json.Marshal(&ca)
+	if err != nil {
+		return err
+	}
+	bb, err := json.Marshal(&cb)
+	if err != nil {
+		return err
+	}
+	if string(ba) != string(bb) {
+		return fmt.Errorf("incremental result differs from from-scratch solve")
+	}
+	return nil
+}

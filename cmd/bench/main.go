@@ -23,9 +23,12 @@
 //	      [-server-out BENCH_server.json] [-server-jobs 16]
 //	      [-store-out BENCH_store.json]
 //	      [-obs-out BENCH_obs.json] [-obs-reps 7] [-obs-max-pct 5]
+//	      [-incr-out BENCH_incremental.json] [-incr-base 160] [-incr-reps 5]
+//	      [-incr-min-speedup 3]
 //
-// Each -*out flag accepts "" to skip that measurement; -obs-max-pct turns
-// the tracing-overhead record into a CI gate (non-zero exit on breach).
+// Each -*out flag accepts "" to skip that measurement; -obs-max-pct and
+// -incr-min-speedup turn their records into CI gates (non-zero exit on
+// breach).
 package main
 
 import (
@@ -70,6 +73,10 @@ func main() {
 		obsOut     = flag.String("obs-out", "", "tracing-overhead benchmark output file (empty = skip)")
 		obsReps    = flag.Int("obs-reps", 7, "campaign repetitions per tracing mode (best is reported)")
 		obsMaxPct  = flag.Float64("obs-max-pct", 0, "fail (exit 1) if no-sink tracing overhead exceeds this percentage (0 = record only)")
+		incrOut    = flag.String("incr-out", "", "incremental-inference benchmark output file (empty = skip)")
+		incrBase   = flag.Int("incr-base", 160, "checkpointed base corpus size in traces")
+		incrReps   = flag.Int("incr-reps", 5, "repetitions per incremental point (best is reported)")
+		incrMinSpd = flag.Float64("incr-min-speedup", 0, "fail (exit 1) if the +1-trace incremental speedup falls below this (0 = record only)")
 	)
 	flag.Parse()
 	if *outAlias != "" {
@@ -87,6 +94,9 @@ func main() {
 	}
 	if *obsOut != "" {
 		die(benchObs(*obsOut, *appName, *rounds, *obsReps, *obsMaxPct))
+	}
+	if *incrOut != "" {
+		die(benchIncr(*incrOut, *appName, *incrBase, *incrReps, *incrMinSpd))
 	}
 }
 

@@ -20,18 +20,37 @@ type jobView struct {
 	Key       string `json:"key"`
 	Status    string `json:"status"`
 	Cached    bool   `json:"cached"`
+	Version   uint64 `json:"version,omitempty"`
+	WatchApp  string `json:"watch_app,omitempty"`
 	Error     string `json:"error,omitempty"`
 	ResultURL string `json:"result_url,omitempty"`
+	WatchURL  string `json:"watch_url,omitempty"`
 }
 
 // submitSpec mirrors the server's JobSpec.
 type submitSpec struct {
 	App       string   `json:"app,omitempty"`
 	TraceKeys []string `json:"trace_keys,omitempty"`
+	WatchApp  string   `json:"watch_app,omitempty"`
 	Rounds    int      `json:"rounds,omitempty"`
 	Lambda    float64  `json:"lambda,omitempty"`
 	Near      int64    `json:"near,omitempty"`
 	Seed      int64    `json:"seed,omitempty"`
+}
+
+// apiError renders a failed response: sherlockd v1 errors arrive as
+// {"error":{"code","message"}}; anything else is shown raw.
+func apiError(op, status string, body []byte) error {
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &env); err == nil && env.Error.Code != "" {
+		return fmt.Errorf("%s: %s: %s (%s)", op, status, env.Error.Message, env.Error.Code)
+	}
+	return fmt.Errorf("%s: %s: %s", op, status, strings.TrimSpace(string(body)))
 }
 
 // submitJob POSTs an application job and optionally polls it to
@@ -42,30 +61,162 @@ func submitJob(ctx context.Context, base, app string, rounds int, lambda float64
 	return postJobSpec(ctx, base, spec, wait)
 }
 
-// postJobSpec is the shared submit/poll/print path behind -submit and
-// -submit-keys.
-func postJobSpec(ctx context.Context, base string, spec submitSpec, wait bool) error {
-	buf, err := json.Marshal(spec)
+// submitWatchJob creates a streaming watch job; with wait set it follows
+// the published versions like `sherlock watch`.
+func submitWatchJob(ctx context.Context, base, app string, rounds int, lambda float64, near, seed int64, wait bool) error {
+	spec := submitSpec{WatchApp: app, Rounds: rounds, Lambda: lambda, Near: near, Seed: seed}
+	v, err := postSpec(ctx, base, spec)
 	if err != nil {
 		return err
 	}
+	fmt.Printf("job %s  status %s  watching app %s\n", v.ID, v.Status, app)
+	if !wait {
+		return nil
+	}
+	return watchJob(ctx, base, v.ID, 0)
+}
+
+// createWatchJob creates a watch job and returns its id (the `sherlock
+// watch -app X` entrypoint).
+func createWatchJob(ctx context.Context, base, app string) (string, error) {
+	v, err := postSpec(ctx, base, submitSpec{WatchApp: app})
+	if err != nil {
+		return "", err
+	}
+	fmt.Printf("job %s  status %s  watching app %s\n", v.ID, v.Status, app)
+	return v.ID, nil
+}
+
+// watchJob follows a job's published versions via the long-poll endpoint,
+// printing a line (and the result summary) per version until the job
+// terminates or ctx is canceled.
+func watchJob(ctx context.Context, base, id string, after uint64) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		url := fmt.Sprintf("%s/v1/jobs/%s/watch?after=%d&timeout=30", base, id, after)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return apiError("watch "+id, resp.Status, body)
+		}
+		var v jobView
+		if err := json.Unmarshal(body, &v); err != nil {
+			return fmt.Errorf("watch %s: bad response: %w", id, err)
+		}
+		if v.Version > after {
+			after = v.Version
+			fmt.Printf("job %s  version %d  key %s\n", v.ID, v.Version, v.Key)
+			if err := printServerResult(ctx, base, v.Key); err != nil {
+				return err
+			}
+		}
+		switch v.Status {
+		case "done", "failed", "canceled":
+			fmt.Printf("job %s  status %s\n", v.ID, v.Status)
+			if v.Status == "failed" {
+				return fmt.Errorf("job %s failed: %s", v.ID, v.Error)
+			}
+			return nil
+		}
+	}
+}
+
+// listJobs prints GET /v1/jobs, following pagination cursors, optionally
+// filtered by status.
+func listJobs(ctx context.Context, base, status string) error {
+	after := ""
+	n := 0
+	for {
+		url := base + "/v1/jobs?limit=100"
+		if status != "" {
+			url += "&status=" + status
+		}
+		if after != "" {
+			url += "&after=" + after
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return apiError("list jobs", resp.Status, body)
+		}
+		var lv struct {
+			Jobs      []jobView `json:"jobs"`
+			NextAfter string    `json:"next_after"`
+		}
+		if err := json.Unmarshal(body, &lv); err != nil {
+			return fmt.Errorf("list jobs: bad response: %w", err)
+		}
+		for _, v := range lv.Jobs {
+			line := fmt.Sprintf("%s  %-9s", v.ID, v.Status)
+			if v.WatchApp != "" {
+				line += fmt.Sprintf("  watch %s v%d", v.WatchApp, v.Version)
+			}
+			if v.Key != "" {
+				line += "  key " + v.Key
+			}
+			fmt.Println(line)
+			n++
+		}
+		if lv.NextAfter == "" {
+			break
+		}
+		after = lv.NextAfter
+	}
+	fmt.Printf("%d jobs\n", n)
+	return nil
+}
+
+// postSpec POSTs a job spec and decodes the created job view.
+func postSpec(ctx context.Context, base string, spec submitSpec) (*jobView, error) {
+	buf, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/jobs", bytes.NewReader(buf))
 	if err != nil {
-		return err
+		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
-		return fmt.Errorf("submit: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+		return nil, apiError("submit", resp.Status, body)
 	}
 	var v jobView
 	if err := json.Unmarshal(body, &v); err != nil {
-		return fmt.Errorf("submit: bad response: %w", err)
+		return nil, fmt.Errorf("submit: bad response: %w", err)
+	}
+	return &v, nil
+}
+
+// postJobSpec is the shared submit/poll/print path behind -submit and
+// -submit-keys.
+func postJobSpec(ctx context.Context, base string, spec submitSpec, wait bool) error {
+	v, err := postSpec(ctx, base, spec)
+	if err != nil {
+		return err
 	}
 	fmt.Printf("job %s  key %s  status %s  cached %v\n", v.ID, v.Key, v.Status, v.Cached)
 	if !wait {
@@ -112,7 +263,7 @@ func jobStatus(ctx context.Context, base, id string) (*jobView, error) {
 	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("status %s: %s: %s", id, resp.Status, strings.TrimSpace(string(body)))
+		return nil, apiError("status "+id, resp.Status, body)
 	}
 	var v jobView
 	if err := json.Unmarshal(body, &v); err != nil {
@@ -148,7 +299,7 @@ func printServerResult(ctx context.Context, base, key string) error {
 	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("result %s: %s: %s", key, resp.Status, strings.TrimSpace(string(body)))
+		return apiError("result "+key, resp.Status, body)
 	}
 	var env struct {
 		Key    string `json:"key"`

@@ -1,0 +1,234 @@
+// Subcommand interface for the sherlock CLI. Each verb owns its flag set:
+//
+//	sherlock capture -corpus DIR [-app App-4] [-seed 1]
+//	sherlock infer   [-app App-4 | -corpus DIR | -traces DIR | -all | -list]
+//	sherlock upload  -server URL FILE...
+//	sherlock submit  -server URL [-app X | -keys k1,k2 | -watch-app X] [-wait]
+//	sherlock watch   -server URL [-job job-000001 | -app X]
+//	sherlock status  -server URL [JOB-ID | -result KEY | -list [-filter done]]
+//
+// The pre-subcommand flat flags (sherlock -app App-4, sherlock -server ...
+// -submit ...) still work as deprecated aliases; main falls back to them
+// when the first argument is a flag.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"sherlock/internal/apps"
+	"sherlock/internal/core"
+	"sherlock/internal/exper"
+	"sherlock/internal/report"
+)
+
+// runCommand dispatches one subcommand; returns false if the verb is
+// unknown (the caller falls back to legacy flag parsing).
+func runCommand(ctx context.Context, verb string, args []string) bool {
+	switch verb {
+	case "capture":
+		cmdCapture(ctx, args)
+	case "infer":
+		cmdInfer(ctx, args)
+	case "upload":
+		cmdUpload(ctx, args)
+	case "submit":
+		cmdSubmit(ctx, args)
+	case "watch":
+		cmdWatch(ctx, args)
+	case "status":
+		cmdStatus(ctx, args)
+	case "help", "-h", "-help", "--help":
+		usage(os.Stdout)
+	default:
+		return false
+	}
+	return true
+}
+
+func usage(w *os.File) {
+	fmt.Fprint(w, `sherlock — synchronization-operation inference
+
+Local:
+  sherlock capture -corpus DIR [-app App-4] [-seed 1]
+      run the benchmark tests and ingest their traces into a corpus
+  sherlock infer -app App-4 [-rounds 3] [-lambda 0.2] [-near 1000000] [-v]
+      full feedback campaign on one application
+  sherlock infer -corpus DIR [-app App-4]
+      offline inference over a captured corpus
+  sherlock infer -traces DIR
+      offline inference over JSONL trace files
+  sherlock infer -all | -list
+      Table 2 over every application / the application inventory
+
+Against a sherlockd daemon:
+  sherlock upload -server URL FILE...
+      upload traces (binary or JSONL) into the daemon's corpus
+  sherlock submit -server URL -app App-4 [-wait]
+  sherlock submit -server URL -keys KEY1,KEY2 [-wait]
+      one-shot inference jobs (campaign / corpus offline solve)
+  sherlock submit -server URL -watch-app App-4
+      streaming job: binds to the corpus prefix, re-solves per upload
+  sherlock watch -server URL -job JOB-ID
+  sherlock watch -server URL -app App-4
+      follow a job's published versions (creates the watch job with -app)
+  sherlock status -server URL JOB-ID
+  sherlock status -server URL -result KEY
+  sherlock status -server URL -list [-filter done]
+      job status, stored results, and the job listing
+
+The pre-subcommand flat flags (sherlock -app ..., sherlock -server ...
+-submit ...) remain available but are deprecated.
+`)
+}
+
+func cmdCapture(ctx context.Context, args []string) {
+	fs := flag.NewFlagSet("capture", flag.ExitOnError)
+	corpus := fs.String("corpus", "", "corpus directory (required)")
+	appName := fs.String("app", "", "capture only this application (default all)")
+	seed := fs.Int64("seed", 1, "base scheduler seed")
+	fs.Parse(args)
+	if *corpus == "" {
+		die(fmt.Errorf("capture: -corpus is required"))
+	}
+	die(captureToCorpus(ctx, *appName, *corpus, *seed))
+}
+
+func cmdInfer(ctx context.Context, args []string) {
+	fs := flag.NewFlagSet("infer", flag.ExitOnError)
+	appName := fs.String("app", "", "application id (App-1..App-8); with -corpus, a filter")
+	corpus := fs.String("corpus", "", "offline: infer from this trace corpus")
+	tracesDir := fs.String("traces", "", "offline: infer from the JSONL traces in this directory")
+	all := fs.Bool("all", false, "run every application and print Table 2")
+	list := fs.Bool("list", false, "print the application inventory (Table 1)")
+	rounds := fs.Int("rounds", 3, "rounds per test input")
+	lambda := fs.Float64("lambda", 0.2, "Mostly-Protected trade-off knob")
+	near := fs.Int64("near", 1_000_000, "conflict window in virtual ns")
+	seed := fs.Int64("seed", 1, "base scheduler seed")
+	parallel := fs.Int("p", 0, "worker pool size per round (0 = GOMAXPROCS)")
+	verbose := fs.Bool("v", false, "print per-round snapshots")
+	traceOut := fs.String("trace-out", "", "write the campaign's span event log as JSON lines to this file")
+	fs.Parse(args)
+
+	switch {
+	case *list:
+		report.Table1(os.Stdout)
+	case *all:
+		rows, runs, err := exper.Table2(ctx)
+		die(err)
+		report.Table2(os.Stdout, rows, exper.UniqueCorrect(runs))
+	case *corpus != "":
+		observer, closeLog, err := traceObserver(*traceOut)
+		die(err)
+		die(firstErr(analyzeCorpus(ctx, *corpus, *appName, *lambda, *near, observer), closeLog()))
+	case *tracesDir != "":
+		observer, closeLog, err := traceObserver(*traceOut)
+		die(err)
+		die(firstErr(analyzeTraces(ctx, *tracesDir, *lambda, *near, observer), closeLog()))
+	case *appName != "":
+		app, err := apps.ByName(*appName)
+		die(err)
+		cfg := core.DefaultConfig()
+		cfg.Rounds = *rounds
+		cfg.Solver.Lambda = *lambda
+		cfg.Window.Near = *near
+		cfg.Seed = *seed
+		cfg.Parallelism = *parallel
+		observer, closeLog, err := traceObserver(*traceOut)
+		die(err)
+		cfg.Observer = observer
+		res, err := core.Infer(ctx, app, cfg)
+		die(firstErr(err, closeLog()))
+		printResult(app, res, *verbose)
+	default:
+		die(fmt.Errorf("infer: one of -app, -corpus, -traces, -all, or -list is required"))
+	}
+}
+
+func cmdUpload(ctx context.Context, args []string) {
+	fs := flag.NewFlagSet("upload", flag.ExitOnError)
+	server := fs.String("server", "", "sherlockd base URL (required)")
+	fs.Parse(args)
+	if *server == "" {
+		die(fmt.Errorf("upload: -server is required"))
+	}
+	if fs.NArg() == 0 {
+		die(fmt.Errorf("upload: at least one trace file is required"))
+	}
+	for _, path := range fs.Args() {
+		die(uploadTrace(ctx, *server, path))
+	}
+}
+
+func cmdSubmit(ctx context.Context, args []string) {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	server := fs.String("server", "", "sherlockd base URL (required)")
+	appName := fs.String("app", "", "submit an application campaign job")
+	keys := fs.String("keys", "", "submit an offline job over comma-separated corpus keys")
+	watchApp := fs.String("watch-app", "", "submit a streaming watch job bound to this corpus app")
+	rounds := fs.Int("rounds", 0, "rounds override (0 = server default)")
+	lambda := fs.Float64("lambda", 0, "lambda override (0 = server default)")
+	near := fs.Int64("near", 0, "near-window override (0 = server default)")
+	seed := fs.Int64("seed", 0, "seed override (0 = server default)")
+	wait := fs.Bool("wait", false, "poll the job to completion and print its result")
+	fs.Parse(args)
+	if *server == "" {
+		die(fmt.Errorf("submit: -server is required"))
+	}
+	switch {
+	case *watchApp != "":
+		die(submitWatchJob(ctx, *server, *watchApp, *rounds, *lambda, *near, *seed, *wait))
+	case *appName != "":
+		die(submitJob(ctx, *server, *appName, *rounds, *lambda, *near, *seed, *wait))
+	case *keys != "":
+		die(submitKeysJob(ctx, *server, *keys, *rounds, *lambda, *near, *seed, *wait))
+	default:
+		die(fmt.Errorf("submit: one of -app, -keys, or -watch-app is required"))
+	}
+}
+
+func cmdWatch(ctx context.Context, args []string) {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	server := fs.String("server", "", "sherlockd base URL (required)")
+	jobID := fs.String("job", "", "follow an existing job id")
+	appName := fs.String("app", "", "create a watch job bound to this corpus app, then follow it")
+	after := fs.Uint64("after", 0, "resume from this published version")
+	fs.Parse(args)
+	if *server == "" {
+		die(fmt.Errorf("watch: -server is required"))
+	}
+	switch {
+	case *jobID != "":
+		die(watchJob(ctx, *server, *jobID, *after))
+	case *appName != "":
+		id, err := createWatchJob(ctx, *server, *appName)
+		die(err)
+		die(watchJob(ctx, *server, id, *after))
+	default:
+		die(fmt.Errorf("watch: one of -job or -app is required"))
+	}
+}
+
+func cmdStatus(ctx context.Context, args []string) {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	server := fs.String("server", "", "sherlockd base URL (required)")
+	result := fs.String("result", "", "fetch a result by content key")
+	list := fs.Bool("list", false, "list job records")
+	filter := fs.String("filter", "", "with -list: only this status (queued, running, watching, done, failed, canceled)")
+	fs.Parse(args)
+	if *server == "" {
+		die(fmt.Errorf("status: -server is required"))
+	}
+	switch {
+	case *result != "":
+		die(printServerResult(ctx, *server, *result))
+	case *list:
+		die(listJobs(ctx, *server, *filter))
+	case fs.NArg() == 1:
+		die(printJobStatus(ctx, *server, fs.Arg(0)))
+	default:
+		die(fmt.Errorf("status: a job id, -result KEY, or -list is required"))
+	}
+}

@@ -135,7 +135,7 @@ func uploadTrace(ctx context.Context, base, path string) error {
 	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("upload %s: %s: %s", path, resp.Status, strings.TrimSpace(string(body)))
+		return apiError("upload "+path, resp.Status, body)
 	}
 	var v struct {
 		Key    string `json:"key"`

@@ -1,27 +1,20 @@
-// Command sherlock runs synchronization-operation inference on one of the
-// benchmark applications (or all of them) and prints the inferred
-// operations with their ground-truth classification.
+// Command sherlock runs synchronization-operation inference on the
+// benchmark applications, locally or against a sherlockd daemon. The
+// interface is subcommands (commands.go):
 //
-// Usage:
+//	sherlock capture -corpus DIR [-app App-4] [-seed 1]
+//	sherlock infer   -app App-4 [-rounds 3] [-lambda 0.2] [-near 1000000] [-v]
+//	sherlock infer   -corpus DIR | -traces DIR | -all | -list
+//	sherlock upload  -server http://localhost:8419 trace.bin ...
+//	sherlock submit  -server URL -app App-4 [-wait]
+//	sherlock submit  -server URL -keys key1,key2 [-wait]
+//	sherlock submit  -server URL -watch-app App-4
+//	sherlock watch   -server URL -job job-000001 | -app App-4
+//	sherlock status  -server URL job-000001 | -result KEY | -list
 //
-//	sherlock -app App-4 [-rounds 3] [-lambda 0.2] [-near 1000000] [-seed 1] [-p 4]
-//	sherlock -app App-4 -trace-out events.jsonl   # + campaign span event log
-//	sherlock -all
-//	sherlock -list
-//
-// Trace corpora (see internal/store): capture benchmark runs into a
-// content-addressed corpus on disk, then infer from it offline:
-//
-//	sherlock -capture-to corpus/ [-app App-4] [-seed 1]
-//	sherlock -corpus corpus/ [-app App-4] [-lambda 0.2] [-near 1000000]
-//
-// Client mode against a running sherlockd (see cmd/sherlockd):
-//
-//	sherlock -server http://localhost:8419 -submit App-4 [-wait]
-//	sherlock -server http://localhost:8419 -upload trace.bin
-//	sherlock -server http://localhost:8419 -submit-keys key1,key2 [-wait]
-//	sherlock -server http://localhost:8419 -status job-000001
-//	sherlock -server http://localhost:8419 -result <content-key>
+// The original flat flags (sherlock -app App-4, sherlock -server URL
+// -submit App-4, -capture-to, -corpus, -analyze-traces, ...) keep working
+// as deprecated aliases of the same code paths.
 package main
 
 import (
@@ -44,6 +37,29 @@ import (
 )
 
 func main() {
+	// ^C cancels between test executions instead of killing the process
+	// mid-table.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	// Subcommand interface (commands.go). Unknown verbs and flag-first
+	// invocations fall through to the deprecated flat-flag parser below.
+	if len(os.Args) > 1 && os.Args[1] != "" && os.Args[1][0] != '-' {
+		if runCommand(ctx, os.Args[1], os.Args[2:]) {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "sherlock: unknown command %q; run 'sherlock help'\n", os.Args[1])
+		os.Exit(2)
+	}
+	if len(os.Args) > 1 {
+		fmt.Fprintln(os.Stderr, "sherlock: note: flat flags are deprecated; run 'sherlock help' for the subcommand interface")
+	}
+	legacyMain(ctx)
+}
+
+// legacyMain is the original flat-flag interface, kept as a deprecated
+// alias for existing scripts.
+func legacyMain(ctx context.Context) {
 	var (
 		appName    = flag.String("app", "", "application id (App-1..App-8)")
 		dumpDir    = flag.String("dump-traces", "", "write one JSONL trace per test to this directory instead of inferring")
@@ -70,11 +86,6 @@ func main() {
 		wait       = flag.Bool("wait", false, "with -submit/-submit-keys: poll to completion and print the result")
 	)
 	flag.Parse()
-
-	// ^C cancels the campaign between test executions instead of killing
-	// the process mid-table.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
 
 	switch {
 	case *serverURL != "" && *submit != "":

@@ -1,0 +1,179 @@
+// Checkpoints: the persistent solved state of an offline inference, built
+// for streaming re-solves over a growing trace corpus. A Checkpoint
+// carries everything InferIncremental needs to extend a previous solve
+// when new traces arrive — per-trace window extracts, the last optimal LP
+// basis, and the last result (the rel/acq posteriors) — keyed by the
+// covered traces' content addresses.
+//
+// The design choice that makes incremental results byte-identical to a
+// from-scratch solve regardless of upload order: the checkpoint stores
+// *inputs* per trace (pre-accumulation windows, raw duration samples,
+// library-API names), not the accumulator itself. Accumulation is
+// order-sensitive in two ways — the cross-trace per-pair window cap admits
+// first-come, and Welford duration folding is bit-sensitive to sample
+// order — so InferIncremental rebuilds the accumulator by replaying every
+// extract in canonical order (sorted by trace key, the corpus's iteration
+// order). Whatever order traces arrived in, the rebuilt accumulator — and
+// with it the LP and its optimum — is the one a from-scratch solve over
+// the full set produces. The basis is only a warm start on top: a solve
+// from it lands on the same optimum bit for bit (the golden equivalence
+// tests enforce this), or is rejected by the LP's exact verification and
+// falls back to a cold start.
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"sherlock/internal/lp"
+	"sherlock/internal/trace"
+	"sherlock/internal/window"
+)
+
+// CheckpointVersion tags the checkpoint encoding; DecodeCheckpoint rejects
+// any other value, so a format change can never be misread as data.
+const CheckpointVersion = "sherlock-checkpoint-v1"
+
+// TraceExtract is one trace's contribution to inference, in replayable
+// form: the windows FindConflicts+BuildWindows produce (before any
+// cross-trace capping), the raw per-method duration samples, and the
+// library-API names — exactly the inputs InferFromSource folds per trace.
+type TraceExtract struct {
+	Key    string `json:"key"` // corpus content address
+	App    string `json:"app"`
+	Test   string `json:"test"`
+	Seed   int64  `json:"seed"`
+	Events int    `json:"events"` // trace length (Overhead.Events share)
+
+	Windows   []window.Window      `json:"windows,omitempty"`
+	Durations map[string][]float64 `json:"durations,omitempty"`
+	LibAPIs   []string             `json:"lib_apis,omitempty"` // sorted
+}
+
+// ExtractTrace computes a trace's extract under the given window config.
+// Each window gets a UID derived from the trace key and its ordinal, so
+// its LP rows keep their names across re-encodings with different trace
+// interleavings (see window.Window.UID).
+func ExtractTrace(key string, t *trace.Trace, cfg window.Config) TraceExtract {
+	conflicts := window.FindConflicts(t, cfg)
+	ws := window.BuildWindows(t, conflicts)
+	uidPrefix := key
+	if len(uidPrefix) > 16 {
+		uidPrefix = uidPrefix[:16]
+	}
+	for i := range ws {
+		ws[i].UID = uidPrefix + ":" + strconv.Itoa(i)
+	}
+	var apis []string
+	seen := map[string]bool{}
+	for i := range t.Events {
+		if t.Events[i].Lib && !seen[t.Events[i].Name] {
+			seen[t.Events[i].Name] = true
+			apis = append(apis, t.Events[i].Name)
+		}
+	}
+	sort.Strings(apis)
+	return TraceExtract{
+		Key: key, App: t.App, Test: t.Test, Seed: t.Seed, Events: t.Len(),
+		Windows: ws, Durations: window.MethodDurations(t), LibAPIs: apis,
+	}
+}
+
+// fold replays the extract into an accumulator, mirroring what
+// InferFromSource does with the live trace.
+func (x *TraceExtract) fold(acc *window.Observations) {
+	acc.AddWindows(x.Windows)
+	acc.AddStats(x.Durations, x.LibAPIs)
+}
+
+// Checkpoint is the persisted state of an incremental inference: which
+// traces are covered (as extracts, sorted by key), the last solve's
+// optimal basis, and the last result.
+type Checkpoint struct {
+	Version   string         `json:"version"`
+	App       string         `json:"app,omitempty"`
+	ConfigSig string         `json:"config_sig"`
+	Extracts  []TraceExtract `json:"extracts,omitempty"` // sorted by Key
+	Basis     *lp.Basis      `json:"basis,omitempty"`
+	Result    *Result        `json:"result,omitempty"`
+}
+
+// NewCheckpoint returns an empty checkpoint bound to cfg's offline-relevant
+// settings. The app name is filled in by the first solve.
+func NewCheckpoint(cfg Config) *Checkpoint {
+	return &Checkpoint{Version: CheckpointVersion, ConfigSig: ConfigSignature(cfg)}
+}
+
+// Covered returns the covered trace keys, sorted.
+func (c *Checkpoint) Covered() []string {
+	keys := make([]string, len(c.Extracts))
+	for i := range c.Extracts {
+		keys[i] = c.Extracts[i].Key
+	}
+	return keys
+}
+
+// Covers reports whether key's trace is already folded into the checkpoint.
+func (c *Checkpoint) Covers(key string) bool {
+	i := sort.Search(len(c.Extracts), func(i int) bool { return c.Extracts[i].Key >= key })
+	return i < len(c.Extracts) && c.Extracts[i].Key == key
+}
+
+// EncodeCheckpoint serializes a checkpoint. The encoding is exact — the
+// basis and every float sample round-trip bit for bit through JSON — so
+// resuming from a stored checkpoint produces the identical results an
+// uninterrupted in-memory sequence would.
+func EncodeCheckpoint(c *Checkpoint) ([]byte, error) {
+	if c.Version == "" {
+		c.Version = CheckpointVersion
+	}
+	return json.Marshal(c)
+}
+
+// DecodeCheckpoint parses an EncodeCheckpoint document, rejecting unknown
+// versions and unsorted extracts.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	var c Checkpoint
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("core: decode checkpoint: %w", err)
+	}
+	if c.Version != CheckpointVersion {
+		return nil, fmt.Errorf("core: decode checkpoint: unsupported version %q (want %q)", c.Version, CheckpointVersion)
+	}
+	for i := 1; i < len(c.Extracts); i++ {
+		if c.Extracts[i-1].Key >= c.Extracts[i].Key {
+			return nil, fmt.Errorf("core: decode checkpoint: extracts not strictly sorted by key")
+		}
+	}
+	return &c, nil
+}
+
+// ConfigSignature hashes the config fields an offline solve depends on —
+// window extraction, solver encoding, and racy-window removal. Rounds,
+// seeds, delays, parallelism, and every hook are irrelevant offline and
+// excluded, mirroring InferFromSource's contract. A checkpoint only
+// resumes under a config with the same signature; anything else would
+// splice incompatible constraint systems together.
+func ConfigSignature(cfg Config) string {
+	h := sha256.New()
+	io.WriteString(h, "sherlock-checkpoint-cfg-v1\n")
+	fmt.Fprintf(h, "window.near=%d\n", cfg.Window.Near)
+	fmt.Fprintf(h, "window.perpaircap=%d\n", cfg.Window.PerPairCap)
+	fmt.Fprintf(h, "window.unsafeapis=%t\n", cfg.Window.UseUnsafeAPIs)
+	fmt.Fprintf(h, "solver.lambda=%g\n", cfg.Solver.Lambda)
+	fmt.Fprintf(h, "solver.rarecoef=%g\n", cfg.Solver.RareCoef)
+	fmt.Fprintf(h, "solver.threshold=%g\n", cfg.Solver.Threshold)
+	hyp := cfg.Solver.Hyp
+	fmt.Fprintf(h, "solver.hyp=%t,%t,%t,%t,%t,%t\n",
+		hyp.MostlyProtected, hyp.SyncsAreRare, hyp.AcqTimeVaries,
+		hyp.MostlyPaired, hyp.ReadAcqWriteRel, hyp.SingleRole)
+	fmt.Fprintf(h, "solver.softsinglerole=%t\n", cfg.Solver.SoftSingleRole)
+	fmt.Fprintf(h, "solver.maxlpiters=%d\n", cfg.Solver.MaxLPIters)
+	fmt.Fprintf(h, "removeracymp=%t\n", cfg.RemoveRacyMP)
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"sherlock/internal/apps"
+	"sherlock/internal/sched"
+	"sherlock/internal/store"
+	"sherlock/internal/trace"
+)
+
+// captureKeyed runs every test of app under a few seeds and returns the
+// traces with their corpus content addresses, sorted by key.
+func captureKeyed(t *testing.T, appName string, seeds int) []KeyedTrace {
+	t.Helper()
+	app, err := apps.ByName(appName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.MustFinalize()
+	var out []KeyedTrace
+	for _, tc := range app.Tests {
+		for s := 0; s < seeds; s++ {
+			r, err := sched.Run(app, tc, sched.Options{Seed: int64(1 + s)})
+			if err != nil {
+				t.Fatalf("%s/%s seed %d: %v", appName, tc.Name, s, err)
+			}
+			key, err := store.Key(r.Trace)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, KeyedTrace{Key: key, Trace: r.Trace})
+		}
+	}
+	sortKeyed(out)
+	return out
+}
+
+func sortKeyed(kts []KeyedTrace) {
+	for i := 1; i < len(kts); i++ {
+		for j := i; j > 0 && kts[j].Key < kts[j-1].Key; j-- {
+			kts[j], kts[j-1] = kts[j-1], kts[j]
+		}
+	}
+}
+
+// resultBytes marshals a result with its wall-clock overhead fields zeroed
+// — the only fields allowed to differ between equivalent solves.
+func resultBytes(t *testing.T, r *Result) []byte {
+	t.Helper()
+	c := *r
+	c.Overhead.RunWall = 0
+	c.Overhead.SolveWall = 0
+	b, err := json.Marshal(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestIncrementalGoldenAllApps is the tentpole invariant: for every
+// benchmark app and for adversarial upload orders — reverse-key one at a
+// time, interleaved batches, duplicate deliveries, with a serialization
+// round trip of the checkpoint mid-stream — the final incremental result
+// is byte-identical (modulo wall clock) to a from-scratch offline solve
+// over the full trace set.
+func TestIncrementalGoldenAllApps(t *testing.T) {
+	ctx := context.Background()
+	for _, app := range apps.All() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			t.Parallel()
+			cfg := DefaultConfig()
+			kts := captureKeyed(t, app.Name, 2)
+			if len(kts) < 2 {
+				t.Fatalf("%s: need at least 2 traces, got %d", app.Name, len(kts))
+			}
+
+			var sorted []*trace.Trace
+			for _, kt := range kts {
+				sorted = append(sorted, kt.Trace)
+			}
+			want, err := InferFromSource(ctx, SliceSource(sorted), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantB := resultBytes(t, want)
+
+			// Order A: one trace at a time, in reverse key order, with a
+			// checkpoint encode/decode round trip between every step.
+			ck := NewCheckpoint(cfg)
+			var got *Result
+			for i := len(kts) - 1; i >= 0; i-- {
+				got, ck, err = InferIncremental(ctx, ck, KeyedSlice{kts[i]}, cfg)
+				if err != nil {
+					t.Fatalf("step %d: %v", i, err)
+				}
+				data, err := EncodeCheckpoint(ck)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ck, err = DecodeCheckpoint(data); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if gotB := resultBytes(t, got); !bytes.Equal(gotB, wantB) {
+				t.Errorf("reverse-order incremental differs from from-scratch\n got: %s\nwant: %s", gotB, wantB)
+			}
+
+			// Order B: interleaved batches (odd indices first), then a
+			// duplicate re-delivery of the first batch mixed with the rest.
+			var odd, even KeyedSlice
+			for i, kt := range kts {
+				if i%2 == 1 {
+					odd = append(odd, kt)
+				} else {
+					even = append(even, kt)
+				}
+			}
+			ck2 := NewCheckpoint(cfg)
+			if _, ck2, err = InferIncremental(ctx, ck2, odd, cfg); err != nil {
+				t.Fatal(err)
+			}
+			// Duplicates of already-covered traces must be ignored.
+			got2, ck2, err := InferIncremental(ctx, ck2, append(append(KeyedSlice{}, odd...), even...), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotB := resultBytes(t, got2); !bytes.Equal(gotB, wantB) {
+				t.Errorf("batched incremental differs from from-scratch\n got: %s\nwant: %s", gotB, wantB)
+			}
+
+			// Re-delivering only covered traces returns the stored result
+			// without re-solving.
+			got3, ck3, err := InferIncremental(ctx, ck2, even, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ck3 != ck2 {
+				t.Error("no-op delivery should return the checkpoint unchanged")
+			}
+			if gotB := resultBytes(t, got3); !bytes.Equal(gotB, wantB) {
+				t.Errorf("no-op delivery result differs from from-scratch")
+			}
+		})
+	}
+}
+
+// TestIncrementalCheckpointStoreRoundTrip exercises the full persistence
+// path: solve a first batch, encode the checkpoint into a corpus store,
+// load it back in a "new process", resume with a second batch streamed
+// from the corpus itself, and compare against both the uninterrupted
+// in-memory sequence and a from-scratch solve.
+func TestIncrementalCheckpointStoreRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	cfg := DefaultConfig()
+	kts := captureKeyed(t, "App-1", 2)
+
+	corpus, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kt := range kts {
+		entry, _, err := corpus.Ingest(kt.Trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if entry.Key != kt.Key {
+			t.Fatalf("corpus key %s != precomputed %s", entry.Key, kt.Key)
+		}
+	}
+	half := len(kts) / 2
+	if half == 0 {
+		t.Fatal("need at least 2 traces")
+	}
+	var keys1, keys2 []string
+	for i, kt := range kts {
+		if i < half {
+			keys1 = append(keys1, kt.Key)
+		} else {
+			keys2 = append(keys2, kt.Key)
+		}
+	}
+
+	// Uninterrupted in-memory sequence.
+	ckMem := NewCheckpoint(cfg)
+	if _, ckMem, err = InferIncremental(ctx, ckMem, corpus.Source(keys1...), cfg); err != nil {
+		t.Fatal(err)
+	}
+	memRes, _, err := InferIncremental(ctx, ckMem, corpus.Source(keys2...), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Persisted sequence: encode after batch 1, save, load, resume.
+	ck := NewCheckpoint(cfg)
+	if _, ck, err = InferIncremental(ctx, ck, corpus.Source(keys1...), cfg); err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeCheckpoint(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := corpus.SaveCheckpoint("test-ckpt", data); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := corpus.LoadCheckpoint("test-ckpt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck2, err := DecodeCheckpoint(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRes, _, err := InferIncremental(ctx, ck2, corpus.Source(keys2...), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := InferFromSource(ctx, corpus.Source(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB := resultBytes(t, want)
+	if gotB := resultBytes(t, gotRes); !bytes.Equal(gotB, wantB) {
+		t.Errorf("resumed-from-store result differs from from-scratch\n got: %s\nwant: %s", gotB, wantB)
+	}
+	if memB := resultBytes(t, memRes); !bytes.Equal(memB, wantB) {
+		t.Errorf("in-memory sequence differs from from-scratch")
+	}
+}
+
+// TestIncrementalRejectsMismatchedConfig: resuming a checkpoint under a
+// config with a different offline-relevant signature must fail loudly.
+func TestIncrementalRejectsMismatchedConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	kts := captureKeyed(t, "App-2", 1)
+	ck := NewCheckpoint(cfg)
+	_, ck, err := InferIncremental(context.Background(), ck, KeyedSlice(kts), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := cfg
+	cfg2.Solver.Lambda = 0.5
+	if _, _, err := InferIncremental(context.Background(), ck, nil, cfg2); err == nil {
+		t.Fatal("want config-signature mismatch error")
+	}
+	// Rounds/Seed/Parallelism are offline-irrelevant and must NOT change
+	// the signature.
+	cfg3 := cfg
+	cfg3.Rounds, cfg3.Seed, cfg3.Parallelism = 9, 42, 3
+	if ConfigSignature(cfg3) != ConfigSignature(cfg) {
+		t.Error("offline-irrelevant fields changed the config signature")
+	}
+}
+
+// TestDecodeCheckpointRejectsBadDocuments covers the version gate and the
+// sortedness check.
+func TestDecodeCheckpointRejectsBadDocuments(t *testing.T) {
+	if _, err := DecodeCheckpoint([]byte(`{"version":"bogus-v9"}`)); err == nil {
+		t.Error("want unsupported-version error")
+	}
+	doc := `{"version":"` + CheckpointVersion + `","config_sig":"x","extracts":[{"key":"b"},{"key":"a"}]}`
+	if _, err := DecodeCheckpoint([]byte(doc)); err == nil {
+		t.Error("want unsorted-extracts error")
+	}
+}

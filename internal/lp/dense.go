@@ -305,7 +305,8 @@ func (t *tableau) pivot(leave, enter int) {
 	t.basis[leave] = enter
 }
 
-// extract reads structural variable values out of the basis.
+// extract reads structural variable values out of the basis. The +0
+// canonicalizes IEEE negative zero, matching the sparse extractor.
 func (t *tableau) extract() []float64 {
 	x := make([]float64, t.n)
 	for i, b := range t.basis {
@@ -314,7 +315,7 @@ func (t *tableau) extract() []float64 {
 			if v < 0 && v > -eps {
 				v = 0
 			}
-			x[b] = v
+			x[b] = v + 0
 		}
 	}
 	return x

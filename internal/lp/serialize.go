@@ -1,0 +1,64 @@
+// Basis serialization. A Basis round-trips through JSON so checkpoints
+// (internal/core) can persist a solve's warm-start state into the corpus
+// store and resume from it in another process. The encoding is exact:
+// encoding/json emits float64 in shortest round-trip form and parses it
+// back to the identical bits, so a deserialized basis passes applyWarm's
+// entry-by-exact-entry verification exactly when the in-memory original
+// would. Every field is finite by construction (the simplex never stores
+// NaN/Inf in a returned basis), so marshaling cannot fail on values.
+package lp
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// basisJSON is the exported shadow of Basis's unexported fields.
+type basisJSON struct {
+	Rows []string    `json:"rows"`
+	Bcol []string    `json:"bcol"`
+	RHS  []float64   `json:"rhs"`
+	Loc  []bool      `json:"loc"`
+	Brow [][]int32   `json:"brow"`
+	Bval [][]float64 `json:"bval"`
+	Binv [][]float64 `json:"binv"`
+	XB   []float64   `json:"xb"`
+}
+
+// MarshalJSON encodes the basis for persistence.
+func (b *Basis) MarshalJSON() ([]byte, error) {
+	return json.Marshal(basisJSON{
+		Rows: b.rows, Bcol: b.bcol, RHS: b.rhs, Loc: b.loc,
+		Brow: b.brow, Bval: b.bval, Binv: b.binv, XB: b.xB,
+	})
+}
+
+// UnmarshalJSON decodes a basis produced by MarshalJSON, validating the
+// per-row shape so a corrupt document can never index out of range inside
+// applyWarm.
+func (b *Basis) UnmarshalJSON(data []byte) error {
+	var s basisJSON
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	m := len(s.Rows)
+	for name, n := range map[string]int{
+		"bcol": len(s.Bcol), "rhs": len(s.RHS), "loc": len(s.Loc),
+		"brow": len(s.Brow), "bval": len(s.Bval), "binv": len(s.Binv), "xb": len(s.XB),
+	} {
+		if n != m {
+			return fmt.Errorf("lp: basis: %q has %d entries, want %d", name, n, m)
+		}
+	}
+	for i := range s.Brow {
+		if len(s.Brow[i]) != len(s.Bval[i]) {
+			return fmt.Errorf("lp: basis: row %d: brow/bval length mismatch", i)
+		}
+		if len(s.Binv[i]) != m {
+			return fmt.Errorf("lp: basis: row %d: binv has %d columns, want %d", i, len(s.Binv[i]), m)
+		}
+	}
+	b.rows, b.bcol, b.rhs, b.loc = s.Rows, s.Bcol, s.RHS, s.Loc
+	b.brow, b.bval, b.binv, b.xB = s.Brow, s.Bval, s.Binv, s.XB
+	return nil
+}

@@ -486,7 +486,11 @@ func (r *revised) phase2() Status {
 	return r.iterate(sf.artAt)
 }
 
-// extract reads structural variable values out of the basis.
+// extract reads structural variable values out of the basis. Adding +0
+// canonicalizes IEEE negative zero (−0 + 0 = +0; every other value is
+// unchanged): pivot arithmetic can produce either zero depending on the
+// pivot path, and warm- and cold-started solves of the same problem must
+// serialize identically.
 func (r *revised) extract() []float64 {
 	x := make([]float64, r.sf.n)
 	for i, b := range r.basis {
@@ -495,7 +499,7 @@ func (r *revised) extract() []float64 {
 			if v < 0 && v > -eps {
 				v = 0
 			}
-			x[b] = v
+			x[b] = v + 0
 		}
 	}
 	return x

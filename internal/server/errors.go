@@ -1,0 +1,72 @@
+// Unified v1 error envelope. Every non-2xx JSON response the daemon emits
+// goes through writeError, so clients can branch on a machine-readable
+// code instead of substring-matching prose:
+//
+//	{"error": {"code": "queue_full", "message": "server: job queue is full"}}
+//
+// Codes are part of the API contract (DESIGN.md lists them per endpoint);
+// messages are human-readable and free to change. Every 429 and 503 also
+// carries a Retry-After header so well-behaved clients back off without
+// guessing.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// Error codes. Stable strings — clients switch on them.
+const (
+	// CodeInvalidArgument: the request body or parameters are malformed
+	// (bad JSON, unknown app, missing corpus key, out-of-range config).
+	CodeInvalidArgument = "invalid_argument"
+	// CodeNotFound: the job id, result key, or span tree does not exist.
+	CodeNotFound = "not_found"
+	// CodeQueueFull: the bounded job queue has no free slot; retry later.
+	CodeQueueFull = "queue_full"
+	// CodeWatchLimit: the server is at its concurrent-subscription cap.
+	CodeWatchLimit = "watch_limit"
+	// CodeDraining: the server is shutting down and refuses new work.
+	CodeDraining = "draining"
+	// CodePayloadTooLarge: the request body exceeds the service bound.
+	CodePayloadTooLarge = "payload_too_large"
+	// CodeInternal: the server failed; the request may be retried.
+	CodeInternal = "internal"
+)
+
+// errorEnvelope is the wire shape of every error response.
+type errorEnvelope struct {
+	Error errorDetail `json:"error"`
+}
+
+type errorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// writeError emits the v1 envelope with the given HTTP status. Backpressure
+// statuses (429, 503) always carry Retry-After: 1 — the queue drains on
+// job-completion timescales, so an immediate retry storm is never useful.
+func writeError(w http.ResponseWriter, status int, code, message string) {
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, errorEnvelope{Error: errorDetail{Code: code, Message: message}})
+}
+
+// decodeRequest bounds and decodes a JSON request body into v. On failure
+// it writes the envelope itself and returns false; handlers just return.
+func decodeRequest(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, CodePayloadTooLarge, err.Error())
+			return false
+		}
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, "bad request body: "+err.Error())
+		return false
+	}
+	return true
+}

@@ -29,6 +29,13 @@ type JobSpec struct {
 	// solve streaming straight off the blob store — upload once, infer
 	// many times without resending trace bytes.
 	TraceKeys []string `json:"trace_keys,omitempty"`
+	// WatchApp binds the job to every corpus trace whose App metadata
+	// matches, now and in the future: the job enters the "watching" state
+	// and re-solves incrementally each time a matching trace is ingested,
+	// bumping its version. Watch results are byte-compatible with a
+	// one-shot trace_keys job over the same trace set (same content key,
+	// same result bytes modulo wall-clock overhead).
+	WatchApp string `json:"watch_app,omitempty"`
 
 	// Overrides of the server's base config (zero = inherit).
 	Rounds int     `json:"rounds,omitempty"`
@@ -44,16 +51,16 @@ type JobSpec struct {
 // config is validated separately).
 func (s JobSpec) validate() error {
 	set := 0
-	for _, present := range []bool{s.App != "", len(s.Traces) > 0, len(s.TraceKeys) > 0} {
+	for _, present := range []bool{s.App != "", len(s.Traces) > 0, len(s.TraceKeys) > 0, s.WatchApp != ""} {
 		if present {
 			set++
 		}
 	}
 	if set == 0 {
-		return fmt.Errorf("job spec: one of \"app\", \"traces\", or \"trace_keys\" is required")
+		return fmt.Errorf("job spec: one of \"app\", \"traces\", \"trace_keys\", or \"watch_app\" is required")
 	}
 	if set > 1 {
-		return fmt.Errorf("job spec: \"app\", \"traces\", and \"trace_keys\" are mutually exclusive")
+		return fmt.Errorf("job spec: \"app\", \"traces\", \"trace_keys\", and \"watch_app\" are mutually exclusive")
 	}
 	return nil
 }
@@ -89,10 +96,16 @@ type JobStatus string
 const (
 	StatusQueued   JobStatus = "queued"
 	StatusRunning  JobStatus = "running"
+	StatusWatching JobStatus = "watching" // subscription bound to a corpus prefix
 	StatusDone     JobStatus = "done"
 	StatusFailed   JobStatus = "failed"
 	StatusCanceled JobStatus = "canceled"
 )
+
+// terminal reports whether a status is a final state.
+func (st JobStatus) terminal() bool {
+	return st == StatusDone || st == StatusFailed || st == StatusCanceled
+}
 
 // Job is one queued/executing/finished inference request.
 type Job struct {
@@ -113,6 +126,15 @@ type Job struct {
 	cancelOnce sync.Once
 	cancel     func() // non-nil while cancellable; set by queue/worker
 	done       chan struct{}
+
+	// Watch-job state (subscription.go). version counts published results;
+	// updated is closed and replaced on every publish, so watchers select
+	// on the channel they captured to learn about the next one. key holds
+	// the content address of the latest published result — it moves as the
+	// bound trace set grows, unlike the immutable Key of one-shot jobs.
+	version uint64
+	updated chan struct{} // non-nil exactly for watch jobs
+	key     string
 }
 
 func newJob(id, key string, spec JobSpec, cfg core.Config, now time.Time) *Job {
@@ -120,6 +142,50 @@ func newJob(id, key string, spec JobSpec, cfg core.Config, now time.Time) *Job {
 		ID: id, Key: key, Spec: spec, Cfg: cfg,
 		status: StatusQueued, submitted: now,
 		done: make(chan struct{}),
+	}
+}
+
+// newWatchJob builds a job in the watching state. Its content key is
+// unknown until the first publish (no traces may match yet).
+func newWatchJob(id string, spec JobSpec, cfg core.Config, now time.Time) *Job {
+	return &Job{
+		ID: id, Spec: spec, Cfg: cfg,
+		status: StatusWatching, submitted: now,
+		done:    make(chan struct{}),
+		updated: make(chan struct{}),
+	}
+}
+
+// publish records a new watch result version under the given content key
+// and wakes every watcher. Publishing clears any transient solve error.
+func (j *Job) publish(key string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusWatching {
+		return
+	}
+	j.key = key
+	j.version++
+	j.err = ""
+	close(j.updated)
+	j.updated = make(chan struct{})
+}
+
+// watchState snapshots the fields a long-poll loop needs: the version,
+// the status, and the channel that signals the next publish.
+func (j *Job) watchState() (version uint64, status JobStatus, updated <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.version, j.status, j.updated
+}
+
+// setTransientError records a watch-cycle failure without leaving the
+// watching state; the next successful publish clears it.
+func (j *Job) setTransientError(msg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status == StatusWatching {
+		j.err = msg
 	}
 }
 
@@ -184,7 +250,7 @@ func (j *Job) start(now time.Time, cancel func()) bool {
 
 // finish records a terminal state. Callers must hold j.mu.
 func (j *Job) finish(st JobStatus, errMsg string) {
-	if j.status == StatusDone || j.status == StatusFailed || j.status == StatusCanceled {
+	if j.status.terminal() {
 		return
 	}
 	j.status = st
@@ -206,12 +272,15 @@ type jobView struct {
 	Key         string `json:"key"`
 	Status      string `json:"status"`
 	Cached      bool   `json:"cached"`
+	Version     uint64 `json:"version,omitempty"` // watch jobs: published results so far
+	WatchApp    string `json:"watch_app,omitempty"`
 	Error       string `json:"error,omitempty"`
 	SubmittedAt string `json:"submitted_at"`
 	StartedAt   string `json:"started_at,omitempty"`
 	FinishedAt  string `json:"finished_at,omitempty"`
 	ResultURL   string `json:"result_url,omitempty"`
 	SpansURL    string `json:"spans_url,omitempty"`
+	WatchURL    string `json:"watch_url,omitempty"`
 }
 
 func (j *Job) view() jobView {
@@ -222,8 +291,15 @@ func (j *Job) view() jobView {
 		Key:         j.Key,
 		Status:      string(j.status),
 		Cached:      j.cached,
+		Version:     j.version,
+		WatchApp:    j.Spec.WatchApp,
 		Error:       j.err,
 		SubmittedAt: j.submitted.UTC().Format(time.RFC3339Nano),
+		WatchURL:    "/v1/jobs/" + j.ID + "/watch",
+	}
+	if j.Spec.WatchApp != "" {
+		// A watch job's key tracks the latest published trace set.
+		v.Key = j.key
 	}
 	if !j.started.IsZero() {
 		v.StartedAt = j.started.UTC().Format(time.RFC3339Nano)
@@ -231,8 +307,11 @@ func (j *Job) view() jobView {
 	if !j.finished.IsZero() {
 		v.FinishedAt = j.finished.UTC().Format(time.RFC3339Nano)
 	}
-	if j.status == StatusDone {
-		v.ResultURL = "/v1/results/" + j.Key
+	if j.status == StatusDone && v.Key != "" {
+		v.ResultURL = "/v1/results/" + v.Key
+	}
+	if j.Spec.WatchApp != "" && j.version > 0 {
+		v.ResultURL = "/v1/results/" + v.Key
 	}
 	if j.spans != nil {
 		v.SpansURL = "/v1/jobs/" + j.ID + "/spans"

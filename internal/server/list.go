@@ -1,0 +1,81 @@
+// GET /v1/jobs: enumerate the in-memory job records with status filtering
+// and bounded cursor pagination. Jobs are returned in submission order
+// (job ids are zero-padded, so id order IS submission order); the cursor
+// is the last id of the previous page, which keeps pagination stable even
+// when old terminal records have been evicted in between.
+package server
+
+import (
+	"net/http"
+)
+
+// defaultJobPageSize and maxJobPageSize bound one listing response.
+const (
+	defaultJobPageSize = 100
+	maxJobPageSize     = 1000
+)
+
+// jobListView is the response body of GET /v1/jobs.
+type jobListView struct {
+	Jobs []jobView `json:"jobs"`
+	// NextAfter, when set, is the cursor for the next page: pass it back
+	// as ?after to continue. Absent on the final page.
+	NextAfter string `json:"next_after,omitempty"`
+}
+
+// validListStatus guards the ?status filter.
+var validListStatus = map[string]bool{
+	string(StatusQueued):   true,
+	string(StatusRunning):  true,
+	string(StatusWatching): true,
+	string(StatusDone):     true,
+	string(StatusFailed):   true,
+	string(StatusCanceled): true,
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	status := q.Get("status")
+	if status != "" && !validListStatus[status] {
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument,
+			"bad \"status\" filter "+status+" (want queued, running, watching, done, failed, or canceled)")
+		return
+	}
+	limit, err := parseUintParam(r, "limit", defaultJobPageSize)
+	if err != nil || limit == 0 {
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, "bad \"limit\" parameter: want a positive integer")
+		return
+	}
+	if limit > maxJobPageSize {
+		limit = maxJobPageSize
+	}
+	after := q.Get("after")
+
+	s.mu.Lock()
+	ids := make([]string, len(s.idOrder))
+	copy(ids, s.idOrder)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		if id > after {
+			if j := s.byID[id]; j != nil {
+				jobs = append(jobs, j)
+			}
+		}
+	}
+	s.mu.Unlock()
+
+	out := jobListView{Jobs: []jobView{}}
+	for _, j := range jobs {
+		v := j.view()
+		if status != "" && v.Status != status {
+			continue
+		}
+		if uint64(len(out.Jobs)) == limit {
+			// One more match exists beyond the page: emit the cursor.
+			out.NextAfter = out.Jobs[len(out.Jobs)-1].ID
+			break
+		}
+		out.Jobs = append(out.Jobs, v)
+	}
+	writeJSON(w, http.StatusOK, out)
+}

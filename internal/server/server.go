@@ -3,25 +3,39 @@
 // (queue.go), a content-addressed LRU result cache (cache.go, hash.go),
 // and a dependency-free Prometheus-format metrics registry (metrics.go).
 //
-// Endpoints:
+// Endpoints (DESIGN.md carries the full reference, including per-endpoint
+// error codes):
 //
-//	POST   /v1/jobs          submit a job (application name, raw traces, or
-//	                         corpus trace keys); 202 queued, 200 on cache
-//	                         hit, 429 + Retry-After when the queue is full,
-//	                         503 while draining
+//	POST   /v1/jobs          submit a job (application name, raw traces,
+//	                         corpus trace keys, or a watch_app
+//	                         subscription); 202 queued/watching, 200 on
+//	                         cache hit, 429 + Retry-After when the queue
+//	                         or subscription cap is full, 503 draining
+//	GET    /v1/jobs          list job records (?status= filter, ?limit=
+//	                         and ?after= cursor pagination)
 //	GET    /v1/jobs/{id}     job status
+//	GET    /v1/jobs/{id}/watch
+//	                         long-poll until the job publishes a version
+//	                         > ?after or terminates (?timeout seconds,
+//	                         default 30); SSE state events with
+//	                         Accept: text/event-stream
 //	GET    /v1/jobs/{id}/spans
 //	                         the job's campaign span tree (deterministic
 //	                         IDs/attrs; wall durations vary per run)
 //	DELETE /v1/jobs/{id}     cancel (queued jobs never start; running jobs
-//	                         abort between test executions)
+//	                         abort between test executions; watch jobs
+//	                         stop their subscription)
 //	GET    /v1/results/{key} the serialized result at a content address
 //	POST   /v1/traces        upload one trace (binary or JSON-lines, auto-
 //	                         detected) into the content-addressed corpus;
-//	                         201 with the entry, 200 on dedup
+//	                         201 with the entry, 200 on dedup — and wake
+//	                         every subscription watching the trace's app
 //	GET    /v1/traces        list the corpus index (deterministic order)
 //	GET    /metrics          Prometheus text exposition
 //	GET    /healthz          liveness + queue stats (503 while draining)
+//
+// Every error response uses one envelope: {"error":{"code","message"}},
+// with machine-readable codes (errors.go) and Retry-After on all 429/503.
 //
 // The cache is keyed by content, not by job: identical workload + config
 // hashes to the same key in every process, so a resubmission is answered
@@ -85,6 +99,11 @@ type Server struct {
 	byID    map[string]*Job
 	idOrder []string // submission order, for record eviction
 
+	// Watch subscriptions (subscription.go).
+	subMu sync.Mutex
+	subs  map[string]*subscription // by job id
+	subWG sync.WaitGroup
+
 	// Metrics.
 	submitted    *Counter
 	rejected     *Counter
@@ -105,6 +124,10 @@ type Server struct {
 	tracesDedup  *Counter
 	corpusTraces *Gauge
 	corpusBytes  *Gauge
+
+	watchActive  *Gauge
+	watchUpdates *Counter
+	watchResumes *Counter
 }
 
 // New builds a Server and starts its worker pool. Callers own shutdown:
@@ -139,6 +162,7 @@ func New(cfg Config) (*Server, error) {
 		baseCtx:         ctx,
 		baseCancel:      cancel,
 		byID:            make(map[string]*Job),
+		subs:            make(map[string]*subscription),
 
 		submitted:    reg.Counter("sherlock_jobs_submitted_total", "Jobs accepted for execution (cache misses)."),
 		rejected:     reg.Counter("sherlock_jobs_rejected_total", "Submissions rejected with 429 because the queue was full."),
@@ -158,11 +182,17 @@ func New(cfg Config) (*Server, error) {
 		tracesDedup:  reg.Counter("sherlock_corpus_dedup_total", "Uploads answered by an existing corpus blob."),
 		corpusTraces: reg.Gauge("sherlock_corpus_traces", "Unique traces in the corpus."),
 		corpusBytes:  reg.Gauge("sherlock_corpus_bytes", "Total stored corpus blob bytes."),
+
+		watchActive:  reg.Gauge("sherlock_watch_subscriptions", "Active watch subscriptions."),
+		watchUpdates: reg.Counter("sherlock_watch_updates_total", "Watch result versions published."),
+		watchResumes: reg.Counter("sherlock_watch_resumes_total", "Watch subscriptions resumed from a persisted checkpoint."),
 	}
 	s.spanSink = newSpanHistSink(reg)
 	// Corpus codec spans (ingest/decode timings) feed the same phase
 	// histograms as campaign spans.
 	corpus.SetTracer(obs.New(s.spanSink))
+	// Every durable ingest wakes the subscriptions bound to its app.
+	corpus.OnIngest(s.notifySubscriptions)
 	s.exec = s.runJob
 	s.q = newQueue(ctx, cfg.QueueSize, cfg.Workers, cfg.JobTimeout,
 		func(ctx context.Context, j *Job) ([]byte, error) { return s.exec(ctx, j) },
@@ -170,8 +200,10 @@ func New(cfg Config) (*Server, error) {
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("GET /v1/jobs/{id}/spans", s.handleJobSpans)
+	mux.HandleFunc("GET /v1/jobs/{id}/watch", s.handleJobWatch)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
 	mux.HandleFunc("POST /v1/traces", s.handleTraceUpload)
@@ -205,10 +237,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		// Deadline passed: abort stragglers and wait for the pool.
 		s.baseCancel()
 		_ = s.q.Drain(context.Background())
+		s.subWG.Wait()
 		s.removeEphemeralCorpus()
 		return err
 	}
 	s.baseCancel()
+	s.subWG.Wait()
 	s.removeEphemeralCorpus()
 	return nil
 }
@@ -218,6 +252,7 @@ func (s *Server) Close() {
 	s.draining.Store(true)
 	s.baseCancel()
 	_ = s.q.Drain(context.Background())
+	s.subWG.Wait()
 	s.removeEphemeralCorpus()
 }
 
@@ -241,51 +276,68 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-type errorBody struct {
-	Error string `json:"error"`
-}
-
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "draining"})
+		writeError(w, http.StatusServiceUnavailable, CodeDraining, "draining")
 		return
 	}
 	var spec JobSpec
-	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
-	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad job spec: " + err.Error()})
+	if !decodeRequest(w, r, &spec) {
 		return
 	}
 	if err := spec.validate(); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, err.Error())
 		return
 	}
 	if spec.App != "" {
 		if _, err := apps.ByName(spec.App); err != nil {
-			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+			writeError(w, http.StatusBadRequest, CodeInvalidArgument, err.Error())
 			return
 		}
 	}
+	if spec.WatchApp != "" && !watchAppPattern.MatchString(spec.WatchApp) {
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument,
+			fmt.Sprintf("bad watch_app %q: want 1-100 characters of [A-Za-z0-9._-]", spec.WatchApp))
+		return
+	}
 	for i, doc := range spec.Traces {
 		if _, err := trace.Read(strings.NewReader(doc)); err != nil {
-			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("trace %d: %v", i, err)})
+			writeError(w, http.StatusBadRequest, CodeInvalidArgument, fmt.Sprintf("trace %d: %v", i, err))
 			return
 		}
 	}
 	for _, key := range spec.TraceKeys {
 		if _, ok := s.corpus.Entry(key); !ok {
-			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("trace key %s is not in the corpus (upload it via POST /v1/traces)", key)})
+			writeError(w, http.StatusBadRequest, CodeInvalidArgument,
+				fmt.Sprintf("trace key %s is not in the corpus (upload it via POST /v1/traces)", key))
 			return
 		}
 	}
 	cfg := spec.effectiveConfig(s.cfg.Inference)
 	if err := cfg.Validate(); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "effective config: " + err.Error()})
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, "effective config: "+err.Error())
+		return
+	}
+
+	id := fmt.Sprintf("job-%06d", s.nextID.Add(1))
+
+	if spec.WatchApp != "" {
+		// Subscription: the job binds to the corpus prefix and stays in
+		// the watching state, publishing a new version per matching ingest.
+		j := newWatchJob(id, spec, cfg, time.Now())
+		sub := newSubscription(s, j, cfg)
+		if !s.addSubscription(sub) {
+			writeError(w, http.StatusTooManyRequests, CodeWatchLimit,
+				fmt.Sprintf("at the %d-subscription limit; cancel one or retry later", maxSubscriptions))
+			return
+		}
+		s.remember(j)
+		go sub.run()
+		writeJSON(w, http.StatusAccepted, j.view())
 		return
 	}
 
 	key := JobKey(spec, cfg)
-	id := fmt.Sprintf("job-%06d", s.nextID.Add(1))
 	j := newJob(id, key, spec, cfg, time.Now())
 
 	if _, ok := s.cache.Get(key); ok {
@@ -306,10 +358,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		switch err {
 		case ErrQueueFull:
 			s.rejected.Inc()
-			w.Header().Set("Retry-After", "1")
-			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+			writeError(w, http.StatusTooManyRequests, CodeQueueFull, err.Error())
 		default: // ErrDraining
-			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+			writeError(w, http.StatusServiceUnavailable, CodeDraining, err.Error())
 		}
 		return
 	}
@@ -321,7 +372,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	j := s.lookup(r.PathValue("id"))
 	if j == nil {
-		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job id"})
+		writeError(w, http.StatusNotFound, CodeNotFound, "unknown job id")
 		return
 	}
 	writeJSON(w, http.StatusOK, j.view())
@@ -333,12 +384,12 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobSpans(w http.ResponseWriter, r *http.Request) {
 	j := s.lookup(r.PathValue("id"))
 	if j == nil {
-		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job id"})
+		writeError(w, http.StatusNotFound, CodeNotFound, "unknown job id")
 		return
 	}
 	body := j.SpansJSON()
 	if body == nil {
-		writeJSON(w, http.StatusNotFound, errorBody{Error: "no spans for this job (not finished yet, answered from the result cache, or span tree too large)"})
+		writeError(w, http.StatusNotFound, CodeNotFound, "no spans for this job (not finished yet, answered from the result cache, or span tree too large)")
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -349,7 +400,7 @@ func (s *Server) handleJobSpans(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	j := s.lookup(r.PathValue("id"))
 	if j == nil {
-		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job id"})
+		writeError(w, http.StatusNotFound, CodeNotFound, "unknown job id")
 		return
 	}
 	j.Cancel()
@@ -359,7 +410,7 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	body, ok := s.cache.Lookup(r.PathValue("key"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, errorBody{Error: "no result at this key (expired or never computed)"})
+		writeError(w, http.StatusNotFound, CodeNotFound, "no result at this key (expired or never computed)")
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -380,23 +431,23 @@ type uploadView struct {
 // one content address.
 func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "draining"})
+		writeError(w, http.StatusServiceUnavailable, CodeDraining, "draining")
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	body, err := io.ReadAll(r.Body)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "read body: " + err.Error()})
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, "read body: "+err.Error())
 		return
 	}
 	tr, err := store.DecodeBytes(body)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad trace: " + err.Error()})
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, "bad trace: "+err.Error())
 		return
 	}
 	entry, added, err := s.corpus.Ingest(tr)
 	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, errorBody{Error: "ingest: " + err.Error()})
+		writeError(w, http.StatusInternalServerError, CodeInternal, "ingest: "+err.Error())
 		return
 	}
 	code := http.StatusOK
@@ -509,6 +560,17 @@ type resultEnvelope struct {
 	Result *core.Result `json:"result"`
 }
 
+// marshalResult renders the served result body for a content key. Shared
+// by the queue executor and the watch-subscription publisher so both fill
+// the cache with the same schema.
+func marshalResult(key string, res *core.Result) ([]byte, error) {
+	body, err := json.Marshal(resultEnvelope{Key: key, App: res.App, Result: res})
+	if err != nil {
+		return nil, fmt.Errorf("marshal result: %w", err)
+	}
+	return body, nil
+}
+
 // runJob executes one job: a full campaign for application jobs, the
 // offline solve for trace jobs. Per-phase wall time and LP pivots stream
 // into the metrics as the campaign progresses; the span stream tees into
@@ -557,9 +619,5 @@ func (s *Server) runJob(ctx context.Context, j *Job) ([]byte, error) {
 	s.runSeconds.Observe(res.Overhead.RunWall.Seconds())
 	s.solveSeconds.Observe(res.Overhead.SolveWall.Seconds())
 
-	body, err := json.Marshal(resultEnvelope{Key: j.Key, App: res.App, Result: res})
-	if err != nil {
-		return nil, fmt.Errorf("marshal result: %w", err)
-	}
-	return body, nil
+	return marshalResult(j.Key, res)
 }

@@ -1,0 +1,349 @@
+// Watch subscriptions: a job bound to a corpus app prefix whose result
+// advances as matching traces are ingested. Each subscription owns one
+// goroutine that wakes on a coalescing notify channel (corpus OnIngest
+// hook), re-lists the matching corpus keys, folds the new ones into its
+// core.Checkpoint via InferIncremental, and publishes the result into the
+// content-addressed cache under the SAME key a one-shot trace_keys job
+// over that trace set would use — the incremental byte-identity invariant
+// makes the two cache-coherent. The checkpoint is persisted in the corpus
+// (store.SaveCheckpoint) under a name derived from the app and the
+// config signature, so a restarted daemon resumes instead of re-solving
+// from scratch.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+
+	"sherlock/internal/core"
+	"sherlock/internal/store"
+)
+
+// maxSubscriptions caps concurrent watch jobs: each holds a goroutine and
+// a checkpoint, so admission is bounded like the job queue is.
+const maxSubscriptions = 256
+
+// watchAppPattern constrains watch_app values: they name corpus metadata
+// and feed the persisted checkpoint's file name.
+var watchAppPattern = regexp.MustCompile(`^[A-Za-z0-9._-]{1,100}$`)
+
+// subscription is the server-side state of one watch job.
+type subscription struct {
+	s   *Server
+	j   *Job
+	app string
+	cfg core.Config
+
+	ckName string // persisted checkpoint name: watch-<app>-<config-sig>
+	ck     *core.Checkpoint
+
+	notify chan struct{} // coalescing wake signal (capacity 1)
+	stop   chan struct{} // closed by DELETE /v1/jobs/{id}
+}
+
+// newSubscription wires a subscription for job j. The caller registers it
+// and starts run() on its own goroutine.
+func newSubscription(s *Server, j *Job, cfg core.Config) *subscription {
+	sub := &subscription{
+		s:      s,
+		j:      j,
+		app:    j.Spec.WatchApp,
+		cfg:    cfg,
+		ckName: "watch-" + j.Spec.WatchApp + "-" + core.ConfigSignature(cfg),
+		notify: make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+	}
+	j.mu.Lock()
+	j.cancel = func() { close(sub.stop) }
+	j.mu.Unlock()
+	return sub
+}
+
+// wake delivers a coalescing notification; a wake while one is already
+// pending is a no-op (the update cycle re-lists the corpus anyway).
+func (sub *subscription) wake() {
+	select {
+	case sub.notify <- struct{}{}:
+	default:
+	}
+}
+
+// run is the subscription loop: solve whatever already matches, then
+// re-solve on every wake until canceled or the server shuts down.
+func (sub *subscription) run() {
+	defer sub.s.subDone(sub)
+	sub.loadCheckpoint()
+	for {
+		sub.update()
+		select {
+		case <-sub.notify:
+		case <-sub.stop:
+			sub.j.finishLocked(StatusCanceled, "watch canceled")
+			return
+		case <-sub.s.baseCtx.Done():
+			sub.j.finishLocked(StatusCanceled, "server draining")
+			return
+		}
+	}
+}
+
+// loadCheckpoint tries to resume from a checkpoint a previous process
+// persisted for the same (app, config) pair. A checkpoint covering traces
+// the current corpus does not hold is stale (different corpus directory)
+// and is discarded.
+func (sub *subscription) loadCheckpoint() {
+	data, err := sub.s.corpus.LoadCheckpoint(sub.ckName)
+	if err != nil || data == nil {
+		return
+	}
+	ck, err := core.DecodeCheckpoint(data)
+	if err != nil || ck.ConfigSig != core.ConfigSignature(sub.cfg) {
+		return
+	}
+	for _, key := range ck.Covered() {
+		if _, ok := sub.s.corpus.Entry(key); !ok {
+			return
+		}
+	}
+	sub.ck = ck
+	sub.s.watchResumes.Inc()
+}
+
+// matchingKeys lists the corpus keys bound to this subscription, in the
+// corpus's deterministic (sorted) order.
+func (sub *subscription) matchingKeys() []string {
+	var keys []string
+	for _, e := range sub.s.corpus.Entries() {
+		if e.App == sub.app {
+			keys = append(keys, e.Key)
+		}
+	}
+	return keys
+}
+
+// update runs one watch cycle: list, solve incrementally if anything is
+// new, persist the advanced checkpoint, fill the cache, publish.
+func (sub *subscription) update() {
+	keys := sub.matchingKeys()
+	if len(keys) == 0 {
+		return
+	}
+	fresh := keys
+	if sub.ck != nil {
+		fresh = fresh[:0:0]
+		for _, k := range keys {
+			if !sub.ck.Covers(k) {
+				fresh = append(fresh, k)
+			}
+		}
+		if len(fresh) == 0 && sub.j.watchVersion() > 0 {
+			return // duplicate ingests only; nothing to publish
+		}
+	}
+
+	ctx := sub.s.baseCtx
+	if sub.s.cfg.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, sub.s.cfg.JobTimeout)
+		defer cancel()
+	}
+	res, next, err := core.InferIncremental(ctx, sub.ck, sub.s.corpus.Source(fresh...), sub.cfg)
+	if err != nil {
+		sub.j.setTransientError("watch update: " + err.Error())
+		return
+	}
+	sub.ck = next
+	if data, err := core.EncodeCheckpoint(next); err == nil {
+		// Best-effort: losing the checkpoint only costs a cold re-solve
+		// after a restart, never correctness.
+		_ = sub.s.corpus.SaveCheckpoint(sub.ckName, data)
+	}
+
+	// The publish key is the content address a one-shot trace_keys job
+	// over the same (sorted) trace set computes — watch results and
+	// one-shot results share cache entries.
+	key := JobKey(JobSpec{TraceKeys: keys}, sub.cfg)
+	body, err := marshalResult(key, res)
+	if err != nil {
+		sub.j.setTransientError("watch update: " + err.Error())
+		return
+	}
+	sub.s.cache.Put(key, body)
+	sub.j.publish(key)
+	sub.s.watchUpdates.Inc()
+}
+
+// watchVersion reads the job's published-version counter.
+func (j *Job) watchVersion() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.version
+}
+
+// notifySubscriptions wakes every subscription bound to app. Runs on the
+// ingesting goroutine (corpus OnIngest hook), after the blob is durable.
+func (s *Server) notifySubscriptions(entry store.Entry) {
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	for _, sub := range s.subs {
+		if sub.app == entry.App {
+			sub.wake()
+		}
+	}
+}
+
+// addSubscription registers a subscription if the cap allows, returning
+// false at the limit.
+func (s *Server) addSubscription(sub *subscription) bool {
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	if len(s.subs) >= maxSubscriptions {
+		return false
+	}
+	s.subs[sub.j.ID] = sub
+	s.watchActive.Set(int64(len(s.subs)))
+	s.subWG.Add(1)
+	return true
+}
+
+// subDone unregisters a finished subscription (deferred by run).
+func (s *Server) subDone(sub *subscription) {
+	s.subMu.Lock()
+	delete(s.subs, sub.j.ID)
+	s.watchActive.Set(int64(len(s.subs)))
+	s.subMu.Unlock()
+	s.subWG.Done()
+}
+
+// handleJobWatch long-polls a job until it publishes a version greater
+// than ?after or reaches a terminal state, whichever comes first; at
+// ?timeout (default 30s, capped at 60s) it returns the current view so
+// clients loop. With Accept: text/event-stream it switches to SSE and
+// pushes a state event per update until the job terminates or the client
+// goes away.
+func (s *Server) handleJobWatch(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, CodeNotFound, "unknown job id")
+		return
+	}
+	after, err := parseUintParam(r, "after", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, err.Error())
+		return
+	}
+	if acceptsEventStream(r) {
+		s.watchSSE(w, r, j, after)
+		return
+	}
+	timeoutSec, err := parseUintParam(r, "timeout", 30)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, err.Error())
+		return
+	}
+	if timeoutSec > 60 {
+		timeoutSec = 60
+	}
+	deadline := time.After(time.Duration(timeoutSec) * time.Second)
+	for {
+		version, status, updated := j.watchState()
+		if version > after || status.terminal() {
+			writeJSON(w, http.StatusOK, j.view())
+			return
+		}
+		var updateCh <-chan struct{}
+		if updated != nil {
+			updateCh = updated // nil for one-shot jobs: rely on done
+		}
+		select {
+		case <-updateCh:
+		case <-j.Done():
+		case <-deadline:
+			writeJSON(w, http.StatusOK, j.view())
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// watchSSE streams job state as server-sent events: one "state" event
+// immediately, one per publish or terminal transition, and comment
+// heartbeats to keep intermediaries from timing the stream out.
+func (s *Server) watchSSE(w http.ResponseWriter, r *http.Request, j *Job, after uint64) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, "streaming unsupported by this connection")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	send := func() (terminal bool) {
+		v := j.view()
+		body, err := json.Marshal(v)
+		if err != nil {
+			return true
+		}
+		fmt.Fprintf(w, "event: state\ndata: %s\n\n", body)
+		flusher.Flush()
+		return JobStatus(v.Status).terminal()
+	}
+	// Initial state, unless the client is resuming past it.
+	if version, status, _ := j.watchState(); version > after || status.terminal() || version == 0 {
+		if send() {
+			return
+		}
+	}
+	heartbeat := time.NewTicker(15 * time.Second)
+	defer heartbeat.Stop()
+	for {
+		_, _, updated := j.watchState()
+		var updateCh <-chan struct{}
+		if updated != nil {
+			updateCh = updated
+		}
+		select {
+		case <-updateCh:
+			if send() {
+				return
+			}
+		case <-j.Done():
+			send()
+			return
+		case <-heartbeat.C:
+			fmt.Fprint(w, ": heartbeat\n\n")
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		case <-s.baseCtx.Done():
+			send()
+			return
+		}
+	}
+}
+
+// acceptsEventStream reports whether the client asked for SSE.
+func acceptsEventStream(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+}
+
+// parseUintParam reads an unsigned integer query parameter with a default.
+func parseUintParam(r *http.Request, name string, def uint64) (uint64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %q parameter: %v", name, err)
+	}
+	return v, nil
+}

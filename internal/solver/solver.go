@@ -333,6 +333,36 @@ type builder struct {
 	vars map[trace.Key]varPair
 }
 
+// tieBreakEps scales the deterministic tie-breaker costs on role
+// variables. The SherLock encodings routinely have tied optima — several
+// candidate operations protecting the same windows at the same penalty —
+// and which vertex a simplex reaches then depends on its pivot path, i.e.
+// on whether and from where it was warm-started. A tiny name-hashed cost
+// on every role variable makes the optimum generically unique, so every
+// pivot path (cold, warm from any checkpoint) converges to the same
+// vertex — the property the incremental-inference byte-identity contract
+// rests on. The scale sits well above the simplex's 1e-9 pivot tolerance
+// (so the preference is acted on) and well below the 1e-3-granular real
+// penalties (so it never overrides genuine evidence).
+//
+// Only role variables are perturbed: their names are identical across
+// encodings, while ε/auxiliary names are not (index- vs UID-based window
+// naming), and the auxiliaries are uniquely determined by the role
+// variables anyway — each carries a strictly positive cost and a one-sided
+// constraint, so it sits at its bound once the role variables are fixed.
+const tieBreakEps = 1e-6
+
+// nameWeight maps a variable name to a deterministic pseudo-random weight
+// in [0, 1) (FNV-1a 64).
+func nameWeight(s string) float64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return float64(h>>11) / (1 << 53)
+}
+
 // addVars creates the role variables of one candidate under the
 // Read-Acquire & Write-Release property (or both roles under its ablation,
 // with the role-exclusivity constraint instead).
@@ -347,10 +377,12 @@ func (b *builder) addVars(k trace.Key) {
 	if acqCapable {
 		vp.acq = b.prob.AddVariable(string(k) + "^acq")
 		b.prob.SetUpperBound(vp.acq, 1)
+		b.prob.AddCost(vp.acq, tieBreakEps*nameWeight(string(k)+"^acq"))
 	}
 	if relCapable {
 		vp.rel = b.prob.AddVariable(string(k) + "^rel")
 		b.prob.SetUpperBound(vp.rel, 1)
+		b.prob.AddCost(vp.rel, tieBreakEps*nameWeight(string(k)+"^rel"))
 	}
 	if vp.acq >= 0 && vp.rel >= 0 {
 		// A release cannot be an acquire and vice versa.
@@ -361,20 +393,30 @@ func (b *builder) addVars(k trace.Key) {
 }
 
 // addMostlyProtected adds Eq. 2's rel(w) and acq(w) terms for every
-// non-retired window. Windows are identified by their absolute index in the
-// accumulator — not their position after racy filtering — so the term names
-// (and with them the basis mapping) stay stable when a pair turns racy and
-// its rows are retired.
+// non-retired window. Windows are identified by their UID when they carry
+// one (checkpointed windows named by owning trace), otherwise by their
+// absolute index in the accumulator — not their position after racy
+// filtering — so the term names (and with them the basis mapping) stay
+// stable when a pair turns racy and its rows are retired. UID naming goes
+// further: it survives windows from other traces being inserted ahead,
+// which is what lets an incremental re-solve carry its basis across
+// arbitrary upload orders. Names never influence pivoting, so the two
+// schemes produce the identical program values either way.
 func (b *builder) addMostlyProtected(e *Encoder) {
 	if !b.cfg.Hyp.MostlyProtected {
 		return
 	}
 	for wi := range b.obs.Windows {
-		if !b.cfg.KeepRacyWindows && b.obs.RacyPairs[b.obs.Windows[wi].Pair] {
+		w := &b.obs.Windows[wi]
+		if !b.cfg.KeepRacyWindows && b.obs.RacyPairs[w.Pair] {
 			continue
 		}
-		b.addWindowTerm(fmt.Sprintf("rel(w%d)", wi), e.winRel[wi], trace.RoleRelease)
-		b.addWindowTerm(fmt.Sprintf("acq(w%d)", wi), e.winAcq[wi], trace.RoleAcquire)
+		id := w.UID
+		if id == "" {
+			id = fmt.Sprintf("w%d", wi)
+		}
+		b.addWindowTerm("rel("+id+")", e.winRel[wi], trace.RoleRelease)
+		b.addWindowTerm("acq("+id+")", e.winAcq[wi], trace.RoleAcquire)
 	}
 }
 

@@ -43,9 +43,22 @@ type Entry struct {
 type Corpus struct {
 	dir string
 
-	mu      sync.Mutex
-	entries map[string]Entry
-	tracer  *obs.Tracer
+	mu       sync.Mutex
+	entries  map[string]Entry
+	tracer   *obs.Tracer
+	onIngest []func(Entry)
+}
+
+// OnIngest registers a hook called after every Ingest that stores a new
+// blob (dedup hits never fire it). Hooks run outside the corpus lock, on
+// the ingesting goroutine, after the blob and manifest are durably in
+// place — a hook that reads the corpus sees the new entry. The serving
+// layer uses this to notify corpus-prefix subscriptions. Safe for
+// concurrent use with ingestion; registration order is invocation order.
+func (c *Corpus) OnIngest(fn func(Entry)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onIngest = append(c.onIngest, fn)
 }
 
 // SetTracer attaches an observability tracer: subsequent Ingest and Source
@@ -138,13 +151,23 @@ func (c *Corpus) Ingest(t *trace.Trace) (Entry, bool, error) {
 		obs.Int("events", len(t.Events)),
 		obs.Int("bytes", len(data)))
 	added := false
+	var hooks []func(Entry)
 	defer func() {
 		span.Annotate(obs.Bool("dedup", !added))
 		span.End()
+		// Runs after the deferred unlock below (defers are LIFO), so hooks
+		// observe the corpus with the new entry visible and may call back
+		// into it freely.
+		if added {
+			for _, fn := range hooks {
+				fn(entry)
+			}
+		}
 	}()
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	hooks = c.onIngest
 	if prev, ok := c.entries[key]; ok {
 		if _, err := os.Stat(c.BlobPath(key)); err == nil {
 			return prev, false, nil

@@ -43,6 +43,13 @@ func (s *Source) Keys() []string { return append([]string(nil), s.keys...) }
 // When the corpus has a tracer, each decode records a "decode:<key>" span
 // (the yield itself — inference work — is not part of the span).
 func (s *Source) Traces(ctx context.Context, yield func(*trace.Trace) error) error {
+	return s.KeyedTraces(ctx, func(_ string, t *trace.Trace) error { return yield(t) })
+}
+
+// KeyedTraces is Traces yielding each trace's content address alongside
+// it, satisfying core.KeyedSource structurally — the incremental solve
+// needs the keys to track checkpoint coverage.
+func (s *Source) KeyedTraces(ctx context.Context, yield func(string, *trace.Trace) error) error {
 	for _, key := range s.keys {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -58,7 +65,7 @@ func (s *Source) Traces(ctx context.Context, yield func(*trace.Trace) error) err
 			obs.Str("test", t.Test),
 			obs.Int("events", t.Len()))
 		span.End()
-		if err := yield(t); err != nil {
+		if err := yield(key, t); err != nil {
 			return err
 		}
 	}

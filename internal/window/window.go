@@ -55,7 +55,15 @@ type CandEvent struct {
 // instead of mutating in place.
 type Window struct {
 	App, Test string
-	Pair      PairID
+	// UID, when non-empty, is a stable identity for this window across
+	// encodings — typically derived from the owning trace's content address
+	// plus the window's ordinal within that trace. The solver names a
+	// window's LP rows by UID when present (falling back to the absolute
+	// accumulator index), which keeps row names — and with them warm-basis
+	// mapping — stable even when later encodings insert windows from other
+	// traces ahead of this one. Empty for windows built live by the engine.
+	UID  string
+	Pair PairID
 	ThreadA   int
 	ThreadB   int
 	TA, TB    int64
@@ -322,7 +330,32 @@ func (o *Observations) AddWindows(ws []Window) {
 // AddTraceStats folds per-trace statistics (durations, library API names)
 // into the accumulator. Call once per trace, independent of windows.
 func (o *Observations) AddTraceStats(tr *trace.Trace) {
-	for name, durs := range MethodDurations(tr) {
+	o.addDurations(MethodDurations(tr))
+	for i := range tr.Events {
+		if tr.Events[i].Lib {
+			o.LibAPIs[tr.Events[i].Name] = true
+		}
+	}
+	o.Runs++
+}
+
+// AddStats folds precomputed per-trace statistics — MethodDurations output
+// and the trace's library-API name set — exactly as AddTraceStats would
+// fold the trace they were extracted from, bit for bit: per-method samples
+// feed the same Welford accumulator in the same order, and methods are
+// independent of each other, so the map's iteration order cannot matter.
+// Checkpoint replay (internal/core) uses this to rebuild an accumulator
+// from stored extracts without re-decoding traces.
+func (o *Observations) AddStats(durations map[string][]float64, libAPIs []string) {
+	o.addDurations(durations)
+	for _, api := range libAPIs {
+		o.LibAPIs[api] = true
+	}
+	o.Runs++
+}
+
+func (o *Observations) addDurations(durations map[string][]float64) {
+	for name, durs := range durations {
 		w, ok := o.Durations[name]
 		if !ok {
 			w = &stats.Welford{}
@@ -332,12 +365,6 @@ func (o *Observations) AddTraceStats(tr *trace.Trace) {
 			w.Add(d)
 		}
 	}
-	for i := range tr.Events {
-		if tr.Events[i].Lib {
-			o.LibAPIs[tr.Events[i].Name] = true
-		}
-	}
-	o.Runs++
 }
 
 // Merge folds another accumulator into o: windows are replayed through the

@@ -67,6 +67,21 @@ echo "$METRICS" | grep -q '^sherlock_jobs_total{status="done"} 1$' || { echo "me
 echo "$METRICS" | grep -q '^sherlock_lp_pivots_total [1-9]' || { echo "metrics missing LP pivots"; exit 1; }
 echo "smoke: metrics ok"
 
+# Errors arrive in the v1 envelope with a machine code.
+ERR=$(curl -s "$BASE/v1/jobs/job-999999")
+echo "$ERR" | grep -q '"error":{"code":"not_found"' || { echo "404 not in v1 envelope: $ERR"; exit 1; }
+
+# Streaming: create a watch job bound to App-1 BEFORE any trace exists, so
+# the upload below is observed live.
+WJOB=$(curl -fsS -X POST -H 'Content-Type: application/json' \
+  -d '{"watch_app":"App-1"}' "$BASE/v1/jobs")
+echo "smoke: watch job: $WJOB"
+echo "$WJOB" | grep -q '"status":"watching"' || { echo "watch job not watching"; exit 1; }
+WID=$(echo "$WJOB" | grep -o '"id":"[^"]*"' | head -1 | cut -d'"' -f4)
+[ -n "$WID" ] || { echo "no id in watch job response"; exit 1; }
+curl -fsS "$BASE/v1/jobs?status=watching" | grep -q "\"id\":\"$WID\"" \
+  || { echo "watch job missing from ?status=watching listing"; exit 1; }
+
 # Trace corpus: upload a captured trace, assert dedup on re-upload, then
 # run inference addressed by the corpus key.
 TRACES=$(mktemp -d)
@@ -101,7 +116,17 @@ done
 curl -fsS "$BASE/v1/results/$CKEY" | grep -q '"Inferred"' || { echo "corpus result lacks inference payload"; exit 1; }
 echo "smoke: corpus upload + inference by key ok"
 
-# Graceful drain on SIGTERM.
+# The watch job saw the upload: long-poll until it publishes version 1,
+# and its content key must be the one-shot corpus job's key — streaming
+# and one-shot solves share cache entries.
+WVIEW=$(curl -fsS "$BASE/v1/jobs/$WID/watch?after=0&timeout=20")
+echo "smoke: watch update: $WVIEW"
+echo "$WVIEW" | grep -q '"version":1' || { echo "watch job never published"; exit 1; }
+echo "$WVIEW" | grep -q "\"key\":\"$CKEY\"" || { echo "watch key differs from one-shot corpus key"; exit 1; }
+curl -fsS "$BASE/v1/results/$CKEY" | grep -q '"Inferred"' || { echo "watch result lacks inference payload"; exit 1; }
+echo "smoke: upload-while-watching ok"
+
+# Graceful drain on SIGTERM (with the watch subscription still active).
 kill -TERM "$PID"
 for _ in $(seq 1 100); do
   kill -0 "$PID" 2>/dev/null || break
