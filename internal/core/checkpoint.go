@@ -56,18 +56,16 @@ type TraceExtract struct {
 }
 
 // ExtractTrace computes a trace's extract under the given window config.
-// Each window gets a UID derived from the trace key and its ordinal, so
-// its LP rows keep their names across re-encodings with different trace
-// interleavings (see window.Window.UID).
+// Each window gets a UID of the FULL trace key and its ordinal, so its LP
+// rows keep their names across re-encodings with different trace
+// interleavings (see window.Window.UID). The key is used untruncated:
+// a shortened prefix could collide across traces and silently alias two
+// windows' LP rows, and row names are not size-critical.
 func ExtractTrace(key string, t *trace.Trace, cfg window.Config) TraceExtract {
 	conflicts := window.FindConflicts(t, cfg)
 	ws := window.BuildWindows(t, conflicts)
-	uidPrefix := key
-	if len(uidPrefix) > 16 {
-		uidPrefix = uidPrefix[:16]
-	}
 	for i := range ws {
-		ws[i].UID = uidPrefix + ":" + strconv.Itoa(i)
+		ws[i].UID = key + ":" + strconv.Itoa(i)
 	}
 	var apis []string
 	seen := map[string]bool{}

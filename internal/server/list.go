@@ -1,12 +1,16 @@
 // GET /v1/jobs: enumerate the in-memory job records with status filtering
 // and bounded cursor pagination. Jobs are returned in submission order
-// (job ids are zero-padded, so id order IS submission order); the cursor
-// is the last id of the previous page, which keeps pagination stable even
-// when old terminal records have been evicted in between.
+// (idOrder is append-only); the cursor is the last id of the previous
+// page, compared by the numeric sequence embedded in the id — NOT
+// lexicographically, which would break past job-999999 where the
+// zero padding runs out — which keeps pagination stable even when old
+// terminal records have been evicted in between.
 package server
 
 import (
 	"net/http"
+	"strconv"
+	"strings"
 )
 
 // defaultJobPageSize and maxJobPageSize bound one listing response.
@@ -50,13 +54,22 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 		limit = maxJobPageSize
 	}
 	after := q.Get("after")
+	afterSeq := uint64(0)
+	if after != "" {
+		var ok bool
+		if afterSeq, ok = jobSeq(after); !ok {
+			writeError(w, http.StatusBadRequest, CodeInvalidArgument,
+				"bad \"after\" cursor "+after+" (want a job id from next_after)")
+			return
+		}
+	}
 
 	s.mu.Lock()
 	ids := make([]string, len(s.idOrder))
 	copy(ids, s.idOrder)
 	jobs := make([]*Job, 0, len(ids))
 	for _, id := range ids {
-		if id > after {
+		if seq, ok := jobSeq(id); ok && seq > afterSeq {
 			if j := s.byID[id]; j != nil {
 				jobs = append(jobs, j)
 			}
@@ -78,4 +91,17 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 		out.Jobs = append(out.Jobs, v)
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// jobSeq extracts the numeric submission sequence from a "job-<n>" id.
+func jobSeq(id string) (uint64, bool) {
+	digits, ok := strings.CutPrefix(id, "job-")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(digits, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
 }

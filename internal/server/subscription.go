@@ -74,15 +74,36 @@ func (sub *subscription) wake() {
 	}
 }
 
+// watchRetryMin/watchRetryMax bound the backoff a subscription sleeps
+// after a failed update cycle before retrying on its own, so a transient
+// solve error (timeout, I/O blip) self-heals instead of leaving the job
+// stale until the next matching ingest happens to wake it.
+const (
+	watchRetryMin = time.Second
+	watchRetryMax = time.Minute
+)
+
 // run is the subscription loop: solve whatever already matches, then
-// re-solve on every wake until canceled or the server shuts down.
+// re-solve on every wake until canceled or the server shuts down. A
+// failed cycle arms a backoff timer so the update is retried even if no
+// further ingest arrives.
 func (sub *subscription) run() {
 	defer sub.s.subDone(sub)
 	sub.loadCheckpoint()
+	backoff := watchRetryMin
 	for {
-		sub.update()
+		var retry <-chan time.Time
+		if sub.update() {
+			backoff = watchRetryMin
+		} else {
+			retry = time.After(backoff)
+			if backoff *= 2; backoff > watchRetryMax {
+				backoff = watchRetryMax
+			}
+		}
 		select {
 		case <-sub.notify:
+		case <-retry:
 		case <-sub.stop:
 			sub.j.finishLocked(StatusCanceled, "watch canceled")
 			return
@@ -128,11 +149,13 @@ func (sub *subscription) matchingKeys() []string {
 }
 
 // update runs one watch cycle: list, solve incrementally if anything is
-// new, persist the advanced checkpoint, fill the cache, publish.
-func (sub *subscription) update() {
+// new, persist the advanced checkpoint, fill the cache, publish. It
+// reports whether the cycle succeeded; a false return makes the run loop
+// retry with backoff.
+func (sub *subscription) update() bool {
 	keys := sub.matchingKeys()
 	if len(keys) == 0 {
-		return
+		return true
 	}
 	fresh := keys
 	if sub.ck != nil {
@@ -143,7 +166,7 @@ func (sub *subscription) update() {
 			}
 		}
 		if len(fresh) == 0 && sub.j.watchVersion() > 0 {
-			return // duplicate ingests only; nothing to publish
+			return true // duplicate ingests only; nothing to publish
 		}
 	}
 
@@ -153,10 +176,19 @@ func (sub *subscription) update() {
 		ctx, cancel = context.WithTimeout(ctx, sub.s.cfg.JobTimeout)
 		defer cancel()
 	}
-	res, next, err := core.InferIncremental(ctx, sub.ck, sub.s.corpus.Source(fresh...), sub.cfg)
+	// The empty-key case matters: a resumed checkpoint can already cover
+	// every matching key, and corpus.Source with zero keys means "the whole
+	// corpus" — which would fold every other app's traces into this
+	// subscription's checkpoint. Feed an explicitly empty source instead;
+	// InferIncremental then republishes the checkpoint's stored result.
+	var src core.KeyedSource = core.KeyedSlice(nil)
+	if len(fresh) > 0 {
+		src = sub.s.corpus.Source(fresh...)
+	}
+	res, next, err := core.InferIncremental(ctx, sub.ck, src, sub.cfg)
 	if err != nil {
 		sub.j.setTransientError("watch update: " + err.Error())
-		return
+		return false
 	}
 	sub.ck = next
 	if data, err := core.EncodeCheckpoint(next); err == nil {
@@ -172,11 +204,12 @@ func (sub *subscription) update() {
 	body, err := marshalResult(key, res)
 	if err != nil {
 		sub.j.setTransientError("watch update: " + err.Error())
-		return
+		return false
 	}
 	sub.s.cache.Put(key, body)
 	sub.j.publish(key)
 	sub.s.watchUpdates.Inc()
+	return true
 }
 
 // watchVersion reads the job's published-version counter.

@@ -22,10 +22,10 @@ import (
 	"sherlock/internal/trace"
 )
 
-// captureApp1Traces returns n distinct App-1 traces.
-func captureApp1Traces(t *testing.T, n int) []*trace.Trace {
+// captureAppTraces returns n distinct traces of the named app.
+func captureAppTraces(t *testing.T, name string, n int) []*trace.Trace {
 	t.Helper()
-	app, err := apps.ByName("App-1")
+	app, err := apps.ByName(name)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,6 +43,12 @@ func captureApp1Traces(t *testing.T, n int) []*trace.Trace {
 		}
 	}
 	return out
+}
+
+// captureApp1Traces returns n distinct App-1 traces.
+func captureApp1Traces(t *testing.T, n int) []*trace.Trace {
+	t.Helper()
+	return captureAppTraces(t, "App-1", n)
 }
 
 // uploadTrace posts one trace in binary form and returns its corpus key.
@@ -205,7 +211,11 @@ func TestWatchJobStreamsVersions(t *testing.T) {
 
 // TestWatchResumesFromCheckpoint restarts the daemon over the same corpus
 // directory and verifies a new subscription resumes from the persisted
-// checkpoint instead of starting cold, publishing the same content key.
+// checkpoint instead of starting cold, publishing the same content key
+// and the same result body. The corpus deliberately also holds a trace
+// of ANOTHER app: a resumed checkpoint covering every matching key must
+// republish its stored result, not re-solve over the whole corpus and
+// fold foreign-app traces into the subscription (and its checkpoint).
 func TestWatchResumesFromCheckpoint(t *testing.T) {
 	dir := t.TempDir()
 	cfg := fastConfig()
@@ -219,10 +229,14 @@ func TestWatchResumesFromCheckpoint(t *testing.T) {
 	traces := captureApp1Traces(t, 1)
 	_, watch1 := postJob(t, ts1, map[string]any{"watch_app": "App-1"})
 	uploadTraceT(t, ts1, traces[0])
+	// A foreign-app trace in the same corpus; it must never enter the
+	// App-1 subscription.
+	uploadTraceT(t, ts1, captureAppTraces(t, "App-2", 1)[0])
 	v1 := longPoll(t, ts1, watch1.ID, 0, 30)
 	if v1.Version != 1 {
 		t.Fatalf("first daemon: version %d, want 1", v1.Version)
 	}
+	want := normalizedResult(t, ts1, v1.Key)
 	closeTestHTTP(t, s1)
 
 	s2, err := New(cfg)
@@ -239,8 +253,25 @@ func TestWatchResumesFromCheckpoint(t *testing.T) {
 	if v2.Key != v1.Key {
 		t.Errorf("resumed key %s != original %s", v2.Key, v1.Key)
 	}
+	if got := normalizedResult(t, ts2, v2.Key); string(got) != string(want) {
+		t.Errorf("resumed result differs from original (foreign traces folded in?)\n got: %s\nwant: %s", got, want)
+	}
 	if got := s2.watchResumes.Value(); got != 1 {
 		t.Errorf("watch_resumes_total = %d, want 1 (checkpoint not loaded)", got)
+	}
+
+	// The persisted checkpoint must still cover exactly the App-1 trace.
+	jcfg := JobSpec{WatchApp: "App-1"}.effectiveConfig(cfg.Inference)
+	data, err := s2.corpus.LoadCheckpoint("watch-App-1-" + core.ConfigSignature(jcfg))
+	if err != nil || data == nil {
+		t.Fatalf("load persisted checkpoint: data=%v err=%v", data != nil, err)
+	}
+	ck, err := core.DecodeCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if covered := ck.Covered(); len(covered) != 1 {
+		t.Errorf("checkpoint covers %d traces %v, want only the App-1 trace", len(covered), covered)
 	}
 }
 
@@ -382,5 +413,60 @@ func TestJobListFilterAndPagination(t *testing.T) {
 	}
 	if page2.Jobs[0].ID != ids[2] {
 		t.Fatalf("page 2 job %s, want %s", page2.Jobs[0].ID, ids[2])
+	}
+
+	if code, _ := getBody(t, ts.URL+"/v1/jobs?after=not-a-job-id"); code != http.StatusBadRequest {
+		t.Fatalf("bad cursor: HTTP %d, want 400", code)
+	}
+}
+
+// TestJobListPaginationBeyondPadding crosses the job-%06d zero-padding
+// boundary, where lexicographic id order diverges from submission order
+// ("job-1000000" < "job-999999" as strings): the cursor must paginate on
+// the numeric sequence, not the id string.
+func TestJobListPaginationBeyondPadding(t *testing.T) {
+	cfg := fastConfig()
+	s, ts := startTestServer(t, cfg)
+	s.nextID.Store(999998)
+
+	var ids []string
+	for i := 0; i < 3; i++ {
+		_, v := postJob(t, ts.URL, map[string]any{"watch_app": fmt.Sprintf("Pad-%d", i)})
+		ids = append(ids, v.ID)
+	}
+	if ids[0] != "job-999999" || ids[1] != "job-1000000" {
+		t.Fatalf("unexpected ids %v (id scheme changed? update this test)", ids)
+	}
+
+	list := func(query string) jobListView {
+		t.Helper()
+		code, body := getBody(t, ts.URL+"/v1/jobs"+query)
+		if code != http.StatusOK {
+			t.Fatalf("list%s: HTTP %d: %s", query, code, body)
+		}
+		var lv jobListView
+		if err := json.Unmarshal(body, &lv); err != nil {
+			t.Fatal(err)
+		}
+		return lv
+	}
+
+	all := list("")
+	if len(all.Jobs) != 3 {
+		t.Fatalf("full list: %d jobs, want 3", len(all.Jobs))
+	}
+	for i := range all.Jobs {
+		if all.Jobs[i].ID != ids[i] {
+			t.Fatalf("list out of submission order: got %s at %d, want %s", all.Jobs[i].ID, i, ids[i])
+		}
+	}
+
+	page1 := list("?limit=2")
+	if len(page1.Jobs) != 2 || page1.Jobs[0].ID != ids[0] || page1.Jobs[1].ID != ids[1] || page1.NextAfter != ids[1] {
+		t.Fatalf("page 1: %+v next=%q, want [%s %s] next=%s", page1.Jobs, page1.NextAfter, ids[0], ids[1], ids[1])
+	}
+	page2 := list("?limit=2&after=" + page1.NextAfter)
+	if len(page2.Jobs) != 1 || page2.Jobs[0].ID != ids[2] || page2.NextAfter != "" {
+		t.Fatalf("page 2: %+v next=%q, want just %s", page2.Jobs, page2.NextAfter, ids[2])
 	}
 }
