@@ -7,7 +7,12 @@
 //
 //	sherlockd [-addr :8419] [-workers N] [-queue N] [-cache N]
 //	          [-job-timeout 2m] [-drain-timeout 30s] [-rounds 3]
-//	          [-corpus DIR]
+//	          [-corpus DIR] [-pprof]
+//
+// -pprof mounts the net/http/pprof profiling handlers under
+// /debug/pprof/ on the same listener. Off by default: the profile
+// endpoints expose internals and can stall a loaded daemon, so they are
+// opt-in for diagnosis sessions only.
 //
 // -corpus persists the content-addressed trace corpus (POST /v1/traces,
 // trace_keys job submission) across restarts; without it uploads land in
@@ -27,6 +32,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -45,6 +51,7 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", cfg.DrainTimeout, "graceful shutdown bound (0 = wait forever)")
 		rounds       = flag.Int("rounds", cfg.Inference.Rounds, "default campaign rounds (jobs may override)")
 		corpusDir    = flag.String("corpus", "", "trace corpus directory (empty = ephemeral per-process temp dir)")
+		withPprof    = flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	)
 	flag.Parse()
 	cfg.Workers = *workers
@@ -62,7 +69,18 @@ func main() {
 	die(err)
 	fmt.Printf("sherlockd: listening on %s\n", ln.Addr())
 
-	hs := &http.Server{Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *withPprof {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+	hs := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 

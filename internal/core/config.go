@@ -121,6 +121,9 @@ func (c Config) Validate() error {
 	if c.MaxStepsPerTest < 0 {
 		errs = append(errs, fmt.Errorf("MaxStepsPerTest must be non-negative, got %d", c.MaxStepsPerTest))
 	}
+	if w := c.Solver.Weights; w.Acquire < 0 || w.Release < 0 {
+		errs = append(errs, fmt.Errorf("Solver.Weights must be non-negative, got acquire=%g release=%g", w.Acquire, w.Release))
+	}
 	if len(errs) == 0 {
 		return nil
 	}

@@ -116,6 +116,9 @@ func Infer(ctx context.Context, app *prog.Program, cfg Config) (*Result, error) 
 	}
 	scfg := cfg.Solver
 	scfg.KeepRacyWindows = !cfg.RemoveRacyMP
+	if scfg.Parallelism == 0 {
+		scfg.Parallelism = cfg.workers() // LP component fan-out; bit-identical at any width
+	}
 
 	res := &Result{App: app.Name}
 	acc := window.NewObservations(cfg.Window)

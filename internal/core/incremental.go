@@ -142,6 +142,9 @@ func InferIncremental(ctx context.Context, ck *Checkpoint, src KeyedSource, cfg 
 
 	scfg := cfg.Solver
 	scfg.KeepRacyWindows = !cfg.RemoveRacyMP
+	if scfg.Parallelism == 0 {
+		scfg.Parallelism = cfg.workers()
+	}
 	t0 := time.Now()
 	sr, basis, err := solver.NewEncoder(scfg).SolveSpan(acc, ck.Basis, root)
 	res.Overhead.SolveWall = time.Since(t0)

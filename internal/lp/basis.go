@@ -1,27 +1,21 @@
-// Cross-solve warm starting. A Basis carries a solve's optimal basis —
-// which column is basic in each row, the basis inverse, and the basic
-// values — keyed by row/column names. Because the SherLock encodings grow
-// incrementally (each Perturber round mostly appends windows, i.e. new
-// rows and columns, to the previous round's program), the next problem's
-// basis matrix relative to the carried basis is block-triangular,
+// Cross-solve warm starting. A Basis carries a solve's optimal basis as
+// (row name, basic column name) pairs — nothing numerical. Because the
+// SherLock encodings grow incrementally (each Perturber round mostly
+// appends windows, i.e. new rows and columns, to the previous round's
+// program), most of a carried basis maps straight onto the next problem:
+// applyWarm re-resolves the names against the new standard form, gives
+// every uncovered row a crash column, and refactorizes the result from the
+// *current* problem data (lu.go).
 //
-//	B_new = ⎡B_old  0⎤        (new rows start on their own
-//	        ⎣  C    D⎦         singleton columns, so D is diagonal)
-//
-// and its inverse extends the carried one in O(nnz·m) arithmetic — no
-// factorization, no pivot replay. Rows retired since the snapshot (racy
-// windows dropped by the encoder) are excised the same way in reverse:
-// when a vanished row's basic column was local to that row — true for the
-// slack, surplus, ε, and artificial columns such rows carry — deleting
-// its row and column from the inverse leaves exactly the inverse of the
-// surviving block.
-//
-// Safety does not rest on those structural assumptions: the snapshot
-// stores each basic column's sparse entries, and applyWarm accepts the
-// carried inverse only after checking — entry by exact entry — that every
-// carried basic column and right-hand side is unchanged on the surviving
-// rows. Renamed rows, coefficient changes, or inexcisable retirements all
-// fail the check and fall back to a cold start.
+// Refactorizing — rather than carrying an inverse — is what makes the warm
+// start robust: coefficient changes, right-hand-side changes, renamed or
+// retired rows all resolve to "whatever the names still mean here", and
+// the factorization is exact for the problem actually being solved. A
+// mapped basis that is numerically singular, or that turns out both primal
+// and dual infeasible, falls back to a cold start; one that is merely
+// primal infeasible (the appended rows cut the carried vertex off) is
+// repaired by dual simplex pivots (dual.go) — the carried basis is dual
+// feasible because it was optimal.
 package lp
 
 // Basis is the warm-start state of a previous Solve, opaque to callers. It
@@ -29,14 +23,8 @@ package lp
 // it to an unrelated problem is harmless (the solve falls back to a cold
 // start).
 type Basis struct {
-	rows []string    // row names, in the solved problem's row order
-	bcol []string    // basic column name per row
-	rhs  []float64   // right-hand side per row, post-normalization
-	loc  []bool      // basic column is a singleton local to its own row
-	brow [][]int32   // basic column's row positions, per row
-	bval [][]float64 // basic column's coefficients, matching brow
-	binv [][]float64 // basis inverse at the optimum
-	xB   []float64   // basic values at the optimum
+	rows []string // row names, in the solved problem's row order
+	bcol []string // basic column name per row position
 }
 
 // Size returns the number of rows the basis covers.
@@ -47,213 +35,127 @@ func (b *Basis) Size() int {
 	return len(b.rows)
 }
 
-// applyWarm installs warm as this problem's starting basis. Carried rows
-// are matched by name; matched rows must have their recorded basic
-// column, coefficients, and right-hand side unchanged, vanished rows must
-// be excisable (row-local basic column), and rows not covered — newly
-// appended ones — get a singleton column chosen by the sign of their
-// residual, extending the carried inverse block-triangularly.
+// merge appends another basis (a separately solved component) onto b.
+// Row and column names are globally unique across components, so
+// concatenation order only affects slot numbering, which applyWarm never
+// relies on.
+func (b *Basis) merge(o *Basis) {
+	if o == nil {
+		return
+	}
+	b.rows = append(b.rows, o.rows...)
+	b.bcol = append(b.bcol, o.bcol...)
+}
+
+// index builds the row-name → basic-column-name lookup applyWarm consumes.
+// Built once per solve and shared read-only across the per-component
+// solves (earlier revisions re-scanned the whole carried basis inside
+// every component, which went quadratic in the component count).
+// Duplicate row names — impossible in well-formed encodings — resolve
+// first-wins, matching the old scan order.
+func (b *Basis) index() map[string]string {
+	if b.Size() == 0 {
+		return nil
+	}
+	idx := make(map[string]string, len(b.rows))
+	for i, name := range b.rows {
+		if _, dup := idx[name]; !dup {
+			idx[name] = b.bcol[i]
+		}
+	}
+	return idx
+}
+
+// applyWarm installs a carried basis — pre-indexed by Basis.index — as
+// this problem's starting basis. Rows are matched by name and re-enter on
+// their recorded basic column when that column still exists and is
+// unclaimed; rows not covered — newly appended ones — get a crash column
+// (slack, positive singleton, surplus, or artificial, first available).
+// The assembled basis is then refactorized against the current problem
+// data.
 //
-// Reports whether the warm basis was installed; on false the receiver is
-// left in an unusable state and the caller must rebuild from the crash
-// basis. The receiver needs only sf and tmp populated.
-func (r *revised) applyWarm(warm *Basis) bool {
+// Reports whether the warm basis was installed; on false the caller must
+// rebuild from the crash basis. The receiver must come from newBare.
+func (r *revised) applyWarm(warmIdx map[string]string) bool {
 	sf := r.sf
 	m := sf.m
-	mw := len(warm.rows)
-	if mw == 0 {
+	if len(warmIdx) == 0 || m == 0 {
 		return false
 	}
-
-	// Match carried rows by name; vanished rows must be excisable.
-	rowIdx := make(map[string]int, m)
-	for i, name := range sf.rowName {
-		if _, dup := rowIdx[name]; !dup {
-			rowIdx[name] = i
-		}
-	}
-	pos := make([]int, mw) // carried row position → row index here, -1 excised
-	carried := make([]bool, m)
-	keep := make([]int, 0, mw)
-	for i0, name := range warm.rows {
-		i, ok := rowIdx[name]
-		if !ok {
-			if !warm.loc[i0] {
-				return false // retired row's basic column reaches other rows
-			}
-			pos[i0] = -1
-			continue
-		}
-		if carried[i] {
-			return false
-		}
-		carried[i] = true
-		pos[i0] = i
-		keep = append(keep, i0)
-	}
-	if len(keep) == 0 {
-		return false
-	}
-
-	// Re-resolve the carried basic columns by name.
 	colIdx := make(map[string]int, sf.total)
 	for j, name := range sf.colName {
 		if _, dup := colIdx[name]; !dup {
 			colIdx[name] = j
 		}
 	}
+
 	basis := make([]int, m)
-	inBasis := make([]bool, sf.total)
 	for i := range basis {
 		basis[i] = -1
 	}
-	for _, i0 := range keep {
-		j, ok := colIdx[warm.bcol[i0]]
+	inBasis := make([]bool, sf.total)
+	mapped := 0
+	for i, name := range sf.rowName {
+		cn, ok := warmIdx[name]
+		if !ok {
+			continue // row not covered by the snapshot (newly appended)
+		}
+		j, ok := colIdx[cn]
 		if !ok || inBasis[j] {
-			return false
+			continue // basic column vanished, or claimed by an earlier row
 		}
-		basis[pos[i0]] = j
+		basis[i] = j
 		inBasis[j] = true
+		mapped++
+	}
+	if mapped == 0 {
+		return false
 	}
 
-	// Verify the carried inverse still describes this problem: every kept
-	// basic column must have exactly its recorded entries on the carried
-	// rows (new rows may add entries — that is the C block), and every
-	// kept row its recorded right-hand side. Coefficients are recomputed
-	// by the same code on the same frozen window data, so the comparison
-	// is exact, not tolerance-based.
-	t := r.tmp
-	for i := range t {
-		t[i] = 0
-	}
-	for _, i0 := range keep {
-		i := pos[i0]
-		if sf.rhs[i] != warm.rhs[i0] {
-			return false
-		}
-		c := &sf.cols[basis[i]]
-		cnt := 0
-		for k, ri := range c.rows {
-			if carried[ri] {
-				t[ri] = c.vals[k]
-				cnt++
-			}
-		}
-		ok, matched := true, 0
-		for k, r0 := range warm.brow[i0] {
-			ii := pos[r0]
-			if ii < 0 {
-				continue // entry lived in an excised row
-			}
-			if t[ii] != warm.bval[i0][k] {
-				ok = false
-				break
-			}
-			matched++
-		}
-		for _, ri := range c.rows {
-			t[ri] = 0
-		}
-		if !ok || matched != cnt {
-			return false
-		}
-	}
-
-	// Place the carried inverse block and basic values, skipping excised
-	// rows (their basic columns were row-local, so the surviving block of
-	// the inverse is exactly the surviving block's inverse).
-	binv := make([][]float64, m)
-	for i := range binv {
-		binv[i] = make([]float64, m)
-	}
-	xB := make([]float64, m)
-	for _, i0 := range keep {
-		src := warm.binv[i0]
-		dst := binv[pos[i0]]
-		for _, k0 := range keep {
-			dst[pos[k0]] = src[k0]
-		}
-		xB[pos[i0]] = warm.xB[i0]
-	}
-
-	// Accumulate the C block: entries of carried basic columns in the new
-	// rows. Each contributes −a·(carried inverse row) to the new row's
-	// inverse row and −a·x to its residual. Iteration order is fixed
-	// (carried row order, then column order) so the floating-point sums
-	// are deterministic.
-	rho := make([]float64, m)
+	// Complete the basis on the uncovered rows. Preference order: LE slack,
+	// positive structural singleton (the ε variables — lets appended
+	// Mostly-Protected rows start on their natural column), GE surplus
+	// (possibly at a negative value the dual simplex will repair), then the
+	// artificial. Everything here is a deterministic function of the
+	// problem and the carried names.
 	for i := 0; i < m; i++ {
-		if !carried[i] {
-			rho[i] = sf.rhs[i]
-		}
-	}
-	for _, i0 := range keep {
-		c := &sf.cols[basis[pos[i0]]]
-		src := binv[pos[i0]]
-		x := xB[pos[i0]]
-		for k, ri := range c.rows {
-			i := int(ri)
-			if carried[i] {
-				continue
-			}
-			a := c.vals[k]
-			rho[i] -= a * x
-			dst := binv[i]
-			for q := 0; q < m; q++ {
-				dst[q] -= a * src[q]
-			}
-		}
-	}
-
-	// Give every new row a singleton basic column matching its residual's
-	// sign, completing the block inverse.
-	for i := 0; i < m; i++ {
-		if carried[i] {
+		if basis[i] >= 0 {
 			continue
 		}
-		col, d := -1, 0.0
-		if rho[i] >= -feasTol {
-			switch {
-			case sf.slackCol[i] >= 0 && sf.slackSign[i] > 0:
-				col, d = sf.slackCol[i], 1
-			case sf.posSingleton[i] >= 0:
-				col, d = sf.posSingleton[i], sf.posSingletonVal[i]
-			case sf.artCol[i] >= 0:
-				col, d = sf.artCol[i], 1
+		col := -1
+		if c := sf.slackCol[i]; c >= 0 && sf.slackSign[i] > 0 && !inBasis[c] {
+			col = c
+		}
+		if col < 0 {
+			if c := sf.posSingleton[i]; c >= 0 && !inBasis[c] {
+				col = c
 			}
-		} else if sf.slackCol[i] >= 0 && sf.slackSign[i] < 0 {
-			col, d = sf.slackCol[i], -1
 		}
-		if col < 0 || inBasis[col] {
+		if col < 0 {
+			if c := sf.slackCol[i]; c >= 0 && !inBasis[c] {
+				col = c
+			}
+		}
+		if col < 0 {
+			if c := sf.artCol[i]; c >= 0 && !inBasis[c] {
+				col = c
+			}
+		}
+		if col < 0 {
 			return false
-		}
-		c := &sf.cols[col]
-		if len(c.rows) != 1 || int(c.rows[0]) != i {
-			return false // not a row-local singleton: D would not be diagonal
 		}
 		basis[i] = col
 		inBasis[col] = true
-		inv := 1 / d
-		row := binv[i]
-		for q := 0; q < m; q++ {
-			row[q] *= inv
-		}
-		row[i] += inv
-		v := rho[i] * inv
-		if v < 0 && v > -eps {
-			v = 0
-		}
-		xB[i] = v
 	}
 
-	for i := 0; i < m; i++ {
-		if xB[i] < -feasTol {
-			return false
-		}
+	lu, ok := factorizeBasis(sf.cols, basis, m)
+	if !ok {
+		return false // singular against the current data: cold start
 	}
 	r.basis = basis
 	r.inBasis = inBasis
-	r.binv = binv
-	r.xB = xB
+	r.lu = lu
+	r.etas, r.etaNNZ = nil, 0
+	r.computeXB()
 	return true
 }

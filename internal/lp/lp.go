@@ -8,23 +8,30 @@
 // It stands in for the external solver (Flipy/CBC) used by the SherLock
 // paper. Two solver backends share one problem representation:
 //
-//   - Solve / SolveWarm — a sparse revised simplex: constraint columns are
-//     stored sparsely (the synchronization-inference encodings are >95%
-//     zeros), the basis inverse is maintained explicitly and refactorized
-//     periodically, and an optimal Basis can be carried into the next,
-//     slightly different problem to re-optimize in a handful of pivots
-//     (cross-round warm starting in the Perturber feedback loop).
+//   - Solve / SolveWarm / ReoptimizeDual — a sparse revised simplex over an
+//     LU-factorized basis (lu.go): constraint columns are stored sparsely
+//     (the synchronization-inference encodings are >95% zeros), the basis
+//     factors are updated in place by sparse eta updates and refactorized
+//     periodically, a presolve pass (presolve.go) shrinks the matrix before
+//     any pivoting, independent connected components solve separately and
+//     concurrently (decompose.go), and an optimal Basis can be carried into
+//     the next, slightly different problem to re-optimize in a handful of
+//     dual pivots (dual.go — cross-round warm starting in the Perturber
+//     feedback loop).
 //   - SolveDense — the original dense two-phase tableau, kept as the
-//     reference implementation for equivalence testing.
+//     reference implementation for equivalence testing (no presolve, no
+//     decomposition: it solves the problem as given).
 //
 // Both backends are deterministic: identical problems yield identical
-// vertex solutions, which keeps the whole inference pipeline reproducible.
+// vertex solutions at any Parallel setting, which keeps the whole
+// inference pipeline reproducible.
 package lp
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 
 	"sherlock/internal/obs"
 )
@@ -108,11 +115,28 @@ type Problem struct {
 	upper       []float64
 	constraints []constraint
 
-	// MaxIters bounds the total simplex pivots across both phases
-	// (0 means the 200000 default). Exhausting it makes Solve return a
+	// MaxIters bounds the simplex pivots across both phases (0 means the
+	// 200000 default). When the problem decomposes into independent
+	// components the budget applies per component — it is a runaway guard,
+	// not a global fairness mechanism. Exhausting it makes Solve return a
 	// Solution with Status IterLimit and an error wrapping
 	// ErrIterationLimit.
 	MaxIters int
+
+	// Parallel caps the workers used to solve independent connected
+	// components of the problem concurrently (≤1 means sequential).
+	// Results are bit-identical at any setting.
+	Parallel int
+
+	// DisablePresolve skips the presolve reductions and the component
+	// decomposition, solving the standard form exactly as given. Intended
+	// for debugging and for measuring presolve's effect; results agree
+	// with the presolved path within the solver's tolerances either way.
+	DisablePresolve bool
+
+	// etaEvery overrides the basis refactorization interval (tests force 1
+	// to exercise the pure-LU path against the eta-update path).
+	etaEvery int
 
 	// Trace, when non-nil, is the parent span under which Solve records a
 	// "solve" child span carrying the problem dimensions and pivot counts.
@@ -120,9 +144,27 @@ type Problem struct {
 	Trace *obs.Span
 }
 
+// etaEveryOrDefault resolves the refactorization interval.
+func (p *Problem) etaEveryOrDefault() int {
+	if p.etaEvery > 0 {
+		return p.etaEvery
+	}
+	return defaultEtaRefactorEvery
+}
+
 // NewProblem returns an empty problem.
 func NewProblem() *Problem {
 	return &Problem{}
+}
+
+// Grow pre-allocates capacity for about vars more variables and rows more
+// constraints. Purely a performance hint for encoders that know their
+// problem size up front; the problem behaves identically without it.
+func (p *Problem) Grow(vars, rows int) {
+	p.names = slices.Grow(p.names, vars)
+	p.cost = slices.Grow(p.cost, vars)
+	p.upper = slices.Grow(p.upper, vars)
+	p.constraints = slices.Grow(p.constraints, rows)
 }
 
 // NumVars returns the number of variables added so far.
@@ -183,7 +225,52 @@ func (p *Problem) AddNamedConstraint(name string, coeffs map[int]float64, sense 
 		c.idx = append(c.idx, v)
 		c.coeffs = append(c.coeffs, a)
 	}
+	// Canonicalize entry order: map iteration is nondeterministic, and
+	// presolve's activity sums (and any future row-order arithmetic) must
+	// be a pure function of the problem.
+	sortConstraint(c.idx, c.coeffs)
 	p.constraints = append(p.constraints, c)
+}
+
+// AddRow is AddNamedConstraint for callers that already hold the row's
+// entries sorted by strictly ascending variable index with no zero
+// coefficients — the encoder's hot path, which builds thousands of
+// window rows whose entries are naturally index-ordered. It installs the
+// slices without the map detour and takes ownership of them. The order is
+// verified (panic on violation), so misuse can never silently break the
+// index-sorted-rows invariant presolve's arithmetic depends on.
+func (p *Problem) AddRow(name string, idx []int, coeffs []float64, sense Sense, rhs float64) {
+	if len(idx) != len(coeffs) {
+		panic("lp: AddRow index/coefficient length mismatch")
+	}
+	for k, v := range idx {
+		if v < 0 || v >= len(p.names) {
+			panic(fmt.Sprintf("lp: constraint references unknown variable %d", v))
+		}
+		if k > 0 && idx[k-1] >= v {
+			panic("lp: AddRow entries not strictly ascending by variable index")
+		}
+		if coeffs[k] == 0 {
+			panic("lp: AddRow zero coefficient")
+		}
+	}
+	p.constraints = append(p.constraints, constraint{
+		name: name, idx: idx, coeffs: coeffs, sense: sense, rhs: rhs,
+	})
+}
+
+// sortConstraint orders a constraint's entries by variable index
+// (insertion sort; rows are short).
+func sortConstraint(idx []int, coeffs []float64) {
+	for i := 1; i < len(idx); i++ {
+		v, a := idx[i], coeffs[i]
+		j := i
+		for j > 0 && idx[j-1] > v {
+			idx[j], coeffs[j] = idx[j-1], coeffs[j-1]
+			j--
+		}
+		idx[j], coeffs[j] = v, a
+	}
 }
 
 // maxIters resolves the pivot budget.
@@ -199,7 +286,19 @@ type Solution struct {
 	Status    Status
 	X         []float64 // value per structural variable, len == NumVars
 	Objective float64   // cᵀx at the optimum (meaningful only when Optimal)
-	Iters     int       // simplex pivots performed across both phases
+	Iters     int       // simplex pivots performed, all phases and components
+
+	// DualIters counts the subset of Iters performed by the dual simplex
+	// (warm re-optimizations after cross-round row changes; see
+	// ReoptimizeDual). Zero on cold solves.
+	DualIters int
+	// Components is the number of independent blocks the problem split
+	// into (1 when it did not decompose; 0 when presolve solved it whole).
+	Components int
+	// RowsPresolved / ColsPresolved count the constraint rows and variables
+	// eliminated by presolve before the simplex ran.
+	RowsPresolved int
+	ColsPresolved int
 
 	// Basis is the optimal basis (sparse backend only, nil otherwise); pass
 	// it to SolveWarm on the next, incrementally modified problem.
@@ -237,6 +336,10 @@ func (p *Problem) SolveWarm(warm *Basis) (*Solution, error) {
 	if sol != nil {
 		span.Annotate(
 			obs.Int("iters", sol.Iters),
+			obs.Int("dual_iters", sol.DualIters),
+			obs.Int("components", sol.Components),
+			obs.Int("presolve_rows", sol.RowsPresolved),
+			obs.Int("presolve_cols", sol.ColsPresolved),
 			obs.Bool("warm", sol.WarmStarted),
 			obs.Str("status", sol.Status.String()))
 	}

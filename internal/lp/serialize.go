@@ -1,11 +1,20 @@
 // Basis serialization. A Basis round-trips through JSON so checkpoints
 // (internal/core) can persist a solve's warm-start state into the corpus
-// store and resume from it in another process. The encoding is exact:
-// encoding/json emits float64 in shortest round-trip form and parses it
-// back to the identical bits, so a deserialized basis passes applyWarm's
-// entry-by-exact-entry verification exactly when the in-memory original
-// would. Every field is finite by construction (the simplex never stores
-// NaN/Inf in a returned basis), so marshaling cannot fail on values.
+// store and resume from it in another process.
+//
+// Since the LU rework a basis is pure names — (row, basic column) pairs —
+// so the round trip is trivially exact: there is no numerical state to
+// preserve bit for bit. A loaded basis is re-factorized against the
+// problem it is applied to (a documented cold re-factorization on load),
+// which is the same thing applyWarm does to an in-memory basis, so
+// resuming from a stored checkpoint is indistinguishable from an
+// uninterrupted in-memory sequence.
+//
+// Documents written by the pre-LU format carried extra numerical fields
+// (rhs, loc, brow, bval, binv, xb); UnmarshalJSON ignores them, so old
+// checkpoints still load — they warm-start exactly as well as new ones,
+// because the numerical payload was only ever a cache of what
+// re-factorization recomputes.
 package lp
 
 import (
@@ -15,50 +24,26 @@ import (
 
 // basisJSON is the exported shadow of Basis's unexported fields.
 type basisJSON struct {
-	Rows []string    `json:"rows"`
-	Bcol []string    `json:"bcol"`
-	RHS  []float64   `json:"rhs"`
-	Loc  []bool      `json:"loc"`
-	Brow [][]int32   `json:"brow"`
-	Bval [][]float64 `json:"bval"`
-	Binv [][]float64 `json:"binv"`
-	XB   []float64   `json:"xb"`
+	Rows []string `json:"rows"`
+	Bcol []string `json:"bcol"`
 }
 
 // MarshalJSON encodes the basis for persistence.
 func (b *Basis) MarshalJSON() ([]byte, error) {
-	return json.Marshal(basisJSON{
-		Rows: b.rows, Bcol: b.bcol, RHS: b.rhs, Loc: b.loc,
-		Brow: b.brow, Bval: b.bval, Binv: b.binv, XB: b.xB,
-	})
+	return json.Marshal(basisJSON{Rows: b.rows, Bcol: b.bcol})
 }
 
-// UnmarshalJSON decodes a basis produced by MarshalJSON, validating the
-// per-row shape so a corrupt document can never index out of range inside
-// applyWarm.
+// UnmarshalJSON decodes a basis produced by MarshalJSON (current or pre-LU
+// format), validating the shape so a corrupt document can never misalign
+// rows and basic columns inside applyWarm.
 func (b *Basis) UnmarshalJSON(data []byte) error {
 	var s basisJSON
 	if err := json.Unmarshal(data, &s); err != nil {
 		return err
 	}
-	m := len(s.Rows)
-	for name, n := range map[string]int{
-		"bcol": len(s.Bcol), "rhs": len(s.RHS), "loc": len(s.Loc),
-		"brow": len(s.Brow), "bval": len(s.Bval), "binv": len(s.Binv), "xb": len(s.XB),
-	} {
-		if n != m {
-			return fmt.Errorf("lp: basis: %q has %d entries, want %d", name, n, m)
-		}
+	if len(s.Bcol) != len(s.Rows) {
+		return fmt.Errorf("lp: basis: %q has %d entries, want %d", "bcol", len(s.Bcol), len(s.Rows))
 	}
-	for i := range s.Brow {
-		if len(s.Brow[i]) != len(s.Bval[i]) {
-			return fmt.Errorf("lp: basis: row %d: brow/bval length mismatch", i)
-		}
-		if len(s.Binv[i]) != m {
-			return fmt.Errorf("lp: basis: row %d: binv has %d columns, want %d", i, len(s.Binv[i]), m)
-		}
-	}
-	b.rows, b.bcol, b.rhs, b.loc = s.Rows, s.Bcol, s.RHS, s.Loc
-	b.brow, b.bval, b.binv, b.xB = s.Brow, s.Bval, s.Binv, s.XB
+	b.rows, b.bcol = s.Rows, s.Bcol
 	return nil
 }

@@ -1,27 +1,48 @@
 // Sparse revised simplex. The SherLock encodings are >95% zeros — each
 // Mostly-Protected row touches only the window's candidate keys — so the
-// constraint matrix is stored column-sparse and the working state is the
-// basis inverse, not a full tableau:
+// constraint matrix is stored column-sparse and the working state is a
+// sparse LU factorization of the basis (lu.go), not a tableau or a dense
+// inverse:
 //
 //   - A crash basis exploits the encoding's structure: every GE row with a
 //     positive singleton column (the ε/t auxiliary variables) starts with
 //     that column basic, every LE row with its slack, so SherLock problems
 //     typically begin primal-feasible and skip phase 1 entirely.
-//   - The basis inverse B⁻¹ starts diagonal (the crash basis) and is
-//     maintained by product-form pivot updates — there is no O(m³)
-//     factorization on any path.
-//   - Reduced costs are maintained incrementally (the revised analogue of
-//     the dense tableau's objective row), with Dantzig pricing and the same
-//     Bland's-rule anti-cycling switch as the dense backend.
-//   - Warm starts (basis.go) replay a prior optimal basis column-by-column
-//     into the crash basis, then repair sign errors on singleton rows in
-//     O(m); anything unrepairable falls back to a cold start.
+//   - The basis is represented as B = B₀·E₁·…·Eₛ: LU factors of a recent
+//     basis plus one sparse eta per pivot since, refactorized periodically
+//     (see lu.go). FTRAN/BTRAN cost O(nnz), a pivot costs O(nnz) — the
+//     O(m²)-per-pivot dense inverse update is gone.
+//   - Reduced costs are maintained incrementally from the BTRAN pivot row
+//     (the revised analogue of the dense tableau's objective row), with
+//     Dantzig pricing and the same Bland's-rule anti-cycling switch as the
+//     dense backend.
+//   - Warm starts (basis.go) map a prior optimal basis by row/column name,
+//     refactorize it against the current problem data, and repair any
+//     primal infeasibility with dual simplex pivots (dual.go); anything
+//     unrepairable falls back to a cold start.
+//   - Before a solve, a presolve pass (presolve.go) fixes pinned variables
+//     and drops redundant rows; independent connected components of the
+//     reduced problem are solved separately, concurrently when
+//     Problem.Parallel allows (decompose.go).
+//
+// Determinism: every choice — pivot selection, refactorization points,
+// presolve order, component order — is a pure function of the problem, so
+// identical problems yield bit-identical solutions at any parallelism.
+// After the last pivot the final basis is refactorized from the problem
+// data and the basic values recomputed from scratch, so the extracted
+// vertex depends only on the final basis, not on the pivot path that
+// reached it — the property the warm==cold golden suites rely on.
 package lp
 
 import "math"
 
 // feasTol is the feasibility tolerance on basic values.
 const feasTol = 1e-7
+
+// fallbackStatus is an internal sentinel: the warm-started path hit a
+// numerically unusable state and the caller must restart cold. Never
+// returned to users.
+const fallbackStatus Status = -1
 
 // spCol is one sparsely stored column of the standard-form matrix.
 type spCol struct {
@@ -48,6 +69,12 @@ type standardForm struct {
 	rhs     []float64
 	rowName []string
 	colName []string
+
+	// Row-major adjacency over the same matrix: rowCols[i]/rowVals[i] list
+	// every column touching row i (ascending column order). The BTRAN-based
+	// reduced-cost update and the dual ratio test walk rows, not columns.
+	rowCols [][]int32
+	rowVals [][]float64
 
 	slackCol  []int     // per row: slack/surplus column, -1 if none
 	slackSign []float64 // per row: +1 (LE slack) or -1 (GE surplus)
@@ -177,50 +204,87 @@ func buildStandardForm(p *Problem) *standardForm {
 			sf.posSingletonVal[i] = c.vals[0]
 		}
 	}
+	// Row-major adjacency, filled column-ascending so each row's list is in
+	// ascending column order (a deterministic accumulation order for the
+	// pivot-row products).
+	sf.rowCols = make([][]int32, m)
+	sf.rowVals = make([][]float64, m)
+	for j := 0; j < total; j++ {
+		c := &sf.cols[j]
+		for k, ri := range c.rows {
+			sf.rowCols[ri] = append(sf.rowCols[ri], int32(j))
+			sf.rowVals[ri] = append(sf.rowVals[ri], c.vals[k])
+		}
+	}
 	return sf
 }
 
-// revised is the sparse revised-simplex working state.
+// revised is the sparse revised-simplex working state. Basis slot i holds
+// column basis[i]; slots are positions in the factorization, decoupled
+// from constraint rows once pivoting starts.
 type revised struct {
 	p  *Problem
 	sf *standardForm
 
-	basis   []int  // column basic in row i
+	basis   []int  // basic column per basis position
 	inBasis []bool // per column
-	binv    [][]float64
-	xB      []float64
+	lu      *luFactors
+	etas    []eta
+	etaNNZ  int
+	xB      []float64 // basic values per position
 
 	cost []float64 // current phase's cost vector over all columns
 	d    []float64 // maintained reduced costs (nil outside iterate phases)
 
-	iters int
-	tmp   []float64 // ftran scratch, length m
+	iters     int
+	dualIters int
+
+	refactorEvery int
+	noRefactor    bool // a refactorization failed; ride the eta file out
+
+	// Scratch, allocated once per solve.
+	wr     []float64 // length m, original-row indexed (FTRAN in / BTRAN out)
+	t      []float64 // length m, position indexed (FTRAN result)
+	pz     []float64 // length m, position indexed (BTRAN input)
+	alpha  []float64 // length total: current BTRAN pivot row of B⁻¹A
+	ainCol []bool    // membership of alpha's touched set
+	atouch []int32
+}
+
+// newBare allocates the working state without choosing a basis; the caller
+// installs one via applyWarm or the crash construction.
+func newBare(p *Problem, sf *standardForm) *revised {
+	m := sf.m
+	return &revised{
+		p: p, sf: sf,
+		refactorEvery: p.etaEveryOrDefault(),
+		xB:            make([]float64, m),
+		wr:            make([]float64, m),
+		t:             make([]float64, m),
+		pz:            make([]float64, m),
+		alpha:         make([]float64, sf.total),
+		ainCol:        make([]bool, sf.total),
+	}
 }
 
 // newRevised builds the crash basis: per row a positive structural
 // singleton (GE/EQ), the slack (LE, or GE with zero rhs), or the
-// artificial. B is diagonal, so B⁻¹ and the basic values are immediate, and
-// every basic value is ≥ 0 by construction.
+// artificial. B is diagonal, so the factorization is trivial and every
+// basic value is ≥ 0 by construction.
 func newRevised(p *Problem, sf *standardForm) *revised {
 	m := sf.m
-	r := &revised{
-		p: p, sf: sf,
-		basis:   make([]int, m),
-		inBasis: make([]bool, sf.total),
-		binv:    make([][]float64, m),
-		xB:      make([]float64, m),
-		tmp:     make([]float64, m),
-	}
+	r := newBare(p, sf)
+	r.basis = make([]int, m)
+	r.inBasis = make([]bool, sf.total)
 	for i := 0; i < m; i++ {
-		r.binv[i] = make([]float64, m)
-	}
-	for i := 0; i < m; i++ {
-		col, a := sf.crashCol(i)
+		col, _ := sf.crashCol(i)
 		r.basis[i] = col
 		r.inBasis[col] = true
-		r.binv[i][i] = 1 / a
-		r.xB[i] = sf.rhs[i] / a
 	}
+	// A diagonal basis cannot be singular (every crash coefficient is ±1 or
+	// a nonzero singleton), so the factorization always succeeds.
+	r.lu, _ = factorizeBasis(sf.cols, r.basis, m)
+	r.computeXB()
 	return r
 }
 
@@ -238,36 +302,83 @@ func (sf *standardForm) crashCol(i int) (int, float64) {
 	return sf.artCol[i], 1 // GE/EQ rows always have one
 }
 
-// ftran computes t = B⁻¹·A_j for column j into t (length m).
-func (r *revised) ftran(j int, t []float64) {
+// computeXB recomputes the basic values xB = B⁻¹·b through the current
+// factorization and eta file.
+func (r *revised) computeXB() {
+	copy(r.wr, r.sf.rhs)
+	r.lu.ftran(r.wr, r.xB)
+	for q := range r.etas {
+		r.etas[q].applyFtran(r.xB)
+	}
+}
+
+// ftranCol computes t = B⁻¹·A_j for column j into out (length m,
+// position indexed).
+func (r *revised) ftranCol(j int, out []float64) {
 	c := &r.sf.cols[j]
-	for i := 0; i < r.sf.m; i++ {
-		row := r.binv[i]
-		s := 0.0
-		for k, ri := range c.rows {
-			s += row[ri] * c.vals[k]
+	for k, ri := range c.rows {
+		r.wr[ri] = c.vals[k]
+	}
+	r.lu.ftran(r.wr, out)
+	for q := range r.etas {
+		r.etas[q].applyFtran(out)
+	}
+}
+
+// pivotRow computes the leave-th row of B⁻¹A into r.alpha and returns the
+// touched column list (unsorted). The caller must release the scratch with
+// clearAlpha. This is one BTRAN plus a sweep of the touched constraint
+// rows — the O(total·nnz) per-pivot pricing sweep of the product-form
+// implementation reduced to the rows the pivot actually reaches.
+func (r *revised) pivotRow(leave int) []int32 {
+	sf := r.sf
+	pz := r.pz
+	pz[leave] = 1
+	for q := len(r.etas) - 1; q >= 0; q-- {
+		r.etas[q].applyBtran(pz)
+	}
+	r.lu.btran(pz, r.wr)
+	cols := r.atouch[:0]
+	for ri := 0; ri < sf.m; ri++ {
+		br := r.wr[ri]
+		r.wr[ri] = 0
+		if br == 0 {
+			continue
 		}
-		t[i] = s
+		rc, rv := sf.rowCols[ri], sf.rowVals[ri]
+		for idx, j := range rc {
+			if !r.ainCol[j] {
+				r.ainCol[j] = true
+				r.alpha[j] = 0
+				cols = append(cols, j)
+			}
+			r.alpha[j] += br * rv[idx]
+		}
+	}
+	r.atouch = cols
+	return cols
+}
+
+// clearAlpha releases pivotRow's scratch.
+func (r *revised) clearAlpha(cols []int32) {
+	for _, j := range cols {
+		r.alpha[j] = 0
+		r.ainCol[j] = false
 	}
 }
 
 // computeD recomputes the reduced costs d = c − cB·B⁻¹·A from scratch for
-// the current phase cost vector (done once per phase; pivots then maintain
-// d incrementally).
+// the current phase cost vector (done once per phase and at each
+// refactorization; pivots then maintain d incrementally).
 func (r *revised) computeD() {
 	sf := r.sf
-	m := sf.m
-	y := make([]float64, m)
-	for i := 0; i < m; i++ {
-		cb := r.cost[r.basis[i]]
-		if cb == 0 {
-			continue
-		}
-		row := r.binv[i]
-		for j := 0; j < m; j++ {
-			y[j] += cb * row[j]
-		}
+	for i := 0; i < sf.m; i++ {
+		r.pz[i] = r.cost[r.basis[i]]
 	}
+	for q := len(r.etas) - 1; q >= 0; q-- {
+		r.etas[q].applyBtran(r.pz)
+	}
+	r.lu.btran(r.pz, r.wr) // wr = y, the simplex multipliers by original row
 	if r.d == nil {
 		r.d = make([]float64, sf.total)
 	}
@@ -279,9 +390,12 @@ func (r *revised) computeD() {
 		s := r.cost[j]
 		c := &sf.cols[j]
 		for k, ri := range c.rows {
-			s -= y[ri] * c.vals[k]
+			s -= r.wr[ri] * c.vals[k]
 		}
 		r.d[j] = s
+	}
+	for i := 0; i < sf.m; i++ {
+		r.wr[i] = 0
 	}
 }
 
@@ -305,28 +419,47 @@ func (r *revised) price(colLimit int, bland bool) int {
 	return enter
 }
 
-// pivot makes column enter basic in row leave; t must hold B⁻¹·A_enter.
-// When reduced costs are live (r.d != nil) they are updated from the
-// pre-pivot leave row of B⁻¹A, the revised analogue of the dense tableau's
-// objective-row update.
-func (r *revised) pivot(leave, enter int, t []float64) {
+// refactor rebuilds the LU factors from the current basis, drops the eta
+// file, and recomputes xB (and d, when maintained) from scratch. Reports
+// false if the factorization failed, in which case the old representation
+// stays live and refactorization is disabled for the rest of the solve.
+func (r *revised) refactor() bool {
+	lu, ok := factorizeBasis(r.sf.cols, r.basis, r.sf.m)
+	if !ok {
+		r.noRefactor = true
+		return false
+	}
+	r.lu = lu
+	r.etas = r.etas[:0]
+	r.etaNNZ = 0
+	r.computeXB()
+	if r.d != nil {
+		r.computeD()
+	}
+	return true
+}
+
+// pivot makes column enter basic at position leave; t must hold B⁻¹·A_enter.
+// When reduced costs are live (r.d != nil) they are updated from the BTRAN
+// pivot row, supplied precomputed in acols/r.alpha (dual path) or computed
+// here (primal path). The update appends one eta and may trigger a
+// refactorization.
+func (r *revised) pivot(leave, enter int, t []float64, acols []int32) {
 	sf := r.sf
 	m := sf.m
 	pv := t[leave]
 	if r.d != nil {
+		if acols == nil {
+			acols = r.pivotRow(leave)
+		}
 		if f := r.d[enter] / pv; f != 0 {
-			rowL := r.binv[leave]
-			for j := 0; j < sf.total; j++ {
+			for _, jj := range acols {
+				j := int(jj)
 				if r.inBasis[j] || j == enter {
 					continue
 				}
-				c := &sf.cols[j]
-				s := 0.0
-				for k, ri := range c.rows {
-					s += rowL[ri] * c.vals[k]
-				}
-				if s != 0 {
-					r.d[j] -= f * s
+				if a := r.alpha[j]; a != 0 {
+					r.d[j] -= f * a
 				}
 			}
 			r.d[r.basis[leave]] = -f // leaving column: its B⁻¹A entry is 1
@@ -335,38 +468,59 @@ func (r *revised) pivot(leave, enter int, t []float64) {
 		}
 		r.d[enter] = 0
 	}
-	theta := r.xB[leave] / pv
-	rowL := r.binv[leave]
-	inv := 1 / pv
-	for j := 0; j < m; j++ {
-		rowL[j] *= inv
+	if acols != nil {
+		r.clearAlpha(acols)
 	}
+	theta := r.xB[leave] / pv
+	e := eta{pos: int32(leave), diag: pv}
 	for i := 0; i < m; i++ {
 		if i == leave {
 			continue
 		}
-		f := t[i]
-		if math.Abs(f) <= 1e-12 {
+		ti := t[i]
+		if ti == 0 {
 			continue
 		}
-		ri := r.binv[i]
-		for j := 0; j < m; j++ {
-			ri[j] -= f * rowL[j]
-		}
-		r.xB[i] -= f * theta
+		e.rows = append(e.rows, int32(i))
+		e.vals = append(e.vals, ti)
+		r.xB[i] -= ti * theta
 	}
 	r.xB[leave] = theta
+	r.etas = append(r.etas, e)
+	r.etaNNZ += len(e.rows) + 1
 	r.inBasis[r.basis[leave]] = false
 	r.inBasis[enter] = true
 	r.basis[leave] = enter
 	r.iters++
+	if !r.noRefactor &&
+		(len(r.etas) >= r.refactorEvery || r.etaNNZ > r.lu.nnz+etaFillSlack*m) {
+		r.refactor()
+	}
 }
 
-// iterate runs simplex pivots until optimality, unboundedness or the pivot
-// budget. Columns at or beyond colLimit (artificials) may leave the basis
-// but never enter. Dantzig pricing with a switch to Bland's rule after a
-// run of degenerate pivots guards against cycling — the same policy and
-// thresholds as the dense backend.
+// chooseLeave runs the primal ratio test on the FTRAN column t: minimum
+// ratio over positive entries, ties toward the smaller basic column index.
+func (r *revised) chooseLeave(t []float64) (int, float64) {
+	leave := -1
+	var minRatio float64
+	for i := 0; i < r.sf.m; i++ {
+		a := t[i]
+		if a > eps {
+			ratio := r.xB[i] / a
+			if leave < 0 || ratio < minRatio-eps ||
+				(math.Abs(ratio-minRatio) <= eps && r.basis[i] < r.basis[leave]) {
+				leave, minRatio = i, ratio
+			}
+		}
+	}
+	return leave, minRatio
+}
+
+// iterate runs primal simplex pivots until optimality, unboundedness or the
+// pivot budget. Columns at or beyond colLimit (artificials) may leave the
+// basis but never enter. Dantzig pricing with a switch to Bland's rule
+// after a run of degenerate pivots guards against cycling — the same policy
+// and thresholds as the dense backend.
 func (r *revised) iterate(colLimit int) Status {
 	m := r.sf.m
 	degenerate, bland := 0, false
@@ -379,18 +533,15 @@ func (r *revised) iterate(colLimit int) Status {
 		if r.iters >= budget {
 			return IterLimit
 		}
-		t := r.tmp
-		r.ftran(enter, t)
-		leave := -1
-		var minRatio float64
-		for i := 0; i < m; i++ {
-			a := t[i]
-			if a > eps {
-				ratio := r.xB[i] / a
-				if leave < 0 || ratio < minRatio-eps ||
-					(math.Abs(ratio-minRatio) <= eps && r.basis[i] < r.basis[leave]) {
-					leave, minRatio = i, ratio
-				}
+		t := r.t
+		r.ftranCol(enter, t)
+		leave, minRatio := r.chooseLeave(t)
+		if leave >= 0 && math.Abs(t[leave]) < stabTol && len(r.etas) > 0 && !r.noRefactor {
+			// Suspiciously small pivot through a long eta file: refactorize
+			// and redo the ratio test on clean numbers.
+			if r.refactor() {
+				r.ftranCol(enter, t)
+				leave, minRatio = r.chooseLeave(t)
 			}
 		}
 		if leave < 0 {
@@ -404,7 +555,7 @@ func (r *revised) iterate(colLimit int) Status {
 		} else {
 			degenerate, bland = 0, false
 		}
-		r.pivot(leave, enter, t)
+		r.pivot(leave, enter, t, nil)
 	}
 }
 
@@ -436,10 +587,10 @@ func (r *revised) phase1() Status {
 }
 
 // purgeArtificials pivots any basic artificial (at value ~0) out of the
-// basis where an eligible column exists. Rows where none exists are
-// linearly dependent: every structural/slack coefficient of their B⁻¹A row
-// is ~0, so the artificial stays harmlessly basic at zero and can never
-// move (the entering direction never touches the row).
+// basis where an eligible column exists. Positions where none exists sit on
+// linearly dependent rows: every structural/slack coefficient of their
+// B⁻¹A row is ~0, so the artificial stays harmlessly basic at zero and can
+// never move (the entering direction never touches the position).
 func (r *revised) purgeArtificials() {
 	sf := r.sf
 	if sf.nArt == 0 {
@@ -450,40 +601,99 @@ func (r *revised) purgeArtificials() {
 		if r.basis[i] < sf.artAt {
 			continue
 		}
-		rowL := r.binv[i]
+		acols := r.pivotRow(i)
 		enter := -1
-		for j := 0; j < sf.artAt; j++ {
-			if r.inBasis[j] {
+		for _, jj := range acols {
+			j := int(jj)
+			if j >= sf.artAt || r.inBasis[j] {
 				continue
 			}
-			c := &sf.cols[j]
-			s := 0.0
-			for k, ri := range c.rows {
-				s += rowL[ri] * c.vals[k]
-			}
-			if math.Abs(s) > eps {
+			if math.Abs(r.alpha[j]) > eps && (enter < 0 || j < enter) {
 				enter = j
-				break
 			}
 		}
+		r.clearAlpha(acols)
 		if enter < 0 {
 			continue
 		}
-		r.ftran(enter, r.tmp)
-		r.pivot(i, enter, r.tmp)
+		r.ftranCol(enter, r.t)
+		r.pivot(i, enter, r.t, nil)
 	}
 }
 
-// phase2 minimizes the real objective from the current feasible basis.
-func (r *revised) phase2() Status {
+// setPhase2Costs installs the real objective as the working cost vector.
+func (r *revised) setPhase2Costs() {
 	sf := r.sf
 	r.cost = make([]float64, sf.total)
 	for v, c := range r.p.cost {
 		r.cost[v] = c
 	}
+}
+
+// optimize drives the current basis to optimality:
+//
+//	artificials at positive value  → primal phase 1, purge, primal phase 2
+//	primal feasible                → purge, primal phase 2
+//	primal infeasible, dual
+//	feasible (warm starts only)    → dual simplex, then primal cleanup
+//	neither                        → fallbackStatus (caller restarts cold)
+//
+// The dual branch is what makes cross-round row additions and excisions
+// cheap: a carried basis is dual feasible by construction (it was optimal),
+// so a handful of dual pivots absorb the new rows instead of a primal
+// restart.
+func (r *revised) optimize(warm bool) Status {
+	sf := r.sf
+	needP1 := false
+	for i, b := range r.basis {
+		if b >= sf.artAt && r.xB[i] > feasTol {
+			needP1 = true
+			break
+		}
+	}
+	if needP1 {
+		st := r.phase1()
+		if st == IterLimit {
+			return st
+		}
+		if st != Optimal {
+			return Infeasible
+		}
+	}
+	r.purgeArtificials()
+	r.setPhase2Costs()
 	r.d = nil
 	r.computeD()
+	primalInfeas := false
+	for _, v := range r.xB {
+		if v < -feasTol {
+			primalInfeas = true
+			break
+		}
+	}
+	if primalInfeas {
+		if !warm || !r.dualFeasible() {
+			return fallbackStatus
+		}
+		if st := r.dualIterate(); st != Optimal {
+			return st
+		}
+	}
 	return r.iterate(sf.artAt)
+}
+
+// finalize refactorizes the final basis from the problem data and
+// recomputes the basic values, so the extracted vertex is a function of
+// the final basis alone — identical whether the solve was warm or cold,
+// primal or dual, one eta file or another.
+func (r *revised) finalize() {
+	if len(r.etas) > 0 {
+		if !r.refactor() {
+			return // singular final refactorization: keep the maintained xB
+		}
+	} else {
+		r.computeXB()
+	}
 }
 
 // extract reads structural variable values out of the basis. Adding +0
@@ -505,78 +715,103 @@ func (r *revised) extract() []float64 {
 	return x
 }
 
-// snapshot captures the solve's final basis — names, basic-column entries,
-// inverse, and basic values — the currency a warm start on a related
-// problem is paid in. Slices are handed over by reference: the standard
-// form and revised state are discarded after the solve, so nothing else
-// mutates them.
+// snapshot captures the solve's final basis as (row name, basic column
+// name) pairs — the identities a warm start on a related problem maps onto
+// its own standard form before refactorizing. Numerical state is never
+// carried: the next solve rebuilds it from its own problem data, which is
+// what makes the snapshot trivially serializable and immune to coefficient
+// changes (see applyWarm).
 func (r *revised) snapshot() *Basis {
 	sf := r.sf
 	b := &Basis{
 		rows: sf.rowName,
 		bcol: make([]string, sf.m),
-		rhs:  sf.rhs,
-		loc:  make([]bool, sf.m),
-		brow: make([][]int32, sf.m),
-		bval: make([][]float64, sf.m),
-		binv: r.binv,
-		xB:   r.xB,
 	}
 	for i, c := range r.basis {
 		b.bcol[i] = sf.colName[c]
-		col := &sf.cols[c]
-		b.brow[i] = col.rows
-		b.bval[i] = col.vals
-		b.loc[i] = len(col.rows) == 1 && int(col.rows[0]) == i
 	}
 	return b
 }
 
-// solveSparse runs the sparse revised simplex, warm-started when warm is
-// non-nil and applicable.
-func solveSparse(p *Problem, warm *Basis) (*Solution, error) {
-	sf := buildStandardForm(p)
+// solveComponent runs the revised simplex on one (sub)problem's standard
+// form, warm-started when warmIdx (a Basis.index) is non-empty and maps
+// onto it.
+func solveComponent(p *Problem, sf *standardForm, warmIdx map[string]string) *Solution {
 	var r *revised
 	warmApplied := false
-	if warm != nil && sf.m > 0 {
-		// Try the carried basis on a bare solver state first; the crash
-		// basis (and its m×m inverse) is only built if the carry fails.
-		rw := &revised{p: p, sf: sf, tmp: make([]float64, sf.m)}
-		if rw.applyWarm(warm) {
+	if sf.m > 0 && len(warmIdx) > 0 {
+		rw := newBare(p, sf)
+		if rw.applyWarm(warmIdx) {
 			r, warmApplied = rw, true
 		}
 	}
 	if r == nil {
 		r = newRevised(p, sf)
 	}
-	needP1 := false
-	for i, b := range r.basis {
-		if b >= sf.artAt && r.xB[i] > feasTol {
-			needP1 = true
-			break
-		}
+	st := r.optimize(warmApplied)
+	if st == fallbackStatus {
+		// The warm basis was numerically unusable (primal and dual
+		// infeasible, or a singular refactorization mid-flight): restart
+		// cold, preserving the pivots already spent in the iteration count.
+		spent, spentDual := r.iters, r.dualIters
+		r = newRevised(p, sf)
+		r.iters, r.dualIters = spent, spentDual
+		warmApplied = false
+		st = r.optimize(false)
 	}
-	if needP1 {
-		st := r.phase1()
-		if st == IterLimit {
-			return &Solution{Status: st, Iters: r.iters, WarmStarted: warmApplied}, statusErr(st)
-		}
-		if st != Optimal {
-			return &Solution{Status: Infeasible, Iters: r.iters, WarmStarted: warmApplied}, statusErr(Infeasible)
-		}
-	}
-	r.purgeArtificials()
-	st := r.phase2()
 	if st != Optimal {
-		return &Solution{Status: st, Iters: r.iters, WarmStarted: warmApplied}, statusErr(st)
+		return &Solution{Status: st, Iters: r.iters, DualIters: r.dualIters, WarmStarted: warmApplied}
 	}
+	r.finalize()
 	x := r.extract()
 	obj := 0.0
 	for v, c := range p.cost {
 		obj += c * x[v]
 	}
 	return &Solution{
-		Status: Optimal, X: x, Objective: obj, Iters: r.iters,
+		Status: Optimal, X: x, Objective: obj,
+		Iters: r.iters, DualIters: r.dualIters,
 		Basis: r.snapshot(), WarmStarted: warmApplied,
-	}, nil
+	}
+}
+
+// solveSparse is the sparse-backend entry: presolve, decompose, solve the
+// components (concurrently when allowed), postsolve back to the original
+// variable space.
+func solveSparse(p *Problem, warm *Basis) (*Solution, error) {
+	ps := presolve(p)
+	if ps.status == Infeasible {
+		sol := &Solution{Status: Infeasible, RowsPresolved: ps.rowsOut, ColsPresolved: ps.colsOut}
+		return sol, statusErr(Infeasible)
+	}
+	if ps.solved() {
+		// Presolve pinned everything; no simplex needed.
+		x := ps.postsolve(nil)
+		obj := 0.0
+		for v, c := range p.cost {
+			obj += c * x[v]
+		}
+		sol := &Solution{
+			Status: Optimal, X: x, Objective: obj,
+			RowsPresolved: ps.rowsOut, ColsPresolved: ps.colsOut,
+			Basis: &Basis{},
+		}
+		return sol, nil
+	}
+	sol := solveDecomposed(ps.reduced(), warm)
+	sol.RowsPresolved, sol.ColsPresolved = ps.rowsOut, ps.colsOut
+	if sol.Status != Optimal {
+		return sol, statusErr(sol.Status)
+	}
+	sol.X = ps.postsolve(sol.X)
+	// Recompute the objective on the original cost vector and full solution:
+	// presolve's cost folding (duplicate-row merges) changes summation
+	// grouping, and the reported objective must not depend on whether
+	// presolve fired.
+	obj := 0.0
+	for v, c := range p.cost {
+		obj += c * sol.X[v]
+	}
+	sol.Objective = obj
+	return sol, nil
 }

@@ -76,6 +76,13 @@ func writeConfig(w io.Writer, cfg core.Config) {
 	fmt.Fprintf(w, "solver.keepracy=%t\n", cfg.Solver.KeepRacyWindows)
 	fmt.Fprintf(w, "solver.softsinglerole=%t\n", cfg.Solver.SoftSingleRole)
 	fmt.Fprintf(w, "solver.maxlpiters=%d\n", cfg.Solver.MaxLPIters)
+	// Per-role objective weights join the key only when they depart from
+	// the paper's uniform weighting, so every pre-weights job key — and the
+	// cache entries filed under them — stays addressable.
+	if ws := cfg.Solver.Weights; !ws.IsDefault() {
+		r := ws.Resolved()
+		fmt.Fprintf(w, "solver.weights=%g,%g\n", r.Acquire, r.Release)
+	}
 	fmt.Fprintf(w, "delay=%d\n", cfg.Delay)
 	fmt.Fprintf(w, "delayprob=%g\n", cfg.DelayProbability)
 	fmt.Fprintf(w, "seed=%d\n", cfg.Seed)

@@ -34,6 +34,7 @@ package solver
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"sherlock/internal/lp"
@@ -64,6 +65,44 @@ func AllHypotheses() Hypotheses {
 	}
 }
 
+// ObjectiveWeights scales the soft-constraint penalties per role. The
+// paper weighs acquire and release evidence identically; in practice the
+// two roles have different base rates (every criticial section has one
+// acquire but finalizers/defers skew releases), and a deployment that
+// cares more about precision on one role can raise that role's weight to
+// demand stronger evidence before inferring it. A zero field means 1.0
+// (the paper's weighting), so the zero value is the default behaviour.
+//
+// The weights multiply only the real penalty terms (Syncs-are-Rare and
+// Acquisition-Time-Mostly-Varies); the 1e-6 name-hashed tie-break costs
+// are deliberately left unscaled so that tied optima keep resolving to
+// the same vertex regardless of weighting — the incremental-inference
+// byte-identity contract does not depend on ObjectiveWeights.
+type ObjectiveWeights struct {
+	Acquire float64
+	Release float64
+}
+
+// Resolved returns the effective weights with zero fields mapped to the
+// 1.0 default — the canonical form config hashes should use, so that
+// every spelling of the same effective weighting hashes identically.
+func (w ObjectiveWeights) Resolved() ObjectiveWeights {
+	if w.Acquire == 0 {
+		w.Acquire = 1
+	}
+	if w.Release == 0 {
+		w.Release = 1
+	}
+	return w
+}
+
+// IsDefault reports whether the weights are equivalent to the paper's
+// uniform weighting (so config hashes can omit them).
+func (w ObjectiveWeights) IsDefault() bool {
+	r := w.Resolved()
+	return r.Acquire == 1 && r.Release == 1
+}
+
 // Config tunes the encoding.
 type Config struct {
 	// Lambda trades Mostly-Protected off against all other hypotheses
@@ -90,6 +129,14 @@ type Config struct {
 	// Exhausting it is an error carrying the problem dimensions, wrapped
 	// around lp.ErrIterationLimit — never a silent suboptimal result.
 	MaxLPIters int
+	// Weights scales the per-role penalty costs (zero value = the paper's
+	// uniform weighting; see ObjectiveWeights).
+	Weights ObjectiveWeights
+	// Parallelism caps the workers the LP may use to solve independent
+	// connected components of one problem concurrently (≤1 = sequential).
+	// Results are bit-identical at any setting, so this is a pure
+	// performance knob and excluded from config signatures.
+	Parallelism int
 }
 
 // DefaultConfig mirrors the paper's defaults.
@@ -112,6 +159,15 @@ type Result struct {
 	Vars        int
 	Constraints int
 	Iters       int
+	// DualIters is the subset of Iters spent in dual-simplex re-optimization
+	// of a carried basis (zero on cold solves).
+	DualIters int
+	// Components is the number of independent LP blocks the problem split
+	// into; RowsPresolved/ColsPresolved count what presolve eliminated
+	// before any pivoting.
+	Components    int
+	RowsPresolved int
+	ColsPresolved int
 	// WarmStarted reports whether the LP reused the previous round's basis
 	// (Encoder path only; always false for one-shot Solve).
 	WarmStarted bool
@@ -219,7 +275,7 @@ func (e *Encoder) sync(obs *window.Observations) {
 	}
 	e.nCached = len(obs.Windows)
 	if newKeys {
-		sort.Slice(e.keys, func(i, j int) bool { return e.keys[i] < e.keys[j] })
+		slices.Sort(e.keys)
 	}
 }
 
@@ -233,7 +289,7 @@ func sortedUniqueKeys(evs []window.CandEvent) []trace.Key {
 	for i, e := range evs {
 		keys[i] = e.Key
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	slices.Sort(keys)
 	out := keys[:1]
 	for _, k := range keys[1:] {
 		if k != out[len(out)-1] {
@@ -265,7 +321,12 @@ func (e *Encoder) SolveSpan(obs *window.Observations, warm *lp.Basis, parent *ob
 		obslib.Int("cached", cached))
 	e.sync(obs)
 	b := &builder{cfg: e.cfg, obs: obs, prob: lp.NewProblem(), vars: map[trace.Key]varPair{}}
+	// Rough dimension hint: two role variables per key, two ε per window,
+	// and change for the pairing/single-role auxiliaries.
+	b.prob.Grow(2*len(e.keys)+2*len(obs.Windows)+64,
+		2*len(obs.Windows)+len(e.keys)+64)
 	b.prob.MaxIters = e.cfg.MaxLPIters
+	b.prob.Parallel = e.cfg.Parallelism
 	b.prob.Trace = parent
 
 	for _, k := range e.keys {
@@ -282,7 +343,19 @@ func (e *Encoder) SolveSpan(obs *window.Observations, warm *lp.Basis, parent *ob
 		obslib.Int("constraints", b.prob.NumConstraints()))
 	span.End()
 
-	sol, err := lp.Solve(b.prob, warm)
+	// A carried basis means the problem is an incremental revision of the
+	// one that produced it: rows were appended (new windows) or excised
+	// (pairs turned racy). That is the dual simplex's home turf, so route
+	// through ReoptimizeDual; a cold round takes the two-phase primal path.
+	var (
+		sol *lp.Solution
+		err error
+	)
+	if warm != nil && warm.Size() > 0 {
+		sol, err = b.prob.ReoptimizeDual(warm)
+	} else {
+		sol, err = b.prob.Solve()
+	}
 	if err != nil {
 		return nil, nil, fmt.Errorf("solver: lp with %d vars, %d constraints over %d windows: %w",
 			b.prob.NumVars(), b.prob.NumConstraints(), len(obs.Windows), err)
@@ -295,6 +368,10 @@ func (e *Encoder) SolveSpan(obs *window.Observations, warm *lp.Basis, parent *ob
 		Vars:        b.prob.NumVars(),
 		Constraints: b.prob.NumConstraints(),
 		Iters:       sol.Iters,
+		DualIters:   sol.DualIters,
+		Components:  sol.Components,
+		RowsPresolved: sol.RowsPresolved,
+		ColsPresolved: sol.ColsPresolved,
 		WarmStarted: sol.WarmStarted,
 	}
 	for _, k := range e.keys {
@@ -375,14 +452,16 @@ func (b *builder) addVars(k trace.Key) {
 		acqCapable, relCapable = true, true
 	}
 	if acqCapable {
-		vp.acq = b.prob.AddVariable(string(k) + "^acq")
+		name := string(k) + "^acq"
+		vp.acq = b.prob.AddVariable(name)
 		b.prob.SetUpperBound(vp.acq, 1)
-		b.prob.AddCost(vp.acq, tieBreakEps*nameWeight(string(k)+"^acq"))
+		b.prob.AddCost(vp.acq, tieBreakEps*nameWeight(name))
 	}
 	if relCapable {
-		vp.rel = b.prob.AddVariable(string(k) + "^rel")
+		name := string(k) + "^rel"
+		vp.rel = b.prob.AddVariable(name)
 		b.prob.SetUpperBound(vp.rel, 1)
-		b.prob.AddCost(vp.rel, tieBreakEps*nameWeight(string(k)+"^rel"))
+		b.prob.AddCost(vp.rel, tieBreakEps*nameWeight(name))
 	}
 	if vp.acq >= 0 && vp.rel >= 0 {
 		// A release cannot be an acquire and vice versa.
@@ -423,9 +502,11 @@ func (b *builder) addMostlyProtected(e *Encoder) {
 // addWindowTerm adds ε ≥ 1 − Σ var over the distinct role-capable
 // candidates of one window side, with cost 1 on ε. Each distinct operation
 // contributes its variable once regardless of dynamic occurrences (paper
-// Section 4.2).
+// Section 4.2). cands is sorted and unique, and role variables are created
+// in key order, so the row's entries come out index-ascending by
+// construction — the precondition for the allocation-light lp.AddRow path.
 func (b *builder) addWindowTerm(name string, cands []trace.Key, role trace.Role) {
-	coeffs := map[int]float64{}
+	idx := make([]int, 0, len(cands)+1)
 	for _, k := range cands {
 		vp := b.vars[k]
 		v := vp.rel
@@ -433,28 +514,34 @@ func (b *builder) addWindowTerm(name string, cands []trace.Key, role trace.Role)
 			v = vp.acq
 		}
 		if v >= 0 {
-			coeffs[v] += 1
+			idx = append(idx, v)
 		}
 	}
 	eps := b.prob.AddVariable(name)
 	b.prob.AddCost(eps, 1)
-	coeffs[eps] = 1
-	b.prob.AddNamedConstraint("mp_"+name, coeffs, lp.GE, 1)
+	idx = append(idx, eps) // just created: largest index, keeps the order
+	coeffs := make([]float64, len(idx))
+	for i := range coeffs {
+		coeffs[i] = 1
+	}
+	b.prob.AddRow("mp_"+name, idx, coeffs, lp.GE, 1)
 }
 
-// addRareness adds Eq. 3's regularization and Eq. 4's occurrence penalty.
+// addRareness adds Eq. 3's regularization and Eq. 4's occurrence penalty,
+// scaled per role by Config.Weights.
 func (b *builder) addRareness(keys []trace.Key) {
 	if !b.cfg.Hyp.SyncsAreRare {
 		return
 	}
+	w := b.cfg.Weights.Resolved()
 	for _, k := range keys {
 		pen := b.cfg.Lambda * (1 + b.cfg.RareCoef*b.obs.AvgOccurrence(k))
 		vp := b.vars[k]
 		if vp.acq >= 0 {
-			b.prob.AddCost(vp.acq, pen)
+			b.prob.AddCost(vp.acq, w.Acquire*pen)
 		}
 		if vp.rel >= 0 {
-			b.prob.AddCost(vp.rel, pen)
+			b.prob.AddCost(vp.rel, w.Release*pen)
 		}
 	}
 }
@@ -466,6 +553,7 @@ func (b *builder) addAcqTimeVaries(keys []trace.Key) {
 		return
 	}
 	pct := b.obs.CVPercentiles()
+	wAcq := b.cfg.Weights.Resolved().Acquire
 	for _, k := range keys {
 		if k.Kind() != trace.KindBegin {
 			continue
@@ -475,7 +563,7 @@ func (b *builder) addAcqTimeVaries(keys []trace.Key) {
 			continue
 		}
 		p := pct[k.Name()] // methods never completed rank at percentile 0
-		b.prob.AddCost(vp.acq, b.cfg.Lambda*(1-p))
+		b.prob.AddCost(vp.acq, wAcq*b.cfg.Lambda*(1-p))
 	}
 }
 

@@ -1,0 +1,83 @@
+package solver
+
+import (
+	"testing"
+
+	"sherlock/internal/window"
+)
+
+func TestWeightsZeroValueIsNeutral(t *testing.T) {
+	var w ObjectiveWeights
+	if !w.IsDefault() {
+		t.Fatal("zero value must be the default")
+	}
+	r := w.Resolved()
+	if r.Acquire != 1 || r.Release != 1 {
+		t.Fatalf("zero value resolves to %+v, want {1 1}", r)
+	}
+	if !(ObjectiveWeights{Acquire: 1, Release: 1}).IsDefault() {
+		t.Fatal("explicit {1,1} must count as default")
+	}
+	if (ObjectiveWeights{Acquire: 2}).IsDefault() {
+		t.Fatal("{2,0} is not default (0 resolves to 1, but 2 does not)")
+	}
+	if got := (ObjectiveWeights{Acquire: 2}).Resolved(); got.Acquire != 2 || got.Release != 1 {
+		t.Fatalf("{2,0} resolves to %+v, want {2 1}", got)
+	}
+}
+
+// TestWeightsDefaultMatchesUnset pins that setting the weights to their
+// resolved defaults cannot change any probability: the weighted objective
+// must be the exact expression the unweighted encoder built.
+func TestWeightsDefaultMatchesUnset(t *testing.T) {
+	o := obsWith(
+		window.Window{RelEvents: cands(wk("C::f")), AcqEvents: cands(rk("C::f"))},
+		window.Window{RelEvents: cands(wk("C::g"), wk("C::f")), AcqEvents: cands(rk("C::g"))},
+	)
+	base := solveOK(t, o, DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.Weights = ObjectiveWeights{Acquire: 1, Release: 1}
+	explicit := solveOK(t, o, cfg)
+	if base.Objective != explicit.Objective {
+		t.Fatalf("objective drifted: unset=%v explicit-default=%v", base.Objective, explicit.Objective)
+	}
+	for k, p := range base.Acquires {
+		if explicit.Acquires[k] != p {
+			t.Fatalf("acquire prob for %v drifted: %v vs %v", k, p, explicit.Acquires[k])
+		}
+	}
+	for k, p := range base.Releases {
+		if explicit.Releases[k] != p {
+			t.Fatalf("release prob for %v drifted: %v vs %v", k, p, explicit.Releases[k])
+		}
+	}
+}
+
+// TestWeightsScalePenalties checks that non-default weights actually reach
+// the objective: doubling both role weights on a workload that pays real
+// rareness penalties must raise the LP optimum.
+func TestWeightsScalePenalties(t *testing.T) {
+	// One op serving many windows: tagging it is unavoidable and costs a
+	// rareness penalty that the weights multiply.
+	o := obsWith(
+		window.Window{RelEvents: cands(wk("C::f")), AcqEvents: cands(rk("C::f"))},
+		window.Window{RelEvents: cands(wk("C::f")), AcqEvents: cands(rk("C::f"))},
+		window.Window{RelEvents: cands(wk("C::f")), AcqEvents: cands(rk("C::f"))},
+	)
+	base := solveOK(t, o, DefaultConfig())
+	if base.Objective <= 0 {
+		t.Fatalf("workload pays no penalty (objective %v); test is vacuous", base.Objective)
+	}
+	cfg := DefaultConfig()
+	cfg.Weights = ObjectiveWeights{Acquire: 2, Release: 2}
+	heavy := solveOK(t, o, cfg)
+	if heavy.Objective <= base.Objective {
+		t.Fatalf("doubled weights did not raise the objective: %v -> %v", base.Objective, heavy.Objective)
+	}
+	// The scaled problem keeps the same inference on this workload — the
+	// weights shift costs, not the constraint structure.
+	if len(heavy.AcquireSet) != len(base.AcquireSet) || len(heavy.ReleaseSet) != len(base.ReleaseSet) {
+		t.Fatalf("uniform scaling changed the inferred sets: %v/%v vs %v/%v",
+			base.AcquireSet, base.ReleaseSet, heavy.AcquireSet, heavy.ReleaseSet)
+	}
+}

@@ -11,7 +11,7 @@ BIN=$(mktemp -d)/sherlockd
 LOG=$(mktemp)
 go build -o "$BIN" ./cmd/sherlockd
 
-"$BIN" -addr 127.0.0.1:0 -workers 2 -rounds 1 >"$LOG" 2>&1 &
+"$BIN" -addr 127.0.0.1:0 -workers 2 -rounds 1 -pprof >"$LOG" 2>&1 &
 PID=$!
 trap 'kill "$PID" 2>/dev/null || true' EXIT
 
@@ -27,6 +27,11 @@ BASE="http://$ADDR"
 echo "smoke: daemon at $BASE"
 
 curl -fsS "$BASE/healthz" | grep -q '"ok"' || { echo "healthz not ok"; exit 1; }
+
+# Profiling handlers are mounted because the daemon was started with
+# -pprof (they are absent by default).
+curl -fsS "$BASE/debug/pprof/goroutine?debug=1" | grep -q 'goroutine' \
+  || { echo "pprof handlers not mounted under -pprof"; exit 1; }
 
 # Cold submission: must be accepted (202) and not served from cache.
 COLD=$(curl -fsS -X POST -H 'Content-Type: application/json' \
