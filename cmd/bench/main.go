@@ -117,6 +117,14 @@ func main() {
 		incrReps   = flag.Int("incr-reps", 5, "repetitions per incremental point (best is reported)")
 		incrMinSpd = flag.Float64("incr-min-speedup", 0, "fail (exit 1) if the +1-trace incremental speedup falls below this (0 = record only)")
 		minPivRate = flag.Float64("min-pivot-rate", 0, "fail (exit 1) if the aggregate cold-solve pivot rate (pivots/sec) falls below this (0 = record only)")
+		clusterOut = flag.String("cluster-out", "", "cluster scaling benchmark output file (empty = skip)")
+		clClients  = flag.Int("cluster-clients", 24, "concurrent clients driving the cluster")
+		clRequests = flag.Int("cluster-requests", 6000, "total requests per cluster size")
+		clKeys     = flag.Int("cluster-keys", 600, "distinct content keys in the zipfian keyspace")
+		clCache    = flag.Int("cluster-cache", 200, "result cache capacity per node (entries)")
+		clZipfS    = flag.Float64("cluster-zipf", 1.02, "zipf exponent of the key popularity distribution (>1)")
+		clZipfV    = flag.Float64("cluster-zipf-v", 0, "zipf rank offset; larger flattens the head (0 = keys)")
+		clMinSpeed = flag.Float64("cluster-min-speedup", 0, "fail (exit 1) if 4-node throughput is below this multiple of 1-node (0 = record only)")
 	)
 	flag.Parse()
 	if *outAlias != "" {
@@ -137,6 +145,9 @@ func main() {
 	}
 	if *incrOut != "" {
 		die(benchIncr(*incrOut, *appName, *incrBase, *incrReps, *incrMinSpd))
+	}
+	if *clusterOut != "" {
+		die(benchCluster(*clusterOut, *clClients, *clRequests, *clKeys, *clCache, *clZipfS, *clZipfV, *clMinSpeed))
 	}
 }
 

@@ -325,3 +325,50 @@ func printServerResult(ctx context.Context, base, key string) error {
 	}
 	return nil
 }
+
+// printClusterInfo renders GET /v1/cluster/info: membership, liveness,
+// and placement parameters of the daemon's cluster.
+func printClusterInfo(ctx context.Context, base string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/cluster/info", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return fmt.Errorf("cluster: %s is not running in cluster mode", base)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return apiError("cluster", resp.Status, body)
+	}
+	var info struct {
+		Node     string `json:"node"`
+		Replicas int    `json:"replicas"`
+		Peers    []struct {
+			ID   string `json:"id"`
+			URL  string `json:"url"`
+			Self bool   `json:"self"`
+			Up   bool   `json:"up"`
+		} `json:"peers"`
+	}
+	if err := json.Unmarshal(body, &info); err != nil {
+		return fmt.Errorf("cluster: bad body: %w", err)
+	}
+	fmt.Printf("node %s, %d members, %d replicas per key\n", info.Node, len(info.Peers), info.Replicas)
+	for _, p := range info.Peers {
+		state := "up"
+		if !p.Up {
+			state = "DOWN"
+		}
+		tag := ""
+		if p.Self {
+			tag = "  (this node)"
+		}
+		fmt.Printf("  %-12s %-28s %s%s\n", p.ID, p.URL, state, tag)
+	}
+	return nil
+}

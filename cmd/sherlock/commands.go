@@ -40,6 +40,8 @@ func runCommand(ctx context.Context, verb string, args []string) bool {
 		cmdWatch(ctx, args)
 	case "status":
 		cmdStatus(ctx, args)
+	case "cluster":
+		cmdCluster(ctx, args)
 	case "help", "-h", "-help", "--help":
 		usage(os.Stdout)
 	default:
@@ -78,6 +80,8 @@ Against a sherlockd daemon:
   sherlock status -server URL -result KEY
   sherlock status -server URL -list [-filter done]
       job status, stored results, and the job listing
+  sherlock cluster -server URL
+      cluster membership and peer liveness as the daemon sees it
 
 The pre-subcommand flat flags (sherlock -app ..., sherlock -server ...
 -submit ...) remain available but are deprecated.
@@ -231,4 +235,14 @@ func cmdStatus(ctx context.Context, args []string) {
 	default:
 		die(fmt.Errorf("status: a job id, -result KEY, or -list is required"))
 	}
+}
+
+func cmdCluster(ctx context.Context, args []string) {
+	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
+	server := fs.String("server", "", "sherlockd base URL (required)")
+	fs.Parse(args)
+	if *server == "" {
+		die(fmt.Errorf("cluster: -server is required"))
+	}
+	die(printClusterInfo(ctx, *server))
 }

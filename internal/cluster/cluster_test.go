@@ -1,0 +1,570 @@
+// Integration tests: real multi-node clusters over loopback HTTP.
+// Each node is a full server.Server + Cluster pair on its own listener
+// and corpus directory; nothing is mocked, so these tests cover the
+// wire protocol, routing, replication, and failure handling end to end.
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"testing"
+	"time"
+
+	"sherlock/internal/apps"
+	"sherlock/internal/sched"
+	"sherlock/internal/server"
+	"sherlock/internal/store"
+	"sherlock/internal/trace"
+)
+
+// node is one cluster member under test.
+type node struct {
+	id  string
+	srv *server.Server
+	cl  *Cluster
+	hs  *httptest.Server
+	url string
+}
+
+func (n *node) stop() {
+	if n.hs != nil {
+		n.hs.Close()
+	}
+	if n.cl != nil {
+		n.cl.Stop()
+	}
+	if n.srv != nil {
+		n.srv.Close()
+	}
+	n.hs, n.cl, n.srv = nil, nil, nil
+}
+
+// testServerConfig is the fast inference config every test node shares —
+// cluster nodes must agree on it or job keys diverge.
+func testServerConfig(t *testing.T) server.Config {
+	cfg := server.DefaultConfig()
+	cfg.Workers = 2
+	cfg.QueueSize = 64
+	cfg.CacheCapacity = 128
+	cfg.JobTimeout = time.Minute
+	cfg.Inference.Rounds = 1
+	cfg.CorpusDir = t.TempDir()
+	return cfg
+}
+
+// startCluster boots n nodes with listeners bound before any node
+// starts, so the shared peer map holds real addresses.
+func startCluster(t *testing.T, n int, replicas int) []*node {
+	t.Helper()
+	listeners := make([]net.Listener, n)
+	peers := make(map[string]string, n)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		peers[fmt.Sprintf("n%d", i)] = "http://" + ln.Addr().String()
+	}
+	nodes := make([]*node, n)
+	for i := range nodes {
+		id := fmt.Sprintf("n%d", i)
+		s, err := server.New(testServerConfig(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl, err := New(Config{
+			NodeID:              id,
+			Peers:               peers,
+			Replicas:            replicas,
+			AntiEntropyInterval: 100 * time.Millisecond,
+			VerifyEvery:         5,
+			ProbeInterval:       100 * time.Millisecond,
+			LookupTimeout:       2 * time.Second,
+			ProxyTimeout:        time.Minute,
+		}, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := &httptest.Server{
+			Listener: listeners[i],
+			Config:   &http.Server{Handler: cl.Handler()},
+		}
+		hs.Start()
+		cl.Start()
+		nodes[i] = &node{id: id, srv: s, cl: cl, hs: hs, url: peers[id]}
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.stop()
+		}
+	})
+	return nodes
+}
+
+// ---- small HTTP helpers ----
+
+func appTrace(t *testing.T, app string, seed int64) *trace.Trace {
+	t.Helper()
+	a, err := apps.ByName(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sched.Run(a, a.Tests[0], sched.Options{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run.Trace
+}
+
+func uploadTrace(t *testing.T, base string, tr *trace.Trace) string {
+	t.Helper()
+	bin, err := store.EncodeTrace(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/traces", "application/octet-stream", bytes.NewReader(bin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload: %s: %s", resp.Status, body)
+	}
+	var v struct {
+		Key string `json:"key"`
+	}
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	return v.Key
+}
+
+type jobResp struct {
+	ID      string `json:"id"`
+	Key     string `json:"key"`
+	Status  string `json:"status"`
+	Cached  bool   `json:"cached"`
+	Proxied bool   `json:"proxied"`
+	Error   string `json:"error"`
+}
+
+// submitAndWait posts a job spec and drives it to done, returning the
+// terminal view and the result body.
+func submitAndWait(t *testing.T, base string, spec map[string]any) (jobResp, []byte) {
+	t.Helper()
+	buf, _ := json.Marshal(spec)
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit to %s: %s: %s", base, resp.Status, body)
+	}
+	var v jobResp
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Minute)
+	for v.Status != "done" {
+		if v.Status == "failed" || v.Status == "canceled" {
+			t.Fatalf("job %s: %s: %s", v.ID, v.Status, v.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", v.ID, v.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+		r2, err := http.Get(base + "/v1/jobs/" + v.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2, _ := io.ReadAll(r2.Body)
+		r2.Body.Close()
+		if err := json.Unmarshal(b2, &v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r3, err := http.Get(base + "/v1/results/" + v.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r3.Body.Close()
+	result, _ := io.ReadAll(r3.Body)
+	if r3.StatusCode != http.StatusOK {
+		t.Fatalf("result %s: %s: %s", v.Key, r3.Status, result)
+	}
+	return v, result
+}
+
+// normalizeTiming zeroes the wall-clock overhead fields of a marshalled
+// result. Two INDEPENDENT computes of the same job are byte-identical
+// except for measured wall time (RunWall/SolveWall); comparisons between
+// separately computed results must ignore exactly those fields. (Served
+// copies of ONE compute are compared raw — they must match bit for bit.)
+var wallField = regexp.MustCompile(`"(RunWall|SolveWall)":[0-9]+`)
+
+func normalizeTiming(body []byte) []byte {
+	return wallField.ReplaceAll(body, []byte(`"$1":0`))
+}
+
+// metricValue scrapes one (possibly labeled) counter/gauge off /metrics.
+func metricValue(t *testing.T, base, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + `(?:\{[^}]*\})? ([0-9.e+-]+)$`)
+	total := 0.0
+	for _, m := range re.FindAllStringSubmatch(string(body), -1) {
+		v, err := strconv.ParseFloat(m[1], 64)
+		if err != nil {
+			t.Fatalf("bad metric %s value %q", name, m[1])
+		}
+		total += v
+	}
+	return total
+}
+
+func clusterComputedTotal(t *testing.T, nodes []*node) float64 {
+	t.Helper()
+	total := 0.0
+	for _, nd := range nodes {
+		if nd.hs != nil {
+			total += metricValue(t, nd.url, "sherlock_jobs_computed_total")
+		}
+	}
+	return total
+}
+
+// ---- the tests ----
+
+// TestClusterSingleComputeAndCoherence is the core acceptance test:
+// upload a trace to node A only, submit the job to node B, and assert
+// (a) the result is byte-identical to a standalone single-node solve,
+// (b) the whole cluster computed it exactly once, and (c) re-submitting
+// on EVERY node is a cache hit with zero additional computes.
+func TestClusterSingleComputeAndCoherence(t *testing.T) {
+	nodes := startCluster(t, 3, 2)
+	tr := appTrace(t, "App-1", 7)
+
+	// Reference: a standalone server with the same inference config.
+	ref, err := server.New(testServerConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refHS := httptest.NewServer(ref.Handler())
+	defer func() { refHS.Close(); ref.Close() }()
+	refKey := uploadTrace(t, refHS.URL, tr)
+	_, refBody := submitAndWait(t, refHS.URL, map[string]any{"trace_keys": []string{refKey}})
+
+	// Cluster: upload to n0, submit to n1 — n1 must pull the blob or
+	// route the job; either way the bytes must match the reference.
+	key := uploadTrace(t, nodes[0].url, tr)
+	if key != refKey {
+		t.Fatalf("corpus key drift: %s vs %s", key, refKey)
+	}
+	view, body := submitAndWait(t, nodes[1].url, map[string]any{"trace_keys": []string{key}})
+	if !bytes.Equal(normalizeTiming(body), normalizeTiming(refBody)) {
+		t.Fatalf("cluster result differs from single-node result\ncluster: %s\nsingle:  %s", body, refBody)
+	}
+	if got := clusterComputedTotal(t, nodes); got != 1 {
+		t.Fatalf("cluster computed the job %v times, want exactly 1", got)
+	}
+
+	// Every node must now answer the same submission from cache, with no
+	// further computes anywhere (local hit, peer hit, or proxy-to-cache).
+	for _, nd := range nodes {
+		v, b := submitAndWait(t, nd.url, map[string]any{"trace_keys": []string{key}})
+		if !bytes.Equal(b, body) {
+			t.Fatalf("node %s returned different bytes", nd.id)
+		}
+		if v.Status != "done" {
+			t.Fatalf("node %s: %+v", nd.id, v)
+		}
+	}
+	if got := clusterComputedTotal(t, nodes); got != 1 {
+		t.Fatalf("resubmissions recomputed: computed total %v, want 1", got)
+	}
+	if view.Key == "" {
+		t.Fatal("job view lost its key")
+	}
+}
+
+// TestClusterOwnerDown: with the key's owner killed, surviving nodes
+// must still serve the job (replica failover or local degradation), and
+// the bytes must match what the full cluster produced.
+func TestClusterOwnerDown(t *testing.T) {
+	nodes := startCluster(t, 3, 2)
+	tr := appTrace(t, "App-2", 3)
+	key := uploadTrace(t, nodes[0].url, tr)
+
+	// Let the upload fan-out and anti-entropy spread the blob.
+	spec := map[string]any{"trace_keys": []string{key}}
+	_, want := submitAndWait(t, nodes[0].url, spec)
+
+	// Find the job key's owner and kill that node.
+	jobKey := func() string {
+		v, _ := submitAndWait(t, nodes[0].url, spec)
+		return v.Key
+	}()
+	owner := nodes[0].cl.Ring().Owner(jobKey)
+	var killed *node
+	survivors := make([]*node, 0, 2)
+	for _, nd := range nodes {
+		if nd.id == owner {
+			killed = nd
+		} else {
+			survivors = append(survivors, nd)
+		}
+	}
+	if killed == nil {
+		t.Fatalf("owner %s not among nodes", owner)
+	}
+	killed.stop()
+
+	// Give probes a moment to notice; then every survivor must answer.
+	time.Sleep(300 * time.Millisecond)
+	for _, nd := range survivors {
+		v, got := submitAndWait(t, nd.url, spec)
+		if !bytes.Equal(normalizeTiming(got), normalizeTiming(want)) {
+			t.Fatalf("node %s served different bytes after owner death", nd.id)
+		}
+		if v.Status != "done" {
+			t.Fatalf("node %s: %+v", nd.id, v)
+		}
+	}
+
+	// A FRESH key owned by the dead node must also be served: replicas
+	// fail over, or the submitting node degrades to local compute.
+	freshSpec := map[string]any{"trace_keys": []string{key}, "seed": 41}
+	v, got := submitAndWait(t, survivors[0].url, freshSpec)
+	if v.Status != "done" || len(got) == 0 {
+		t.Fatalf("fresh job after owner death: %+v", v)
+	}
+}
+
+// TestClusterAntiEntropyReplication: a blob uploaded to one node must
+// appear on its replica nodes without any job ever referencing it.
+func TestClusterAntiEntropyReplication(t *testing.T) {
+	nodes := startCluster(t, 3, 2)
+	tr := appTrace(t, "App-3", 11)
+	key := uploadTrace(t, nodes[0].url, tr)
+
+	byID := map[string]*node{}
+	for _, nd := range nodes {
+		byID[nd.id] = nd
+	}
+	replicas := nodes[0].cl.Ring().Replicas(key, 2)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		missing := ""
+		for _, id := range replicas {
+			if !byID[id].srv.Corpus().HasBlob(key) {
+				missing = id
+				break
+			}
+		}
+		if missing == "" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica %s never received blob %s (replicas %v)", missing, key, replicas)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// The corpus must verify clean everywhere it landed.
+	for _, id := range replicas {
+		rep, err := byID[id].srv.Corpus().Verify()
+		if err != nil || !rep.Clean() {
+			t.Fatalf("node %s corpus dirty after replication: %+v (%v)", id, rep, err)
+		}
+	}
+}
+
+// TestClusterWatchPublishPropagates: a watch job's published result on
+// one node must become a remote cache hit for a one-shot submission of
+// the equivalent trace_keys job on another node, without recompute.
+func TestClusterWatchPublishPropagates(t *testing.T) {
+	nodes := startCluster(t, 2, 2)
+	tr := appTrace(t, "App-4", 5)
+
+	// Start the watch on n0, then ingest the matching trace there.
+	buf, _ := json.Marshal(map[string]any{"watch_app": "App-4"})
+	resp, err := http.Post(nodes[0].url+"/v1/jobs", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var wv jobResp
+	if err := json.Unmarshal(wBody, &wv); err != nil {
+		t.Fatal(err)
+	}
+	key := uploadTrace(t, nodes[0].url, tr)
+
+	// Wait for the first publish.
+	deadline := time.Now().Add(30 * time.Second)
+	var published string
+	for published == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("watch job never published")
+		}
+		time.Sleep(50 * time.Millisecond)
+		r, err := http.Get(nodes[0].url + "/v1/jobs/" + wv.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(r.Body)
+		r.Body.Close()
+		var v jobResp
+		if err := json.Unmarshal(b, &v); err != nil {
+			t.Fatal(err)
+		}
+		published = v.Key
+	}
+
+	// n1 submits the equivalent one-shot: it must be served from cache
+	// (local push or peer lookup), never recomputed.
+	before := clusterComputedTotal(t, nodes)
+	v, body := submitAndWait(t, nodes[1].url, map[string]any{"trace_keys": []string{key}})
+	if v.Key != published {
+		t.Fatalf("one-shot key %s != watch-published key %s", v.Key, published)
+	}
+	if len(body) == 0 {
+		t.Fatal("empty result body")
+	}
+	if after := clusterComputedTotal(t, nodes); after != before {
+		t.Fatalf("one-shot equivalent of a published watch result recomputed (%v -> %v)", before, after)
+	}
+}
+
+// TestClusterSingleNodeDegradation: a one-member "cluster" must behave
+// exactly like a standalone server — every hook a no-op, no peers, no
+// background chatter.
+func TestClusterSingleNodeDegradation(t *testing.T) {
+	nodes := startCluster(t, 1, 2)
+	tr := appTrace(t, "App-1", 2)
+	key := uploadTrace(t, nodes[0].url, tr)
+	_, body := submitAndWait(t, nodes[0].url, map[string]any{"trace_keys": []string{key}})
+	if len(body) == 0 {
+		t.Fatal("empty result")
+	}
+	if got := clusterComputedTotal(t, nodes); got != 1 {
+		t.Fatalf("computed %v, want 1", got)
+	}
+}
+
+// trySubmit is submitAndWait without t.Fatal, safe to call from worker
+// goroutines: it returns the error instead of failing the test.
+func trySubmit(base string, spec map[string]any) (jobResp, []byte, error) {
+	var v jobResp
+	buf, _ := json.Marshal(spec)
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return v, nil, err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return v, nil, fmt.Errorf("submit to %s: %s: %s", base, resp.Status, body)
+	}
+	if err := json.Unmarshal(body, &v); err != nil {
+		return v, nil, err
+	}
+	deadline := time.Now().Add(time.Minute)
+	for v.Status != "done" {
+		if v.Status == "failed" || v.Status == "canceled" {
+			return v, nil, fmt.Errorf("job %s: %s: %s", v.ID, v.Status, v.Error)
+		}
+		if time.Now().After(deadline) {
+			return v, nil, fmt.Errorf("job %s stuck in %s", v.ID, v.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+		r2, err := http.Get(base + "/v1/jobs/" + v.ID)
+		if err != nil {
+			return v, nil, err
+		}
+		b2, _ := io.ReadAll(r2.Body)
+		r2.Body.Close()
+		if err := json.Unmarshal(b2, &v); err != nil {
+			return v, nil, err
+		}
+	}
+	r3, err := http.Get(base + "/v1/results/" + v.Key)
+	if err != nil {
+		return v, nil, err
+	}
+	defer r3.Body.Close()
+	result, _ := io.ReadAll(r3.Body)
+	if r3.StatusCode != http.StatusOK {
+		return v, nil, fmt.Errorf("result %s: %s: %s", v.Key, r3.Status, result)
+	}
+	return v, result, nil
+}
+
+// TestClusterKillMidStream is the no-lost-jobs guarantee: a node dies
+// while a stream of submissions is in flight against the survivors, and
+// every accepted job must still complete with bytes identical to the
+// pre-kill compute of the same key.
+func TestClusterKillMidStream(t *testing.T) {
+	nodes := startCluster(t, 3, 2)
+	tr := appTrace(t, "App-1", 5)
+	key := uploadTrace(t, nodes[0].url, tr)
+
+	// Pre-compute every key once so each stream job has reference bytes.
+	const seeds = 4
+	want := make(map[int64][]byte, seeds)
+	for s := int64(1); s <= seeds; s++ {
+		_, body := submitAndWait(t, nodes[0].url, map[string]any{
+			"trace_keys": []string{key}, "seed": s,
+		})
+		want[s] = normalizeTiming(body)
+	}
+
+	// Survivors take the stream; the third node dies mid-flight.
+	victim, survivors := nodes[2], nodes[:2]
+	type res struct {
+		seed int64
+		body []byte
+		err  error
+	}
+	const perWorker = 10
+	results := make(chan res, 2*perWorker)
+	for w, nd := range survivors {
+		go func(w int, base string) {
+			for i := 0; i < perWorker; i++ {
+				seed := int64(1 + (w*perWorker+i)%seeds)
+				_, body, err := trySubmit(base, map[string]any{
+					"trace_keys": []string{key}, "seed": seed,
+				})
+				results <- res{seed: seed, body: body, err: err}
+			}
+		}(w, nd.url)
+	}
+	time.Sleep(50 * time.Millisecond)
+	victim.stop()
+
+	for i := 0; i < 2*perWorker; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatalf("job lost after mid-stream kill: %v", r.err)
+		}
+		if !bytes.Equal(normalizeTiming(r.body), want[r.seed]) {
+			t.Fatalf("seed %d: bytes differ from pre-kill compute", r.seed)
+		}
+	}
+}

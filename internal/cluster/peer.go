@@ -1,0 +1,88 @@
+// Peer state: liveness and probe scheduling for one remote node. A peer
+// flips between up and down on probe results; while down, probes back
+// off exponentially so a dead node costs a bounded trickle of traffic,
+// and routing skips it entirely. Any successful response on a real
+// request also counts as proof of life, so a recovered peer returns to
+// rotation ahead of its next scheduled probe.
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"sherlock/internal/server"
+)
+
+const (
+	probeBackoffMin = 250 * time.Millisecond
+	probeBackoffMax = 15 * time.Second
+)
+
+type peer struct {
+	id   string
+	base string // e.g. "http://127.0.0.1:9011"
+
+	mu        sync.Mutex
+	up        bool
+	backoff   time.Duration
+	nextProbe time.Time // zero while up: probe on every health tick
+
+	upGauge *server.Gauge // sherlock_cluster_peer_up{peer=<id>}
+}
+
+// newPeer starts optimistic: the peer counts as up until a probe or a
+// request says otherwise, so a cluster booting all at once routes
+// immediately instead of waiting out a probe round.
+func newPeer(id, base string, g *server.Gauge) *peer {
+	p := &peer{id: id, base: base, up: true}
+	if g != nil {
+		p.upGauge = g
+		g.Set(1)
+	}
+	return p
+}
+
+// healthy reports whether routing should consider this peer.
+func (p *peer) healthy() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.up
+}
+
+// markUp records proof of life and resets the probe backoff.
+func (p *peer) markUp() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.up && p.upGauge != nil {
+		p.upGauge.Set(1)
+	}
+	p.up = true
+	p.backoff = 0
+	p.nextProbe = time.Time{}
+}
+
+// markDown records a failed probe or request and schedules the next
+// probe with doubled backoff.
+func (p *peer) markDown(now time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.up && p.upGauge != nil {
+		p.upGauge.Set(0)
+	}
+	p.up = false
+	if p.backoff == 0 {
+		p.backoff = probeBackoffMin
+	} else if p.backoff *= 2; p.backoff > probeBackoffMax {
+		p.backoff = probeBackoffMax
+	}
+	p.nextProbe = now.Add(p.backoff)
+}
+
+// probeDue reports whether the health loop should probe this peer now.
+// Up peers are probed on every tick (cheap, keeps detection latency at
+// one probe interval); down peers only once their backoff expires.
+func (p *peer) probeDue(now time.Time) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.up || !now.Before(p.nextProbe)
+}

@@ -1,0 +1,125 @@
+// Consistent-hash ring: the cluster's only placement authority. Every
+// node builds the same ring from the same static membership, so any node
+// can compute any key's owner and replica set locally, with no
+// coordination traffic and no directory service. Virtual nodes smooth
+// the key distribution; FNV-64a keeps the hash dependency-free and fast
+// enough to sit on every submit path.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// vnodesPerNode is the number of ring points each member contributes.
+// 64 points per node keeps the max/min keyspace share within ~2x for
+// small clusters, which is plenty for a result cache (imbalance costs
+// capacity, not correctness).
+const vnodesPerNode = 64
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// Ring is an immutable consistent-hash ring over a node-ID set.
+type Ring struct {
+	points []ringPoint // sorted by hash
+	nodes  []string    // sorted, distinct
+}
+
+// NewRing builds the ring for a membership set. Order of the input does
+// not matter; duplicate IDs collapse. An empty membership yields a ring
+// that owns nothing (every lookup returns "").
+func NewRing(nodes []string) *Ring {
+	seen := make(map[string]bool, len(nodes))
+	r := &Ring{}
+	for _, n := range nodes {
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		r.nodes = append(r.nodes, n)
+		for i := 0; i < vnodesPerNode; i++ {
+			r.points = append(r.points, ringPoint{hashString(fmt.Sprintf("%s#%d", n, i)), n})
+		}
+	}
+	sort.Strings(r.nodes)
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare) break by node ID so every member
+		// still computes the identical ring.
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// Nodes returns the membership, sorted.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Owner returns the node owning a key: the first ring point at or after
+// the key's hash, wrapping around. Empty ring returns "".
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.points[r.search(key)].node
+}
+
+// Replicas returns up to n distinct nodes for a key, owner first, then
+// successors clockwise around the ring. n larger than the membership
+// returns every node.
+func (r *Ring) Replicas(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i, start := 0, r.search(key); len(out) < n && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}
+
+// search finds the index of the first point with hash >= the key's hash,
+// wrapping to 0 past the end.
+func (r *Ring) search(key string) int {
+	h := hashString(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}
+
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is a splitmix64-style finalizer. Raw FNV over short, similar
+// strings ("n0#12", "n0#13", ...) lands ring points unevenly around the
+// 64-bit circle — a full avalanche pass restores the uniformity the
+// ring's balance depends on.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,94 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func sampleKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%06d", i)
+	}
+	return keys
+}
+
+// TestRingDeterministic: every member must compute the identical ring
+// regardless of the order the membership arrived in.
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing([]string{"n0", "n1", "n2", "n3"})
+	b := NewRing([]string{"n3", "n1", "n0", "n2", "n2"}) // shuffled + dup
+	for _, k := range sampleKeys(2000) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("owner disagreement for %s: %s vs %s", k, a.Owner(k), b.Owner(k))
+		}
+		ra, rb := a.Replicas(k, 2), b.Replicas(k, 2)
+		if fmt.Sprint(ra) != fmt.Sprint(rb) {
+			t.Fatalf("replica disagreement for %s: %v vs %v", k, ra, rb)
+		}
+	}
+}
+
+// TestRingReplicas: owner-first, distinct, capped at the membership.
+func TestRingReplicas(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c"})
+	for _, k := range sampleKeys(500) {
+		reps := r.Replicas(k, 2)
+		if len(reps) != 2 {
+			t.Fatalf("want 2 replicas, got %v", reps)
+		}
+		if reps[0] != r.Owner(k) {
+			t.Fatalf("first replica %s is not the owner %s", reps[0], r.Owner(k))
+		}
+		if reps[0] == reps[1] {
+			t.Fatalf("duplicate replica: %v", reps)
+		}
+		if all := r.Replicas(k, 10); len(all) != 3 {
+			t.Fatalf("replicas beyond membership: %v", all)
+		}
+	}
+	if NewRing(nil).Owner("x") != "" {
+		t.Fatal("empty ring should own nothing")
+	}
+	if got := NewRing([]string{"solo"}).Replicas("x", 3); len(got) != 1 || got[0] != "solo" {
+		t.Fatalf("single-node ring: %v", got)
+	}
+}
+
+// TestRingBalance: with 64 vnodes, no node of four should stray wildly
+// from its 25% share over a large keyspace.
+func TestRingBalance(t *testing.T) {
+	r := NewRing([]string{"n0", "n1", "n2", "n3"})
+	counts := map[string]int{}
+	keys := sampleKeys(20000)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	for node, n := range counts {
+		share := float64(n) / float64(len(keys))
+		if share < 0.10 || share > 0.45 {
+			t.Fatalf("node %s owns %.1f%% of the keyspace (counts %v)", node, share*100, counts)
+		}
+	}
+}
+
+// TestRingStability: removing one member must only move the keys that
+// member owned — everyone else's placement is undisturbed.
+func TestRingStability(t *testing.T) {
+	before := NewRing([]string{"n0", "n1", "n2", "n3"})
+	after := NewRing([]string{"n0", "n1", "n3"})
+	moved := 0
+	keys := sampleKeys(20000)
+	for _, k := range keys {
+		was, is := before.Owner(k), after.Owner(k)
+		if was == "n2" {
+			continue // had to move
+		}
+		if was != is {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys moved despite their owner surviving", moved)
+	}
+}

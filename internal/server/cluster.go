@@ -1,0 +1,57 @@
+// The server's view of an optional cluster layer. internal/cluster wires
+// a ClusterHook into the server (SetCluster) to turn a standalone daemon
+// into one node of a peer-to-peer sherlockd cluster; a nil hook (the
+// default) keeps every code path single-node. The seams are deliberately
+// narrow — the cluster decides ownership, health, and transport, while
+// the server keeps owning admission, execution, caching, and metrics:
+//
+//   - submit: on a local cache miss the server asks the hook for the key
+//     on the peers that own it (FastLookup) — a result computed on any
+//     node is a hit on every node;
+//   - execute: after a FastLookup miss the handler offers to route the
+//     whole job to the key's owner (ProxyJob). Both run on the handler
+//     goroutine: workers only ever compute locally, so routing can never
+//     deadlock two nodes' worker pools against each other;
+//   - corpus: uploads fan out to the blob key's owner and replicas
+//     (ReplicateBlob), and jobs naming corpus keys this node is missing
+//     pull them from peers before solving (EnsureTraces);
+//   - watch: published watch results are offered to peers (PublishResult)
+//     so cluster-wide watchers converge without re-solving.
+package server
+
+import "context"
+
+// ClusterHook is implemented by internal/cluster. All methods must be
+// safe for concurrent use; SetCluster must be called after New and
+// before the server receives any traffic.
+type ClusterHook interface {
+	// FastLookup fetches the cached result body for a content key from
+	// the peers that own it. A miss or an unreachable peer set returns
+	// ok=false quickly — this sits on the submit path.
+	FastLookup(ctx context.Context, key string) ([]byte, bool)
+	// ProxyJob routes the job to the key's owner when that is another
+	// node, waiting out the remote execution and returning the result
+	// body. ok=false for ANY other outcome — this node owns the key, no
+	// owning peer is reachable, or the remote run failed — and the caller
+	// computes locally: single-node degradation is the floor.
+	ProxyJob(ctx context.Context, key string, spec JobSpec) (body []byte, ok bool)
+	// PublishResult offers a freshly published result (watch jobs) to the
+	// peers that own its key. Best-effort and asynchronous.
+	PublishResult(key string, body []byte)
+	// EnsureTraces makes the named corpus blobs locally available,
+	// pulling any missing ones from peers (SHA-256-verified on receipt).
+	EnsureTraces(ctx context.Context, keys []string) error
+	// ReplicateBlob fans a freshly ingested corpus blob out to the key's
+	// owner and replicas. Best-effort and asynchronous — anti-entropy
+	// repairs anything the fan-out misses.
+	ReplicateBlob(key string)
+}
+
+// SetCluster installs the cluster layer. Call once, before serving.
+func (s *Server) SetCluster(c ClusterHook) { s.cluster = c }
+
+// NoProxyHeader marks a submission that is already a cluster hop: the
+// receiving node must answer it itself — no peer cache checks, no
+// forwarding. This bounds any routing disagreement between nodes to a
+// single extra hop instead of a proxy loop.
+const NoProxyHeader = "X-Sherlock-No-Proxy"

@@ -115,10 +115,16 @@ type Job struct {
 	Spec JobSpec
 	Cfg  core.Config // effective config
 
+	// noProxy marks a submission that already crossed one cluster hop
+	// (cluster.go); this node must answer it itself. Immutable after
+	// submit, read by the executing worker.
+	noProxy bool
+
 	mu         sync.Mutex
 	status     JobStatus
 	err        string
 	cached     bool   // answered from the result cache, no execution
+	proxied    bool   // executed by the content key's owner node
 	spans      []byte // rendered span tree (obs bridge); nil for cached jobs
 	submitted  time.Time
 	started    time.Time
@@ -272,6 +278,7 @@ type jobView struct {
 	Key         string `json:"key"`
 	Status      string `json:"status"`
 	Cached      bool   `json:"cached"`
+	Proxied     bool   `json:"proxied,omitempty"` // executed by the key's owner node
 	Version     uint64 `json:"version,omitempty"` // watch jobs: published results so far
 	WatchApp    string `json:"watch_app,omitempty"`
 	Error       string `json:"error,omitempty"`
@@ -291,6 +298,7 @@ func (j *Job) view() jobView {
 		Key:         j.Key,
 		Status:      string(j.status),
 		Cached:      j.cached,
+		Proxied:     j.proxied,
 		Version:     j.version,
 		WatchApp:    j.Spec.WatchApp,
 		Error:       j.err,

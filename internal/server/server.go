@@ -74,15 +74,22 @@ const maxJobRecords = 16384
 
 // Server wires queue, cache, corpus, and metrics under an http.Handler.
 type Server struct {
-	cfg    Config
-	q      *queue
-	cache  *ResultCache
-	corpus *store.Corpus
-	reg    *Registry
-	mux    *http.ServeMux
+	cfg     Config
+	q       *queue
+	cache   *ResultCache
+	corpus  *store.Corpus
+	reg     *Registry
+	mux     *http.ServeMux
+	cluster ClusterHook // nil = single-node (cluster.go)
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
+
+	// drainCh closes the moment drain begins, before the queue empties,
+	// so long-poll and SSE watch handlers return promptly instead of
+	// holding http.Server.Shutdown hostage for their full timeout.
+	drainCh   chan struct{}
+	drainOnce sync.Once
 
 	// ephemeralCorpus is the temp dir backing the corpus when
 	// Config.CorpusDir was empty; removed on Close/Shutdown.
@@ -110,6 +117,7 @@ type Server struct {
 	jobsDone     *Counter
 	jobsFailed   *Counter
 	jobsCanceled *Counter
+	jobsComputed *Counter
 	cacheHits    *Counter
 	cacheMisses  *Counter
 	cacheEntries *Gauge
@@ -161,6 +169,7 @@ func New(cfg Config) (*Server, error) {
 		reg:             reg,
 		baseCtx:         ctx,
 		baseCancel:      cancel,
+		drainCh:         make(chan struct{}),
 		byID:            make(map[string]*Job),
 		subs:            make(map[string]*subscription),
 
@@ -169,6 +178,7 @@ func New(cfg Config) (*Server, error) {
 		jobsDone:     reg.Counter("sherlock_jobs_total", "Jobs by terminal status.", "status", "done"),
 		jobsFailed:   reg.Counter("sherlock_jobs_total", "Jobs by terminal status.", "status", "failed"),
 		jobsCanceled: reg.Counter("sherlock_jobs_total", "Jobs by terminal status.", "status", "canceled"),
+		jobsComputed: reg.Counter("sherlock_jobs_computed_total", "Jobs whose campaign/solve actually ran on this node (not cached, not proxied)."),
 		cacheHits:    reg.Counter("sherlock_cache_hits_total", "Submissions answered from the result cache."),
 		cacheMisses:  reg.Counter("sherlock_cache_misses_total", "Submissions that required a fresh campaign."),
 		cacheEntries: reg.Gauge("sherlock_cache_entries", "Entries in the result cache."),
@@ -208,6 +218,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
 	mux.HandleFunc("POST /v1/traces", s.handleTraceUpload)
 	mux.HandleFunc("GET /v1/traces", s.handleTraceList)
+	mux.HandleFunc("GET /v1/corpus/verify", s.handleCorpusVerify)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux = mux
@@ -226,12 +237,26 @@ func (s *Server) Cache() *ResultCache { return s.cache }
 // Corpus exposes the trace corpus (introspection and tests).
 func (s *Server) Corpus() *store.Corpus { return s.corpus }
 
+// BeginDrain flips the server into draining mode without waiting:
+// submissions start getting 503 and every long-poll/SSE watch handler
+// returns its current view, so an enclosing http.Server.Shutdown
+// completes on request timescales. Shutdown and Close call it
+// implicitly; cmd/sherlockd calls it first so the HTTP listener can
+// drain before the job queue does.
+func (s *Server) BeginDrain() {
+	s.draining.Store(true)
+	s.drainOnce.Do(func() { close(s.drainCh) })
+}
+
+// Draining returns a channel closed once drain has begun.
+func (s *Server) Draining() <-chan struct{} { return s.drainCh }
+
 // Shutdown drains gracefully: submissions are refused with 503, admitted
 // jobs run to completion, then workers exit. If ctx expires first, the
 // in-flight jobs are force-canceled and Shutdown returns ctx's error after
 // the workers wind down.
 func (s *Server) Shutdown(ctx context.Context) error {
-	s.draining.Store(true)
+	s.BeginDrain()
 	err := s.q.Drain(ctx)
 	if err != nil {
 		// Deadline passed: abort stragglers and wait for the pool.
@@ -249,7 +274,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // Close aborts everything immediately.
 func (s *Server) Close() {
-	s.draining.Store(true)
+	s.BeginDrain()
 	s.baseCancel()
 	_ = s.q.Drain(context.Background())
 	s.subWG.Wait()
@@ -306,12 +331,29 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	var missingKeys []string
 	for _, key := range spec.TraceKeys {
 		if _, ok := s.corpus.Entry(key); !ok {
-			writeError(w, http.StatusBadRequest, CodeInvalidArgument,
-				fmt.Sprintf("trace key %s is not in the corpus (upload it via POST /v1/traces)", key))
-			return
+			missingKeys = append(missingKeys, key)
 		}
+	}
+	if len(missingKeys) > 0 && s.cluster != nil {
+		// Clients may upload to one node and submit to another: pull the
+		// blobs this node is missing from their cluster owners before
+		// rejecting the submission.
+		if err := s.cluster.EnsureTraces(r.Context(), missingKeys); err == nil {
+			missingKeys = missingKeys[:0]
+			for _, key := range spec.TraceKeys {
+				if _, ok := s.corpus.Entry(key); !ok {
+					missingKeys = append(missingKeys, key)
+				}
+			}
+		}
+	}
+	if len(missingKeys) > 0 {
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument,
+			fmt.Sprintf("trace key %s is not in the corpus (upload it via POST /v1/traces)", missingKeys[0]))
+		return
 	}
 	cfg := spec.effectiveConfig(s.cfg.Inference)
 	if err := cfg.Validate(); err != nil {
@@ -339,6 +381,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	key := JobKey(spec, cfg)
 	j := newJob(id, key, spec, cfg, time.Now())
+	j.noProxy = r.Header.Get(NoProxyHeader) != ""
 
 	if _, ok := s.cache.Get(key); ok {
 		// Content hit: the work already ran (this process) — answer
@@ -353,6 +396,42 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.cacheMisses.Inc()
+
+	if s.cluster != nil && !j.noProxy {
+		// Cluster-wide cache: the key's owners may already hold the
+		// result another node computed. Deliberately NOT copied into the
+		// local cache — each node's LRU holds only the keys it computed
+		// (its ring partition), so aggregate cluster capacity is a true
+		// N-fold multiple instead of N copies of the same hot set; the
+		// result endpoint re-fetches from the owner on demand.
+		if _, ok := s.cluster.FastLookup(r.Context(), key); ok {
+			j.mu.Lock()
+			j.cached = true
+			j.finish(StatusDone, "")
+			j.mu.Unlock()
+			s.remember(j)
+			writeJSON(w, http.StatusOK, j.view())
+			return
+		}
+		// Not cached anywhere: route the job to the key's owner node so
+		// the cluster computes each key once and caches it where lookups
+		// go (the proxied body stays out of the local LRU for the same
+		// partitioning reason as above). Proxying happens here, on the
+		// handler goroutine, never on a worker — workers only do local
+		// compute, so two nodes can proxy to each other under full load
+		// without deadlocking their pools. A miss (we own the key, or
+		// every owner is unreachable) falls through to the local queue:
+		// single-node degradation.
+		if _, ok := s.cluster.ProxyJob(r.Context(), key, spec); ok {
+			j.mu.Lock()
+			j.proxied = true
+			j.finish(StatusDone, "")
+			j.mu.Unlock()
+			s.remember(j)
+			writeJSON(w, http.StatusOK, j.view())
+			return
+		}
+	}
 
 	if err := s.q.Submit(j); err != nil {
 		switch err {
@@ -409,6 +488,11 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	body, ok := s.cache.Lookup(r.PathValue("key"))
+	if !ok && s.cluster != nil {
+		// Results are content-addressed, so any node can serve any key:
+		// fall back to the peers that own it.
+		body, ok = s.cluster.FastLookup(r.Context(), r.PathValue("key"))
+	}
 	if !ok {
 		writeError(w, http.StatusNotFound, CodeNotFound, "no result at this key (expired or never computed)")
 		return
@@ -454,10 +538,30 @@ func (s *Server) handleTraceUpload(w http.ResponseWriter, r *http.Request) {
 	if added {
 		code = http.StatusCreated
 		s.tracesStored.Inc()
+		if s.cluster != nil {
+			// Replicate the new blob to its ring owner and replicas so a
+			// job routed anywhere finds it (anti-entropy backstops this).
+			s.cluster.ReplicateBlob(entry.Key)
+		}
 	} else {
 		s.tracesDedup.Inc()
 	}
 	writeJSON(w, code, uploadView{Entry: entry, Dedup: !added})
+}
+
+// handleCorpusVerify runs a full corpus integrity scan — every blob is
+// re-hashed and re-decoded — and serves the machine-readable report.
+// Expensive by design; operators and cluster repair call it, not probes.
+func (s *Server) handleCorpusVerify(w http.ResponseWriter, r *http.Request) {
+	rep, err := s.corpus.Verify()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, "verify: "+err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Clean bool `json:"clean"`
+		*store.VerifyReport
+	}{rep.Clean(), rep})
 }
 
 // handleTraceList serves the corpus index in its deterministic
@@ -575,7 +679,19 @@ func marshalResult(key string, res *core.Result) ([]byte, error) {
 // offline solve for trace jobs. Per-phase wall time and LP pivots stream
 // into the metrics as the campaign progresses; the span stream tees into
 // the per-job memory sink (the spans endpoint) and the phase histograms.
+//
+// Cluster routing happens at submit time, not here: a worker only ever
+// computes locally (proxying from a worker could deadlock two full
+// pools against each other). The one cluster concern left on the worker
+// is corpus completeness — a proxied trace_keys submission may name
+// blobs the submit-side validation pulled but a crashed peer has since
+// lost, so re-ensure before streaming the solve.
 func (s *Server) runJob(ctx context.Context, j *Job) ([]byte, error) {
+	if s.cluster != nil && len(j.Spec.TraceKeys) > 0 {
+		if err := s.cluster.EnsureTraces(ctx, j.Spec.TraceKeys); err != nil {
+			return nil, fmt.Errorf("cluster: ensure traces: %w", err)
+		}
+	}
 	cfg := j.Cfg
 	mem := obs.NewMemorySink()
 	cfg.Observer = core.SinkObserver(obs.Fanout(mem, s.spanSink))
@@ -616,6 +732,7 @@ func (s *Server) runJob(ctx context.Context, j *Job) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.jobsComputed.Inc()
 	s.runSeconds.Observe(res.Overhead.RunWall.Seconds())
 	s.solveSeconds.Observe(res.Overhead.SolveWall.Seconds())
 

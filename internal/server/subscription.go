@@ -86,17 +86,25 @@ const (
 // run is the subscription loop: solve whatever already matches, then
 // re-solve on every wake until canceled or the server shuts down. A
 // failed cycle arms a backoff timer so the update is retried even if no
-// further ingest arrives.
+// further ingest arrives; the timer is a single stoppable time.Timer
+// (not time.After) so a draining server never leaves armed timers
+// behind — SIGTERM stops the goroutine AND its retry state cleanly.
 func (sub *subscription) run() {
 	defer sub.s.subDone(sub)
 	sub.loadCheckpoint()
 	backoff := watchRetryMin
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
 	for {
 		var retry <-chan time.Time
 		if sub.update() {
 			backoff = watchRetryMin
 		} else {
-			retry = time.After(backoff)
+			timer.Reset(backoff)
+			retry = timer.C
 			if backoff *= 2; backoff > watchRetryMax {
 				backoff = watchRetryMax
 			}
@@ -104,12 +112,18 @@ func (sub *subscription) run() {
 		select {
 		case <-sub.notify:
 		case <-retry:
+			retry = nil // fired: the timer needs no draining before Reset
 		case <-sub.stop:
 			sub.j.finishLocked(StatusCanceled, "watch canceled")
 			return
 		case <-sub.s.baseCtx.Done():
 			sub.j.finishLocked(StatusCanceled, "server draining")
 			return
+		}
+		// Left the select without consuming an armed timer: disarm it so
+		// Reset starts from a clean state next round.
+		if retry != nil && !timer.Stop() {
+			<-timer.C
 		}
 	}
 }
@@ -207,6 +221,11 @@ func (sub *subscription) update() bool {
 		return false
 	}
 	sub.s.cache.Put(key, body)
+	if cl := sub.s.cluster; cl != nil {
+		// Offer the fresh result to the key's owning peers so cluster-wide
+		// watchers and one-shot submitters hit without re-solving.
+		cl.PublishResult(key, body)
+	}
 	sub.j.publish(key)
 	sub.s.watchUpdates.Inc()
 	return true
@@ -302,6 +321,11 @@ func (s *Server) handleJobWatch(w http.ResponseWriter, r *http.Request) {
 			return
 		case <-r.Context().Done():
 			return
+		case <-s.drainCh:
+			// Draining: answer with the current view immediately so the
+			// connection closes and Shutdown does not wait out the poll.
+			writeJSON(w, http.StatusOK, j.view())
+			return
 		}
 	}
 }
@@ -355,6 +379,9 @@ func (s *Server) watchSSE(w http.ResponseWriter, r *http.Request, j *Job, after 
 			fmt.Fprint(w, ": heartbeat\n\n")
 			flusher.Flush()
 		case <-r.Context().Done():
+			return
+		case <-s.drainCh:
+			send()
 			return
 		case <-s.baseCtx.Done():
 			send()

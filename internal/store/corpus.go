@@ -264,40 +264,115 @@ func (c *Corpus) Stats() (traces int, bytes int64, events int64) {
 	return len(c.entries), bytes, events
 }
 
-// Verify checks corpus integrity: every manifest entry has a blob whose
-// bytes hash to its key (which also re-verifies every block CRC on the
-// way in, via decode), whose metadata matches the manifest, and every
-// blob on disk appears in the manifest. It returns the first problem.
-func (c *Corpus) Verify() error {
+// VerifyReport is the machine-readable outcome of a full corpus
+// integrity scan. Key lists are sorted; an all-empty report (Clean) means
+// every manifest entry has a bit-exact blob and every blob is indexed.
+// The serving layer exposes it at GET /v1/corpus/verify, and cluster
+// anti-entropy uses Corrupt/Missing as its repair work-list: dropping a
+// corrupt blob and re-pulling it from a replica heals bit rot.
+type VerifyReport struct {
+	// Checked counts the manifest entries scanned.
+	Checked int `json:"checked"`
+	// Corrupt lists keys whose blob exists but fails verification: the
+	// bytes hash to a different key, fail to decode, or decode to
+	// metadata that contradicts the manifest entry.
+	Corrupt []string `json:"corrupt,omitempty"`
+	// Missing lists manifest keys with no blob on disk.
+	Missing []string `json:"missing,omitempty"`
+	// Orphans lists blob files on disk that no manifest entry claims.
+	Orphans []string `json:"orphans,omitempty"`
+}
+
+// Clean reports whether the scan found nothing wrong.
+func (r *VerifyReport) Clean() bool {
+	return len(r.Corrupt) == 0 && len(r.Missing) == 0 && len(r.Orphans) == 0
+}
+
+// Err summarizes a dirty report as an error, nil when the report is clean.
+func (r *VerifyReport) Err() error {
+	if r.Clean() {
+		return nil
+	}
+	return fmt.Errorf("store: verify: %d corrupt, %d missing, %d orphan blobs (of %d entries)",
+		len(r.Corrupt), len(r.Missing), len(r.Orphans), r.Checked)
+}
+
+// Verify scans the whole corpus: every manifest entry must have a blob
+// whose bytes hash to its key (which also re-verifies every block CRC on
+// the way in, via decode) and whose metadata matches the manifest, and
+// every blob on disk must appear in the manifest. Unlike a fail-fast
+// check it classifies every problem into the returned report; the error
+// is reserved for I/O failures that prevent scanning at all.
+func (c *Corpus) Verify() (*VerifyReport, error) {
+	rep := &VerifyReport{}
 	entries := c.Entries()
+	rep.Checked = len(entries)
 	for _, e := range entries {
 		data, err := os.ReadFile(c.BlobPath(e.Key))
 		if err != nil {
-			return fmt.Errorf("store: verify %s: %w", e.Key, err)
+			if os.IsNotExist(err) {
+				rep.Missing = append(rep.Missing, e.Key)
+				continue
+			}
+			return nil, fmt.Errorf("store: verify %s: %w", e.Key, err)
 		}
 		sum := sha256.Sum256(data)
 		if got := hex.EncodeToString(sum[:]); got != e.Key {
-			return fmt.Errorf("store: verify %s: blob hashes to %s", e.Key, got)
+			rep.Corrupt = append(rep.Corrupt, e.Key)
+			continue
 		}
 		t, err := DecodeTrace(data)
 		if err != nil {
-			return fmt.Errorf("store: verify %s: %w", e.Key, err)
+			rep.Corrupt = append(rep.Corrupt, e.Key)
+			continue
 		}
 		if t.App != e.App || t.Test != e.Test || t.Seed != e.Seed || len(t.Events) != e.Events ||
 			int64(len(data)) != e.Size {
-			return fmt.Errorf("store: verify %s: manifest metadata does not match blob", e.Key)
+			rep.Corrupt = append(rep.Corrupt, e.Key)
 		}
 	}
 	onDisk, err := c.scanBlobs()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	for _, key := range onDisk {
 		if _, ok := c.entries[key]; !ok {
-			return fmt.Errorf("store: verify: blob %s is not in the manifest", key)
+			rep.Orphans = append(rep.Orphans, key)
 		}
+	}
+	c.mu.Unlock()
+	return rep, nil
+}
+
+// HasBlob reports whether key's blob file is present on disk (a cheap
+// stat — no hashing; Verify does the expensive bit-exact check).
+func (c *Corpus) HasBlob(key string) bool {
+	_, err := os.Stat(c.BlobPath(key))
+	return err == nil
+}
+
+// ReadBlob returns the raw canonical encoding stored at key, exactly as
+// written — callers replicating blobs between corpora send these bytes
+// and re-verify the SHA-256 on receipt.
+func (c *Corpus) ReadBlob(key string) ([]byte, error) {
+	data, err := os.ReadFile(c.BlobPath(key))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("store: no blob with key %s", key)
+		}
+		return nil, err
+	}
+	return data, nil
+}
+
+// DropBlob removes key's blob file while keeping its manifest entry — a
+// repair primitive: a corrupt blob is dropped and then re-ingested (or
+// re-pulled from a cluster replica), and Ingest rewrites the file when
+// the manifest entry survives without one. Missing blobs are a no-op.
+func (c *Corpus) DropBlob(key string) error {
+	if err := os.Remove(c.BlobPath(key)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: drop blob %s: %w", key, err)
 	}
 	return nil
 }

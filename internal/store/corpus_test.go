@@ -172,10 +172,14 @@ func TestCorpusVerify(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Verify(); err != nil {
-		t.Fatalf("fresh corpus must verify: %v", err)
+	rep, err := c.Verify()
+	if err != nil {
+		t.Fatal(err)
 	}
-	// Corrupt one byte of the blob: Verify must notice via the hash.
+	if !rep.Clean() || rep.Checked != 1 || rep.Err() != nil {
+		t.Fatalf("fresh corpus must verify clean, got %+v", rep)
+	}
+	// Corrupt one byte of the blob: Verify must classify it as corrupt.
 	path := c.BlobPath(e.Key)
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -185,18 +189,40 @@ func TestCorpusVerify(t *testing.T) {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Verify(); err == nil {
-		t.Fatal("corrupt blob must fail Verify")
+	rep, err = c.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Corrupt) != 1 || rep.Corrupt[0] != e.Key || rep.Err() == nil {
+		t.Fatalf("corrupt blob must be reported, got %+v", rep)
 	}
 	if err := os.WriteFile(path, data[:len(data)-1], 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Verify(); err == nil {
-		t.Fatal("truncated blob must fail Verify")
+	rep, err = c.Verify()
+	if err != nil {
+		t.Fatal(err)
 	}
-	// A blob the manifest does not know about is also a Verify error.
+	if len(rep.Corrupt) != 1 {
+		t.Fatalf("truncated blob must be reported corrupt, got %+v", rep)
+	}
+	// A deleted blob is reported missing (not an I/O error) — and
+	// HasBlob flips, which is what anti-entropy keys its re-pull on.
+	if !c.HasBlob(e.Key) {
+		t.Fatal("HasBlob must see the truncated blob")
+	}
 	if err := os.Remove(path); err != nil {
 		t.Fatal(err)
+	}
+	if c.HasBlob(e.Key) {
+		t.Fatal("HasBlob must report a removed blob as absent")
+	}
+	rep, err = c.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Missing) != 1 || rep.Missing[0] != e.Key || len(rep.Corrupt) != 0 {
+		t.Fatalf("removed blob must be reported missing, got %+v", rep)
 	}
 	c2 := openTestCorpus(t)
 	e2, _, err := c2.Ingest(sampleTrace())
@@ -214,8 +240,34 @@ func TestCorpusVerify(t *testing.T) {
 	if err := os.WriteFile(orphan, src, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := c2.Verify(); err == nil || !strings.Contains(err.Error(), "not in the manifest") {
-		t.Fatalf("orphan blob must fail Verify, got %v", err)
+	rep2, err := c2.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Orphans) != 1 || rep2.Orphans[0] != "orphan" {
+		t.Fatalf("orphan blob must be reported, got %+v", rep2)
+	}
+	if !strings.Contains(rep2.Err().Error(), "orphan") {
+		t.Fatalf("report error must mention orphans: %v", rep2.Err())
+	}
+
+	// DropBlob + re-Ingest is the repair cycle: the manifest entry
+	// survives without its blob, and ingesting the same trace rewrites it.
+	if err := c2.DropBlob(e2.Key); err != nil {
+		t.Fatal(err)
+	}
+	if c2.HasBlob(e2.Key) {
+		t.Fatal("DropBlob left the blob in place")
+	}
+	if _, added, err := c2.Ingest(sampleTrace()); err != nil || !added {
+		t.Fatalf("re-ingest after DropBlob: added=%v err=%v", added, err)
+	}
+	blob, err := c2.ReadBlob(e2.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(blob)) != e2.Size {
+		t.Fatalf("rewritten blob is %d bytes, want %d", len(blob), e2.Size)
 	}
 }
 
@@ -254,8 +306,8 @@ func TestCorpusConcurrentIngest(t *testing.T) {
 	if c.Len() != workers+1 {
 		t.Fatalf("corpus has %d entries, want %d", c.Len(), workers+1)
 	}
-	if err := c.Verify(); err != nil {
-		t.Fatal(err)
+	if rep, err := c.Verify(); err != nil || !rep.Clean() {
+		t.Fatalf("verify after concurrent ingest: %v %+v", err, rep)
 	}
 	// tmp/ staging area is empty after all renames.
 	left, err := os.ReadDir(filepath.Join(dir, "tmp"))

@@ -112,6 +112,9 @@ type (
 	Corpus = store.Corpus
 	// CorpusEntry is one corpus trace's index record.
 	CorpusEntry = store.Entry
+	// CorpusVerifyReport is the machine-readable outcome of
+	// Corpus.Verify: sorted corrupt/missing/orphan key lists.
+	CorpusVerifyReport = store.VerifyReport
 
 	// RaceComparison is a Manual_dr vs SherLock_dr detection outcome.
 	RaceComparison = race.Comparison
