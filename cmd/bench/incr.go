@@ -33,17 +33,31 @@ type incrPoint struct {
 	Speedup   float64 `json:"speedup"`
 }
 
+// foldPoint measures the cost of folding the SAME one trace into
+// checkpointed bases of increasing size — the sublinearity claim: the
+// per-upload fold cost must be governed by the new trace, not by how much
+// corpus the checkpoint already holds.
+type foldPoint struct {
+	BaseTraces int   `json:"base_traces"`
+	IncrNs     int64 `json:"incr_ns"`
+}
+
 // incrResult is the BENCH_incremental.json schema.
 type incrResult struct {
 	App        string      `json:"app"`
 	BaseTraces int         `json:"base_traces"`
 	Reps       int         `json:"reps"`
 	Points     []incrPoint `json:"points"`
+	// Fold holds the +1-trace fold cost at quarter, half, and full base;
+	// FoldGrowth is full-base cost over quarter-base cost.
+	Fold       []foldPoint `json:"fold"`
+	FoldGrowth float64     `json:"fold_growth"`
 }
 
 // benchIncr runs the incremental-vs-from-scratch measurement and writes
-// the result file. A non-zero minSpeedup gates the +1-trace point.
-func benchIncr(outFile, appName string, baseTraces, reps int, minSpeedup float64) error {
+// the result file. A non-zero minSpeedup gates the +1-trace point; a
+// non-zero maxFoldGrowth gates the base-size independence of the fold.
+func benchIncr(outFile, appName string, baseTraces, reps int, minSpeedup, maxFoldGrowth float64) error {
 	app, err := apps.ByName(appName)
 	if err != nil {
 		return err
@@ -132,6 +146,38 @@ func benchIncr(outFile, appName string, baseTraces, reps int, minSpeedup float64
 		res.Points = append(res.Points, pt)
 	}
 
+	// Fold-growth: fold the same held-out trace (kts[baseTraces], in no
+	// base) into checkpoints of a quarter, half, and the full base. Each
+	// checkpoint round-trips the persisted encoding like the main
+	// measurement, and only the fold is timed.
+	extra := core.KeyedSlice(kts[baseTraces : baseTraces+1])
+	for _, b := range []int{baseTraces / 4, baseTraces / 2, baseTraces} {
+		_, bck, err := core.InferIncremental(ctx, nil, core.KeyedSlice(kts[:b]), cfg)
+		if err != nil {
+			return err
+		}
+		bb, err := core.EncodeCheckpoint(bck)
+		if err != nil {
+			return err
+		}
+		fck, err := core.DecodeCheckpoint(bb)
+		if err != nil {
+			return err
+		}
+		fp := foldPoint{BaseTraces: b}
+		for rep := 0; rep < reps; rep++ {
+			t0 := time.Now()
+			if _, _, err := core.InferIncremental(ctx, fck, extra, cfg); err != nil {
+				return err
+			}
+			if d := time.Since(t0); rep == 0 || d.Nanoseconds() < fp.IncrNs {
+				fp.IncrNs = d.Nanoseconds()
+			}
+		}
+		res.Fold = append(res.Fold, fp)
+	}
+	res.FoldGrowth = float64(res.Fold[len(res.Fold)-1].IncrNs) / float64(res.Fold[0].IncrNs)
+
 	buf, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		return err
@@ -145,8 +191,16 @@ func benchIncr(outFile, appName string, baseTraces, reps int, minSpeedup float64
 			outFile, pt.Appended, res.BaseTraces,
 			float64(pt.ScratchNs)/1e6, float64(pt.IncrNs)/1e6, pt.Speedup)
 	}
+	for _, fp := range res.Fold {
+		fmt.Printf("%s: +1-trace fold on %d-trace base: %.1fms\n", outFile, fp.BaseTraces, float64(fp.IncrNs)/1e6)
+	}
+	fmt.Printf("%s: fold growth %dx base -> %.2fx cost\n", outFile, baseTraces/(baseTraces/4), res.FoldGrowth)
 	if minSpeedup > 0 && res.Points[0].Speedup < minSpeedup {
 		return fmt.Errorf("+1-trace incremental speedup %.2fx below the %.2fx gate", res.Points[0].Speedup, minSpeedup)
+	}
+	if maxFoldGrowth > 0 && res.FoldGrowth > maxFoldGrowth {
+		return fmt.Errorf("+1-trace fold cost grows %.2fx from %d- to %d-trace base (gate %.2fx): fold is not base-size independent",
+			res.FoldGrowth, res.Fold[0].BaseTraces, baseTraces, maxFoldGrowth)
 	}
 	return nil
 }

@@ -29,13 +29,14 @@
 //	      [-store-out BENCH_store.json]
 //	      [-obs-out BENCH_obs.json] [-obs-reps 7] [-obs-max-pct 5]
 //	      [-incr-out BENCH_incremental.json] [-incr-base 160] [-incr-reps 5]
-//	      [-incr-min-speedup 3]
+//	      [-incr-min-speedup 3] [-incr-max-fold-growth 2]
+//	      [-static-out BENCH_static.json] [-static-rounds 3] [-static-gate]
 //
 // -app selects the workload of the server/obs/incremental measurements;
-// the solver sweep always covers all apps. Each -*out flag accepts "" to
-// skip that measurement; -obs-max-pct, -incr-min-speedup and
-// -min-pivot-rate turn their records into CI gates (non-zero exit on
-// breach).
+// the solver and static sweeps always cover all apps. Each -*out flag
+// accepts "" to skip that measurement; -obs-max-pct, -incr-min-speedup,
+// -incr-max-fold-growth, -static-gate and -min-pivot-rate turn their
+// records into CI gates (non-zero exit on breach).
 package main
 
 import (
@@ -116,6 +117,10 @@ func main() {
 		incrBase   = flag.Int("incr-base", 160, "checkpointed base corpus size in traces")
 		incrReps   = flag.Int("incr-reps", 5, "repetitions per incremental point (best is reported)")
 		incrMinSpd = flag.Float64("incr-min-speedup", 0, "fail (exit 1) if the +1-trace incremental speedup falls below this (0 = record only)")
+		incrMaxFG  = flag.Float64("incr-max-fold-growth", 0, "fail (exit 1) if the +1-trace fold cost at the full base exceeds this multiple of the quarter-base cost (0 = record only)")
+		staticOut    = flag.String("static-out", "", "static/hybrid inference benchmark output file (empty = skip)")
+		staticRounds = flag.Int("static-rounds", 3, "campaign rounds for the static/hybrid sweep")
+		staticGate   = flag.Bool("static-gate", false, "fail (exit 1) if any app's hybrid campaign diverges from dynamic or converges slower")
 		minPivRate = flag.Float64("min-pivot-rate", 0, "fail (exit 1) if the aggregate cold-solve pivot rate (pivots/sec) falls below this (0 = record only)")
 		clusterOut = flag.String("cluster-out", "", "cluster scaling benchmark output file (empty = skip)")
 		clClients  = flag.Int("cluster-clients", 24, "concurrent clients driving the cluster")
@@ -144,7 +149,10 @@ func main() {
 		die(benchObs(*obsOut, *appName, *rounds, *obsReps, *obsMaxPct))
 	}
 	if *incrOut != "" {
-		die(benchIncr(*incrOut, *appName, *incrBase, *incrReps, *incrMinSpd))
+		die(benchIncr(*incrOut, *appName, *incrBase, *incrReps, *incrMinSpd, *incrMaxFG))
+	}
+	if *staticOut != "" {
+		die(benchStatic(*staticOut, *staticRounds, *staticGate))
 	}
 	if *clusterOut != "" {
 		die(benchCluster(*clusterOut, *clClients, *clRequests, *clKeys, *clCache, *clZipfS, *clZipfV, *clMinSpeed))

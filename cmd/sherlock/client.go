@@ -7,6 +7,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -32,6 +33,8 @@ type submitSpec struct {
 	App       string   `json:"app,omitempty"`
 	TraceKeys []string `json:"trace_keys,omitempty"`
 	WatchApp  string   `json:"watch_app,omitempty"`
+	StaticApp string   `json:"static_app,omitempty"`
+	Hybrid    bool     `json:"hybrid,omitempty"`
 	Rounds    int      `json:"rounds,omitempty"`
 	Lambda    float64  `json:"lambda,omitempty"`
 	Near      int64    `json:"near,omitempty"`
@@ -56,8 +59,16 @@ func apiError(op, status string, body []byte) error {
 // submitJob POSTs an application job and optionally polls it to
 // completion, printing the id, content key, and terminal status. With
 // wait set it also fetches and pretty-prints the result summary.
-func submitJob(ctx context.Context, base, app string, rounds int, lambda float64, near, seed int64, wait bool) error {
-	spec := submitSpec{App: app, Rounds: rounds, Lambda: lambda, Near: near, Seed: seed}
+func submitJob(ctx context.Context, base, app string, hybrid bool, rounds int, lambda float64, near, seed int64, wait bool) error {
+	spec := submitSpec{App: app, Hybrid: hybrid, Rounds: rounds, Lambda: lambda, Near: near, Seed: seed}
+	return postJobSpec(ctx, base, spec, wait)
+}
+
+// submitStaticJob POSTs a run-free static inference job. The result is
+// content-addressed by program hash, so across a cluster it is computed
+// at most once per program/config revision.
+func submitStaticJob(ctx context.Context, base, app string, lambda float64, near int64, wait bool) error {
+	spec := submitSpec{StaticApp: app, Lambda: lambda, Near: near}
 	return postJobSpec(ctx, base, spec, wait)
 }
 
@@ -197,7 +208,7 @@ func postSpec(ctx context.Context, base string, spec submitSpec) (*jobView, erro
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", errConnect, err)
 	}
 	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
@@ -212,9 +223,21 @@ func postSpec(ctx context.Context, base string, spec submitSpec) (*jobView, erro
 }
 
 // postJobSpec is the shared submit/poll/print path behind -submit and
-// -submit-keys.
+// -submit-keys. Against a cluster it submits straight to the content key's
+// ring owner (route.go); if that owner dies between the info fetch and the
+// POST, it falls back to the URL the user gave — the server-side proxy
+// layer makes any node correct, routing only saves the extra hop.
 func postJobSpec(ctx context.Context, base string, spec submitSpec, wait bool) error {
-	v, err := postSpec(ctx, base, spec)
+	target, routed := routeSubmit(ctx, base, spec)
+	if routed && target != base {
+		fmt.Printf("routing to key owner %s\n", target)
+	}
+	v, err := postSpec(ctx, target, spec)
+	if err != nil && routed && errors.Is(err, errConnect) {
+		fmt.Printf("owner unreachable, falling back to %s\n", base)
+		target = base
+		v, err = postSpec(ctx, base, spec)
+	}
 	if err != nil {
 		return err
 	}
@@ -222,14 +245,14 @@ func postJobSpec(ctx context.Context, base string, spec submitSpec, wait bool) e
 	if !wait {
 		return nil
 	}
-	final, err := pollJob(ctx, base, v.ID)
+	final, err := pollJob(ctx, target, v.ID)
 	if err != nil {
 		return err
 	}
 	if final.Status != "done" {
 		return fmt.Errorf("job %s ended %s: %s", final.ID, final.Status, final.Error)
 	}
-	return printServerResult(ctx, base, final.Key)
+	return printServerResult(ctx, target, final.Key)
 }
 
 // pollJob polls GET /v1/jobs/{id} until the job is terminal.
@@ -301,10 +324,17 @@ func printServerResult(ctx context.Context, base, key string) error {
 	if resp.StatusCode != http.StatusOK {
 		return apiError("result "+key, resp.Status, body)
 	}
+	return printResultEnvelope(body)
+}
+
+// printResultEnvelope renders a served result body (campaign or static
+// report — the latter carries a program hash).
+func printResultEnvelope(body []byte) error {
 	var env struct {
-		Key    string `json:"key"`
-		App    string `json:"app"`
-		Result struct {
+		Key         string `json:"key"`
+		App         string `json:"app"`
+		ProgramHash string `json:"program_hash"`
+		Result      struct {
 			Inferred []struct {
 				Key  string  `json:"Key"`
 				Role int     `json:"Role"`
@@ -313,9 +343,12 @@ func printServerResult(ctx context.Context, base, key string) error {
 		} `json:"result"`
 	}
 	if err := json.Unmarshal(body, &env); err != nil {
-		return fmt.Errorf("result %s: bad body: %w", key, err)
+		return fmt.Errorf("result: bad body: %w", err)
 	}
 	fmt.Printf("%s: %d inferred operations (key %s)\n", env.App, len(env.Result.Inferred), env.Key)
+	if env.ProgramHash != "" {
+		fmt.Printf("static report, program hash %s\n", env.ProgramHash)
+	}
 	for _, s := range env.Result.Inferred {
 		role := "acquire"
 		if s.Role != 0 {
@@ -324,6 +357,25 @@ func printServerResult(ctx context.Context, base, key string) error {
 		fmt.Printf("  %-8s %-60s p=%.2f\n", role, s.Key, s.Prob)
 	}
 	return nil
+}
+
+// fetchStaticReport GETs /v1/apps/{id}/static and prints the report (the
+// `sherlock static -server` entrypoint).
+func fetchStaticReport(ctx context.Context, base, app string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/apps/"+app+"/static", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError("static "+app, resp.Status, body)
+	}
+	return printResultEnvelope(body)
 }
 
 // printClusterInfo renders GET /v1/cluster/info: membership, liveness,

@@ -2,8 +2,11 @@
 //
 //	sherlock capture -corpus DIR [-app App-4] [-seed 1]
 //	sherlock infer   [-app App-4 | -corpus DIR | -traces DIR | -all | -list]
+//	                 [-hybrid] [-refine -corpus DIR]
+//	sherlock static  [-app App-4 | -all] [-server URL]
 //	sherlock upload  -server URL FILE...
-//	sherlock submit  -server URL [-app X | -keys k1,k2 | -watch-app X] [-wait]
+//	sherlock submit  -server URL [-app X [-hybrid] | -keys k1,k2 |
+//	                 -watch-app X | -static-app X] [-wait]
 //	sherlock watch   -server URL [-job job-000001 | -app X]
 //	sherlock status  -server URL [JOB-ID | -result KEY | -list [-filter done]]
 //
@@ -32,6 +35,8 @@ func runCommand(ctx context.Context, verb string, args []string) bool {
 		cmdCapture(ctx, args)
 	case "infer":
 		cmdInfer(ctx, args)
+	case "static":
+		cmdStatic(ctx, args)
 	case "upload":
 		cmdUpload(ctx, args)
 	case "submit":
@@ -64,6 +69,15 @@ Local:
       offline inference over JSONL trace files
   sherlock infer -all | -list
       Table 2 over every application / the application inventory
+  sherlock infer -app App-4 -hybrid
+      hybrid campaign: static priors seed round 0, evidence takes over
+  sherlock infer -app App-4 -refine -corpus DIR
+      refine campaign: warm-start from (and persist) the posterior
+      checkpoint stored in the corpus
+  sherlock static -app App-4 [-v]
+      run-free static inference on one application, scored vs truth
+  sherlock static -all
+      static-only precision/recall sweep over every application
 
 Against a sherlockd daemon:
   sherlock upload -server URL FILE...
@@ -71,6 +85,12 @@ Against a sherlockd daemon:
   sherlock submit -server URL -app App-4 [-wait]
   sherlock submit -server URL -keys KEY1,KEY2 [-wait]
       one-shot inference jobs (campaign / corpus offline solve)
+  sherlock submit -server URL -app App-4 -hybrid [-wait]
+      hybrid campaign job (static priors seed round 0)
+  sherlock submit -server URL -static-app App-4 [-wait]
+      run-free static inference job, cached by program hash
+  sherlock static -server URL -app App-4
+      fetch (computing if needed) the daemon's static report
   sherlock submit -server URL -watch-app App-4
       streaming job: binds to the corpus prefix, re-solves per upload
   sherlock watch -server URL -job JOB-ID
@@ -114,6 +134,8 @@ func cmdInfer(ctx context.Context, args []string) {
 	parallel := fs.Int("p", 0, "worker pool size per round (0 = GOMAXPROCS)")
 	verbose := fs.Bool("v", false, "print per-round snapshots")
 	traceOut := fs.String("trace-out", "", "write the campaign's span event log as JSON lines to this file")
+	hybrid := fs.Bool("hybrid", false, "with -app: seed round 0 with static priors")
+	refine := fs.Bool("refine", false, "with -app and -corpus: warm-start from (and persist) the corpus posterior checkpoint")
 	fs.Parse(args)
 
 	switch {
@@ -123,6 +145,16 @@ func cmdInfer(ctx context.Context, args []string) {
 		rows, runs, err := exper.Table2(ctx)
 		die(err)
 		report.Table2(os.Stdout, rows, exper.UniqueCorrect(runs))
+	case *refine:
+		// Before the plain -corpus case: with -refine, -corpus names the
+		// checkpoint store for the campaign, not an offline trace source.
+		if *appName == "" || *corpus == "" {
+			die(fmt.Errorf("infer: -refine requires both -app and -corpus"))
+		}
+		app, err := apps.ByName(*appName)
+		die(err)
+		cfg := campaignConfig(*rounds, *lambda, *near, *seed, *parallel)
+		die(refineCampaign(ctx, app, *corpus, cfg, *verbose))
 	case *corpus != "":
 		observer, closeLog, err := traceObserver(*traceOut)
 		die(err)
@@ -134,20 +166,53 @@ func cmdInfer(ctx context.Context, args []string) {
 	case *appName != "":
 		app, err := apps.ByName(*appName)
 		die(err)
-		cfg := core.DefaultConfig()
-		cfg.Rounds = *rounds
-		cfg.Solver.Lambda = *lambda
-		cfg.Window.Near = *near
-		cfg.Seed = *seed
-		cfg.Parallelism = *parallel
+		cfg := campaignConfig(*rounds, *lambda, *near, *seed, *parallel)
 		observer, closeLog, err := traceObserver(*traceOut)
 		die(err)
 		cfg.Observer = observer
+		if *hybrid {
+			die(firstErr(hybridCampaign(ctx, app, cfg, *verbose), closeLog()))
+			return
+		}
 		res, err := core.Infer(ctx, app, cfg)
 		die(firstErr(err, closeLog()))
 		printResult(app, res, *verbose)
 	default:
 		die(fmt.Errorf("infer: one of -app, -corpus, -traces, -all, or -list is required"))
+	}
+}
+
+// campaignConfig assembles a core.Config from the shared campaign flags.
+func campaignConfig(rounds int, lambda float64, near, seed int64, parallel int) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Rounds = rounds
+	cfg.Solver.Lambda = lambda
+	cfg.Window.Near = near
+	cfg.Seed = seed
+	cfg.Parallelism = parallel
+	return cfg
+}
+
+// cmdStatic runs static (run-free) inference: locally against the built-in
+// apps, or against a daemon's content-addressed report endpoint.
+func cmdStatic(ctx context.Context, args []string) {
+	fs := flag.NewFlagSet("static", flag.ExitOnError)
+	appName := fs.String("app", "", "application id (App-1..App-8)")
+	all := fs.Bool("all", false, "static-only sweep over every application")
+	server := fs.String("server", "", "fetch the report from this sherlockd daemon instead of computing locally")
+	lambda := fs.Float64("lambda", 0.2, "Mostly-Protected trade-off knob (local mode)")
+	near := fs.Int64("near", 1_000_000, "conflict window in virtual ns (local mode)")
+	verbose := fs.Bool("v", false, "print solver overhead")
+	fs.Parse(args)
+	switch {
+	case *all:
+		die(runStaticAll(ctx))
+	case *appName != "" && *server != "":
+		die(fetchStaticReport(ctx, *server, *appName))
+	case *appName != "":
+		die(runStaticLocal(ctx, *appName, *lambda, *near, *verbose))
+	default:
+		die(fmt.Errorf("static: -app or -all is required"))
 	}
 }
 
@@ -172,6 +237,8 @@ func cmdSubmit(ctx context.Context, args []string) {
 	appName := fs.String("app", "", "submit an application campaign job")
 	keys := fs.String("keys", "", "submit an offline job over comma-separated corpus keys")
 	watchApp := fs.String("watch-app", "", "submit a streaming watch job bound to this corpus app")
+	staticApp := fs.String("static-app", "", "submit a run-free static inference job for this application")
+	hybrid := fs.Bool("hybrid", false, "with -app: seed the campaign's round 0 with static priors")
 	rounds := fs.Int("rounds", 0, "rounds override (0 = server default)")
 	lambda := fs.Float64("lambda", 0, "lambda override (0 = server default)")
 	near := fs.Int64("near", 0, "near-window override (0 = server default)")
@@ -181,15 +248,20 @@ func cmdSubmit(ctx context.Context, args []string) {
 	if *server == "" {
 		die(fmt.Errorf("submit: -server is required"))
 	}
+	if *hybrid && *appName == "" {
+		die(fmt.Errorf("submit: -hybrid requires -app (a campaign to seed)"))
+	}
 	switch {
 	case *watchApp != "":
 		die(submitWatchJob(ctx, *server, *watchApp, *rounds, *lambda, *near, *seed, *wait))
+	case *staticApp != "":
+		die(submitStaticJob(ctx, *server, *staticApp, *lambda, *near, *wait))
 	case *appName != "":
-		die(submitJob(ctx, *server, *appName, *rounds, *lambda, *near, *seed, *wait))
+		die(submitJob(ctx, *server, *appName, *hybrid, *rounds, *lambda, *near, *seed, *wait))
 	case *keys != "":
 		die(submitKeysJob(ctx, *server, *keys, *rounds, *lambda, *near, *seed, *wait))
 	default:
-		die(fmt.Errorf("submit: one of -app, -keys, or -watch-app is required"))
+		die(fmt.Errorf("submit: one of -app, -keys, -watch-app, or -static-app is required"))
 	}
 }
 

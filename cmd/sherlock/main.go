@@ -89,7 +89,7 @@ func legacyMain(ctx context.Context) {
 
 	switch {
 	case *serverURL != "" && *submit != "":
-		die(submitJob(ctx, *serverURL, *submit, *rounds, *lambda, *near, *seed, *wait))
+		die(submitJob(ctx, *serverURL, *submit, false, *rounds, *lambda, *near, *seed, *wait))
 	case *serverURL != "" && *upload != "":
 		die(uploadTrace(ctx, *serverURL, *upload))
 	case *serverURL != "" && *submitKeys != "":

@@ -8,17 +8,21 @@
 // The design choice that makes incremental results byte-identical to a
 // from-scratch solve regardless of upload order: the checkpoint stores
 // *inputs* per trace (pre-accumulation windows, raw duration samples,
-// library-API names), not the accumulator itself. Accumulation is
-// order-sensitive in two ways — the cross-trace per-pair window cap admits
-// first-come, and Welford duration folding is bit-sensitive to sample
-// order — so InferIncremental rebuilds the accumulator by replaying every
-// extract in canonical order (sorted by trace key, the corpus's iteration
-// order). Whatever order traces arrived in, the rebuilt accumulator — and
-// with it the LP and its optimum — is the one a from-scratch solve over
-// the full set produces. The basis is only a warm start on top: a solve
-// from it lands on the same optimum bit for bit (the golden equivalence
-// tests enforce this), or is rejected by the LP's exact verification and
-// falls back to a cold start.
+// library-API names), not just the accumulator. Accumulation happens
+// under window.AddWindowsCanonical, whose state is a function of the SET
+// of extracts folded — per-pair cap admissions resolve by canonical UID
+// order with late-arrival eviction, and duration statistics are exact
+// integer moments — so folding only the freshly delivered extracts into
+// a cached accumulator lands on the identical bits a full sorted replay
+// produces. Whatever order traces arrived in, the accumulator — and with
+// it the LP and its optimum — is the one a from-scratch solve over the
+// full set produces. An in-memory checkpoint memoizes the accumulator
+// (the `acc` field, not serialized) so the fold is O(new traces), not
+// O(total extracts); a checkpoint decoded from storage rebuilds it once
+// on first use. The basis is only a warm start on top: a solve from it
+// lands on the same optimum bit for bit (the golden equivalence tests
+// enforce this), or is rejected by the LP's exact verification and falls
+// back to a cold start.
 package core
 
 import (
@@ -89,6 +93,15 @@ func (x *TraceExtract) fold(acc *window.Observations) {
 	acc.AddStats(x.Durations, x.LibAPIs)
 }
 
+// foldCanonical folds the extract under canonical window admission, so
+// the accumulator state depends only on the set of extracts folded, not
+// their arrival order. Over extracts offered in sorted-key order the
+// result is bit-identical to fold.
+func (x *TraceExtract) foldCanonical(acc *window.Observations) {
+	acc.AddWindowsCanonical(x.Windows)
+	acc.AddStats(x.Durations, x.LibAPIs)
+}
+
 // Checkpoint is the persisted state of an incremental inference: which
 // traces are covered (as extracts, sorted by key), the last solve's
 // optimal basis, and the last result.
@@ -99,6 +112,14 @@ type Checkpoint struct {
 	Extracts  []TraceExtract `json:"extracts,omitempty"` // sorted by Key
 	Basis     *lp.Basis      `json:"basis,omitempty"`
 	Result    *Result        `json:"result,omitempty"`
+
+	// acc memoizes the canonical observation accumulator over Extracts so
+	// the next incremental fold is O(new traces) instead of O(total
+	// extracts). In-memory only: a decoded checkpoint starts with acc nil
+	// and InferIncremental rebuilds it once. accEvents caches the summed
+	// Events of all extracts (the Overhead.Events share).
+	acc       *window.Observations
+	accEvents int
 }
 
 // NewCheckpoint returns an empty checkpoint bound to cfg's offline-relevant

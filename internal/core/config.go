@@ -44,6 +44,17 @@ type Config struct {
 	// MaxStepsPerTest bounds each simulated test (0 = scheduler default).
 	MaxStepsPerTest int
 
+	// StaticPriors, when non-nil, runs the campaign in hybrid mode: the
+	// priors (typically StaticPriors() from the run-free analysis, or a
+	// previous campaign's posteriors via PriorsFromResult) seed round 0 —
+	// they discount the Syncs-are-Rare cost of believed keys in the first
+	// solve only, and the believed releases get a round-0 delay plan, so
+	// the first round already perturbs like a dynamic second round. From
+	// round 1 on the objective is purely evidence-driven, which is what
+	// keeps hybrid campaigns convergent to the dynamic fixpoint rather
+	// than anchored to the prior.
+	StaticPriors *solver.Priors
+
 	// ColdStart disables cross-round solver reuse: every round encodes from
 	// scratch and solves the LP from a cold basis, exactly like the
 	// pre-warm-starting engine. Results are identical either way (the

@@ -53,10 +53,11 @@ func (s KeyedSlice) KeyedTraces(ctx context.Context, yield func(string, *trace.T
 // must have been built under a config with the same ConfigSignature.
 // Traces whose keys the checkpoint already covers are skipped — duplicate
 // deliveries are free — and if nothing new arrives the checkpoint's stored
-// result is returned as-is. Otherwise the observation accumulator is
-// rebuilt from all extracts in sorted-key order and solved warm from the
-// prior basis. ck itself is never mutated; the advanced state is the
-// returned checkpoint. Config use mirrors InferFromSource: only Window,
+// result is returned as-is. Otherwise the fresh extracts are folded into
+// the checkpoint's canonical observation accumulator — O(new traces) when
+// the checkpoint carries its in-memory accumulator memo, one linear
+// rebuild otherwise — and solved warm from the prior basis. ck itself is
+// never mutated; the advanced state is the returned checkpoint. Config use mirrors InferFromSource: only Window,
 // Solver, RemoveRacyMP and the observability fields apply.
 func InferIncremental(ctx context.Context, ck *Checkpoint, src KeyedSource, cfg Config) (*Result, *Checkpoint, error) {
 	if ck == nil {
@@ -121,20 +122,38 @@ func InferIncremental(ctx context.Context, ck *Checkpoint, src KeyedSource, cfg 
 	next.Extracts = append(next.Extracts, fresh...)
 	sort.Slice(next.Extracts, func(i, j int) bool { return next.Extracts[i].Key < next.Extracts[j].Key })
 
-	// Canonical replay: fold every covered extract in sorted-key order —
-	// the order a from-scratch solve over the whole corpus slice uses — so
-	// the accumulator (per-pair cap admissions, Welford bits, window order)
-	// is the from-scratch one regardless of which traces were new.
+	// Canonical fold: the accumulator's state under AddWindowsCanonical is
+	// a function of the extract set, not arrival order, so only the fresh
+	// extracts need folding — an O(new traces) step. A checkpoint carrying
+	// a memoized accumulator (any checkpoint InferIncremental returned this
+	// process) hands it over by clone; one decoded from storage pays a
+	// one-time replay of its covered extracts to rebuild the memo. Either
+	// way the result is bit-identical to replaying everything from scratch
+	// in sorted-key order.
 	res := &Result{}
-	acc := window.NewObservations(cfg.Window)
-	for i := range next.Extracts {
-		x := &next.Extracts[i]
-		if i == 0 {
-			res.App = x.App
+	var acc *window.Observations
+	events := ck.accEvents
+	if ck.acc != nil {
+		acc = ck.acc.Clone()
+	} else {
+		acc = window.NewObservations(cfg.Window)
+		events = 0
+		for i := range ck.Extracts {
+			x := &ck.Extracts[i]
+			x.foldCanonical(acc)
+			events += x.Events
 		}
-		x.fold(acc)
-		res.Overhead.Events += x.Events
 	}
+	sort.Slice(fresh, func(i, j int) bool { return fresh[i].Key < fresh[j].Key })
+	for i := range fresh {
+		x := &fresh[i]
+		x.foldCanonical(acc)
+		events += x.Events
+	}
+	if len(next.Extracts) > 0 {
+		res.App = next.Extracts[0].App
+	}
+	res.Overhead.Events = events
 	root.Annotate(
 		obs.Int("covered", len(ck.Extracts)),
 		obs.Int("fresh", len(fresh)),
@@ -174,5 +193,7 @@ func InferIncremental(ctx context.Context, ck *Checkpoint, src KeyedSource, cfg 
 	next.App = res.App
 	next.Basis = basis
 	next.Result = res
+	next.acc = acc
+	next.accEvents = events
 	return res, next, nil
 }

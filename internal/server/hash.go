@@ -24,20 +24,36 @@ import (
 	"encoding/hex"
 	"fmt"
 	"io"
+	"strings"
 
 	"sherlock/internal/core"
+	"sherlock/internal/prog"
+	"sherlock/internal/static"
 )
 
 const keyEncodingV1 = "sherlock-job-v1"
 
 // JobKey computes the content address of a job: the workload from spec
-// (App or Traces) plus the effective, fully resolved inference config.
+// (App, StaticApp, or Traces) plus the effective, fully resolved inference
+// config.
 func JobKey(spec JobSpec, cfg core.Config) string {
+	return JobKeyFromConfigText(spec, ConfigText(cfg))
+}
+
+// JobKeyFromConfigText is JobKey over a pre-rendered canonical config text
+// (ConfigText of the executing server's BASE config) with the spec's
+// overrides patched in textually. It exists for clients: a node publishes
+// its base config text on /v1/cluster/info, and any client holding it can
+// compute the exact content key a submission will get — and therefore
+// which ring member owns it — without re-implementing config resolution.
+func JobKeyFromConfigText(spec JobSpec, cfgText string) string {
 	h := sha256.New()
 	io.WriteString(h, keyEncodingV1+"\n")
 	switch {
 	case spec.App != "":
 		fmt.Fprintf(h, "kind=app\napp=%s\n", spec.App)
+	case spec.StaticApp != "":
+		fmt.Fprintf(h, "kind=static\napp=%s\n", spec.StaticApp)
 	case len(spec.TraceKeys) > 0:
 		// Corpus keys are themselves content addresses (SHA-256 of each
 		// trace's canonical encoding), so hashing the key list is hashing
@@ -55,8 +71,94 @@ func JobKey(spec JobSpec, cfg core.Config) string {
 			io.WriteString(h, "\n")
 		}
 	}
-	writeConfig(h, cfg)
+	io.WriteString(h, applyOverrides(spec, cfgText))
+	if spec.Hybrid {
+		// Appended only when set so every pre-hybrid key — and the cache
+		// entries filed under them — stays addressable.
+		io.WriteString(h, "hybrid=true\n")
+	}
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// applyOverrides patches a canonical config text with the spec's override
+// fields, line for line — the textual mirror of JobSpec.effectiveConfig.
+// Every override corresponds to exactly one tagged line of writeConfig, so
+// patching the text and re-rendering the patched config are equivalent.
+func applyOverrides(spec JobSpec, cfgText string) string {
+	if spec.Rounds != 0 {
+		cfgText = replaceLine(cfgText, "rounds=", fmt.Sprintf("rounds=%d", spec.Rounds))
+	}
+	if spec.Lambda != 0 {
+		cfgText = replaceLine(cfgText, "solver.lambda=", fmt.Sprintf("solver.lambda=%g", spec.Lambda))
+	}
+	if spec.Near != 0 {
+		cfgText = replaceLine(cfgText, "window.near=", fmt.Sprintf("window.near=%d", spec.Near))
+	}
+	if spec.Seed != 0 {
+		cfgText = replaceLine(cfgText, "seed=", fmt.Sprintf("seed=%d", spec.Seed))
+	}
+	if spec.MaxSteps != 0 {
+		cfgText = replaceLine(cfgText, "maxsteps=", fmt.Sprintf("maxsteps=%d", spec.MaxSteps))
+	}
+	return cfgText
+}
+
+// replaceLine swaps the one line starting with prefix for repl.
+func replaceLine(text, prefix, repl string) string {
+	lines := strings.Split(text, "\n")
+	for i, l := range lines {
+		if strings.HasPrefix(l, prefix) {
+			lines[i] = repl
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+// ConfigText renders every result-relevant Config field in the canonical
+// key encoding — the text JobKey hashes and /v1/cluster/info publishes.
+func ConfigText(cfg core.Config) string {
+	var b strings.Builder
+	writeConfig(&b, cfg)
+	return b.String()
+}
+
+// staticKeyEncodingV1 versions static-report content addresses.
+const staticKeyEncodingV1 = "sherlock-static-report-v1"
+
+// StaticReportKey computes the content address of a static inference
+// report. Unlike campaign keys it hashes the PROGRAM (via the static
+// package's structural hash), not just the app name, so a report computed
+// by one build can never answer for a differently shaped program under the
+// same name; and it hashes only the config fields a run-free solve reads —
+// rounds, seeds, and delays are execution knobs and would fracture the
+// cache for no reason.
+func StaticReportKey(app *prog.Program, cfg core.Config) (string, error) {
+	ph, err := static.ProgramHash(app)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\napp=%s\nprogram=%s\n", staticKeyEncodingV1, app.Name, ph)
+	fmt.Fprintf(h, "window.near=%d\n", cfg.Window.Near)
+	fmt.Fprintf(h, "window.perpaircap=%d\n", cfg.Window.PerPairCap)
+	fmt.Fprintf(h, "window.unsafeapis=%t\n", cfg.Window.UseUnsafeAPIs)
+	fmt.Fprintf(h, "solver.lambda=%g\n", cfg.Solver.Lambda)
+	fmt.Fprintf(h, "solver.rarecoef=%g\n", cfg.Solver.RareCoef)
+	fmt.Fprintf(h, "solver.threshold=%g\n", cfg.Solver.Threshold)
+	hyp := cfg.Solver.Hyp
+	// AcqTimeVaries is omitted: InferStatic forces it off (no durations
+	// without execution), so it can never distinguish two static reports.
+	fmt.Fprintf(h, "solver.hyp=%t,%t,%t,%t,%t\n",
+		hyp.MostlyProtected, hyp.SyncsAreRare,
+		hyp.MostlyPaired, hyp.ReadAcqWriteRel, hyp.SingleRole)
+	fmt.Fprintf(h, "solver.softsinglerole=%t\n", cfg.Solver.SoftSingleRole)
+	fmt.Fprintf(h, "solver.maxlpiters=%d\n", cfg.Solver.MaxLPIters)
+	if ws := cfg.Solver.Weights; !ws.IsDefault() {
+		r := ws.Resolved()
+		fmt.Fprintf(h, "solver.weights=%g,%g\n", r.Acquire, r.Release)
+	}
+	fmt.Fprintf(h, "removeracymp=%t\n", cfg.RemoveRacyMP)
+	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
 // writeConfig streams every result-relevant Config field with a stable tag.

@@ -36,6 +36,20 @@ type JobSpec struct {
 	// one-shot trace_keys job over the same trace set (same content key,
 	// same result bytes modulo wall-clock overhead).
 	WatchApp string `json:"watch_app,omitempty"`
+	// StaticApp names a benchmark application for RUN-FREE inference: the
+	// job walks the program's DSL, derives the constraint system without a
+	// single execution, and solves it. The result is a prior-quality
+	// report, bit-identical across runs and nodes, content-addressed by
+	// the program's structural hash (GET /v1/apps/{id}/static serves the
+	// same report without the job machinery).
+	StaticApp string `json:"static_app,omitempty"`
+
+	// Hybrid (only valid with App) seeds the campaign's round-0 objective
+	// with the app's static priors before running the normal dynamic
+	// rounds. The final inferred set is bit-identical to the non-hybrid
+	// campaign (the engine guarantees it); only the round snapshots and
+	// solve accounting differ, so hybrid jobs get their own content key.
+	Hybrid bool `json:"hybrid,omitempty"`
 
 	// Overrides of the server's base config (zero = inherit).
 	Rounds int     `json:"rounds,omitempty"`
@@ -51,16 +65,19 @@ type JobSpec struct {
 // config is validated separately).
 func (s JobSpec) validate() error {
 	set := 0
-	for _, present := range []bool{s.App != "", len(s.Traces) > 0, len(s.TraceKeys) > 0, s.WatchApp != ""} {
+	for _, present := range []bool{s.App != "", len(s.Traces) > 0, len(s.TraceKeys) > 0, s.WatchApp != "", s.StaticApp != ""} {
 		if present {
 			set++
 		}
 	}
 	if set == 0 {
-		return fmt.Errorf("job spec: one of \"app\", \"traces\", \"trace_keys\", or \"watch_app\" is required")
+		return fmt.Errorf("job spec: one of \"app\", \"traces\", \"trace_keys\", \"watch_app\", or \"static_app\" is required")
 	}
 	if set > 1 {
-		return fmt.Errorf("job spec: \"app\", \"traces\", \"trace_keys\", and \"watch_app\" are mutually exclusive")
+		return fmt.Errorf("job spec: \"app\", \"traces\", \"trace_keys\", \"watch_app\", and \"static_app\" are mutually exclusive")
+	}
+	if s.Hybrid && s.App == "" {
+		return fmt.Errorf("job spec: \"hybrid\" requires \"app\" (a campaign to seed)")
 	}
 	return nil
 }
@@ -281,6 +298,8 @@ type jobView struct {
 	Proxied     bool   `json:"proxied,omitempty"` // executed by the key's owner node
 	Version     uint64 `json:"version,omitempty"` // watch jobs: published results so far
 	WatchApp    string `json:"watch_app,omitempty"`
+	StaticApp   string `json:"static_app,omitempty"`
+	Hybrid      bool   `json:"hybrid,omitempty"`
 	Error       string `json:"error,omitempty"`
 	SubmittedAt string `json:"submitted_at"`
 	StartedAt   string `json:"started_at,omitempty"`
@@ -301,6 +320,8 @@ func (j *Job) view() jobView {
 		Proxied:     j.proxied,
 		Version:     j.version,
 		WatchApp:    j.Spec.WatchApp,
+		StaticApp:   j.Spec.StaticApp,
+		Hybrid:      j.Spec.Hybrid,
 		Error:       j.err,
 		SubmittedAt: j.submitted.UTC().Format(time.RFC3339Nano),
 		WatchURL:    "/v1/jobs/" + j.ID + "/watch",

@@ -26,6 +26,11 @@
 //	                         abort between test executions; watch jobs
 //	                         stop their subscription)
 //	GET    /v1/results/{key} the serialized result at a content address
+//	GET    /v1/apps/{id}/static
+//	                         the app's run-free static inference report,
+//	                         content-addressed by the program's structural
+//	                         hash (computed on demand, cached locally and
+//	                         cluster-wide like any result)
 //	POST   /v1/traces        upload one trace (binary or JSON-lines, auto-
 //	                         detected) into the content-addressed corpus;
 //	                         201 with the entry, 200 on dedup — and wake
@@ -136,6 +141,8 @@ type Server struct {
 	watchActive  *Gauge
 	watchUpdates *Counter
 	watchResumes *Counter
+
+	staticReports *Counter
 }
 
 // New builds a Server and starts its worker pool. Callers own shutdown:
@@ -196,6 +203,8 @@ func New(cfg Config) (*Server, error) {
 		watchActive:  reg.Gauge("sherlock_watch_subscriptions", "Active watch subscriptions."),
 		watchUpdates: reg.Counter("sherlock_watch_updates_total", "Watch result versions published."),
 		watchResumes: reg.Counter("sherlock_watch_resumes_total", "Watch subscriptions resumed from a persisted checkpoint."),
+
+		staticReports: reg.Counter("sherlock_static_reports_total", "Static inference reports computed on this node (not cached, not proxied)."),
 	}
 	s.spanSink = newSpanHistSink(reg)
 	// Corpus codec spans (ingest/decode timings) feed the same phase
@@ -216,6 +225,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /v1/jobs/{id}/watch", s.handleJobWatch)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/results/{key}", s.handleResult)
+	mux.HandleFunc("GET /v1/apps/{id}/static", s.handleStatic)
 	mux.HandleFunc("POST /v1/traces", s.handleTraceUpload)
 	mux.HandleFunc("GET /v1/traces", s.handleTraceList)
 	mux.HandleFunc("GET /v1/corpus/verify", s.handleCorpusVerify)
@@ -314,8 +324,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeInvalidArgument, err.Error())
 		return
 	}
-	if spec.App != "" {
-		if _, err := apps.ByName(spec.App); err != nil {
+	for _, name := range []string{spec.App, spec.StaticApp} {
+		if name == "" {
+			continue
+		}
+		if _, err := apps.ByName(name); err != nil {
 			writeError(w, http.StatusBadRequest, CodeInvalidArgument, err.Error())
 			return
 		}
@@ -380,6 +393,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	key := JobKey(spec, cfg)
+	if spec.StaticApp != "" {
+		// Static jobs share content addresses with GET /v1/apps/{id}/static:
+		// the report is keyed by the program's structural hash and the
+		// static-relevant config, so either surface answers from the entry
+		// the other computed — on this node or anywhere in the cluster.
+		p, _ := apps.ByName(spec.StaticApp) // validated above
+		skey, err := StaticReportKey(p, cfg)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, CodeInternal, "static key: "+err.Error())
+			return
+		}
+		key = skey
+	}
 	j := newJob(id, key, spec, cfg, time.Now())
 	j.noProxy = r.Header.Get(NoProxyHeader) != ""
 
@@ -657,11 +683,13 @@ func (s *Server) onFinish(j *Job, body []byte, err error, elapsed time.Duration)
 
 // resultEnvelope is the cached/served result schema. Marshaling is
 // deterministic (Go sorts map keys), so a cache hit is byte-identical to
-// the cold run that populated it.
+// the cold run that populated it. Static reports carry the program's
+// structural hash; campaign results leave it empty.
 type resultEnvelope struct {
-	Key    string       `json:"key"`
-	App    string       `json:"app"`
-	Result *core.Result `json:"result"`
+	Key         string       `json:"key"`
+	App         string       `json:"app"`
+	ProgramHash string       `json:"program_hash,omitempty"`
+	Result      *core.Result `json:"result"`
 }
 
 // marshalResult renders the served result body for a content key. Shared
@@ -707,10 +735,31 @@ func (s *Server) runJob(ctx context.Context, j *Job) ([]byte, error) {
 	var res *core.Result
 	var err error
 	switch {
+	case j.Spec.StaticApp != "":
+		// Run-free: the job's key is already the static report's content
+		// address, so the queue's cache fill lands it exactly where the
+		// GET endpoint and peers look for it.
+		body, serr := s.computeStatic(ctx, j.Spec.StaticApp, j.Key, cfg)
+		if serr != nil {
+			return nil, serr
+		}
+		return body, nil
 	case j.Spec.App != "":
 		prog, aerr := apps.ByName(j.Spec.App)
 		if aerr != nil {
 			return nil, aerr
+		}
+		if j.Spec.Hybrid {
+			// Hybrid campaign: derive the app's static priors (themselves
+			// deterministic) and seed round 0. The final result is
+			// bit-identical to the non-hybrid campaign by the engine's
+			// dual-solve contract; the separate content key exists because
+			// the round snapshots differ.
+			pri, perr := core.StaticPriors(ctx, prog, cfg)
+			if perr != nil {
+				return nil, fmt.Errorf("static priors: %w", perr)
+			}
+			cfg.StaticPriors = pri
 		}
 		res, err = core.Infer(ctx, prog, cfg)
 	case len(j.Spec.TraceKeys) > 0:
@@ -737,4 +786,80 @@ func (s *Server) runJob(ctx context.Context, j *Job) ([]byte, error) {
 	s.solveSeconds.Observe(res.Overhead.SolveWall.Seconds())
 
 	return marshalResult(j.Key, res)
+}
+
+// computeStatic runs the run-free analysis + solve for one app and
+// marshals the report envelope under the given content key. Shared by the
+// static job executor and handleStatic; neither caller holds locks.
+func (s *Server) computeStatic(ctx context.Context, appName, key string, cfg core.Config) ([]byte, error) {
+	p, err := apps.ByName(appName)
+	if err != nil {
+		return nil, err
+	}
+	res, an, err := core.InferStatic(ctx, p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.staticReports.Inc()
+	s.solveSeconds.Observe(res.Overhead.SolveWall.Seconds())
+	body, err := json.Marshal(resultEnvelope{Key: key, App: res.App, ProgramHash: an.ProgramHash, Result: res})
+	if err != nil {
+		return nil, fmt.Errorf("marshal static result: %w", err)
+	}
+	return body, nil
+}
+
+// handleStatic serves GET /v1/apps/{id}/static: the app's run-free
+// inference report under the server's base config. The report is
+// content-addressed (StaticReportKey), so the lookup order is the same as
+// a job submission's — local cache, then the cluster peers that own the
+// key, then compute-and-fill. Computing inline on the handler goroutine is
+// deliberate: a static solve is milliseconds of CPU (no test executions),
+// far below the cost of a queue round-trip.
+func (s *Server) handleStatic(w http.ResponseWriter, r *http.Request) {
+	appName := r.PathValue("id")
+	p, err := apps.ByName(appName)
+	if err != nil {
+		writeError(w, http.StatusNotFound, CodeNotFound, err.Error())
+		return
+	}
+	cfg := JobSpec{}.effectiveConfig(s.cfg.Inference)
+	key, err := StaticReportKey(p, cfg)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, "static key: "+err.Error())
+		return
+	}
+	if body, ok := s.cache.Lookup(key); ok {
+		s.cacheHits.Inc()
+		serveResultBody(w, body)
+		return
+	}
+	s.cacheMisses.Inc()
+	if s.cluster != nil && r.Header.Get(NoProxyHeader) == "" {
+		if body, ok := s.cluster.FastLookup(r.Context(), key); ok {
+			serveResultBody(w, body)
+			return
+		}
+	}
+	body, err := s.computeStatic(r.Context(), appName, key, cfg)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, "static inference: "+err.Error())
+		return
+	}
+	s.cache.Put(key, body)
+	serveResultBody(w, body)
+}
+
+func serveResultBody(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+// BaseConfigText renders the server's base inference config in the
+// canonical key encoding. Published on /v1/cluster/info so clients can
+// compute job content keys — and route submissions to their ring owners —
+// without re-implementing config resolution.
+func (s *Server) BaseConfigText() string {
+	return ConfigText(JobSpec{}.effectiveConfig(s.cfg.Inference))
 }

@@ -1,0 +1,202 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"sherlock/internal/apps"
+	"sherlock/internal/core"
+)
+
+// TestStaticEndpoint: GET /v1/apps/{id}/static serves a well-formed,
+// deterministic report, fills the result cache on the first call, and
+// answers the second from it byte-identically.
+func TestStaticEndpoint(t *testing.T) {
+	s, ts := startTestServer(t, fastConfig())
+
+	code, body := getBody(t, ts.URL+"/v1/apps/App-1/static")
+	if code != http.StatusOK {
+		t.Fatalf("static endpoint: %d %s", code, body)
+	}
+	var env resultEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.App != "App-1" || len(env.ProgramHash) != 64 || env.Result == nil || len(env.Result.Inferred) == 0 {
+		t.Fatalf("bad static envelope: app=%q hash=%q", env.App, env.ProgramHash)
+	}
+	if env.Result.Overhead.Events != 0 || env.Result.Overhead.RunWall != 0 {
+		t.Fatalf("static report claims execution cost: %+v", env.Result.Overhead)
+	}
+	if _, ok := s.Cache().Lookup(env.Key); !ok {
+		t.Fatal("static report not filed in the result cache under its key")
+	}
+
+	code2, body2 := getBody(t, ts.URL+"/v1/apps/App-1/static")
+	if code2 != http.StatusOK || string(body2) != string(body) {
+		t.Fatalf("second fetch not byte-identical (code %d)", code2)
+	}
+	if got := s.staticReports.Value(); got != 1 {
+		t.Fatalf("static report computed %d times, want 1 (second call should hit the cache)", got)
+	}
+
+	if code, _ := getBody(t, ts.URL+"/v1/apps/no-such-app/static"); code != http.StatusNotFound {
+		t.Fatalf("unknown app: got %d, want 404", code)
+	}
+}
+
+// TestStaticJob: a static_app job runs through the queue, lands its result
+// under the same content key the GET endpoint uses, and a repeat
+// submission is a cache hit.
+func TestStaticJob(t *testing.T) {
+	s, ts := startTestServer(t, fastConfig())
+
+	resp, v := postJob(t, ts.URL, JobSpec{StaticApp: "App-2"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	done := waitDone(t, ts.URL, v.ID)
+	if done.Status != string(StatusDone) {
+		t.Fatalf("static job ended %s: %s", done.Status, done.Error)
+	}
+
+	code, body := getBody(t, ts.URL+done.ResultURL)
+	if code != http.StatusOK {
+		t.Fatalf("result fetch: %d", code)
+	}
+	var env resultEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.App != "App-2" || env.ProgramHash == "" {
+		t.Fatalf("bad job envelope: %+v", env)
+	}
+
+	// The GET endpoint must be answered by the job's cache entry.
+	before := s.staticReports.Value()
+	code, body2 := getBody(t, ts.URL+"/v1/apps/App-2/static")
+	if code != http.StatusOK || string(body2) != string(body) {
+		t.Fatalf("endpoint body diverges from job result (code %d)", code)
+	}
+	if s.staticReports.Value() != before {
+		t.Fatal("endpoint recomputed a report the job already cached")
+	}
+
+	// Resubmission: content hit, no second compute.
+	resp2, v2 := postJob(t, ts.URL, JobSpec{StaticApp: "App-2"})
+	if resp2.StatusCode != http.StatusOK || !v2.Cached {
+		t.Fatalf("resubmit: code %d cached=%t, want 200 cached", resp2.StatusCode, v2.Cached)
+	}
+}
+
+// TestHybridJob: a hybrid campaign's final inferred set must be
+// bit-identical to the plain campaign's, under a distinct content key.
+func TestHybridJob(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Inference.Rounds = 2
+	_, ts := startTestServer(t, cfg)
+
+	_, plain := postJob(t, ts.URL, JobSpec{App: "App-3"})
+	_, hybrid := postJob(t, ts.URL, JobSpec{App: "App-3", Hybrid: true})
+	if plain.Key == hybrid.Key {
+		t.Fatal("hybrid job shares the plain campaign's content key")
+	}
+	pd := waitDone(t, ts.URL, plain.ID)
+	hd := waitDone(t, ts.URL, hybrid.ID)
+	if pd.Status != string(StatusDone) || hd.Status != string(StatusDone) {
+		t.Fatalf("jobs ended %s/%s: %s %s", pd.Status, hd.Status, pd.Error, hd.Error)
+	}
+
+	var penv, henv resultEnvelope
+	if _, body := getBody(t, ts.URL+pd.ResultURL); json.Unmarshal(body, &penv) != nil {
+		t.Fatal("bad plain envelope")
+	}
+	if _, body := getBody(t, ts.URL+hd.ResultURL); json.Unmarshal(body, &henv) != nil {
+		t.Fatal("bad hybrid envelope")
+	}
+	if len(penv.Result.Inferred) == 0 {
+		t.Fatal("plain campaign inferred nothing")
+	}
+	pi, _ := json.Marshal(penv.Result.Inferred)
+	hi, _ := json.Marshal(henv.Result.Inferred)
+	if string(pi) != string(hi) {
+		t.Fatalf("hybrid final set diverges:\n%s\nvs\n%s", pi, hi)
+	}
+
+	// Hybrid on a non-campaign workload is a spec error.
+	resp, _ := postJob(t, ts.URL, JobSpec{StaticApp: "App-3", Hybrid: true})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("hybrid+static_app accepted: %d", resp.StatusCode)
+	}
+}
+
+// TestJobKeyFromConfigText: the client-side key computation (canonical
+// config text + textual override patching) must agree with the server's
+// JobKey for every override field — the property ring-aware client routing
+// stands on.
+func TestJobKeyFromConfigText(t *testing.T) {
+	base := DefaultConfig().Inference
+	text := ConfigText(JobSpec{}.effectiveConfig(base))
+	specs := []JobSpec{
+		{App: "App-1"},
+		{App: "App-1", Rounds: 5},
+		{App: "App-2", Lambda: 0.7, Seed: 42},
+		{App: "App-2", Near: 9000, MaxSteps: 1234},
+		{App: "App-4", Hybrid: true},
+		{TraceKeys: []string{"k1", "k2"}, Rounds: 2},
+	}
+	for _, spec := range specs {
+		server := JobKey(spec, spec.effectiveConfig(base))
+		client := JobKeyFromConfigText(spec, text)
+		if server != client {
+			t.Errorf("spec %+v: client key %s != server key %s", spec, client, server)
+		}
+	}
+	if JobKey(specs[0], specs[0].effectiveConfig(base)) == JobKey(specs[4], specs[4].effectiveConfig(base)) {
+		t.Error("hybrid flag does not separate content keys")
+	}
+}
+
+// TestStaticReportKeyStability: the report key moves with the program and
+// the static-relevant config, and ignores execution-only knobs.
+func TestStaticReportKeyStability(t *testing.T) {
+	p, err := apps.ByName("App-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	k1, err := StaticReportKey(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := cfg
+	cfg2.Rounds, cfg2.Seed, cfg2.Delay = 7, 99, 12345
+	k2, err := StaticReportKey(p, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Error("execution knobs changed the static report key")
+	}
+	cfg3 := cfg
+	cfg3.Solver.Lambda *= 2
+	k3, err := StaticReportKey(p, cfg3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == k3 {
+		t.Error("solver config change did not move the static report key")
+	}
+	p2, err := apps.ByName("App-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k4, err := StaticReportKey(p2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == k4 {
+		t.Error("different programs share a static report key")
+	}
+}

@@ -215,7 +215,8 @@ type varPair struct {
 // An Encoder is not safe for concurrent use. The zero value is not usable;
 // construct with NewEncoder.
 type Encoder struct {
-	cfg Config
+	cfg    Config
+	priors *Priors // nil = no objective priors (see SetPriors)
 
 	lastObs *window.Observations // accumulator the cache was built from
 	nCached int                  // windows ingested so far
@@ -320,7 +321,7 @@ func (e *Encoder) SolveSpan(obs *window.Observations, warm *lp.Basis, parent *ob
 		obslib.Int("windows", len(obs.Windows)),
 		obslib.Int("cached", cached))
 	e.sync(obs)
-	b := &builder{cfg: e.cfg, obs: obs, prob: lp.NewProblem(), vars: map[trace.Key]varPair{}}
+	b := &builder{cfg: e.cfg, priors: e.priors, obs: obs, prob: lp.NewProblem(), vars: map[trace.Key]varPair{}}
 	// Rough dimension hint: two role variables per key, two ε per window,
 	// and change for the pairing/single-role auxiliaries.
 	b.prob.Grow(2*len(e.keys)+2*len(obs.Windows)+64,
@@ -404,10 +405,11 @@ func Solve(obs *window.Observations, cfg Config) (*Result, error) {
 
 // builder assembles one round's lp.Problem.
 type builder struct {
-	cfg  Config
-	obs  *window.Observations
-	prob *lp.Problem
-	vars map[trace.Key]varPair
+	cfg    Config
+	priors *Priors
+	obs    *window.Observations
+	prob   *lp.Problem
+	vars   map[trace.Key]varPair
 }
 
 // tieBreakEps scales the deterministic tie-breaker costs on role
@@ -528,7 +530,8 @@ func (b *builder) addWindowTerm(name string, cands []trace.Key, role trace.Role)
 }
 
 // addRareness adds Eq. 3's regularization and Eq. 4's occurrence penalty,
-// scaled per role by Config.Weights.
+// scaled per role by Config.Weights and discounted per role by any
+// installed Priors (a believed synchronization pays less for being rare).
 func (b *builder) addRareness(keys []trace.Key) {
 	if !b.cfg.Hyp.SyncsAreRare {
 		return
@@ -536,12 +539,17 @@ func (b *builder) addRareness(keys []trace.Key) {
 	w := b.cfg.Weights.Resolved()
 	for _, k := range keys {
 		pen := b.cfg.Lambda * (1 + b.cfg.RareCoef*b.obs.AvgOccurrence(k))
+		acqPen, relPen := w.Acquire*pen, w.Release*pen
+		if b.priors != nil {
+			acqPen *= b.priors.discount(b.priors.Acquires[k])
+			relPen *= b.priors.discount(b.priors.Releases[k])
+		}
 		vp := b.vars[k]
 		if vp.acq >= 0 {
-			b.prob.AddCost(vp.acq, w.Acquire*pen)
+			b.prob.AddCost(vp.acq, acqPen)
 		}
 		if vp.rel >= 0 {
-			b.prob.AddCost(vp.rel, w.Release*pen)
+			b.prob.AddCost(vp.rel, relPen)
 		}
 	}
 }

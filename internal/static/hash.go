@@ -1,0 +1,137 @@
+// ProgramHash: a content address for the analyzed structure of a
+// program. Two programs with the same hash produce bit-identical static
+// analyses, so servers can cache static reports by hash — including
+// across cluster nodes — without ever re-walking the program.
+package static
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"io"
+	"sort"
+
+	"sherlock/internal/prog"
+)
+
+// programHashVersion tags the canonical encoding below; bump it whenever
+// the walk semantics or the encoding change, so stale cache entries can
+// never alias a new analysis.
+const programHashVersion = "sherlock-static-v1"
+
+// ProgramHash hashes the structure the static analysis depends on:
+// methods (sorted by name), tests in declaration order, statement trees,
+// and the hidden-method skip list. Ground-truth annotations beyond
+// HiddenMethods, titles, and paper metadata do not influence the walk and
+// are excluded. Requires a finalizable program; returns a defined error
+// (never panics) on statement types the walker has no semantics for.
+func ProgramHash(p *prog.Program) (string, error) {
+	if err := p.Finalize(); err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	io.WriteString(h, programHashVersion+"\n")
+	fmt.Fprintf(h, "app %s\n", p.Name)
+
+	names := make([]string, 0, len(p.Methods))
+	for n := range p.Methods {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(h, "method %s\n", n)
+		if err := hashStmts(h, p.Methods[n].Body); err != nil {
+			return "", err
+		}
+	}
+	for _, t := range p.Tests {
+		fmt.Fprintf(h, "test %s init %s\n", t.Name, t.Init)
+		if err := hashStmts(h, t.Body); err != nil {
+			return "", err
+		}
+	}
+	for _, m := range sortedSet(p.Truth.HiddenMethods) {
+		fmt.Fprintf(h, "hidden %s\n", m)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// hashStmts writes a canonical encoding of a statement tree. Every field
+// the walker reads is included; purely temporal fields (durations,
+// jitters, backoffs) are not — they cannot change a run-free analysis.
+func hashStmts(h hash.Hash, stmts []prog.Stmt) error {
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *prog.Compute:
+			io.WriteString(h, "compute\n")
+		case *prog.Sleep:
+			io.WriteString(h, "sleep\n")
+		case *prog.Read:
+			fmt.Fprintf(h, "read %s %s\n", st.Field, st.Slot)
+		case *prog.Write:
+			fmt.Fprintf(h, "write %s %s\n", st.Field, st.Slot)
+		case *prog.SpinUntil:
+			fmt.Fprintf(h, "spin %s %s\n", st.Field, st.Slot)
+		case *prog.Call:
+			fmt.Fprintf(h, "call %s %s\n", st.Method, st.Slot)
+		case *prog.Loop:
+			fmt.Fprintf(h, "loop %d {\n", st.N)
+			if err := hashStmts(h, st.Body); err != nil {
+				return err
+			}
+			io.WriteString(h, "}\n")
+		case *prog.AcquireLock:
+			fmt.Fprintf(h, "acquire %s\n", st.Lock)
+		case *prog.ReleaseLock:
+			fmt.Fprintf(h, "release %s\n", st.Lock)
+		case *prog.SemSet:
+			fmt.Fprintf(h, "semset %s\n", st.Sem)
+		case *prog.SemWait:
+			fmt.Fprintf(h, "semwait %s\n", st.Sem)
+		case *prog.WaitAll:
+			fmt.Fprintf(h, "waitall %v\n", st.Sems)
+		case *prog.Post:
+			fmt.Fprintf(h, "post %s %s\n", st.Queue, st.API)
+		case *prog.Receive:
+			fmt.Fprintf(h, "receive %s %s %s %s\n", st.Queue, st.Handler, st.HandlerSlot, st.API)
+		case *prog.Fork:
+			fmt.Fprintf(h, "fork %s %s %s %s\n", st.API.APIName(), st.Method, st.Slot, st.Handle)
+		case *prog.Join:
+			fmt.Fprintf(h, "join %s %s\n", st.API.APIName(), st.Handle)
+		case *prog.ContinueWith:
+			fmt.Fprintf(h, "continuewith %s %s %s %s\n", st.Handle, st.Method, st.Slot, st.NewHandle)
+		case *prog.UnsafeCall:
+			fmt.Fprintf(h, "unsafe %s %s %d\n", st.API, st.Slot, st.Acc)
+		case *prog.RWAcquireRead:
+			fmt.Fprintf(h, "rwacqread %s\n", st.Lock)
+		case *prog.RWReleaseRead:
+			fmt.Fprintf(h, "rwrelread %s\n", st.Lock)
+		case *prog.RWUpgrade:
+			fmt.Fprintf(h, "rwupgrade %s\n", st.Lock)
+		case *prog.RWDowngrade:
+			fmt.Fprintf(h, "rwdowngrade %s\n", st.Lock)
+		case *prog.HiddenAcquire:
+			fmt.Fprintf(h, "hacquire %s\n", st.Lock)
+		case *prog.HiddenRelease:
+			fmt.Fprintf(h, "hrelease %s\n", st.Lock)
+		case *prog.HiddenSignal:
+			fmt.Fprintf(h, "hsignal %s\n", st.Sem)
+		case *prog.HiddenWait:
+			fmt.Fprintf(h, "hwait %s\n", st.Sem)
+		case *prog.HiddenFork:
+			fmt.Fprintf(h, "hfork %s %s %s\n", st.Method, st.Slot, st.Handle)
+		case *prog.EnsureInit:
+			fmt.Fprintf(h, "ensureinit %s %s\n", st.Class, st.Ctor)
+		case *prog.FinalizeObj:
+			fmt.Fprintf(h, "finalizeobj %s %s\n", st.Slot, st.Method)
+		case *prog.LibWait:
+			fmt.Fprintf(h, "libwait %s %s\n", st.API, st.Handle)
+		case *prog.BarrierWait:
+			fmt.Fprintf(h, "barrier %s %d\n", st.Barrier, st.Parties)
+		default:
+			return fmt.Errorf("%w: %T", ErrUnknownStmt, s)
+		}
+	}
+	return nil
+}

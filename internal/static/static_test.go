@@ -1,0 +1,419 @@
+package static
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"sherlock/internal/apps"
+	"sherlock/internal/prog"
+	"sherlock/internal/trace"
+	"sherlock/internal/window"
+)
+
+// fingerprint serializes everything downstream consumers can observe about
+// an analysis, so byte-equality of fingerprints means byte-identical
+// reports.
+func fingerprint(an *Analysis) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "app=%s hash=%s threads=%d ops=%d windows=%d runs=%d\n",
+		an.App, an.ProgramHash, an.Threads, an.Ops, an.Windows, an.Obs.Runs)
+	for _, w := range an.Obs.Windows {
+		fmt.Fprintf(&b, "w %s %s pair=%v a=%d b=%d ta=%d tb=%d\n",
+			w.UID, w.Test, w.Pair, w.ThreadA, w.ThreadB, w.TA, w.TB)
+		for _, e := range w.RelEvents {
+			fmt.Fprintf(&b, " r %s @%d\n", e.Key, e.Time)
+		}
+		for _, e := range w.AcqEvents {
+			fmt.Fprintf(&b, " a %s @%d\n", e.Key, e.Time)
+		}
+	}
+	apis := make([]string, 0, len(an.Obs.LibAPIs))
+	for a := range an.Obs.LibAPIs {
+		apis = append(apis, a)
+	}
+	sort.Strings(apis)
+	fmt.Fprintf(&b, "apis=%v\n", apis)
+	return b.String()
+}
+
+// TestAnalyzeDeterministicAllApps: two analyses of the same app must be
+// bit-identical (the content-addressed cache contract), and every app must
+// yield a non-trivial walk — threads, conflict-eligible ops, and windows.
+func TestAnalyzeDeterministicAllApps(t *testing.T) {
+	for _, p := range apps.All() {
+		a1, err := Analyze(p, DefaultConfig())
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		a2, err := Analyze(p, DefaultConfig())
+		if err != nil {
+			t.Fatalf("%s: second analysis: %v", p.Name, err)
+		}
+		f1, f2 := fingerprint(a1), fingerprint(a2)
+		if f1 != f2 {
+			t.Errorf("%s: analyses differ between runs:\n%s\nvs\n%s", p.Name, f1, f2)
+		}
+		if a1.Threads == 0 || a1.Ops == 0 {
+			t.Errorf("%s: degenerate walk: %d threads, %d ops", p.Name, a1.Threads, a1.Ops)
+		}
+		if a1.Windows == 0 {
+			t.Errorf("%s: no static windows synthesized", p.Name)
+		}
+		if len(a1.ProgramHash) != 64 {
+			t.Errorf("%s: program hash %q is not full sha256 hex", p.Name, a1.ProgramHash)
+		}
+		if a1.Obs.Runs != len(p.Tests) {
+			t.Errorf("%s: Runs = %d, want one per test (%d)", p.Name, a1.Obs.Runs, len(p.Tests))
+		}
+	}
+}
+
+// conflictProgram builds a two-thread read/write conflict whose writer
+// calls helper right before the access, so the helper's frame events land
+// inside every window.
+func conflictProgram(hideHelper bool) *prog.Program {
+	p := prog.New("T-hidden", "test")
+	p.AddMethod("helper", prog.Cp(10))
+	p.AddMethod("writer", prog.Do("helper", "o"), prog.Wr("C::f", "o", 1))
+	p.AddMethod("reader", prog.Rd("C::f", "o"))
+	p.AddTest("t", prog.Go(prog.ForkTaskRun, "writer", "o", "h"), prog.Rd("C::f", "o"), prog.JoinT("h"))
+	if hideHelper {
+		p.Truth.HiddenMethods["helper"] = true
+	}
+	return p
+}
+
+// TestHiddenMethodsSuppressed: skip-listed methods must emit no frame
+// events — their Begin/End keys appear in no window — while the identical
+// program without the skip list shows them.
+func TestHiddenMethodsSuppressed(t *testing.T) {
+	has := func(an *Analysis, k trace.Key) bool {
+		for _, w := range an.Obs.Windows {
+			for _, e := range w.RelEvents {
+				if e.Key == k {
+					return true
+				}
+			}
+			for _, e := range w.AcqEvents {
+				if e.Key == k {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	visible, err := Analyze(conflictProgram(false), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hidden, err := Analyze(conflictProgram(true), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk := trace.KeyFor(trace.KindBegin, "helper")
+	if !has(visible, bk) {
+		t.Fatalf("visible analysis lost %s (windows: %d)", bk, visible.Windows)
+	}
+	if has(hidden, bk) {
+		t.Errorf("hidden method %s leaked into windows", bk)
+	}
+	if hidden.Windows == 0 {
+		t.Errorf("hiding a method suppressed windows entirely")
+	}
+}
+
+// TestForkJoinOrientation: a write strictly ordered before a read by a
+// fork edge must produce only the write→read orientation, with the fork
+// API on the release side — the mechanism by which fork/join APIs become
+// inferable synchronization.
+func TestForkJoinOrientation(t *testing.T) {
+	p := prog.New("T-orient", "test")
+	p.AddMethod("reader", prog.Rd("C::f", "o"))
+	p.AddTest("t",
+		prog.Wr("C::f", "o", 1),
+		prog.Go(prog.ForkTaskRun, "reader", "o", "h"),
+		prog.JoinT("h"),
+	)
+	an, err := Analyze(p, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Windows != 1 {
+		t.Fatalf("windows = %d, want exactly 1 (ordered pair, one orientation)", an.Windows)
+	}
+	w := an.Obs.Windows[0]
+	found := false
+	for _, e := range w.RelEvents {
+		if e.Key.Name() == prog.ForkTaskRun.APIName() {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("fork API missing from release side: %+v", w.RelEvents)
+	}
+}
+
+// TestRWUpgradeDoubleRole: the double-role upgrade API of App-8
+// (UpgradeToWriterLock acquires the write lock AND releases the read hold)
+// must surface as a library API with both Begin and End events present in
+// the synthesized windows, so the solver can assign each key its role.
+func TestRWUpgradeDoubleRole(t *testing.T) {
+	p, err := apps.ByName("App-8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := Analyze(p, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !an.Obs.LibAPIs[prog.APIRWUpgrade] {
+		t.Fatalf("App-8 static analysis missing %s in LibAPIs", prog.APIRWUpgrade)
+	}
+	seen := map[trace.Key]bool{}
+	for _, w := range an.Obs.Windows {
+		for _, e := range w.RelEvents {
+			seen[e.Key] = true
+		}
+		for _, e := range w.AcqEvents {
+			seen[e.Key] = true
+		}
+	}
+	for _, k := range []trace.Key{prog.BK(prog.APIRWUpgrade), prog.EK(prog.APIRWUpgrade)} {
+		if !seen[k] {
+			t.Errorf("App-8 windows never contain %s", k)
+		}
+	}
+}
+
+// TestRecursionIsDefinedError: unbounded recursion through Call must
+// surface as ErrCallDepth, not a stack overflow.
+func TestRecursionIsDefinedError(t *testing.T) {
+	p := prog.New("T-rec", "test")
+	p.AddMethod("r", prog.Do("r", "o"))
+	p.AddTest("t", prog.Do("r", "o"))
+	_, err := Analyze(p, DefaultConfig())
+	if !errors.Is(err, ErrCallDepth) {
+		t.Fatalf("err = %v, want ErrCallDepth", err)
+	}
+}
+
+// bogusStmt is a statement type the walker has no semantics for.
+type bogusStmt struct{ site int }
+
+func (b *bogusStmt) Site() int     { return b.site }
+func (b *bogusStmt) SetSite(i int) { b.site = i }
+
+// TestUnknownStmtIsDefinedError: both the walk and the hash must reject
+// unknown statement types with ErrUnknownStmt — the scheduler panics here,
+// the static pass must not (it runs on untrusted programs server-side).
+func TestUnknownStmtIsDefinedError(t *testing.T) {
+	p := prog.New("T-unk", "test")
+	p.AddTest("t", &bogusStmt{})
+	if _, err := Analyze(p, DefaultConfig()); !errors.Is(err, ErrUnknownStmt) {
+		t.Fatalf("Analyze err = %v, want ErrUnknownStmt", err)
+	}
+	if _, err := ProgramHash(p); !errors.Is(err, ErrUnknownStmt) {
+		t.Fatalf("ProgramHash err = %v, want ErrUnknownStmt", err)
+	}
+}
+
+// TestSelfForkIsDefinedError: a method that forks itself would spawn
+// logical threads forever under the final sweep; the thread budget must
+// cut it off with ErrThreadBudget, not hang.
+func TestSelfForkIsDefinedError(t *testing.T) {
+	p := prog.New("T-selffork", "test")
+	p.AddMethod("m", prog.Go(prog.ForkTaskRun, "m", "o", ""))
+	p.AddTest("t", prog.Do("m", "o"))
+	_, err := Analyze(p, DefaultConfig())
+	if !errors.Is(err, ErrThreadBudget) {
+		t.Fatalf("err = %v, want ErrThreadBudget", err)
+	}
+}
+
+// TestCyclicJoinIsDefinedError: a continuation that awaits a handle bound
+// to itself cannot occur under execution, but a malformed program can
+// write it; the walker must report, not loop.
+func TestCyclicJoinIsDefinedError(t *testing.T) {
+	p := prog.New("T-cyc", "test")
+	p.AddMethod("m", prog.Await("h"))
+	p.AddTest("t", prog.Go(prog.ForkTaskRun, "m", "o", "h"), prog.JoinT("h"))
+	_, err := Analyze(p, DefaultConfig())
+	if err == nil || !strings.Contains(err.Error(), "cyclic") {
+		t.Fatalf("err = %v, want cyclic join error", err)
+	}
+}
+
+// TestProgramHashSensitivity: hashes are stable across rebuilds of the
+// same program and change when the structure changes.
+func TestProgramHashSensitivity(t *testing.T) {
+	h1, err := ProgramHash(conflictProgram(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := ProgramHash(conflictProgram(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatalf("identical programs hash differently: %s vs %s", h1, h2)
+	}
+	h3, err := ProgramHash(conflictProgram(true)) // hidden list differs
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 == h3 {
+		t.Fatal("hiding a method did not change the program hash")
+	}
+	hashes := map[string]string{h1: "base"}
+	for _, p := range apps.All() {
+		h, err := ProgramHash(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if prev, dup := hashes[h]; dup {
+			t.Errorf("%s collides with %s", p.Name, prev)
+		}
+		hashes[h] = p.Name
+	}
+}
+
+// TestLoopUnrollBounds: occurrence statistics must reflect the unroll
+// bound, not the dynamic trip count — a 1000-iteration lock loop
+// contributes LoopUnroll occurrences.
+func TestLoopUnrollBounds(t *testing.T) {
+	p := prog.New("T-loop", "test")
+	p.AddMethod("writer", prog.Rep(1000, prog.Lock("L"), prog.Wr("C::f", "o", 1), prog.Unlock("L")))
+	p.AddMethod("reader", prog.Rd("C::f", "o"))
+	p.AddTest("t", prog.Go(prog.ForkTaskRun, "writer", "o", "h"), prog.Rd("C::f", "o"), prog.JoinT("h"))
+	cfg := DefaultConfig()
+	cfg.LoopUnroll = 2
+	an, err := Analyze(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 unrolled iterations × (begin+end per lock op) on the writer thread:
+	// the walk is bounded even though the program says 1000.
+	if an.Ops > 40 {
+		t.Fatalf("ops = %d, loop unrolling is not bounded", an.Ops)
+	}
+	if an.Windows == 0 {
+		t.Fatal("no windows from unrolled loop conflict")
+	}
+}
+
+// genProgram decodes a byte stream into a small program: a statement-type
+// opcode stream over four mutually callable methods, closed under the
+// walker's full statement vocabulary (including recursion and dangling
+// handles). Every generated program must either analyze cleanly or fail
+// with a defined error — never panic, never hang.
+func genProgram(data []byte) *prog.Program {
+	p := prog.New("Fuzz", "fuzz")
+	methods := []string{"m0", "m1", "m2", "m3"}
+	fields := []string{"C::a", "C::b"}
+	locks := []string{"L1", "L2"}
+	bodies := make([][]prog.Stmt, len(methods))
+	mi := 0
+	for i := 0; i+1 < len(data); i += 2 {
+		op, arg := data[i], int(data[i+1])
+		body := &bodies[mi%len(methods)]
+		f := fields[arg%len(fields)]
+		l := locks[arg%len(locks)]
+		m := methods[arg%len(methods)]
+		h := fmt.Sprintf("h%d", arg%3)
+		switch op % 20 {
+		case 0:
+			*body = append(*body, prog.Rd(f, "o"))
+		case 1:
+			*body = append(*body, prog.Wr(f, "o", int64(arg)))
+		case 2:
+			*body = append(*body, prog.Do(m, "o"))
+		case 3:
+			*body = append(*body, prog.Rep(arg%5, prog.Wr(f, "o", 1)))
+		case 4:
+			*body = append(*body, prog.Lock(l))
+		case 5:
+			*body = append(*body, prog.Unlock(l))
+		case 6:
+			*body = append(*body, prog.Go(prog.ForkTaskRun, m, "o", h))
+		case 7:
+			*body = append(*body, prog.JoinT(h))
+		case 8:
+			*body = append(*body, prog.Then(h, m, "o", h)) // self-referential handle
+		case 9:
+			*body = append(*body, prog.HGo(m, "o", h))
+		case 10:
+			*body = append(*body, prog.Await(h))
+		case 11:
+			*body = append(*body, prog.Set("s"), prog.Wait("s"))
+		case 12:
+			*body = append(*body, prog.PostQ("q"), prog.RecvQ("q", m, "o"))
+		case 13:
+			*body = append(*body, prog.ListAdd("o"), prog.ListRead("o"))
+		case 14:
+			*body = append(*body, prog.RdLock(l), prog.Upgrade(l), prog.Downgrade(l), prog.RdUnlock(l))
+		case 15:
+			*body = append(*body, prog.HLock(l), prog.HUnlock(l))
+		case 16:
+			*body = append(*body, prog.StaticInit("C", m))
+		case 17:
+			*body = append(*body, prog.GC("o", m, 10))
+		case 18:
+			*body = append(*body, prog.Spin(f, "o", 1, 5))
+		case 19:
+			mi++ // switch target method
+		}
+	}
+	for i, name := range methods {
+		p.AddMethod(name, bodies[i]...)
+	}
+	p.AddTest("t", prog.Go(prog.ForkTaskRun, "m0", "o", "root"), prog.Do("m1", "o"), prog.JoinT("root"))
+	return p
+}
+
+// FuzzWalk drives the walker over generated programs. Seeds cover every
+// opcode plus streams derived from all 8 benchmark apps (their program
+// hashes — arbitrary but reproducible high-entropy bytes whose decoded
+// statement mix differs per app). Properties: no panics, defined errors
+// only, and determinism whenever analysis succeeds.
+func FuzzWalk(f *testing.F) {
+	f.Add([]byte{})
+	all := make([]byte, 40)
+	for i := range all {
+		all[i] = byte(i)
+	}
+	f.Add(all)
+	f.Add([]byte{2, 0, 2, 0, 2, 0}) // mutual recursion pressure
+	f.Add([]byte{8, 0, 8, 1, 10, 0})
+	for _, p := range apps.All() {
+		h, err := ProgramHash(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add([]byte(h))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 512 {
+			data = data[:512]
+		}
+		cfg := DefaultConfig()
+		cfg.Window = window.DefaultConfig()
+		an, err := Analyze(genProgram(data), cfg)
+		if err != nil {
+			if errors.Is(err, ErrCallDepth) || errors.Is(err, ErrUnknownStmt) || errors.Is(err, ErrThreadBudget) ||
+				strings.Contains(err.Error(), "cyclic") || strings.Contains(err.Error(), "unknown method") {
+				return
+			}
+			t.Fatalf("undefined error class: %v", err)
+		}
+		an2, err := Analyze(genProgram(data), cfg)
+		if err != nil {
+			t.Fatalf("second analysis failed where first succeeded: %v", err)
+		}
+		if fingerprint(an) != fingerprint(an2) {
+			t.Fatal("analysis not deterministic")
+		}
+	})
+}

@@ -124,6 +124,75 @@ func (w *Welford) CV() float64 {
 	return w.StdDev() / w.mean
 }
 
+// Moments accumulates exact integer moments (count, sum, sum of squares)
+// of integer-valued samples. Unlike Welford, whose floating-point state
+// depends on the order samples arrive in, integer moments are exactly
+// commutative and associative: folding the same multiset of samples in any
+// order — or merging partial accumulators in any grouping — produces the
+// identical bits. The window accumulator uses one per method for duration
+// statistics, which is what lets incremental checkpoint folding add only
+// the new traces' samples instead of replaying the whole corpus.
+//
+// Samples are expected to be integer-valued (virtual-nanosecond durations
+// are); fractional parts are truncated on Add. Derived statistics mirror
+// Welford's conventions bit-for-bit where they overlap: population
+// standard deviation, 0 for fewer than two samples, CV 0 for a
+// non-positive mean.
+type Moments struct {
+	Count int64 `json:"n"`
+	Sum   int64 `json:"sum"`
+	SumSq int64 `json:"sumsq"`
+}
+
+// Add folds one integer-valued sample into the accumulator.
+func (m *Moments) Add(x float64) {
+	v := int64(x)
+	m.Count++
+	m.Sum += v
+	m.SumSq += v * v
+}
+
+// N returns the number of samples folded in so far.
+func (m *Moments) N() int { return int(m.Count) }
+
+// Mean returns the mean, or 0 for an empty accumulator.
+func (m *Moments) Mean() float64 {
+	if m.Count == 0 {
+		return 0
+	}
+	return float64(m.Sum) / float64(m.Count)
+}
+
+// StdDev returns the population standard deviation, or 0 when fewer than
+// two samples are available.
+func (m *Moments) StdDev() float64 {
+	if m.Count < 2 {
+		return 0
+	}
+	mean := m.Mean()
+	v := float64(m.SumSq)/float64(m.Count) - mean*mean
+	if v < 0 {
+		v = 0 // guard the tiny negative residue of float cancellation
+	}
+	return math.Sqrt(v)
+}
+
+// CV returns the coefficient of variation (see CV).
+func (m *Moments) CV() float64 {
+	if mean := m.Mean(); mean > 0 {
+		return m.StdDev() / mean
+	}
+	return 0
+}
+
+// Merge folds another accumulator into m. Exact: merging is the same as
+// having Added every sample directly, in any order.
+func (m *Moments) Merge(o *Moments) {
+	m.Count += o.Count
+	m.Sum += o.Sum
+	m.SumSq += o.SumSq
+}
+
 // Merge folds another accumulator into w (parallel Welford combination).
 func (w *Welford) Merge(o *Welford) {
 	if o.n == 0 {

@@ -90,23 +90,23 @@ func TestObservationsMergeRespectsPerPairCap(t *testing.T) {
 }
 
 // TestObservationsMergeStatsAndCounts: duration statistics combine via
-// parallel Welford merging; library APIs union; run counts sum.
+// exact moment merging; library APIs union; run counts sum.
 func TestObservationsMergeStatsAndCounts(t *testing.T) {
 	cfg := DefaultConfig()
 	o1 := NewObservations(cfg)
 	o2 := NewObservations(cfg)
 
-	w1 := &stats.Welford{}
+	w1 := &stats.Moments{}
 	for _, x := range []float64{100, 200, 300} {
 		w1.Add(x)
 	}
-	w2 := &stats.Welford{}
+	w2 := &stats.Moments{}
 	for _, x := range []float64{400, 500} {
 		w2.Add(x)
 	}
 	o1.Durations["C::m"] = w1
 	o2.Durations["C::m"] = w2
-	o2.Durations["C::only2"] = func() *stats.Welford { w := &stats.Welford{}; w.Add(7); return w }()
+	o2.Durations["C::only2"] = func() *stats.Moments { w := &stats.Moments{}; w.Add(7); return w }()
 	o1.LibAPIs["Lib::A"] = true
 	o2.LibAPIs["Lib::B"] = true
 	o1.Runs, o2.Runs = 3, 2

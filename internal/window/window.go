@@ -8,6 +8,8 @@ package window
 
 import (
 	"sort"
+	"strconv"
+	"strings"
 
 	"sherlock/internal/stats"
 	"sherlock/internal/trace"
@@ -258,7 +260,11 @@ type Observations struct {
 	perPair map[PairID]int
 
 	// Durations tracks method-duration statistics per static method name.
-	Durations map[string]*stats.Welford
+	// Integer moments, not Welford: duration samples are integer-valued
+	// virtual nanoseconds, and exact integer moments make the folded state
+	// independent of sample arrival order — the property incremental
+	// checkpoint folding needs to add only new traces' samples.
+	Durations map[string]*stats.Moments
 
 	// occSum / winCnt track, per candidate key, total occurrences across
 	// windows and the number of windows it appeared in: their ratio is the
@@ -286,7 +292,7 @@ func NewObservations(cfg Config) *Observations {
 	return &Observations{
 		cfg:       cfg,
 		perPair:   map[PairID]int{},
-		Durations: map[string]*stats.Welford{},
+		Durations: map[string]*stats.Moments{},
 		occSum:    map[trace.Key]int{},
 		winCnt:    map[trace.Key]int{},
 		LibAPIs:   map[string]bool{},
@@ -341,11 +347,11 @@ func (o *Observations) AddTraceStats(tr *trace.Trace) {
 
 // AddStats folds precomputed per-trace statistics — MethodDurations output
 // and the trace's library-API name set — exactly as AddTraceStats would
-// fold the trace they were extracted from, bit for bit: per-method samples
-// feed the same Welford accumulator in the same order, and methods are
-// independent of each other, so the map's iteration order cannot matter.
-// Checkpoint replay (internal/core) uses this to rebuild an accumulator
-// from stored extracts without re-decoding traces.
+// fold the trace they were extracted from, bit for bit: integer-moment
+// accumulation is exactly commutative, so neither the map's iteration
+// order nor the order traces are folded in can matter. Checkpoint replay
+// (internal/core) uses this to rebuild an accumulator from stored extracts
+// without re-decoding traces.
 func (o *Observations) AddStats(durations map[string][]float64, libAPIs []string) {
 	o.addDurations(durations)
 	for _, api := range libAPIs {
@@ -358,7 +364,7 @@ func (o *Observations) addDurations(durations map[string][]float64) {
 	for name, durs := range durations {
 		w, ok := o.Durations[name]
 		if !ok {
-			w = &stats.Welford{}
+			w = &stats.Moments{}
 			o.Durations[name] = w
 		}
 		for _, d := range durs {
@@ -370,16 +376,15 @@ func (o *Observations) addDurations(durations map[string][]float64) {
 // Merge folds another accumulator into o: windows are replayed through the
 // same admission path as AddWindows (so the cross-accumulator per-pair cap
 // and data-race bookkeeping behave exactly as if every window had been
-// added to o directly, in o2's order), duration statistics combine via
-// parallel Welford merging, and library-API sets and run counts union/sum.
+// added to o directly, in o2's order), duration statistics combine by
+// exact integer-moment addition (bit-identical to having folded every
+// sample directly, in any order), and library-API sets and run counts
+// union/sum.
 //
 // Merging is order-sensitive in the same way AddWindows is: the per-pair
 // cap admits the first windows seen, so merge partial accumulators in a
-// deterministic order. Note the combined duration statistics are
-// mathematically — not bit-for-bit — equal to sequential accumulation;
-// the engine's hot path folds raw runs in test order for that reason, and
-// Merge serves consumers combining independently collected observation
-// sets (e.g. shards of an offline corpus).
+// deterministic order. Merge serves consumers combining independently
+// collected observation sets (e.g. shards of an offline corpus).
 func (o *Observations) Merge(o2 *Observations) {
 	if o2 == nil {
 		return
@@ -388,7 +393,7 @@ func (o *Observations) Merge(o2 *Observations) {
 	for name, w2 := range o2.Durations {
 		w, ok := o.Durations[name]
 		if !ok {
-			w = &stats.Welford{}
+			w = &stats.Moments{}
 			o.Durations[name] = w
 		}
 		w.Merge(w2)
@@ -427,6 +432,148 @@ func (o *Observations) Clone() *Observations {
 	}
 	c.Runs = o.Runs
 	return c
+}
+
+// ---------------------------------------------------------------------------
+// Canonical (arrival-order-independent) accumulation
+//
+// AddWindows admits first-come: replaying the same windows in a different
+// order can admit a different per-pair subset. Checkpoint folding
+// (internal/core) instead needs an accumulator whose state is a function
+// of the SET of windows offered, so that newly arrived traces can be
+// folded into a cached accumulator without replaying the whole corpus.
+// AddWindowsCanonical provides that: windows are kept sorted by canonical
+// UID order, and the per-pair cap always admits the canonically-smallest
+// PerPairCap windows offered so far — evicting a previously admitted
+// window when a canonically earlier one arrives late. When windows arrive
+// already in canonical order (a full sorted replay), the admitted set,
+// the window order, and every derived statistic are bit-identical to
+// AddWindows.
+// ---------------------------------------------------------------------------
+
+// canonicalUIDLess orders window UIDs of the "<trace-key>:<ordinal>" form
+// by (key, numeric ordinal). A plain string compare would put ordinal 10
+// before ordinal 2; splitting at the last colon and comparing the ordinal
+// numerically matches the order a sorted-by-key replay offers windows in.
+// UIDs that do not parse fall back to plain string order.
+func canonicalUIDLess(a, b string) bool {
+	pa, oa, oka := splitUID(a)
+	pb, ob, okb := splitUID(b)
+	if oka && okb {
+		if pa != pb {
+			return pa < pb
+		}
+		return oa < ob
+	}
+	return a < b
+}
+
+// splitUID splits "<prefix>:<ordinal>" at the last colon.
+func splitUID(uid string) (prefix string, ord int, ok bool) {
+	i := strings.LastIndexByte(uid, ':')
+	if i < 0 || i == len(uid)-1 {
+		return "", 0, false
+	}
+	n, err := strconv.Atoi(uid[i+1:])
+	if err != nil || n < 0 {
+		return "", 0, false
+	}
+	return uid[:i], n, true
+}
+
+// AddWindowsCanonical folds windows under canonical admission (see above).
+// Every window must carry a UID; canonical order is only meaningful across
+// identified windows. Mixing AddWindows and AddWindowsCanonical on one
+// accumulator is unsupported.
+func (o *Observations) AddWindowsCanonical(ws []Window) {
+	if o.scratch == nil {
+		o.scratch = map[trace.Key]int{}
+	}
+	for i := range ws {
+		o.insertCanonical(&ws[i])
+	}
+}
+
+// insertCanonical admits one window at its canonical position, evicting
+// the pair's canonically-last admitted window if the pair is at cap and w
+// precedes it.
+func (o *Observations) insertCanonical(w *Window) {
+	pos := sort.Search(len(o.Windows), func(i int) bool {
+		return canonicalUIDLess(w.UID, o.Windows[i].UID)
+	})
+	if o.perPair[w.Pair] >= o.cfg.PerPairCap {
+		last := -1
+		for i := len(o.Windows) - 1; i >= 0; i-- {
+			if o.Windows[i].Pair == w.Pair {
+				last = i
+				break
+			}
+		}
+		if last < pos {
+			// Every admitted window of the pair canonically precedes w:
+			// under canonical admission w would never have been admitted.
+			return
+		}
+		o.evictAt(last)
+	}
+	o.Windows = append(o.Windows, Window{})
+	copy(o.Windows[pos+1:], o.Windows[pos:])
+	o.Windows[pos] = *w
+	o.perPair[w.Pair]++
+	if w.Racy() {
+		o.RacyPairs[w.Pair] = true
+	}
+	uniqInto(o.scratch, w.RelEvents)
+	for k, n := range o.scratch {
+		o.occSum[k] += n
+		o.winCnt[k]++
+	}
+	uniqInto(o.scratch, w.AcqEvents)
+	for k, n := range o.scratch {
+		o.occSum[k] += n
+		o.winCnt[k]++
+	}
+}
+
+// evictAt removes the admitted window at index i, reversing its
+// contribution to every derived statistic.
+func (o *Observations) evictAt(i int) {
+	w := o.Windows[i]
+	copy(o.Windows[i:], o.Windows[i+1:])
+	o.Windows = o.Windows[:len(o.Windows)-1]
+	o.perPair[w.Pair]--
+	uniqInto(o.scratch, w.RelEvents)
+	for k, n := range o.scratch {
+		o.decOcc(k, n)
+	}
+	uniqInto(o.scratch, w.AcqEvents)
+	for k, n := range o.scratch {
+		o.decOcc(k, n)
+	}
+	if w.Racy() {
+		o.recomputeRacy(w.Pair)
+	}
+}
+
+func (o *Observations) decOcc(k trace.Key, n int) {
+	o.occSum[k] -= n
+	o.winCnt[k]--
+	if o.winCnt[k] <= 0 {
+		delete(o.winCnt, k)
+		delete(o.occSum, k)
+	}
+}
+
+// recomputeRacy re-derives the pair's data-race flag from the currently
+// admitted windows (an eviction may have removed the only racy witness).
+func (o *Observations) recomputeRacy(p PairID) {
+	for i := range o.Windows {
+		if o.Windows[i].Pair == p && o.Windows[i].Racy() {
+			o.RacyPairs[p] = true
+			return
+		}
+	}
+	delete(o.RacyPairs, p)
 }
 
 // AvgOccurrence returns the average number of times key occurs in the

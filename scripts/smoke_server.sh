@@ -72,6 +72,25 @@ echo "$METRICS" | grep -q '^sherlock_jobs_total{status="done"} 1$' || { echo "me
 echo "$METRICS" | grep -q '^sherlock_lp_pivots_total [1-9]' || { echo "metrics missing LP pivots"; exit 1; }
 echo "smoke: metrics ok"
 
+# Static inference: the report endpoint computes on first touch, serves
+# byte-identically from the cache after, and carries the program hash.
+STATIC1=$(curl -fsS "$BASE/v1/apps/App-1/static")
+echo "$STATIC1" | grep -q '"Inferred"' || { echo "static report lacks inference payload"; exit 1; }
+echo "$STATIC1" | grep -q '"program_hash"' || { echo "static report lacks program hash"; exit 1; }
+STATIC2=$(curl -fsS "$BASE/v1/apps/App-1/static")
+[ "$STATIC1" = "$STATIC2" ] || { echo "static report not byte-identical across fetches"; exit 1; }
+curl -s "$BASE/v1/apps/no-such-app/static" | grep -q '"code":"not_found"' \
+  || { echo "unknown app static fetch not a v1 not_found"; exit 1; }
+echo "smoke: static report endpoint ok"
+
+# A static job shares the report's content address: submitting one for the
+# already-fetched app must be an instant cache hit.
+SJOB=$(curl -fsS -X POST -H 'Content-Type: application/json' \
+  -d '{"static_app":"App-1"}' "$BASE/v1/jobs")
+echo "smoke: static job: $SJOB"
+echo "$SJOB" | grep -q '"cached":true' || { echo "static job missed the report cache"; exit 1; }
+echo "smoke: static job content-shares the report cache ok"
+
 # Errors arrive in the v1 envelope with a machine code.
 ERR=$(curl -s "$BASE/v1/jobs/job-999999")
 echo "$ERR" | grep -q '"error":{"code":"not_found"' || { echo "404 not in v1 envelope: $ERR"; exit 1; }
