@@ -31,12 +31,15 @@
 //	      [-incr-out BENCH_incremental.json] [-incr-base 160] [-incr-reps 5]
 //	      [-incr-min-speedup 3] [-incr-max-fold-growth 2]
 //	      [-static-out BENCH_static.json] [-static-rounds 3] [-static-gate]
+//	      [-gen-out BENCH_gen.json] [-gen-n 100] [-gen-rounds 3] [-gen-gate]
 //
 // -app selects the workload of the server/obs/incremental measurements;
-// the solver and static sweeps always cover all apps. Each -*out flag
-// accepts "" to skip that measurement; -obs-max-pct, -incr-min-speedup,
-// -incr-max-fold-growth, -static-gate and -min-pivot-rate turn their
-// records into CI gates (non-zero exit on breach).
+// the solver and static sweeps always cover all apps, and the gen sweep
+// scores -gen-n procedurally generated apps against their machine-
+// readable ground truth. Each -*out flag accepts "" to skip that
+// measurement; -obs-max-pct, -incr-min-speedup, -incr-max-fold-growth,
+// -static-gate, -gen-gate and -min-pivot-rate turn their records into
+// CI gates (non-zero exit on breach).
 package main
 
 import (
@@ -102,34 +105,38 @@ type result struct {
 
 func main() {
 	var (
-		appName    = flag.String("app", "App-1", "application to campaign on")
-		rounds     = flag.Int("rounds", 6, "campaign rounds")
-		reps       = flag.Int("reps", 5, "repetitions (best is reported)")
-		out        = flag.String("out", "BENCH_solver.json", "solver benchmark output file (empty = skip)")
-		outAlias   = flag.String("o", "", "alias for -out (deprecated)")
-		serverOut  = flag.String("server-out", "BENCH_server.json", "server benchmark output file (empty = skip)")
-		serverJobs = flag.Int("server-jobs", 16, "cold/hit submissions per server measurement")
-		storeOut   = flag.String("store-out", "BENCH_store.json", "trace-store benchmark output file (empty = skip)")
-		obsOut     = flag.String("obs-out", "", "tracing-overhead benchmark output file (empty = skip)")
-		obsReps    = flag.Int("obs-reps", 7, "campaign repetitions per tracing mode (best is reported)")
-		obsMaxPct  = flag.Float64("obs-max-pct", 0, "fail (exit 1) if no-sink tracing overhead exceeds this percentage (0 = record only)")
-		incrOut    = flag.String("incr-out", "", "incremental-inference benchmark output file (empty = skip)")
-		incrBase   = flag.Int("incr-base", 160, "checkpointed base corpus size in traces")
-		incrReps   = flag.Int("incr-reps", 5, "repetitions per incremental point (best is reported)")
-		incrMinSpd = flag.Float64("incr-min-speedup", 0, "fail (exit 1) if the +1-trace incremental speedup falls below this (0 = record only)")
-		incrMaxFG  = flag.Float64("incr-max-fold-growth", 0, "fail (exit 1) if the +1-trace fold cost at the full base exceeds this multiple of the quarter-base cost (0 = record only)")
+		appName      = flag.String("app", "App-1", "application to campaign on")
+		rounds       = flag.Int("rounds", 6, "campaign rounds")
+		reps         = flag.Int("reps", 5, "repetitions (best is reported)")
+		out          = flag.String("out", "BENCH_solver.json", "solver benchmark output file (empty = skip)")
+		outAlias     = flag.String("o", "", "alias for -out (deprecated)")
+		serverOut    = flag.String("server-out", "BENCH_server.json", "server benchmark output file (empty = skip)")
+		serverJobs   = flag.Int("server-jobs", 16, "cold/hit submissions per server measurement")
+		storeOut     = flag.String("store-out", "BENCH_store.json", "trace-store benchmark output file (empty = skip)")
+		obsOut       = flag.String("obs-out", "", "tracing-overhead benchmark output file (empty = skip)")
+		obsReps      = flag.Int("obs-reps", 7, "campaign repetitions per tracing mode (best is reported)")
+		obsMaxPct    = flag.Float64("obs-max-pct", 0, "fail (exit 1) if no-sink tracing overhead exceeds this percentage (0 = record only)")
+		incrOut      = flag.String("incr-out", "", "incremental-inference benchmark output file (empty = skip)")
+		incrBase     = flag.Int("incr-base", 160, "checkpointed base corpus size in traces")
+		incrReps     = flag.Int("incr-reps", 5, "repetitions per incremental point (best is reported)")
+		incrMinSpd   = flag.Float64("incr-min-speedup", 0, "fail (exit 1) if the +1-trace incremental speedup falls below this (0 = record only)")
+		incrMaxFG    = flag.Float64("incr-max-fold-growth", 0, "fail (exit 1) if the +1-trace fold cost at the full base exceeds this multiple of the quarter-base cost (0 = record only)")
 		staticOut    = flag.String("static-out", "", "static/hybrid inference benchmark output file (empty = skip)")
 		staticRounds = flag.Int("static-rounds", 3, "campaign rounds for the static/hybrid sweep")
 		staticGate   = flag.Bool("static-gate", false, "fail (exit 1) if any app's hybrid campaign diverges from dynamic or converges slower")
-		minPivRate = flag.Float64("min-pivot-rate", 0, "fail (exit 1) if the aggregate cold-solve pivot rate (pivots/sec) falls below this (0 = record only)")
-		clusterOut = flag.String("cluster-out", "", "cluster scaling benchmark output file (empty = skip)")
-		clClients  = flag.Int("cluster-clients", 24, "concurrent clients driving the cluster")
-		clRequests = flag.Int("cluster-requests", 6000, "total requests per cluster size")
-		clKeys     = flag.Int("cluster-keys", 600, "distinct content keys in the zipfian keyspace")
-		clCache    = flag.Int("cluster-cache", 200, "result cache capacity per node (entries)")
-		clZipfS    = flag.Float64("cluster-zipf", 1.02, "zipf exponent of the key popularity distribution (>1)")
-		clZipfV    = flag.Float64("cluster-zipf-v", 0, "zipf rank offset; larger flattens the head (0 = keys)")
-		clMinSpeed = flag.Float64("cluster-min-speedup", 0, "fail (exit 1) if 4-node throughput is below this multiple of 1-node (0 = record only)")
+		genOut       = flag.String("gen-out", "", "generated-app benchmark output file (empty = skip)")
+		genN         = flag.Int("gen-n", 100, "number of distinct generated applications to sweep")
+		genRounds    = flag.Int("gen-rounds", 3, "campaign rounds per generated app")
+		genGate      = flag.Bool("gen-gate", false, "fail (exit 1) if the sweep's aggregate non-race precision/recall fall below the floors (needs -gen-n >= 100)")
+		minPivRate   = flag.Float64("min-pivot-rate", 0, "fail (exit 1) if the aggregate cold-solve pivot rate (pivots/sec) falls below this (0 = record only)")
+		clusterOut   = flag.String("cluster-out", "", "cluster scaling benchmark output file (empty = skip)")
+		clClients    = flag.Int("cluster-clients", 24, "concurrent clients driving the cluster")
+		clRequests   = flag.Int("cluster-requests", 6000, "total requests per cluster size")
+		clKeys       = flag.Int("cluster-keys", 600, "distinct content keys in the zipfian keyspace")
+		clCache      = flag.Int("cluster-cache", 200, "result cache capacity per node (entries)")
+		clZipfS      = flag.Float64("cluster-zipf", 1.02, "zipf exponent of the key popularity distribution (>1)")
+		clZipfV      = flag.Float64("cluster-zipf-v", 0, "zipf rank offset; larger flattens the head (0 = keys)")
+		clMinSpeed   = flag.Float64("cluster-min-speedup", 0, "fail (exit 1) if 4-node throughput is below this multiple of 1-node (0 = record only)")
 	)
 	flag.Parse()
 	if *outAlias != "" {
@@ -153,6 +160,9 @@ func main() {
 	}
 	if *staticOut != "" {
 		die(benchStatic(*staticOut, *staticRounds, *staticGate))
+	}
+	if *genOut != "" {
+		die(benchGen(*genOut, *genN, *genRounds, *genGate))
 	}
 	if *clusterOut != "" {
 		die(benchCluster(*clusterOut, *clClients, *clRequests, *clKeys, *clCache, *clZipfS, *clZipfV, *clMinSpeed))

@@ -58,11 +58,18 @@ func runCommand(ctx context.Context, verb string, args []string) bool {
 func usage(w *os.File) {
 	fmt.Fprint(w, `sherlock — synchronization-operation inference
 
+Application names: the eight built-ins ("App-1".."App-8") or a
+procedurally generated app ("gen:<seed>[,profile=mixed|classic|go|racy]
+[,size=N]") — same seed, same program, everywhere a name is accepted.
+
 Local:
   sherlock capture -corpus DIR [-app App-4] [-seed 1]
       run the benchmark tests and ingest their traces into a corpus
   sherlock infer -app App-4 [-rounds 3] [-lambda 0.2] [-near 1000000] [-v]
       full feedback campaign on one application
+  sherlock infer -app gen:42 [-dist zipf|bursty]
+      campaign on a generated app, optionally under a heavy-tailed or
+      bursty scheduler step distribution
   sherlock infer -corpus DIR [-app App-4]
       offline inference over a captured corpus
   sherlock infer -traces DIR
@@ -77,7 +84,8 @@ Local:
   sherlock static -app App-4 [-v]
       run-free static inference on one application, scored vs truth
   sherlock static -all
-      static-only precision/recall sweep over every application
+      static-only precision/recall sweep over everything the program
+      registry exposes (built-ins + generator samples)
 
 Against a sherlockd daemon:
   sherlock upload -server URL FILE...
@@ -122,7 +130,7 @@ func cmdCapture(ctx context.Context, args []string) {
 
 func cmdInfer(ctx context.Context, args []string) {
 	fs := flag.NewFlagSet("infer", flag.ExitOnError)
-	appName := fs.String("app", "", "application id (App-1..App-8); with -corpus, a filter")
+	appName := fs.String("app", "", "application id (App-1..App-8 or gen:<seed>[,profile=...][,size=...]); with -corpus, a filter")
 	corpus := fs.String("corpus", "", "offline: infer from this trace corpus")
 	tracesDir := fs.String("traces", "", "offline: infer from the JSONL traces in this directory")
 	all := fs.Bool("all", false, "run every application and print Table 2")
@@ -131,6 +139,7 @@ func cmdInfer(ctx context.Context, args []string) {
 	lambda := fs.Float64("lambda", 0.2, "Mostly-Protected trade-off knob")
 	near := fs.Int64("near", 1_000_000, "conflict window in virtual ns")
 	seed := fs.Int64("seed", 1, "base scheduler seed")
+	dist := fs.String("dist", "", "scheduler step distribution: uniform (default), zipf, or bursty")
 	parallel := fs.Int("p", 0, "worker pool size per round (0 = GOMAXPROCS)")
 	verbose := fs.Bool("v", false, "print per-round snapshots")
 	traceOut := fs.String("trace-out", "", "write the campaign's span event log as JSON lines to this file")
@@ -153,7 +162,7 @@ func cmdInfer(ctx context.Context, args []string) {
 		}
 		app, err := apps.ByName(*appName)
 		die(err)
-		cfg := campaignConfig(*rounds, *lambda, *near, *seed, *parallel)
+		cfg := campaignConfig(*rounds, *lambda, *near, *seed, *parallel, *dist)
 		die(refineCampaign(ctx, app, *corpus, cfg, *verbose))
 	case *corpus != "":
 		observer, closeLog, err := traceObserver(*traceOut)
@@ -166,7 +175,7 @@ func cmdInfer(ctx context.Context, args []string) {
 	case *appName != "":
 		app, err := apps.ByName(*appName)
 		die(err)
-		cfg := campaignConfig(*rounds, *lambda, *near, *seed, *parallel)
+		cfg := campaignConfig(*rounds, *lambda, *near, *seed, *parallel, *dist)
 		observer, closeLog, err := traceObserver(*traceOut)
 		die(err)
 		cfg.Observer = observer
@@ -183,13 +192,14 @@ func cmdInfer(ctx context.Context, args []string) {
 }
 
 // campaignConfig assembles a core.Config from the shared campaign flags.
-func campaignConfig(rounds int, lambda float64, near, seed int64, parallel int) core.Config {
+func campaignConfig(rounds int, lambda float64, near, seed int64, parallel int, dist string) core.Config {
 	cfg := core.DefaultConfig()
 	cfg.Rounds = rounds
 	cfg.Solver.Lambda = lambda
 	cfg.Window.Near = near
 	cfg.Seed = seed
 	cfg.Parallelism = parallel
+	cfg.StepDist = dist
 	return cfg
 }
 
@@ -197,8 +207,8 @@ func campaignConfig(rounds int, lambda float64, near, seed int64, parallel int) 
 // apps, or against a daemon's content-addressed report endpoint.
 func cmdStatic(ctx context.Context, args []string) {
 	fs := flag.NewFlagSet("static", flag.ExitOnError)
-	appName := fs.String("app", "", "application id (App-1..App-8)")
-	all := fs.Bool("all", false, "static-only sweep over every application")
+	appName := fs.String("app", "", "application id (App-1..App-8 or gen:<seed>[,profile=...][,size=...])")
+	all := fs.Bool("all", false, "static-only sweep over everything the program registry exposes")
 	server := fs.String("server", "", "fetch the report from this sherlockd daemon instead of computing locally")
 	lambda := fs.Float64("lambda", 0.2, "Mostly-Protected trade-off knob (local mode)")
 	near := fs.Int64("near", 1_000_000, "conflict window in virtual ns (local mode)")

@@ -59,11 +59,17 @@ func runStaticLocal(ctx context.Context, appName string, lambda float64, near in
 }
 
 // runStaticAll prints the static-only precision/recall sweep over every
-// benchmark app — the run-free analogue of Table 2.
+// program the registry exposes — the eight built-ins plus each
+// registered source's showcase (the generator's per-profile samples).
+// The run-free analogue of Table 2.
 func runStaticAll(ctx context.Context) error {
-	fmt.Printf("%-8s %-34s %9s %9s %11s %8s\n", "App", "Title", "#Inferred", "#Correct", "Precision", "Recall")
-	for _, app := range apps.All() {
+	fmt.Printf("%-22s %-34s %9s %9s %11s %8s\n", "App", "Title", "#Inferred", "#Correct", "Precision", "Recall")
+	for _, name := range apps.RegistryNames() {
 		if err := ctx.Err(); err != nil {
+			return err
+		}
+		app, err := apps.ByName(name)
+		if err != nil {
 			return err
 		}
 		res, _, err := core.InferStatic(ctx, app, core.DefaultConfig())
@@ -71,8 +77,12 @@ func runStaticAll(ctx context.Context) error {
 			return err
 		}
 		score := core.ScoreResult(app, res)
-		fmt.Printf("%-8s %-34s %9d %9d %10.0f%% %7.0f%%\n",
-			app.Name, app.Title, score.Total(), len(score.Correct),
+		title := app.Title
+		if len(title) > 34 {
+			title = title[:31] + "..."
+		}
+		fmt.Printf("%-22s %-34s %9d %9d %10.0f%% %7.0f%%\n",
+			app.Name, title, score.Total(), len(score.Correct),
 			100*score.Precision(), 100*recall(score))
 	}
 	return nil

@@ -7,6 +7,7 @@ import (
 	"runtime"
 
 	"sherlock/internal/perturb"
+	"sherlock/internal/sched"
 	"sherlock/internal/solver"
 	"sherlock/internal/window"
 )
@@ -27,6 +28,14 @@ type Config struct {
 	DelayProbability float64
 	// Seed is the base scheduler seed; each (round, test) derives its own.
 	Seed int64
+
+	// StepDist selects the scheduler's per-statement dispatch-latency
+	// distribution ("" or sched.DistUniform for the classic uniform
+	// draw; sched.DistZipf / sched.DistBursty sample heavy-tailed or
+	// clustered stalls so rare interleaving windows surface in fewer
+	// rounds). Campaigns stay bit-for-bit deterministic for any fixed
+	// distribution.
+	StepDist string
 
 	// Parallelism bounds the worker pool that executes the per-test
 	// scheduler runs of each round (and the per-application campaigns of
@@ -131,6 +140,9 @@ func (c Config) Validate() error {
 	}
 	if c.MaxStepsPerTest < 0 {
 		errs = append(errs, fmt.Errorf("MaxStepsPerTest must be non-negative, got %d", c.MaxStepsPerTest))
+	}
+	if !sched.ValidDist(c.StepDist) {
+		errs = append(errs, fmt.Errorf("StepDist must be one of %q, got %q", sched.Dists, c.StepDist))
 	}
 	if w := c.Solver.Weights; w.Acquire < 0 || w.Release < 0 {
 		errs = append(errs, fmt.Errorf("Solver.Weights must be non-negative, got acquire=%g release=%g", w.Acquire, w.Release))

@@ -30,6 +30,7 @@ func planRound(app *prog.Program, cfg Config, round int, plan perturb.Plan) []ru
 			HiddenMethods:    app.Truth.HiddenMethods,
 			MaxSteps:         cfg.MaxStepsPerTest,
 			DelayProbability: cfg.DelayProbability,
+			StepDist:         cfg.StepDist,
 		}
 		if cfg.InjectDelays {
 			opt.Delays = plan

@@ -18,9 +18,12 @@ package core
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
 	"sherlock/internal/obs"
@@ -188,7 +191,26 @@ type Posterior struct {
 }
 
 // PosteriorName is the checkpoint name posteriors are stored under.
-func PosteriorName(app string) string { return "posterior-" + app }
+// App names may use characters outside the store's checkpoint alphabet
+// [A-Za-z0-9._-] (the generator's "gen:<seed>,profile=..." names);
+// those map to '_' and the original spelling is pinned with a short
+// content hash so two apps that sanitize alike never share a posterior.
+func PosteriorName(app string) string {
+	safe := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'A' && r <= 'Z', r >= 'a' && r <= 'z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			return r
+		default:
+			return '_'
+		}
+	}, app)
+	if safe != app {
+		sum := sha256.Sum256([]byte(app))
+		safe += "-" + hex.EncodeToString(sum[:4])
+	}
+	return "posterior-" + safe
+}
 
 // PosteriorFromResult captures res's probabilities for persistence,
 // stamped with cfg's offline signature so a posterior solved under one

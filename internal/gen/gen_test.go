@@ -1,0 +1,173 @@
+package gen
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"sherlock/internal/core"
+	"sherlock/internal/prog"
+	"sherlock/internal/static"
+	"sherlock/internal/trace"
+)
+
+func TestParseAndCanonicalName(t *testing.T) {
+	cases := []struct {
+		in    string
+		want  Spec
+		canon string
+	}{
+		{"gen:42", Spec{42, "mixed", 4}, "gen:42"},
+		{"gen:42,profile=mixed", Spec{42, "mixed", 4}, "gen:42"},
+		{"gen:0,profile=go", Spec{0, "go", 4}, "gen:0,profile=go"},
+		{"gen:7,size=9", Spec{7, "mixed", 9}, "gen:7,size=9"},
+		{"gen:7,profile=racy,size=2", Spec{7, "racy", 2}, "gen:7,profile=racy,size=2"},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Errorf("Parse(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+		if got.Name() != c.canon {
+			t.Errorf("Parse(%q).Name() = %q, want %q", c.in, got.Name(), c.canon)
+		}
+	}
+	for _, bad := range []string{
+		"App-1", "gen:", "gen:-1", "gen:x", "gen:1,profile=rust",
+		"gen:1,size=0", "gen:1,size=99", "gen:1,depth=3", "gen:1,profile",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+// TestDeterminism: same seed => byte-identical program, ground truth and
+// structural hash across 20 fresh builds (run under -race in CI);
+// distinct seeds => distinct hashes.
+func TestDeterminism(t *testing.T) {
+	for _, name := range []string{"gen:42", "gen:42,profile=go", "gen:42,profile=classic", "gen:42,profile=racy"} {
+		spec, err := Parse(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := New(spec)
+		baseFP := Fingerprint(base)
+		baseHash, err := static.ProgramHash(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 20; i++ {
+			p := New(spec)
+			if fp := Fingerprint(p); fp != baseFP {
+				t.Fatalf("%s: build %d fingerprint diverged", name, i)
+			}
+			h, err := static.ProgramHash(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h != baseHash {
+				t.Fatalf("%s: build %d ProgramHash = %s, want %s", name, i, h, baseHash)
+			}
+		}
+	}
+	// Distinct seeds must produce distinct structural hashes.
+	seen := map[string]string{}
+	for seed := int64(0); seed < 30; seed++ {
+		p := New(Spec{Seed: seed, Profile: DefaultProfile, Size: DefaultSize})
+		h, err := static.ProgramHash(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("seed %d collides with %s on hash %s", seed, prev, h)
+		}
+		seen[h] = fmt.Sprintf("seed %d", seed)
+	}
+}
+
+// TestFromNameCache: alias spellings resolve to the same finalized
+// pointer, like the built-in registry.
+func TestFromNameCache(t *testing.T) {
+	a, err := FromName("gen:42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FromName("gen:42,profile=mixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("alias spellings of the same spec should share one program")
+	}
+	if a.Name != "gen:42" {
+		t.Errorf("program named %q, want canonical gen:42", a.Name)
+	}
+}
+
+// TestTruthWellFormed mirrors the built-in apps' invariant across a
+// spread of seeds and profiles: annotated acquires must be
+// acquire-capable kinds and vice versa (double-role upgrade excepted),
+// and no field is both volatile and racy.
+func TestTruthWellFormed(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		for _, profile := range Profiles {
+			p := New(Spec{Seed: seed, Profile: profile, Size: 6})
+			for k, role := range p.Truth.Syncs {
+				if k == prog.EK(prog.APIRWUpgrade) {
+					continue
+				}
+				switch role {
+				case trace.RoleAcquire:
+					if !trace.AcquireCapable(k.Kind()) {
+						t.Errorf("%s: %s annotated acquire but kind %v cannot acquire", p.Name, k, k.Kind())
+					}
+				case trace.RoleRelease:
+					if !trace.ReleaseCapable(k.Kind()) {
+						t.Errorf("%s: %s annotated release but kind %v cannot release", p.Name, k, k.Kind())
+					}
+				}
+			}
+			for f := range p.Volatile {
+				if p.Truth.RacyFields[f] {
+					t.Errorf("%s: %s is both volatile and racy", p.Name, f)
+				}
+			}
+		}
+	}
+}
+
+// TestInferenceOnGenerated runs full campaigns on a few generated apps
+// and checks they execute to completion (no deadlock, no hang) and
+// score sanely: something inferred, and every missed sync lands in a
+// known bucket or is a genuine (counted) miss.
+func TestInferenceOnGenerated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaigns")
+	}
+	cfg := core.DefaultConfig()
+	cfg.Rounds = 2
+	for _, name := range []string{"gen:1", "gen:2,profile=go", "gen:3,profile=classic", "gen:5,profile=racy"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			app, err := FromName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := core.Infer(context.Background(), app, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			score := core.ScoreResult(app, res)
+			if score.Total() == 0 {
+				t.Fatalf("%s: nothing inferred", name)
+			}
+			t.Logf("%s: correct=%d racy=%d instr=%d notsync=%d missed=%d precision=%.2f",
+				name, len(score.Correct), len(score.DataRacy), len(score.InstrErrors),
+				len(score.NotSync), len(score.Missed), score.Precision())
+		})
+	}
+}

@@ -1,0 +1,185 @@
+// Go-native idiom templates: the synchronization carriers BinGo
+// catalogs as where real Go concurrency bugs hide — channel send/recv,
+// sync.WaitGroup, sync.Once, sync.RWMutex — expressed in the program
+// DSL. Channels and WaitGroups ride the queue statements' API-name
+// override (a send is a release at the producer call's End, a recv an
+// acquire at the consumer call's Begin), traced under per-instance
+// Go-runtime-style names (chansend/chanrecv, wgDone/wgWait) so each
+// instance contributes its own inferable keys. Once maps onto the
+// first-use initialization guarantee, and RWMutex onto the
+// reader-writer statements (the upgrade path keeps its double-role
+// bucket). The idiom structure is Go's; the reader-writer trace names
+// remain the DSL's fixed library identifiers.
+package gen
+
+import (
+	"fmt"
+
+	"sherlock/internal/prog"
+	"sherlock/internal/trace"
+)
+
+var goTemplates = []template{
+	tmplChannel,
+	tmplWaitGroup,
+	tmplOnce,
+	tmplRWMutex,
+}
+
+// tmplChannel: an unbuffered-channel handoff — the sender publishes a
+// value then sends; the receiver blocks on recv then reads. The send's
+// End is the release, the recv's Begin the acquire.
+var tmplChannel = template{tag: "Chan", build: func(b *builder) {
+	ch := b.res("chan")
+	sendAPI := b.m("chansend")
+	recvAPI := b.m("chanrecv")
+	data := b.m("msg")
+	sender := b.m("Sender")
+	receiver := b.m("Receiver")
+	o := b.slot()
+	b.p.AddMethod(sender,
+		prog.CpJ(b.dur(200, 360), 0.8),
+		prog.Wr(data, o, 1),
+		prog.Cp(b.dur(30, 60)),
+		prog.PostAs(sendAPI, ch),
+		prog.CpJ(b.dur(80, 160), 0.8),
+	)
+	b.p.AddMethod(receiver,
+		prog.CpJ(b.dur(380, 540), 0.95),
+		prog.RecvAs(recvAPI, ch),
+		prog.Cp(b.dur(30, 60)),
+		prog.Rd(data, o),
+	)
+	b.p.AddTest(b.cls+"Tests::SendRecv",
+		prog.Go(prog.ForkThread, receiver, o, "h1"),
+		prog.Go(prog.ForkThread, sender, o, "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	b.sync(prog.EK(sendAPI), trace.RoleRelease)
+	b.sync(prog.BK(recvAPI), trace.RoleAcquire)
+	b.altPair(prog.WK(data), prog.RK(data))
+	b.forked(sender, receiver)
+	b.forkJoinAlt(prog.ForkThread, prog.JoinThread)
+}}
+
+// tmplWaitGroup: n workers each publish a result and call Done; the
+// test consumes n Done tokens via Wait before reading every result —
+// Done's End releases, Wait's Begin acquires.
+var tmplWaitGroup = template{tag: "WaitGroup", build: func(b *builder) {
+	n := 2 + b.rng.Intn(2) // 2..3 workers
+	wg := b.res("wg")
+	doneAPI := b.m("wgDone")
+	waitAPI := b.m("wgWait")
+	o := b.slot()
+	test := []prog.Stmt{}
+	tail := []prog.Stmt{prog.Rep(n, prog.RecvAs(waitAPI, wg))}
+	for i := 0; i < n; i++ {
+		field := b.m(fmt.Sprintf("result%d", i))
+		worker := b.m(fmt.Sprintf("Worker%d", i))
+		b.p.AddMethod(worker,
+			prog.CpJ(b.dur(180, 340), 0.9),
+			prog.Wr(field, o, int64(i)+1),
+			prog.Cp(b.dur(30, 60)),
+			prog.PostAs(doneAPI, wg),
+		)
+		h := fmt.Sprintf("h%d", i)
+		test = append(test, prog.Go(prog.ForkThread, worker, o, h))
+		tail = append(tail, prog.Rd(field, o), prog.JoinT(h))
+		b.altPair(prog.WK(field), prog.RK(field))
+		b.forked(worker)
+	}
+	b.p.AddTest(b.cls+"Tests::WaitForAll", append(test, tail...)...)
+	b.sync(prog.EK(doneAPI), trace.RoleRelease)
+	b.sync(prog.BK(waitAPI), trace.RoleAcquire)
+	b.forkJoinAlt(prog.ForkThread, prog.JoinThread)
+}}
+
+// tmplOnce: sync.Once-guarded initialization via the language's
+// first-use guarantee — the same invisible ordering edge as a static
+// constructor, so its misses land in the static-ctor bucket.
+var tmplOnce = template{tag: "Once", build: func(b *builder) {
+	initBody := b.m("onceDo")
+	val := b.m("instance")
+	get1 := b.m("Get")
+	get2 := b.m("GetOrInit")
+	b.p.AddMethod(initBody,
+		prog.Wr(val, "", 1),
+		prog.Cp(b.dur(420, 620)),
+	)
+	b.p.AddMethod(get1,
+		prog.CpJ(b.dur(240, 360), 0.95),
+		prog.StaticInit(b.cls, initBody),
+		prog.Rd(val, ""),
+		prog.Cp(b.dur(90, 160)),
+	)
+	b.p.AddMethod(get2,
+		prog.CpJ(b.dur(520, 700), 0.9),
+		prog.StaticInit(b.cls, initBody),
+		prog.Rd(val, ""),
+		prog.Rep(2, prog.Cp(b.dur(60, 100)), prog.Rd(val, "")),
+	)
+	b.p.AddTest(b.cls+"Tests::OnceConcurrent",
+		prog.Go(prog.ForkThread, get1, "", "h1"),
+		prog.Go(prog.ForkThread, get2, "", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	b.sync(prog.EK(initBody), trace.RoleRelease)
+	b.forked(get1, get2)
+	b.alt(prog.RK(val), trace.RoleAcquire)
+	b.cat(prog.EK(initBody), prog.CatStaticCtor)
+	b.cat(prog.BK(get1), prog.CatStaticCtor)
+	b.cat(prog.BK(get2), prog.CatStaticCtor)
+	b.cat(prog.RK(val), prog.CatStaticCtor)
+	b.forkJoinAlt(prog.ForkThread, prog.JoinThread)
+}}
+
+// tmplRWMutex: RLock-guarded readers plus a writer that upgrades its
+// read hold to write — sync.RWMutex usage whose upgrade keeps the
+// Single-Role violation (double-roles bucket, App-8 shape).
+var tmplRWMutex = template{tag: "RWMutex", build: func(b *builder) {
+	l := b.res("rwmu")
+	table := b.m("entries")
+	read := b.m("Lookup")
+	write := b.m("Insert")
+	o := b.slot()
+	b.p.AddMethod(read,
+		prog.CpJ(b.dur(200, 340), 0.95),
+		prog.RdLock(l),
+		prog.Rd(table, o),
+		prog.Cp(b.dur(70, 130)),
+		prog.RdUnlock(l),
+		prog.CpJ(b.dur(100, 200), 0.9),
+	)
+	b.p.AddMethod(write,
+		prog.CpJ(b.dur(240, 400), 0.95),
+		prog.RdLock(l),
+		prog.Rd(table, o),
+		prog.Cp(b.dur(60, 110)),
+		prog.Upgrade(l),
+		prog.Wr(table, o, 2),
+		prog.Cp(b.dur(40, 80)),
+		prog.Downgrade(l),
+		prog.RdUnlock(l),
+	)
+	body := []prog.Stmt{
+		prog.Go(prog.ForkThread, read, o, "h1"),
+		prog.Go(prog.ForkThread, write, o, "h2"),
+	}
+	tail := []prog.Stmt{prog.JoinT("h1"), prog.JoinT("h2")}
+	if b.rng.Intn(2) == 1 {
+		body = append(body, prog.Go(prog.ForkThread, read, o, "h3"))
+		tail = append(tail, prog.JoinT("h3"))
+	}
+	b.p.AddTest(b.cls+"Tests::ReadersWriter", append(body, tail...)...)
+	b.sync(prog.BK(prog.APIRWAcquireRead), trace.RoleAcquire)
+	b.alt(prog.EK(prog.APIRWReleaseRead), trace.RoleRelease)
+	b.sync(prog.BK(prog.APIRWUpgrade), trace.RoleAcquire)
+	b.sync(prog.EK(prog.APIRWDowngrade), trace.RoleRelease)
+	// The upgrade's End is a true release the Single-Role assumption
+	// cannot co-infer with its acquire (paper Table 4).
+	b.sync(prog.EK(prog.APIRWUpgrade), trace.RoleRelease)
+	b.cat(prog.BK(prog.APIRWUpgrade), prog.CatDoubleRole)
+	b.cat(prog.EK(prog.APIRWUpgrade), prog.CatDoubleRole)
+	b.forked(read, write)
+	b.forkJoinAlt(prog.ForkThread, prog.JoinThread)
+}}

@@ -1,0 +1,406 @@
+// Classic idiom templates: the paper's C# synchronization idioms
+// (Tables 8/9, Figure 3), parameterized by the builder's rng. Every
+// template follows the annotation conventions of the hand-written
+// App-1..App-8 benchmarks: primary sync keys are non-optional, method
+// boundaries and data fields that carry the same edge are SyncAlt
+// alternates, and known-unrefinable patterns (dispose, static ctor,
+// hidden methods, races) land in their Tables 2/4 buckets so the
+// scorer can separate them from genuine failures.
+package gen
+
+import (
+	"sherlock/internal/prog"
+	"sherlock/internal/trace"
+)
+
+var classicTemplates = []template{
+	tmplLock,
+	tmplSem,
+	tmplFlag,
+	tmplForkJoin,
+	tmplContinuation,
+	tmplWaitAll,
+	tmplStaticInit,
+	tmplHidden,
+	tmplFinalizer,
+	tmplRace,
+}
+
+// tmplLock: a Monitor-guarded counter touched by two threads
+// (App-1's TelemetryBuffer shape).
+var tmplLock = template{tag: "Lock", build: func(b *builder) {
+	l := b.res("lock")
+	state := b.m("state")
+	add := b.m("Add")
+	snap := b.m("Snapshot")
+	o := b.slot()
+	b.p.AddMethod(add,
+		prog.CpJ(b.dur(220, 420), 0.9),
+		prog.Lock(l),
+		prog.Rd(state, o),
+		prog.Wr(state, o, 1),
+		prog.Cp(b.dur(60, 130)),
+		prog.Unlock(l),
+		prog.CpJ(b.dur(150, 300), 0.9),
+	)
+	b.p.AddMethod(snap,
+		prog.CpJ(b.dur(320, 520), 0.9),
+		prog.Lock(l),
+		prog.Rd(state, o),
+		prog.Wr(state, o, 2),
+		prog.Cp(b.dur(50, 110)),
+		prog.Unlock(l),
+		prog.CpJ(b.dur(120, 260), 0.9),
+	)
+	b.p.AddTest(b.cls+"Tests::Concurrent",
+		prog.Go(prog.ForkThread, add, o, "h1"),
+		prog.Go(prog.ForkThread, snap, o, "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	if b.rng.Intn(2) == 1 {
+		b.p.AddTest(b.cls+"Tests::TwoWriters",
+			prog.Go(prog.ForkThread, add, o, "h1"),
+			prog.Go(prog.ForkThread, add, o, "h2"),
+			prog.JoinT("h1"), prog.JoinT("h2"),
+		)
+	}
+	b.sync(prog.BK(prog.APIMonitorEnter), trace.RoleAcquire)
+	b.sync(prog.EK(prog.APIMonitorExit), trace.RoleRelease)
+	b.forked(add, snap)
+	b.forkJoinAlt(prog.ForkThread, prog.JoinThread)
+}}
+
+// tmplSem: EventWaitHandle signaling — producer sets after publishing,
+// consumer waits before reading (App-1's DiskBacker shape).
+var tmplSem = template{tag: "Sem", build: func(b *builder) {
+	sem := b.res("sem")
+	data := b.m("payload")
+	produce := b.m("Produce")
+	consume := b.m("Consume")
+	o := b.slot()
+	b.p.AddMethod(produce,
+		prog.CpJ(b.dur(220, 380), 0.8),
+		prog.Wr(data, o, 1),
+		prog.Cp(b.dur(35, 70)),
+		prog.Set(sem),
+	)
+	b.p.AddMethod(consume,
+		prog.CpJ(b.dur(420, 560), 0.95),
+		prog.Wait(sem),
+		prog.Cp(b.dur(30, 60)),
+		prog.Rd(data, o),
+	)
+	b.p.AddTest(b.cls+"Tests::Signaled",
+		prog.Go(prog.ForkThread, consume, o, "h1"),
+		prog.Go(prog.ForkThread, produce, o, "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	b.sync(prog.EK(prog.APISemSet), trace.RoleRelease)
+	b.sync(prog.BK(prog.APISemWait), trace.RoleAcquire)
+	b.altPair(prog.WK(data), prog.RK(data))
+	b.forked(produce, consume)
+	b.forkJoinAlt(prog.ForkThread, prog.JoinThread)
+}}
+
+// tmplFlag: a volatile flag written by the publisher and spin-read by
+// the observer (App-1's flushCompleted / App-2's ascension shape).
+var tmplFlag = template{tag: "Flag", build: func(b *builder) {
+	flag := b.m("ready")
+	data := b.m("value")
+	publish := b.m("Publish")
+	observe := b.m("Observe")
+	o := b.slot()
+	b.p.AddMethod(publish,
+		prog.CpJ(b.dur(280, 440), 0.7),
+		prog.Wr(data, o, 7),
+		prog.Cp(b.dur(40, 80)),
+		prog.Wr(flag, o, 1),
+	)
+	b.p.AddMethod(observe,
+		prog.Spin(flag, o, 1, b.dur(200, 300)),
+		prog.Cp(b.dur(20, 45)),
+		prog.Rd(data, o),
+	)
+	b.p.AddTest(b.cls+"Tests::FlagHandoff",
+		prog.Go(prog.ForkThread, observe, o, "h1"),
+		prog.Go(prog.ForkThread, publish, o, "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	b.p.Volatile[flag] = true
+	b.sync(prog.WK(flag), trace.RoleRelease)
+	b.sync(prog.RK(flag), trace.RoleAcquire)
+	b.altPair(prog.WK(data), prog.RK(data))
+	b.forked(publish, observe)
+	b.forkJoinAlt(prog.ForkThread, prog.JoinThread)
+}}
+
+// tmplForkJoin: config handoff into a forked worker, result read after
+// the join (App-1's SendLoop shape), over a randomly chosen task API.
+var tmplForkJoin = template{tag: "ForkJoin", build: func(b *builder) {
+	apis := []prog.ForkAPI{prog.ForkTaskRun, prog.ForkTaskNew, prog.ForkThreadPool}
+	api := apis[b.rng.Intn(len(apis))]
+	cfg := b.m("config")
+	result := b.m("result")
+	worker := b.m("Worker")
+	o := b.slot()
+	b.p.AddMethod(worker,
+		prog.CpJ(b.dur(140, 260), 0.8),
+		prog.Rd(cfg, o),
+		prog.Cp(b.dur(160, 280)),
+		prog.Wr(result, o, 1),
+	)
+	b.p.AddTest(b.cls+"Tests::HandoffJoin",
+		prog.Wr(cfg, o, 3),
+		prog.Cp(b.dur(30, 60)),
+		prog.Go(api, worker, o, "t1"),
+		prog.WaitT("t1"),
+		prog.Rd(result, o),
+	)
+	b.sync(prog.EK(api.APIName()), trace.RoleRelease)
+	b.sync(prog.BK(worker), trace.RoleAcquire)
+	b.sync(prog.EK(worker), trace.RoleRelease)
+	b.alt(prog.BK(prog.JoinTask.APIName()), trace.RoleAcquire)
+	b.altPair(prog.WK(cfg), prog.RK(cfg))
+	b.altPair(prog.WK(result), prog.RK(result))
+}}
+
+// tmplContinuation: Task.ContinueWith pipeline — stage two reads what
+// stage one wrote (paper Figure 3.D, App-1's Serializer shape).
+var tmplContinuation = template{tag: "Continuation", build: func(b *builder) {
+	blob := b.m("blob")
+	first := b.m("Produce_b0")
+	second := b.m("Forward_b1")
+	o := b.slot()
+	b.p.AddMethod(first,
+		prog.CpJ(b.dur(220, 340), 0.6),
+		prog.Wr(blob, o, 1),
+		prog.Cp(b.dur(80, 150)),
+	)
+	b.p.AddMethod(second,
+		prog.Rd(blob, o),
+		prog.Cp(b.dur(90, 170)),
+	)
+	b.p.AddTest(b.cls+"Tests::Pipeline",
+		prog.Go(prog.ForkTaskRun, first, o, "t1"),
+		prog.Then("t1", second, o, "t2"),
+		prog.WaitT("t2"),
+	)
+	b.sync(prog.EK(first), trace.RoleRelease)
+	b.sync(prog.BK(second), trace.RoleAcquire)
+	b.alt(prog.BK(first), trace.RoleAcquire)
+	b.alt(prog.EK(second), trace.RoleRelease)
+	b.alt(prog.EK(prog.APIContinueWith), trace.RoleRelease)
+	b.altPair(prog.WK(blob), prog.RK(blob))
+	b.forkJoinAlt(prog.ForkTaskRun, prog.JoinTask)
+}}
+
+// tmplWaitAll: n-to-1 synchronization — two signalers publish then Set,
+// the gatherer WaitAll's both handles before reading (the paper's
+// WaitHandle.WaitAll example).
+var tmplWaitAll = template{tag: "WaitAll", build: func(b *builder) {
+	s1, s2 := b.res("semA"), b.res("semB")
+	d1, d2 := b.m("partA"), b.m("partB")
+	sigA := b.m("SignalA")
+	sigB := b.m("SignalB")
+	gather := b.m("Gather")
+	o := b.slot()
+	b.p.AddMethod(sigA,
+		prog.CpJ(b.dur(200, 340), 0.8),
+		prog.Wr(d1, o, 1),
+		prog.Cp(b.dur(30, 60)),
+		prog.Set(s1),
+	)
+	b.p.AddMethod(sigB,
+		prog.CpJ(b.dur(240, 400), 0.8),
+		prog.Wr(d2, o, 1),
+		prog.Cp(b.dur(30, 60)),
+		prog.Set(s2),
+	)
+	b.p.AddMethod(gather,
+		prog.CpJ(b.dur(80, 160), 0.8),
+		prog.All(s1, s2),
+		prog.Cp(b.dur(30, 60)),
+		prog.Rd(d1, o),
+		prog.Rd(d2, o),
+	)
+	b.p.AddTest(b.cls+"Tests::GatherBoth",
+		prog.Go(prog.ForkThread, gather, o, "h0"),
+		prog.Go(prog.ForkThread, sigA, o, "h1"),
+		prog.Go(prog.ForkThread, sigB, o, "h2"),
+		prog.JoinT("h0"), prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	b.sync(prog.EK(prog.APISemSet), trace.RoleRelease)
+	b.sync(prog.BK(prog.APIWaitAll), trace.RoleAcquire)
+	b.altPair(prog.WK(d1), prog.RK(d1))
+	b.altPair(prog.WK(d2), prog.RK(d2))
+	b.forked(sigA, sigB, gather)
+	b.forkJoinAlt(prog.ForkThread, prog.JoinThread)
+}}
+
+// tmplStaticInit: language-enforced static-constructor ordering — the
+// known-hard pairing the paper buckets as "static-ctor" (App-2/3/8
+// shape).
+var tmplStaticInit = template{tag: "Cctor", build: func(b *builder) {
+	ctor := b.m(".cctor")
+	table := b.m("table")
+	use1 := b.m("Calculate")
+	use2 := b.m("Precompute")
+	b.p.AddMethod(ctor,
+		prog.Wr(table, "", 1),
+		prog.Cp(b.dur(500, 700)),
+	)
+	b.p.AddMethod(use1,
+		prog.CpJ(b.dur(260, 360), 0.95),
+		prog.StaticInit(b.cls, ctor),
+		prog.Rd(table, ""),
+		prog.Cp(b.dur(110, 190)),
+	)
+	b.p.AddMethod(use2,
+		prog.CpJ(b.dur(600, 780), 0.9),
+		prog.StaticInit(b.cls, ctor),
+		prog.Rd(table, ""),
+		prog.Rep(2, prog.Cp(b.dur(70, 110)), prog.Rd(table, "")),
+	)
+	b.p.AddTest(b.cls+"Tests::FirstUse_Concurrent",
+		prog.Go(prog.ForkThread, use1, "", "h1"),
+		prog.Go(prog.ForkThread, use2, "", "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	b.sync(prog.EK(ctor), trace.RoleRelease)
+	b.forked(use1, use2)
+	b.alt(prog.RK(table), trace.RoleAcquire)
+	b.cat(prog.EK(ctor), prog.CatStaticCtor)
+	b.cat(prog.BK(use1), prog.CatStaticCtor)
+	b.cat(prog.BK(use2), prog.CatStaticCtor)
+	b.cat(prog.RK(table), prog.CatStaticCtor)
+	b.forkJoinAlt(prog.ForkThread, prog.JoinThread)
+}}
+
+// tmplHidden: a skip-listed notifier method signaling through an
+// invisible event — the paper's instrumentation-error pattern (App-1's
+// NotifySent shape). The notifier's End is a true release the Observer
+// can never see; whatever the solver tags instead lands in the
+// instr-errors bucket.
+var tmplHidden = template{tag: "Hidden", build: func(b *builder) {
+	sem := b.res("hidden-sem")
+	outcome := b.m("outcome")
+	state := b.m("state")
+	notify := b.m("Notify")
+	finish := b.m("Finish")
+	consume := b.m("Consume")
+	o := b.slot()
+	b.p.AddMethod(notify,
+		prog.Cp(b.dur(30, 55)),
+		prog.HSignal(sem),
+	)
+	b.p.AddMethod(finish,
+		prog.CpJ(b.dur(220, 320), 0.7),
+		prog.Wr(outcome, o, 2),
+		prog.Cp(b.dur(35, 60)),
+		prog.Wr(state, o, 1),
+		prog.Do(notify, o),
+		prog.Cp(b.dur(50, 90)),
+	)
+	b.p.AddMethod(consume,
+		prog.CpJ(b.dur(360, 480), 0.95),
+		prog.HWait(sem),
+		prog.Rd(state, o),
+		prog.Cp(b.dur(25, 45)),
+		prog.Rd(outcome, o),
+	)
+	b.p.AddTest(b.cls+"Tests::Notify_Hidden",
+		prog.Go(prog.ForkThread, consume, o, "h1"),
+		prog.Go(prog.ForkThread, finish, o, "h2"),
+		prog.JoinT("h1"), prog.JoinT("h2"),
+	)
+	b.hidden(notify)
+	b.sync(prog.EK(notify), trace.RoleRelease)
+	b.cat(prog.EK(notify), prog.CatInstrError)
+	b.cat(prog.EK(finish), prog.CatInstrError)
+	b.cat(prog.WK(outcome), prog.CatInstrError)
+	b.cat(prog.RK(state), prog.CatInstrError)
+	b.cat(prog.WK(state), prog.CatInstrError)
+	b.forked(consume)
+	// finish's End is categorized instr-error (not a Syncs alternate):
+	// whatever the solver tags for the invisible signal must land in
+	// that bucket, mirroring App-1. Its Begin still carries the fork
+	// edge.
+	b.alt(prog.BK(finish), trace.RoleAcquire)
+	b.forkJoinAlt(prog.ForkThread, prog.JoinThread)
+}}
+
+// tmplFinalizer: dispose ordered by garbage collection beyond the Near
+// window — the paper's unrefinable dispose bucket (App-1's
+// DisposableSink shape).
+var tmplFinalizer = template{tag: "Dispose", build: func(b *builder) {
+	meta := b.m("resources")
+	last := b.m("ReleaseLast")
+	disp := b.m("Dispose")
+	o := b.slot()
+	b.p.AddMethod(last,
+		prog.Rd(meta, o),
+		prog.Wr(meta, o, 1),
+		prog.Cp(b.dur(100, 170)),
+	)
+	b.p.AddMethod(disp,
+		prog.Rd(meta, o),
+		prog.Cp(b.dur(70, 130)),
+	)
+	b.p.AddTest(b.cls+"Tests::Dispose_LateGC",
+		prog.Do(last, o),
+		prog.GC(o, disp, 2_200_000), // beyond Near: the window never refines
+		prog.Cp(b.dur(80, 140)),
+	)
+	b.sync(prog.EK(last), trace.RoleRelease)
+	b.sync(prog.BK(disp), trace.RoleAcquire)
+	b.cat(prog.EK(last), prog.CatDispose)
+	b.cat(prog.BK(disp), prog.CatDispose)
+	b.cat(prog.RK(meta), prog.CatDispose)
+	b.cat(prog.WK(meta), prog.CatDispose)
+}}
+
+// tmplRace: a true data race, in one of two flavors — a non-volatile
+// flag handoff ("should be marked volatile", App-1 Section 5.5) or a
+// plain unsynchronized counter. Everything inferred on these keys is
+// the scorer's data-racy bucket.
+var tmplRace = template{tag: "Race", build: func(b *builder) {
+	o := b.slot()
+	if b.rng.Intn(2) == 0 {
+		flag := b.m("settled") // deliberately NOT volatile
+		data := b.m("rate")
+		start := b.m("Start")
+		observe := b.m("Observe")
+		b.p.AddMethod(start,
+			prog.CpJ(b.dur(280, 420), 0.7),
+			prog.Wr(data, o, 5),
+			prog.Cp(b.dur(35, 65)),
+			prog.Wr(flag, o, 1),
+		)
+		b.p.AddMethod(observe,
+			prog.Spin(flag, o, 1, b.dur(210, 290)),
+			prog.Rd(data, o),
+		)
+		b.p.AddTest(b.cls+"Tests::RacyFlag",
+			prog.Go(prog.ForkThread, observe, o, "h1"),
+			prog.Go(prog.ForkThread, start, o, "h2"),
+			prog.JoinT("h1"), prog.JoinT("h2"),
+		)
+		b.race(flag)
+		b.forked(start, observe)
+	} else {
+		hits := b.m("hits")
+		bump := b.m("Bump")
+		b.p.AddMethod(bump,
+			prog.CpJ(b.dur(160, 260), 0.6),
+			prog.Wr(hits, o, 1),
+		)
+		b.p.AddTest(b.cls+"Tests::Unsynchronized",
+			prog.Go(prog.ForkThread, bump, o, "h1"),
+			prog.Go(prog.ForkThread, bump, o, "h2"),
+			prog.JoinT("h1"), prog.JoinT("h2"),
+		)
+		b.race(hits)
+		b.forked(bump)
+	}
+	b.forkJoinAlt(prog.ForkThread, prog.JoinThread)
+}}

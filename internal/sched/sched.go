@@ -54,6 +54,14 @@ type Options struct {
 	HiddenMethods map[string]bool
 	// MaxSteps bounds execution; 0 means the default (2,000,000).
 	MaxSteps int
+	// StepDist selects the distribution the per-statement dispatch
+	// latency is drawn from ("" or DistUniform for the classic uniform
+	// draw). Non-uniform distributions sample rare long stalls — zipf's
+	// heavy tail and bursty's clustered stalls surface low-probability
+	// interleaving windows in fewer runs ("When the Next Step Is Not One
+	// Step"). Equal seeds still reproduce equal interleavings bit-for-bit
+	// for any fixed distribution.
+	StepDist string
 	// DisableTracing turns off all event recording (used to measure
 	// uninstrumented baseline cost for the overhead experiment).
 	DisableTracing bool
@@ -61,6 +69,30 @@ type Options struct {
 	// "sched" child span (test, seed, steps, events, virtual time — all
 	// deterministic attributes). A nil Span costs nothing.
 	Span *obs.Span
+}
+
+// Step-distribution names for Options.StepDist.
+const (
+	DistUniform = "uniform" // uniform 0..costDispatch (the default)
+	DistZipf    = "zipf"    // heavy-tailed: mostly tiny, occasionally 8x
+	DistBursty  = "bursty"  // calm stretches broken by bursts of long stalls
+)
+
+// Dists lists the valid step distributions.
+var Dists = []string{DistUniform, DistZipf, DistBursty}
+
+// ValidDist reports whether d names a step distribution ("" selects the
+// uniform default).
+func ValidDist(d string) bool {
+	if d == "" {
+		return true
+	}
+	for _, q := range Dists {
+		if d == q {
+			return true
+		}
+	}
+	return false
 }
 
 // DelayInstance records one applied perturbation for post-hoc propagation
@@ -171,6 +203,12 @@ type machine struct {
 	events []trace.Event
 	delays []DelayInstance
 	steps  int
+
+	// Step-distribution state: the zipf sampler is built lazily off the
+	// run's rng; burst counts the remaining statements of an active
+	// bursty-mode stall cluster.
+	zipf  *rand.Zipf
+	burst int
 }
 
 type lockState struct {
@@ -435,9 +473,34 @@ func (m *machine) jitter(d int64, j float64) int64 {
 	return v
 }
 
-// dispatch returns the random scheduling latency added before a statement.
+// dispatch returns the random scheduling latency added before a
+// statement, drawn from Options.StepDist. All draws consume the run's
+// seeded rng, so every distribution is bit-for-bit reproducible.
 func (m *machine) dispatch() int64 {
-	return int64(m.rng.Intn(costDispatch + 1))
+	switch m.opt.StepDist {
+	case DistZipf:
+		// Heavy tail up to 8x the uniform bound: most statements pay
+		// almost nothing, a few pay a long stall — rare windows open in
+		// fewer runs than the uniform draw needs.
+		if m.zipf == nil {
+			m.zipf = rand.NewZipf(m.rng, 1.3, 1, costDispatch*8)
+		}
+		return int64(m.zipf.Uint64())
+	case DistBursty:
+		// Calm stretches (≤ a third of the uniform bound) broken by rare
+		// clusters of 4-11 consecutive long stalls, modeling GC pauses
+		// and scheduler preemption storms.
+		if m.burst > 0 {
+			m.burst--
+			return costDispatch*4 + int64(m.rng.Intn(costDispatch*8+1))
+		}
+		if m.rng.Intn(64) == 0 {
+			m.burst = 4 + m.rng.Intn(8)
+		}
+		return int64(m.rng.Intn(costDispatch/3 + 1))
+	default:
+		return int64(m.rng.Intn(costDispatch + 1))
+	}
 }
 
 // emit appends a log entry unless tracing is disabled.

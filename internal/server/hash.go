@@ -28,6 +28,7 @@ import (
 
 	"sherlock/internal/core"
 	"sherlock/internal/prog"
+	"sherlock/internal/sched"
 	"sherlock/internal/static"
 )
 
@@ -192,6 +193,13 @@ func writeConfig(w io.Writer, cfg core.Config) {
 	fmt.Fprintf(w, "injectdelays=%t\n", cfg.InjectDelays)
 	fmt.Fprintf(w, "removeracymp=%t\n", cfg.RemoveRacyMP)
 	fmt.Fprintf(w, "maxsteps=%d\n", cfg.MaxStepsPerTest)
+	// The scheduler step distribution joins the key only when it departs
+	// from the classic uniform draw ("" and sched.DistUniform dispatch
+	// identically), so every pre-dist job key — and the cache entries
+	// filed under them — stays addressable.
+	if cfg.StepDist != "" && cfg.StepDist != sched.DistUniform {
+		fmt.Fprintf(w, "sched.dist=%s\n", cfg.StepDist)
+	}
 	// Parallelism, ColdStart, OnRound, OnSnapshot intentionally omitted:
 	// they affect cost, not results.
 }

@@ -12,12 +12,29 @@ import (
 )
 
 // JobSpec is the client-facing description of one inference job — the body
-// of POST /v1/jobs. Exactly one of App or Traces must be set. Zero-valued
-// tuning fields inherit the server's base inference config; non-zero
-// fields override it. The effective config (not the raw overrides) is what
+// of POST /v1/jobs. The v1 shape names the workload with one (Mode,
+// Target) pair; the original one-field-per-kind shape (App, Traces,
+// TraceKeys, WatchApp, StaticApp, Hybrid) remains accepted verbatim.
+// normalize lowers Mode/Target onto the legacy fields before validation
+// and hashing, so both spellings of the same job address the same
+// content key — and therefore the same cache entry. Zero-valued tuning
+// fields inherit the server's base inference config; non-zero fields
+// override it. The effective config (not the raw overrides) is what
 // gets hashed into the job's content address, so "rounds": 3 and an
 // omitted rounds field on a rounds=3 server address the same cache entry.
 type JobSpec struct {
+	// Mode selects the workload kind in the unified submission shape:
+	// "app" (benchmark campaign), "hybrid" (campaign seeded with static
+	// priors), "static" (run-free report), "watch" (corpus
+	// subscription), "traces" (inline JSONL documents), or "trace_keys"
+	// (corpus content addresses). Empty means the legacy shape below.
+	Mode string `json:"mode,omitempty"`
+	// Target carries the mode's workload: an application name for
+	// app/hybrid/static/watch (built-ins "App-1".."App-8" or generated
+	// "gen:<seed>[,profile=...][,size=...]"), an array of strings for
+	// traces/trace_keys.
+	Target any `json:"target,omitempty"`
+
 	// App names a benchmark application ("App-1".."App-8").
 	App string `json:"app,omitempty"`
 	// Traces carries previously captured execution logs, one JSONL trace
@@ -61,9 +78,76 @@ type JobSpec struct {
 	MaxSteps int `json:"max_steps,omitempty"`
 }
 
+// normalize lowers the unified (Mode, Target) shape onto the legacy
+// one-field-per-kind spec, leaving Mode/Target cleared. Legacy-shaped
+// specs (Mode empty, Target absent) pass through untouched. After a
+// successful normalize the spec is indistinguishable from its legacy
+// spelling, which is what keeps JobKey — and every cache entry filed
+// under pre-mode keys — identical across the two shapes.
+func (s *JobSpec) normalize() error {
+	if s.Mode == "" {
+		if s.Target != nil {
+			return fmt.Errorf("job spec: \"target\" requires \"mode\"")
+		}
+		return nil
+	}
+	if s.App != "" || len(s.Traces) > 0 || len(s.TraceKeys) > 0 || s.WatchApp != "" || s.StaticApp != "" {
+		return fmt.Errorf("job spec: \"mode\" and the legacy workload fields (\"app\", \"traces\", \"trace_keys\", \"watch_app\", \"static_app\") are mutually exclusive")
+	}
+	name := func() (string, error) {
+		str, ok := s.Target.(string)
+		if !ok || str == "" {
+			return "", fmt.Errorf("job spec: mode %q needs a non-empty string \"target\"", s.Mode)
+		}
+		return str, nil
+	}
+	list := func() ([]string, error) {
+		raw, ok := s.Target.([]any)
+		if !ok || len(raw) == 0 {
+			return nil, fmt.Errorf("job spec: mode %q needs a non-empty string array \"target\"", s.Mode)
+		}
+		out := make([]string, len(raw))
+		for i, v := range raw {
+			str, ok := v.(string)
+			if !ok {
+				return nil, fmt.Errorf("job spec: mode %q target[%d] is not a string", s.Mode, i)
+			}
+			out[i] = str
+		}
+		return out, nil
+	}
+	var err error
+	switch s.Mode {
+	case "app":
+		s.App, err = name()
+	case "hybrid":
+		s.App, err = name()
+		s.Hybrid = true
+	case "static":
+		s.StaticApp, err = name()
+	case "watch":
+		s.WatchApp, err = name()
+	case "traces":
+		s.Traces, err = list()
+	case "trace_keys":
+		s.TraceKeys, err = list()
+	default:
+		return fmt.Errorf("job spec: unknown mode %q (want \"app\", \"hybrid\", \"static\", \"watch\", \"traces\", or \"trace_keys\")", s.Mode)
+	}
+	if err != nil {
+		return err
+	}
+	s.Mode, s.Target = "", nil
+	return nil
+}
+
 // validate checks well-formedness (not config ranges — the effective
-// config is validated separately).
+// config is validated separately). Callers normalize first; a spec with
+// Mode still set was never normalized.
 func (s JobSpec) validate() error {
+	if s.Mode != "" || s.Target != nil {
+		return fmt.Errorf("job spec: internal error: spec not normalized")
+	}
 	set := 0
 	for _, present := range []bool{s.App != "", len(s.Traces) > 0, len(s.TraceKeys) > 0, s.WatchApp != "", s.StaticApp != ""} {
 		if present {

@@ -320,6 +320,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if !decodeRequest(w, r, &spec) {
 		return
 	}
+	if err := spec.normalize(); err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidArgument, err.Error())
+		return
+	}
 	if err := spec.validate(); err != nil {
 		writeError(w, http.StatusBadRequest, CodeInvalidArgument, err.Error())
 		return
@@ -335,7 +339,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if spec.WatchApp != "" && !watchAppPattern.MatchString(spec.WatchApp) {
 		writeError(w, http.StatusBadRequest, CodeInvalidArgument,
-			fmt.Sprintf("bad watch_app %q: want 1-100 characters of [A-Za-z0-9._-]", spec.WatchApp))
+			fmt.Sprintf("bad watch_app %q: want 1-100 characters of [A-Za-z0-9.,:=_-]", spec.WatchApp))
 		return
 	}
 	for i, doc := range spec.Traces {

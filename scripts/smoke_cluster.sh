@@ -82,8 +82,11 @@ echo "$I1" | grep -q '"node":"n1"' || { echo "bad cluster info on n1: $I1"; exit
 [ "$(echo "$I2" | ups)" -eq 2 ] || { echo "n2 does not see both members up: $I2"; exit 1; }
 echo "smoke-cluster: cluster info ok on both nodes"
 
-# Peer liveness is exported as a labeled gauge.
-curl -fsS "$N1/metrics" | grep -q '^sherlock_cluster_peer_up{peer="n2"} 1$' \
+# Peer liveness is exported as a labeled gauge. Capture the body before
+# grepping: under pipefail, `curl | grep -q` fails spuriously when grep
+# exits on the first match and curl dies on the closed pipe (exit 23).
+M1=$(curl -fsS "$N1/metrics")
+echo "$M1" | grep -q '^sherlock_cluster_peer_up{peer="n2"} 1$' \
   || { echo "n1 metrics missing peer_up for n2"; exit 1; }
 
 # Upload one trace to n1 only; replication (fan-out or anti-entropy)

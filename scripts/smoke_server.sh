@@ -91,6 +91,31 @@ echo "smoke: static job: $SJOB"
 echo "$SJOB" | grep -q '"cached":true' || { echo "static job missed the report cache"; exit 1; }
 echo "smoke: static job content-shares the report cache ok"
 
+# Generated apps: a gen:<seed> campaign submitted in the unified
+# {"mode","target"} shape runs like any built-in, and the legacy
+# {"app"} spelling of the same job is a cache hit on the same key.
+GJOB=$(curl -fsS -X POST -H 'Content-Type: application/json' \
+  -d '{"mode":"app","target":"gen:42"}' "$BASE/v1/jobs")
+echo "smoke: gen job: $GJOB"
+GID=$(echo "$GJOB" | grep -o '"id":"[^"]*"' | head -1 | cut -d'"' -f4)
+GKEY=$(echo "$GJOB" | grep -o '"key":"[^"]*"' | head -1 | cut -d'"' -f4)
+[ -n "$GID" ] && [ -n "$GKEY" ] || { echo "no id/key in gen job response"; exit 1; }
+STATUS=""
+for _ in $(seq 1 300); do
+  STATUS=$(curl -fsS "$BASE/v1/jobs/$GID" | grep -o '"status":"[^"]*"' | cut -d'"' -f4)
+  [ "$STATUS" = done ] && break
+  [ "$STATUS" = failed ] || [ "$STATUS" = canceled ] && { echo "gen job $STATUS"; exit 1; }
+  sleep 0.1
+done
+[ "$STATUS" = done ] || { echo "gen job stuck in $STATUS"; exit 1; }
+GHIT=$(curl -fsS -X POST -H 'Content-Type: application/json' \
+  -d '{"app":"gen:42"}' "$BASE/v1/jobs")
+echo "$GHIT" | grep -q '"cached":true' || { echo "legacy gen resubmit missed the cache"; exit 1; }
+echo "$GHIT" | grep -q "\"key\":\"$GKEY\"" || { echo "mode/legacy gen spellings hash differently"; exit 1; }
+curl -fsS "$BASE/v1/apps/gen:42/static" | grep -q '"program_hash"' \
+  || { echo "gen static report lacks program hash"; exit 1; }
+echo "smoke: generated app job + unified mode spec ok"
+
 # Errors arrive in the v1 envelope with a machine code.
 ERR=$(curl -s "$BASE/v1/jobs/job-999999")
 echo "$ERR" | grep -q '"error":{"code":"not_found"' || { echo "404 not in v1 envelope: $ERR"; exit 1; }
